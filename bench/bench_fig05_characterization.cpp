@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 5: the resilience characterization (the paper's first contribution).
+ *  (a)-(b) planner-only injection: success plunges orders of magnitude
+ *          before the controller's knee;
+ *  (c)-(d) controller-only injection;
+ *  (e)-(f) planner components: pre-norm O/Down vs K;
+ *  (g)-(h) controller components: minor variation;
+ *  (i)-(l) activation distributions and normalization skew under a fault.
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace create;
+
+namespace {
+
+void
+sweep(CreateSystem& sys, const char* title, bool injectPlanner,
+      const std::vector<double>& bers, const std::string& filter, int reps)
+{
+    Table t(title);
+    t.header({"BER", "wooden success", "wooden steps", "stone success",
+              "stone steps"});
+    for (double ber : bers) {
+        CreateConfig cfg = CreateConfig::uniform(ber);
+        cfg.injectPlanner = injectPlanner;
+        cfg.injectController = !injectPlanner;
+        cfg.componentFilter = filter;
+        const auto sw = sys.evaluate(MineTask::Wooden, cfg, reps);
+        const auto ss = sys.evaluate(MineTask::Stone, cfg, reps);
+        t.row({create::bench::berStr(ber), Table::pct(sw.successRate),
+               Table::num(sw.avgStepsSuccess, 0), Table::pct(ss.successRate),
+               Table::num(ss.avgStepsSuccess, 0)});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    const int reps = static_cast<int>(cli.integer("reps", 10));
+    bench::preamble("Fig. 5 resilience characterization", reps);
+    CreateSystem sys(false);
+
+    sweep(sys, "Fig. 5(a)-(b): planner-only injection", true,
+          {1e-6, 1e-5, 1e-4, 3e-4, 1e-3}, "", reps);
+    sweep(sys, "Fig. 5(c)-(d): controller-only injection", false,
+          {1e-5, 1e-4, 1e-3, 3e-3, 1e-2}, "", reps);
+    sweep(sys, "Fig. 5(e)-(f): planner K component only", true,
+          {1e-4, 3e-4, 1e-3}, ".attn.k", reps);
+    sweep(sys, "Fig. 5(e)-(f): planner O component only (pre-norm)", true,
+          {1e-4, 3e-4, 1e-3}, ".attn.o", reps);
+    sweep(sys, "Fig. 5(g)-(h): controller K component only", false,
+          {1e-3, 3e-3, 1e-2}, ".attn.k", reps);
+    sweep(sys, "Fig. 5(g)-(h): controller O component only", false,
+          {1e-3, 3e-3, 1e-2}, ".attn.o", reps);
+
+    // (i)-(l): activation distributions of the pre-norm layers and the
+    // skew a single large fault induces in normalization statistics.
+    Table il("Fig. 5(i)-(l): pre-norm activation stats and fault skew");
+    il.header({"model", "activation absmax", "clean sigma",
+               "sigma after 1 large fault", "skew factor"});
+    {
+        // Planner: one residual-stream row entering RMSNorm.
+        auto& planner = sys.planner(false);
+        ComputeContext ctx(7);
+        ctx.calibrating = true;
+        planner.inferLogits(0, 0, ctx); // calibrates observers
+        const float oMax =
+            planner.block(0).attn().o().quantState().outObs.absMax();
+        // Emulate a corrupted element at the AD bound vs a typical vector.
+        const int d = planner.config().dim;
+        Rng rng(7);
+        Tensor act({d});
+        for (int i = 0; i < d; ++i)
+            act[i] = static_cast<float>(rng.normal());
+        for (int i = 0; i < planner.config().outlierChannels; ++i)
+            act[(7 + i * 13) % d] *= planner.config().outlierScale;
+        const float sigmaClean = act.stddev();
+        Tensor corrupted = act;
+        corrupted[1] = oMax; // a surviving fault as large as the range
+        const float sigmaFault = corrupted.stddev();
+        il.row({"planner (outlier channels)", Table::num(oMax, 1),
+                Table::num(sigmaClean, 2), Table::num(sigmaFault, 2),
+                Table::num(sigmaFault / sigmaClean, 2)});
+
+        auto& controller = sys.controller();
+        const float cMax =
+            controller.block(0).attn().o().quantState().outObs.absMax();
+        Tensor cact({d});
+        for (int i = 0; i < d; ++i)
+            cact[i] = static_cast<float>(rng.normal());
+        const float cSigma = cact.stddev();
+        Tensor cc = cact;
+        cc[1] = cMax;
+        il.row({"controller (uniform)", Table::num(cMax, 1),
+                Table::num(cSigma, 2), Table::num(cc.stddev(), 2),
+                Table::num(cc.stddev() / cSigma, 2)});
+    }
+    il.print();
+    std::printf("\nShape check vs paper: the controller tolerates ~1-2 "
+                "orders higher BER than the planner; pre-norm components "
+                "(O) are the planner's weak point; a single surviving "
+                "fault skews the planner's normalization statistics far "
+                "more than the controller's.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 6: resilience diversity across subtasks. Deterministic action
+ * chains (log/stone/iron mining) collapse abruptly once errors disrupt
+ * the consecutive-hit sequences, while stochastic subtasks (chicken
+ * hunting, wool shearing) degrade gracefully.
+ */
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace create;
+
+namespace {
+
+struct SubtaskCase
+{
+    const char* name;
+    MineTask biome;
+    Subtask subtask;
+    std::vector<std::pair<Item, int>> grants; //!< prerequisites
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    const int reps = static_cast<int>(cli.integer("reps", 12));
+    const int budget = 300;
+    bench::preamble("Fig. 6 subtask resilience diversity", reps);
+
+    auto controller = ModelZoo::mineController(false);
+
+    const std::vector<SubtaskCase> cases = {
+        {"log", MineTask::Log, {SubtaskType::MineLog, 6}, {}},
+        {"stone", MineTask::Stone, {SubtaskType::MineStone, 4},
+         {{Item::WoodenPickaxe, 1}}},
+        {"iron", MineTask::Iron, {SubtaskType::MineIron, 2},
+         {{Item::StonePickaxe, 1}}},
+        {"coal", MineTask::Coal, {SubtaskType::MineCoal, 2},
+         {{Item::WoodenPickaxe, 1}}},
+        {"wool", MineTask::Wool, {SubtaskType::ShearWool, 4}, {}},
+        {"chicken", MineTask::Chicken, {SubtaskType::HuntChicken, 2}, {}},
+    };
+
+    Table t("Fig. 6: per-subtask success rate vs BER (controller-only)");
+    std::vector<std::string> header = {"BER"};
+    for (const auto& c : cases)
+        header.push_back(c.name);
+    t.header(header);
+
+    for (double ber : {1e-4, 1e-3, 2e-3, 3e-3, 6e-3}) {
+        std::vector<std::string> row = {bench::berStr(ber)};
+        for (const auto& c : cases) {
+            int successes = 0;
+            for (int rep = 0; rep < reps; ++rep) {
+                MineWorld w({40, 40, c.biome,
+                             2025 + static_cast<std::uint64_t>(rep * 13)});
+                for (const auto& [item, count] : c.grants)
+                    w.grantItem(item, count);
+                w.setActiveSubtask(c.subtask);
+                ComputeContext ctx(static_cast<std::uint64_t>(rep) * 7 + 1);
+                ctx.setUniformBer(ber);
+                ctx.domain = Domain::Controller;
+                Rng rng(static_cast<std::uint64_t>(rep) + 5);
+                for (int s = 0; s < budget && !w.subtaskComplete(); ++s) {
+                    const MineObs obs = w.observe();
+                    const auto logits = controller->inferLogits(
+                        static_cast<int>(c.subtask.type), obs.spatial,
+                        obs.state, ctx);
+                    w.step(static_cast<Action>(sampleAction(logits, rng)));
+                }
+                successes += w.subtaskComplete() ? 1 : 0;
+            }
+            row.push_back(Table::pct(static_cast<double>(successes) / reps));
+        }
+        t.row(row);
+    }
+    t.print();
+    std::printf("\nShape check vs paper: sequential mining subtasks (log/"
+                "stone/iron) fall off abruptly; stochastic mob subtasks "
+                "(wool/chicken) degrade gradually.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig. 7 + Fig. 10: stage-specific resilience and the entropy signal.
+ *
+ * Fig. 7: action-logit distributions at non-critical (exploration) vs
+ * critical (execution) steps, and the impact of injecting errors only in
+ * one stage. Fig. 10: the entropy trace across a mission.
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    const int reps = static_cast<int>(cli.integer("reps", 16));
+    bench::preamble("Fig. 7 stage-specific resilience + Fig. 10 entropy",
+                    reps);
+    auto controller = ModelZoo::mineController(false);
+
+    // --- Fig. 7: logit shapes per stage (clean run on mine_logs) --------
+    {
+        ComputeContext ctx(1);
+        Rng rng(1);
+        MineWorld w({40, 40, MineTask::Log, 99});
+        w.setActiveSubtask({SubtaskType::MineLog, 6});
+        double hCrit = 0, hFree = 0, topCrit = 0, topFree = 0;
+        int nCrit = 0, nFree = 0;
+        for (int s = 0; s < 500 && !w.subtaskComplete(); ++s) {
+            const MineObs obs = w.observe();
+            const auto logits = controller->inferLogits(
+                static_cast<int>(SubtaskType::MineLog), obs.spatial,
+                obs.state, ctx);
+            const auto probs = ops::softmax(logits);
+            const double h = ops::entropy(probs);
+            double top = 0;
+            for (float p : probs)
+                top = std::max<double>(top, p);
+            if (obs.spatial[11] > 0.5f) {
+                hCrit += h;
+                topCrit += top;
+                ++nCrit;
+            } else {
+                hFree += h;
+                topFree += top;
+                ++nFree;
+            }
+            w.step(static_cast<Action>(sampleAction(logits, rng)));
+        }
+        Table t("Fig. 7: action-logit statistics by execution stage "
+                "(mine_logs)");
+        t.header({"stage", "steps", "mean entropy (nats)",
+                  "mean top-action prob"});
+        t.row({"critical (target in front)", std::to_string(nCrit),
+               Table::num(nCrit ? hCrit / nCrit : 0, 3),
+               Table::num(nCrit ? topCrit / nCrit : 0, 3)});
+        t.row({"non-critical (exploration)", std::to_string(nFree),
+               Table::num(nFree ? hFree / nFree : 0, 3),
+               Table::num(nFree ? topFree / nFree : 0, 3)});
+        t.print();
+    }
+
+    // --- Fig. 7(a)/(b): stage-gated injection ----------------------------
+    {
+        Table t("Fig. 7: corruption impact by stage (mine_logs x6, "
+                "controller BER 8e-3 in one stage only)");
+        t.header({"injected stage", "subtask success", "avg steps"});
+        for (const bool criticalOnly : {false, true}) {
+            int successes = 0;
+            double steps = 0;
+            for (int rep = 0; rep < reps; ++rep) {
+                MineWorld w({40, 40, MineTask::Log,
+                             404 + static_cast<std::uint64_t>(rep)});
+                w.setActiveSubtask({SubtaskType::MineLog, 6});
+                ComputeContext ctx(static_cast<std::uint64_t>(rep) * 3 + 11);
+                ctx.domain = Domain::Controller;
+                Rng rng(static_cast<std::uint64_t>(rep) + 21);
+                int s = 0;
+                for (; s < 420 && !w.subtaskComplete(); ++s) {
+                    const MineObs obs = w.observe();
+                    const bool critical = obs.spatial[11] > 0.5f;
+                    if (critical == criticalOnly)
+                        ctx.setUniformBer(8e-3);
+                    else
+                        ctx.setCleanMode();
+                    const auto logits = controller->inferLogits(
+                        static_cast<int>(SubtaskType::MineLog), obs.spatial,
+                        obs.state, ctx);
+                    w.step(static_cast<Action>(sampleAction(logits, rng)));
+                }
+                if (w.subtaskComplete()) {
+                    ++successes;
+                    steps += s;
+                }
+            }
+            t.row({criticalOnly ? "critical (chopping)" :
+                                  "non-critical (exploration)",
+                   Table::pct(static_cast<double>(successes) / reps),
+                   Table::num(successes ? steps / successes : 0, 0)});
+        }
+        t.print();
+    }
+
+    // --- Fig. 10: entropy trace across timesteps -------------------------
+    {
+        ComputeContext ctx(2);
+        Rng rng(2);
+        MineWorld w({40, 40, MineTask::Log, 1234});
+        w.setActiveSubtask({SubtaskType::MineLog, 4});
+        Table t("Fig. 10: entropy across timesteps (sampled every 4 steps)");
+        t.header({"step", "entropy (nats)", "stage"});
+        for (int s = 0; s < 160 && !w.subtaskComplete(); ++s) {
+            const MineObs obs = w.observe();
+            const auto logits = controller->inferLogits(
+                static_cast<int>(SubtaskType::MineLog), obs.spatial,
+                obs.state, ctx);
+            if (s % 4 == 0) {
+                const double h = ops::entropy(ops::softmax(logits));
+                t.row({std::to_string(s), Table::num(h, 3),
+                       obs.spatial[11] > 0.5f ? "critical" : "non-critical"});
+            }
+            w.step(static_cast<Action>(sampleAction(logits, rng)));
+        }
+        t.print();
+    }
+    std::printf("\nShape check vs paper: picky logits at critical steps, "
+                "near-uniform during exploration; critical-stage errors "
+                "are far more damaging; entropy tracks the stage.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot substrate paths: integer
+ * GEMM, fault injection, the full faulty pipeline, the systolic model,
+ * Hadamard rotation, and single model inferences.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fault/injector.hpp"
+#include "hw/faulty_gemm.hpp"
+#include "hw/systolic.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+namespace {
+
+void
+BM_IntGemm(benchmark::State& state)
+{
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    std::vector<std::int8_t> x(static_cast<std::size_t>(n * n), 3);
+    std::vector<std::int8_t> w(static_cast<std::size_t>(n * n), -2);
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(n * n));
+    for (auto _ : state) {
+        std::fill(acc.begin(), acc.end(), 0);
+        intGemm(x.data(), n, n, w.data(), n, acc.data());
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_IntGemm)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Injection(benchmark::State& state)
+{
+    const double ber = 1e-4;
+    std::vector<std::int32_t> acc(65536, 12345);
+    const std::vector<double> rates(kAccumulatorBits, ber);
+    Rng rng(1);
+    for (auto _ : state) {
+        BitFlipInjector::inject(acc.data(), acc.size(), rates, rng);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_Injection);
+
+void
+BM_FaultyLinear(benchmark::State& state)
+{
+    Rng rng(2);
+    Tensor x({16, 64}), w({64, 64});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.normal());
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.normal()) * 0.2f;
+    ComputeContext ctx(2);
+    QuantGemmState st;
+    ctx.calibrating = true;
+    faultyLinear(x, w, nullptr, st, ctx, "bm");
+    ctx.calibrating = false;
+    ctx.setUniformBer(1e-4);
+    for (auto _ : state) {
+        auto y = faultyLinear(x, w, nullptr, st, ctx, "bm");
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FaultyLinear);
+
+void
+BM_SystolicTile(benchmark::State& state)
+{
+    std::vector<std::int8_t> x(128 * 128, 5);
+    std::vector<std::int8_t> w(128 * 128, -3);
+    SystolicArray arr;
+    Rng rng(3);
+    for (auto _ : state) {
+        auto res = arr.run(x.data(), 128, 128, w.data(), 128, {}, 0.0, rng);
+        benchmark::DoNotOptimize(res.acc.data());
+    }
+}
+BENCHMARK(BM_SystolicTile);
+
+void
+BM_Hadamard(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto h = ops::hadamard(64);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_Hadamard);
+
+void
+BM_ControllerStep(benchmark::State& state)
+{
+    auto controller = ModelZoo::mineController(false);
+    MineWorld w({40, 40, MineTask::Wooden, 1});
+    w.setActiveSubtask({SubtaskType::MineLog, 2});
+    const MineObs obs = w.observe();
+    ComputeContext ctx(4);
+    ctx.setUniformBer(1e-4);
+    for (auto _ : state) {
+        auto logits = controller->inferLogits(
+            static_cast<int>(SubtaskType::MineLog), obs.spatial, obs.state,
+            ctx);
+        benchmark::DoNotOptimize(logits.data());
+    }
+}
+BENCHMARK(BM_ControllerStep);
+
+void
+BM_PlannerInference(benchmark::State& state)
+{
+    auto planner = ModelZoo::minePlanner(false);
+    ComputeContext ctx(5);
+    ctx.setUniformBer(1e-5);
+    for (auto _ : state) {
+        auto plan = planner->inferPlan(0, 0, ctx);
+        benchmark::DoNotOptimize(plan.data());
+    }
+}
+BENCHMARK(BM_PlannerInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

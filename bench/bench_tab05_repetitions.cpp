@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 5: statistical significance of repetitions. Measured success rate
+ * vs the number of repeated episodes; convergence by ~100 repetitions
+ * justifies the paper's protocol.
+ */
+
+#include "bench_util.hpp"
+
+using namespace create;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv);
+    const int maxReps = static_cast<int>(cli.integer("reps", 120));
+    bench::preamble("Table 5 success rate vs repetitions", maxReps);
+    CreateSystem sys(false);
+
+    // Paper setting: wooden task, BER 1e-7 on the controller. On this
+    // substrate the equivalent mild stressor is 1e-3 (see EXPERIMENTS.md
+    // on the BER axis shift).
+    CreateConfig cfg = CreateConfig::uniform(1e-3);
+    cfg.injectPlanner = false;
+
+    std::vector<int> checkpoints = {10, 20, 40, 60, 80, 100, 120};
+    Table t("Table 5: measured success rate vs number of repetitions "
+            "(wooden, controller BER 1e-3)");
+    t.header({"repetitions", "success rate"});
+    int successes = 0;
+    int done = 0;
+    std::size_t next = 0;
+    for (int i = 0; i < maxReps && next < checkpoints.size(); ++i) {
+        const auto r = sys.runEpisode(
+            MineTask::Wooden, 1000 + static_cast<std::uint64_t>(i), cfg);
+        successes += r.success ? 1 : 0;
+        ++done;
+        if (done == checkpoints[next]) {
+            t.row({std::to_string(done),
+                   Table::pct(static_cast<double>(successes) / done)});
+            ++next;
+        }
+    }
+    t.print();
+    std::printf("\nShape check vs paper (Table 5): the running success "
+                "rate converges well before ~100 repetitions.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Shared scaffolding for the experiment benches. Every bench binary
+ * regenerates one table/figure of the paper; run with no arguments for
+ * the fast defaults, or raise --reps toward the paper's >=100 episode
+ * repetitions. A note on axes: see EXPERIMENTS.md for why the BER axis of
+ * the small stand-in models sits a few orders above the paper's (flips
+ * per inference is the invariant, not BER).
+ */
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/anomaly.hpp"
+#include "core/create_system.hpp"
+
+namespace create::bench {
+
+/** Format a BER like "1e-04". */
+inline std::string
+berStr(double ber)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0e", ber);
+    return buf;
+}
+
+/** Standard preamble: announce the artifact and the episode count. */
+inline void
+preamble(const char* artifact, int reps)
+{
+    std::printf("Reproducing %s  (%d episodes/config; paper uses >=100, "
+                "raise with --reps)\n",
+                artifact, reps);
+}
+
+} // namespace create::bench

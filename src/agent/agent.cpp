@@ -1,0 +1,114 @@
+#include "agent/agent.hpp"
+
+namespace create {
+
+EmbodiedAgent::EmbodiedAgent(PlannerModel& planner,
+                             ControllerModel& controller, AgentConfig cfg)
+    : planner_(planner), controller_(controller), cfg_(cfg)
+{
+}
+
+std::vector<Subtask>
+EmbodiedAgent::invokePlanner(int taskId, int done, ComputeContext& ctx)
+{
+    const auto tokens = planner_.inferPlan(taskId, done, ctx);
+    return PlanVocab::mine().decode(tokens);
+}
+
+EpisodeResult
+EmbodiedAgent::runEpisode(MineTask task, std::uint64_t seed,
+                          ComputeContext& plannerCtx,
+                          ComputeContext& controllerCtx, AgentHooks* hooks)
+{
+    EpisodeResult r;
+    plannerCtx.meter.reset();
+    controllerCtx.meter.reset();
+    plannerCtx.domain = Domain::Planner;
+    controllerCtx.domain = Domain::Controller;
+
+    MineWorld world({cfg_.worldSize, cfg_.worldSize, task, seed});
+    Rng actionRng(seed ^ 0x51AB5EEDull);
+    const int taskId = static_cast<int>(task);
+
+    int done = 0;
+    auto plan = invokePlanner(taskId, done, plannerCtx);
+    ++r.plannerInvocations;
+    std::size_t planIdx = 0;
+    int steps = 0;
+
+    while (steps < cfg_.taskCap && !world.taskComplete()) {
+        if (planIdx >= plan.size()) {
+            if (plan.empty()) {
+                // A corrupted planner produced no subtasks: the agent idles
+                // through a budget's worth of steps before re-consulting it
+                // (the paper's "prolonged irrelevant actions").
+                for (int i = 0;
+                     i < cfg_.subtaskBudget && steps < cfg_.taskCap; ++i) {
+                    world.step(Action::Noop);
+                    ++steps;
+                }
+            }
+            if (steps >= cfg_.taskCap)
+                break;
+            plan = invokePlanner(taskId, done, plannerCtx);
+            ++r.plannerInvocations;
+            planIdx = 0;
+            continue;
+        }
+
+        const Subtask subtask = plan[planIdx];
+        world.setActiveSubtask(subtask);
+        int budget = 0;
+        while (!world.subtaskComplete() && budget < cfg_.subtaskBudget &&
+               steps < cfg_.taskCap && !world.taskComplete()) {
+            if (hooks) {
+                hooks->beforeController(world,
+                                        static_cast<std::uint64_t>(steps),
+                                        controllerCtx, r);
+            }
+            const MineObs obs = world.observe();
+            const auto logits = controller_.inferLogits(
+                static_cast<int>(subtask.type), obs.spatial, obs.state,
+                controllerCtx);
+            const auto action =
+                static_cast<Action>(sampleAction(logits, actionRng));
+            if (hooks) {
+                hooks->afterLogits(world, static_cast<std::uint64_t>(steps),
+                                   logits, action);
+            }
+            world.step(action);
+            ++steps;
+            ++budget;
+        }
+
+        if (world.subtaskComplete()) {
+            ++done;
+            ++r.subtasksCompleted;
+            ++planIdx;
+        } else if (steps < cfg_.taskCap) {
+            // Budget exhausted: re-invoke the planner with progress so far
+            // (Sec. 2.1 re-planning rule).
+            plan = invokePlanner(taskId, done, plannerCtx);
+            ++r.plannerInvocations;
+            planIdx = 0;
+        }
+    }
+
+    r.success = world.taskComplete();
+    r.steps = r.success ? steps : cfg_.taskCap;
+
+    const auto& pu = plannerCtx.meter.usage(Domain::Planner);
+    const auto& cu = controllerCtx.meter.usage(Domain::Controller);
+    if (pu.macs > 0.0)
+        r.plannerV2Ratio = pu.v2WeightedMacs / pu.macs;
+    if (cu.macs > 0.0)
+        r.controllerV2Ratio = cu.v2WeightedMacs / cu.macs;
+    r.plannerEffV = plannerCtx.meter.effectiveVoltage(Domain::Planner);
+    r.controllerEffV =
+        controllerCtx.meter.effectiveVoltage(Domain::Controller);
+    r.bitFlips = pu.bitFlips + cu.bitFlips;
+    r.anomaliesCleared = pu.anomaliesCleared + cu.anomaliesCleared;
+    return r;
+}
+
+} // namespace create

@@ -1,0 +1,77 @@
+#include "agent/metrics.hpp"
+
+namespace create {
+
+PaperEnergyModel::PaperEnergyModel()
+    : PaperEnergyModel(workloads::jarvisPlanner(),
+                       workloads::jarvisController(),
+                       workloads::entropyPredictor())
+{
+}
+
+PaperEnergyModel::PaperEnergyModel(Workload plannerW, Workload controllerW,
+                                   Workload predictorW)
+    : plannerW_(std::move(plannerW)), controllerW_(std::move(controllerW)),
+      predictorW_(std::move(predictorW))
+{
+}
+
+double
+PaperEnergyModel::plannerJ(const EpisodeResult& r) const
+{
+    return r.plannerInvocations * plannerW_.paperGops * 1e9 *
+           jPerOpNominal() * r.plannerV2Ratio;
+}
+
+double
+PaperEnergyModel::controllerJ(const EpisodeResult& r) const
+{
+    return static_cast<double>(r.steps) * controllerW_.paperGops * 1e9 *
+           jPerOpNominal() * r.controllerV2Ratio;
+}
+
+double
+PaperEnergyModel::predictorJ(const EpisodeResult& r) const
+{
+    // Predictor always runs at nominal voltage (error-free prediction).
+    return r.predictorInvocations * predictorW_.paperGops * 1e9 *
+           jPerOpNominal();
+}
+
+double
+PaperEnergyModel::episodeComputeJ(const EpisodeResult& r) const
+{
+    return plannerJ(r) + controllerJ(r) + predictorJ(r);
+}
+
+TaskStats
+aggregate(const std::vector<EpisodeResult>& results,
+          const PaperEnergyModel& energy)
+{
+    TaskStats s;
+    s.episodes = static_cast<int>(results.size());
+    double stepsSuccess = 0.0;
+    double vP = 0.0, vC = 0.0, inv = 0.0;
+    for (const auto& r : results) {
+        if (r.success) {
+            ++s.successes;
+            stepsSuccess += r.steps;
+        }
+        s.avgComputeJ += energy.episodeComputeJ(r);
+        vP += r.plannerEffV;
+        vC += r.controllerEffV;
+        inv += r.plannerInvocations;
+    }
+    if (s.episodes > 0) {
+        s.successRate = static_cast<double>(s.successes) / s.episodes;
+        s.avgComputeJ /= s.episodes;
+        s.avgPlannerEffV = vP / s.episodes;
+        s.avgControllerEffV = vC / s.episodes;
+        s.avgPlannerInvocations = inv / s.episodes;
+    }
+    if (s.successes > 0)
+        s.avgStepsSuccess = stepsSuccess / s.successes;
+    return s;
+}
+
+} // namespace create

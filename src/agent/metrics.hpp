@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Episode aggregation and paper-scale energy accounting (Sec. 6.1
+ * evaluation metrics: success rate, average steps, average power, total
+ * energy; effective voltage).
+ *
+ * The behavioural simulation decides *how many* planner invocations and
+ * controller steps an episode needs and at *what* voltages they ran; the
+ * energy model prices them at the paper-scale per-invocation costs
+ * (Table 4: 5,344 GOps per planner call, 102 GOps per controller step,
+ * 43 MOps per entropy prediction), so Joule-level results keep the
+ * magnitudes of Figs. 16-18.
+ */
+
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "perf/energy.hpp"
+#include "perf/workloads.hpp"
+
+namespace create {
+
+/** Prices episodes at paper-scale workload costs. */
+class PaperEnergyModel
+{
+  public:
+    /** Defaults to the JARVIS-1 stack. */
+    PaperEnergyModel();
+    PaperEnergyModel(Workload plannerW, Workload controllerW,
+                     Workload predictorW);
+
+    /** Computational energy of one episode in joules. */
+    double episodeComputeJ(const EpisodeResult& r) const;
+
+    /** Planner-only / controller-only / predictor-only components. */
+    double plannerJ(const EpisodeResult& r) const;
+    double controllerJ(const EpisodeResult& r) const;
+    double predictorJ(const EpisodeResult& r) const;
+
+    /** Energy per operation at nominal voltage (J/op). */
+    double jPerOpNominal() const { return 0.107e-12; }
+
+    const Workload& plannerWorkload() const { return plannerW_; }
+    const Workload& controllerWorkload() const { return controllerW_; }
+
+  private:
+    Workload plannerW_, controllerW_, predictorW_;
+};
+
+/** Aggregated statistics over repeated episodes (>=100 in the paper). */
+struct TaskStats
+{
+    int episodes = 0;
+    int successes = 0;
+    double successRate = 0.0;
+    double avgStepsSuccess = 0.0; //!< mean steps among successful trials
+    double avgComputeJ = 0.0;     //!< includes failed episodes (full run)
+    double avgPlannerEffV = 0.9;
+    double avgControllerEffV = 0.9;
+    double avgPlannerInvocations = 0.0;
+};
+
+/** Aggregate episode results with paper-scale energy pricing. */
+TaskStats aggregate(const std::vector<EpisodeResult>& results,
+                    const PaperEnergyModel& energy);
+
+} // namespace create

@@ -1,0 +1,26 @@
+#include "baselines/abft.hpp"
+
+namespace create::baselines {
+
+CreateConfig
+abftConfig(double voltage)
+{
+    CreateConfig cfg = CreateConfig::atVoltage(voltage, voltage);
+    cfg.protection = Protection::Abft;
+    return cfg;
+}
+
+double
+abftExpectedAttempts(double gemmCorruptionProb)
+{
+    // Truncated geometric with at most 5 attempts.
+    double expected = 0.0;
+    double pReach = 1.0;
+    for (int attempt = 1; attempt <= 5; ++attempt) {
+        expected += pReach;
+        pReach *= gemmCorruptionProb;
+    }
+    return expected;
+}
+
+} // namespace create::baselines

@@ -1,0 +1,26 @@
+#pragma once
+
+/**
+ * @file
+ * ABFT baseline (paper Sec. 6.10, refs [46-49]).
+ *
+ * Algorithm-based fault tolerance: row/column checksums detect corrupted
+ * GEMMs (modeled as perfect detection); recovery recomputes the whole
+ * GEMM until a clean pass (bounded retries). Checksum maintenance costs
+ * ~(M+N)*K extra MACs per attempt. Below ~0.85 V the recovery loop fires
+ * constantly and energy explodes -- the paper's reason ABFT is "confined"
+ * above that point. Execution semantics live in hw/faulty_gemm.cpp under
+ * Protection::Abft.
+ */
+
+#include "core/create_system.hpp"
+
+namespace create::baselines {
+
+/** Full-system config at `voltage` under ABFT protection. */
+CreateConfig abftConfig(double voltage);
+
+/** Expected attempts until a clean pass at a per-GEMM corruption prob. */
+double abftExpectedAttempts(double gemmCorruptionProb);
+
+} // namespace create::baselines

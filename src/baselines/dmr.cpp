@@ -1,0 +1,29 @@
+#include "baselines/dmr.hpp"
+
+namespace create::baselines {
+
+CreateConfig
+dmrConfig(double voltage)
+{
+    CreateConfig cfg = CreateConfig::atVoltage(voltage, voltage);
+    cfg.protection = Protection::Dmr;
+    return cfg;
+}
+
+double
+dmrEnergyFactor(double gemmCorruptionProb)
+{
+    // Each attempt costs 2x; the pair disagrees when either copy is
+    // corrupted (ignoring identical corruption, which is negligible).
+    const double disagree =
+        1.0 - (1.0 - gemmCorruptionProb) * (1.0 - gemmCorruptionProb);
+    double factor = 0.0;
+    double pReach = 1.0;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        factor += pReach * 2.0;
+        pReach *= disagree;
+    }
+    return factor;
+}
+
+} // namespace create::baselines

@@ -1,0 +1,29 @@
+#pragma once
+
+/**
+ * @file
+ * Dual modular redundancy baseline (paper Sec. 6.10, refs [37-39]).
+ *
+ * Every GEMM is executed twice with independent error draws; any mismatch
+ * triggers re-execution of the pair (bounded retries). Reliability is
+ * high, but compute energy is at least doubled and grows further as BER
+ * rises -- the paper's "prohibitive energy cost". The execution semantics
+ * live in hw/faulty_gemm.cpp under Protection::Dmr; this header provides
+ * the configuration builder and an analytic energy-factor model used by
+ * tests and the Fig. 20 bench.
+ */
+
+#include "core/create_system.hpp"
+
+namespace create::baselines {
+
+/** Full-system config running both models at `voltage` under DMR. */
+CreateConfig dmrConfig(double voltage);
+
+/**
+ * Expected compute-energy multiplier of DMR at a given per-GEMM corruption
+ * probability (probability that one execution contains >=1 flip).
+ */
+double dmrEnergyFactor(double gemmCorruptionProb);
+
+} // namespace create::baselines

@@ -1,0 +1,19 @@
+#include "baselines/thundervolt.hpp"
+
+namespace create::baselines {
+
+CreateConfig
+thunderVoltConfig(double voltage)
+{
+    CreateConfig cfg = CreateConfig::atVoltage(voltage, voltage);
+    cfg.protection = Protection::ThunderVolt;
+    return cfg;
+}
+
+double
+thunderVoltDropRate(double elementCorruptionProb)
+{
+    return elementCorruptionProb;
+}
+
+} // namespace create::baselines

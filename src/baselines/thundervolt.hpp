@@ -1,0 +1,25 @@
+#pragma once
+
+/**
+ * @file
+ * ThUnderVolt-style baseline (paper Sec. 6.10, ref [40]).
+ *
+ * Razor-style per-PE timing-error detection with result bypass: outputs
+ * whose accumulation saw a violation are dropped to zero. Detection is
+ * modeled as perfect; the bypass fabric adds ~5% compute energy. At high
+ * BER the zeroed outputs act like aggressive neuron pruning and degrade
+ * task quality (the paper's criticism). Execution semantics live in
+ * hw/faulty_gemm.cpp under Protection::ThunderVolt.
+ */
+
+#include "core/create_system.hpp"
+
+namespace create::baselines {
+
+/** Full-system config at `voltage` under ThUnderVolt-style bypass. */
+CreateConfig thunderVoltConfig(double voltage);
+
+/** Fraction of outputs dropped at a given per-element corruption prob. */
+double thunderVoltDropRate(double elementCorruptionProb);
+
+} // namespace create::baselines

@@ -1,0 +1,61 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace create {
+
+Cli::Cli(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            kv_[arg] = argv[++i];
+        } else {
+            kv_[arg] = "1";
+        }
+    }
+}
+
+bool
+Cli::has(const std::string& name) const
+{
+    return kv_.count(name) > 0;
+}
+
+std::string
+Cli::str(const std::string& name, const std::string& dflt) const
+{
+    auto it = kv_.find(name);
+    return it == kv_.end() ? dflt : it->second;
+}
+
+std::int64_t
+Cli::integer(const std::string& name, std::int64_t dflt) const
+{
+    auto it = kv_.find(name);
+    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+Cli::real(const std::string& name, double dflt) const
+{
+    auto it = kv_.find(name);
+    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Cli::flag(const std::string& name, bool dflt) const
+{
+    auto it = kv_.find(name);
+    if (it == kv_.end())
+        return dflt;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace create

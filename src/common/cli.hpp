@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * Tiny command-line flag parser shared by benches and examples.
+ *
+ * Supports "--name value" and "--name=value". Unrecognized flags are kept so
+ * google-benchmark binaries can pass their own flags through.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace create {
+
+/** Parsed command-line flags with typed accessors and defaults. */
+class Cli
+{
+  public:
+    Cli(int argc, char** argv);
+
+    bool has(const std::string& name) const;
+    std::string str(const std::string& name, const std::string& dflt) const;
+    std::int64_t integer(const std::string& name, std::int64_t dflt) const;
+    double real(const std::string& name, double dflt) const;
+    bool flag(const std::string& name, bool dflt = false) const;
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+} // namespace create

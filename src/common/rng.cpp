@@ -1,0 +1,195 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace create {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    // Lemire's nearly-divisionless bounded sampling; bias is negligible for
+    // the ranges used here but we reject to keep draws exact.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        const std::uint64_t threshold = -n % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::rangeInclusive(std::int64_t lo, std::int64_t hi)
+{
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::normal()
+{
+    if (hasSpareNormal_) {
+        hasSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = r * std::sin(theta);
+    hasSpareNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's multiplication method.
+        const double limit = std::exp(-mean);
+        double prod = uniform();
+        std::uint64_t k = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++k;
+        }
+        return k;
+    }
+    // Normal approximation with continuity correction.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::uint64_t
+Rng::binomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    const double np = static_cast<double>(n) * p;
+    if (n <= 64) {
+        std::uint64_t k = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            k += chance(p) ? 1 : 0;
+        return k;
+    }
+    if (np < 25.0) {
+        // Poisson limit; accurate for the tiny BERs the injector uses.
+        std::uint64_t k = poisson(np);
+        return k > n ? n : k;
+    }
+    const double sigma = std::sqrt(np * (1.0 - p));
+    const double draw = normal(np, sigma);
+    if (draw < 0.0)
+        return 0;
+    const auto k = static_cast<std::uint64_t>(draw + 0.5);
+    return k > n ? n : k;
+}
+
+std::vector<std::uint64_t>
+Rng::sampleDistinct(std::uint64_t n, std::uint64_t k)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(k);
+    if (k >= n) {
+        for (std::uint64_t i = 0; i < n; ++i)
+            out.push_back(i);
+        return out;
+    }
+    // Rejection sampling is fine: injector draws k << n.
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+        const std::uint64_t idx = below(n);
+        if (seen.insert(idx).second)
+            out.push_back(idx);
+    }
+    return out;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xA3EC647659359ACDull);
+}
+
+} // namespace create

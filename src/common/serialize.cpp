@@ -1,0 +1,117 @@
+#include "common/serialize.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace create {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x43524541; // "CREA"
+constexpr std::uint32_t kVersion = 1;
+} // namespace
+
+void
+BlobArchive::put(const std::string& name, std::vector<std::uint64_t> dims,
+                 std::vector<float> data)
+{
+    std::uint64_t n = 1;
+    for (auto d : dims)
+        n *= d;
+    if (n != data.size())
+        throw std::invalid_argument("BlobArchive::put: dims do not match data size");
+    blobs_[name] = NamedBlob{std::move(dims), std::move(data)};
+}
+
+bool
+BlobArchive::has(const std::string& name) const
+{
+    return blobs_.count(name) > 0;
+}
+
+const NamedBlob&
+BlobArchive::get(const std::string& name) const
+{
+    auto it = blobs_.find(name);
+    if (it == blobs_.end())
+        throw std::out_of_range("BlobArchive: missing blob " + name);
+    return it->second;
+}
+
+bool
+BlobArchive::save(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    auto writeU32 = [&](std::uint32_t v) { std::fwrite(&v, sizeof(v), 1, f); };
+    auto writeU64 = [&](std::uint64_t v) { std::fwrite(&v, sizeof(v), 1, f); };
+    writeU32(kMagic);
+    writeU32(kVersion);
+    writeU64(blobs_.size());
+    for (const auto& [name, blob] : blobs_) {
+        writeU32(static_cast<std::uint32_t>(name.size()));
+        std::fwrite(name.data(), 1, name.size(), f);
+        writeU32(static_cast<std::uint32_t>(blob.dims.size()));
+        for (auto d : blob.dims)
+            writeU64(d);
+        std::fwrite(blob.data.data(), sizeof(float), blob.data.size(), f);
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+bool
+BlobArchive::load(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    auto fail = [&] {
+        std::fclose(f);
+        blobs_.clear();
+        return false;
+    };
+    auto readU32 = [&](std::uint32_t& v) {
+        return std::fread(&v, sizeof(v), 1, f) == 1;
+    };
+    auto readU64 = [&](std::uint64_t& v) {
+        return std::fread(&v, sizeof(v), 1, f) == 1;
+    };
+    std::uint32_t magic = 0, version = 0;
+    if (!readU32(magic) || magic != kMagic || !readU32(version) || version != kVersion)
+        return fail();
+    std::uint64_t count = 0;
+    if (!readU64(count))
+        return fail();
+    blobs_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t nameLen = 0;
+        if (!readU32(nameLen) || nameLen > (1u << 20))
+            return fail();
+        std::string name(nameLen, '\0');
+        if (std::fread(name.data(), 1, nameLen, f) != nameLen)
+            return fail();
+        std::uint32_t ndims = 0;
+        if (!readU32(ndims) || ndims > 16)
+            return fail();
+        NamedBlob blob;
+        std::uint64_t n = 1;
+        blob.dims.resize(ndims);
+        for (auto& d : blob.dims) {
+            if (!readU64(d))
+                return fail();
+            n *= d;
+        }
+        if (n > (1ull << 32))
+            return fail();
+        blob.data.resize(n);
+        if (std::fread(blob.data.data(), sizeof(float), n, f) != n)
+            return fail();
+        blobs_[name] = std::move(blob);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace create

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal binary serialization used to cache trained model weights.
+ *
+ * Format: little-endian stream of records. Each record is
+ *   [u32 name_len][name bytes][u32 ndims][u64 dims...][f32 data...]
+ * preceded by a file magic. Readers load the whole archive into a map.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace create {
+
+/** A named FP32 blob with shape, the unit of model serialization. */
+struct NamedBlob
+{
+    std::vector<std::uint64_t> dims;
+    std::vector<float> data;
+};
+
+/** In-memory archive of named blobs, loadable/saveable as one file. */
+class BlobArchive
+{
+  public:
+    /** Add or replace a blob. */
+    void put(const std::string& name, std::vector<std::uint64_t> dims,
+             std::vector<float> data);
+
+    /** Whether a blob with this name exists. */
+    bool has(const std::string& name) const;
+
+    /** Fetch a blob; throws std::out_of_range if missing. */
+    const NamedBlob& get(const std::string& name) const;
+
+    /** Write archive to disk. Returns false on I/O failure. */
+    bool save(const std::string& path) const;
+
+    /** Read archive from disk. Returns false if missing or corrupt. */
+    bool load(const std::string& path);
+
+    std::size_t size() const { return blobs_.size(); }
+    const std::map<std::string, NamedBlob>& all() const { return blobs_; }
+
+  private:
+    std::map<std::string, NamedBlob> blobs_;
+};
+
+} // namespace create

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace create {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::printf("\n== %s ==\n", title_.c_str());
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_)
+        grow(r);
+
+    auto printRow = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(widths[i]), cells[i].c_str());
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        printRow(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto& r : rows_)
+        printRow(r);
+}
+
+void
+Table::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return;
+    auto writeRow = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << ',';
+            out << cells[i];
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        writeRow(header_);
+    for (const auto& r : rows_)
+        writeRow(r);
+}
+
+} // namespace create

@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Paper-style table / series printing for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure from the paper; this
+ * helper keeps their textual output uniform (aligned columns, a title line
+ * naming the paper artifact, optional CSV dump for plotting).
+ */
+
+#include <string>
+#include <vector>
+
+namespace create {
+
+/** Column-aligned table with a title, printed to stdout (and optionally CSV). */
+class Table
+{
+  public:
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format as percentage, e.g. 0.423 -> "42.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Print aligned to stdout. */
+    void print() const;
+
+    /** Dump as CSV to the given path (best-effort). */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace create

@@ -1,0 +1,72 @@
+#include "core/anomaly.hpp"
+
+#include <algorithm>
+
+namespace create {
+
+namespace {
+
+void
+fold(AdBoundsSummary& s, nn::Linear& lin)
+{
+    ++s.layersTotal;
+    const float b = lin.quantState().outBound;
+    if (b <= 0.0f)
+        return;
+    if (s.layersCalibrated == 0) {
+        s.minBound = b;
+        s.maxBound = b;
+    } else {
+        s.minBound = std::min(s.minBound, b);
+        s.maxBound = std::max(s.maxBound, b);
+    }
+    s.meanBound += b;
+    ++s.layersCalibrated;
+}
+
+void
+finish(AdBoundsSummary& s)
+{
+    if (s.layersCalibrated > 0)
+        s.meanBound /= s.layersCalibrated;
+}
+
+} // namespace
+
+AdBoundsSummary
+plannerAdBounds(PlannerModel& m)
+{
+    AdBoundsSummary s;
+    for (int l = 0; l < m.config().layers; ++l) {
+        auto& blk = m.block(l);
+        fold(s, blk.attn().q());
+        fold(s, blk.attn().k());
+        fold(s, blk.attn().v());
+        fold(s, blk.attn().o());
+        fold(s, blk.gate());
+        fold(s, blk.up());
+        fold(s, blk.down());
+    }
+    fold(s, m.head());
+    finish(s);
+    return s;
+}
+
+AdBoundsSummary
+controllerAdBounds(ControllerModel& m)
+{
+    AdBoundsSummary s;
+    for (int l = 0; l < m.config().layers; ++l) {
+        auto& blk = m.block(l);
+        fold(s, blk.attn().q());
+        fold(s, blk.attn().k());
+        fold(s, blk.attn().v());
+        fold(s, blk.attn().o());
+        fold(s, blk.fc1());
+        fold(s, blk.fc2());
+    }
+    finish(s);
+    return s;
+}
+
+} // namespace create

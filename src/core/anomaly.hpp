@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Anomaly detection & clearance utilities (paper Sec. 5.1).
+ *
+ * The AD mechanism itself lives in the hardware pipeline: calibrated
+ * per-layer valid bounds in QuantGemmState, comparator+mux clamping in
+ * faultyLinear / SystolicArray, toggled by ComputeContext::anomalyDetection.
+ * This header adds model-level introspection so experiments can show how
+ * bounds move (e.g. weight rotation tightening them, Sec. 6.6).
+ */
+
+#include "models/controller.hpp"
+#include "models/planner.hpp"
+
+namespace create {
+
+/** Summary of calibrated AD bounds across a model's GEMM layers. */
+struct AdBoundsSummary
+{
+    int layersCalibrated = 0;
+    int layersTotal = 0;
+    float minBound = 0.0f;
+    float maxBound = 0.0f;
+    double meanBound = 0.0;
+};
+
+/** Walk all planner GEMM layers and summarize their AD bounds. */
+AdBoundsSummary plannerAdBounds(PlannerModel& m);
+
+/** Walk all controller GEMM layers and summarize their AD bounds. */
+AdBoundsSummary controllerAdBounds(ControllerModel& m);
+
+} // namespace create

@@ -1,0 +1,131 @@
+#include "core/create_system.hpp"
+
+#include "core/rotation.hpp"
+
+namespace create {
+
+CreateConfig
+CreateConfig::clean()
+{
+    return CreateConfig{};
+}
+
+CreateConfig
+CreateConfig::uniform(double ber)
+{
+    CreateConfig cfg;
+    cfg.mode = InjectionMode::Uniform;
+    cfg.uniformBer = ber;
+    return cfg;
+}
+
+CreateConfig
+CreateConfig::atVoltage(double plannerV, double controllerV)
+{
+    CreateConfig cfg;
+    cfg.mode = InjectionMode::Voltage;
+    cfg.plannerVoltage = plannerV;
+    cfg.controllerVoltage = controllerV;
+    return cfg;
+}
+
+CreateConfig
+CreateConfig::fullCreate(double plannerV, EntropyVoltagePolicy policy,
+                         int interval)
+{
+    CreateConfig cfg;
+    cfg.mode = InjectionMode::Voltage;
+    cfg.anomalyDetection = true;
+    cfg.weightRotation = true;
+    cfg.voltageScaling = true;
+    cfg.plannerVoltage = plannerV;
+    cfg.controllerVoltage = TimingErrorModel::kNominalVoltage;
+    cfg.policy = std::move(policy);
+    cfg.vsInterval = interval;
+    return cfg;
+}
+
+CreateSystem::CreateSystem(bool verbose)
+    : models_(ModelZoo::mineModels(verbose))
+{
+}
+
+PlannerModel&
+CreateSystem::planner(bool rotated)
+{
+    if (!rotated)
+        return *models_.planner;
+    if (!rotatedPlanner_) {
+        // Fresh copy of the trained planner, rotated offline, recalibrated.
+        rotatedPlanner_ = ModelZoo::minePlanner(/*verbose=*/false);
+        applyWeightRotation(*rotatedPlanner_);
+        ModelZoo::calibrateMinePlanner(*rotatedPlanner_);
+    }
+    return *rotatedPlanner_;
+}
+
+void
+CreateSystem::configureContext(ComputeContext& ctx, bool isPlanner,
+                               const CreateConfig& cfg) const
+{
+    ctx.anomalyDetection = cfg.anomalyDetection;
+    ctx.protection = cfg.protection;
+    ctx.bits = cfg.bits;
+    ctx.componentFilter = cfg.componentFilter;
+    const bool inject = isPlanner ? cfg.injectPlanner : cfg.injectController;
+    if (!inject || cfg.mode == InjectionMode::None) {
+        ctx.setCleanMode();
+        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
+                                 : cfg.controllerVoltage);
+        return;
+    }
+    if (cfg.mode == InjectionMode::Uniform) {
+        const double override_ =
+            isPlanner ? cfg.plannerBer : cfg.controllerBer;
+        ctx.setUniformBer(override_ >= 0.0 ? override_ : cfg.uniformBer);
+        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
+                                 : cfg.controllerVoltage);
+    } else {
+        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
+                                 : cfg.controllerVoltage);
+        ctx.setVoltageMode();
+    }
+}
+
+EpisodeResult
+CreateSystem::runEpisode(MineTask task, std::uint64_t seed,
+                         const CreateConfig& cfg)
+{
+    ComputeContext plannerCtx(seed ^ 0x9A9A1ull);
+    ComputeContext controllerCtx(seed ^ 0x7B7B2ull);
+    configureContext(plannerCtx, /*isPlanner=*/true, cfg);
+    configureContext(controllerCtx, /*isPlanner=*/false, cfg);
+
+    PlannerModel& p = planner(cfg.weightRotation);
+    EmbodiedAgent agent(p, *models_.controller, agentCfg_);
+
+    std::unique_ptr<VoltageScaler> scaler;
+    if (cfg.voltageScaling) {
+        scaler = std::make_unique<VoltageScaler>(*models_.predictor,
+                                                 cfg.policy, cfg.vsInterval);
+        // VS implies voltage-dependent errors on the controller.
+        if (cfg.mode != InjectionMode::None && cfg.injectController)
+            controllerCtx.setVoltageMode();
+    }
+    return agent.runEpisode(task, seed, plannerCtx, controllerCtx,
+                            scaler.get());
+}
+
+TaskStats
+CreateSystem::evaluate(MineTask task, const CreateConfig& cfg, int reps,
+                       std::uint64_t seed0)
+{
+    std::vector<EpisodeResult> results;
+    results.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i)
+        results.push_back(
+            runEpisode(task, seed0 + static_cast<std::uint64_t>(i), cfg));
+    return aggregate(results, energy_);
+}
+
+} // namespace create

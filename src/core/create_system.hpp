@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * CreateSystem: the top-level facade tying the whole CREATE stack together.
+ *
+ * A CreateConfig describes one deployment point: the injection model
+ * (uniform BER for characterization, voltage-derived for evaluation), the
+ * per-model operating voltages, and which CREATE techniques are active
+ * (AD at the circuit level, WR at the model level, VS at the application
+ * level) or which baseline protection replaces them (DMR / ThUnderVolt /
+ * ABFT, Sec. 6.10). evaluate() repeats episodes and aggregates success
+ * rate, average steps, effective voltage, and paper-scale energy.
+ */
+
+#include <memory>
+
+#include "agent/metrics.hpp"
+#include "core/voltage_policy.hpp"
+
+namespace create {
+
+/** One deployment configuration. */
+struct CreateConfig
+{
+    // CREATE techniques.
+    bool anomalyDetection = false; //!< AD (Sec. 5.1)
+    bool weightRotation = false;   //!< WR on the planner (Sec. 5.2)
+    bool voltageScaling = false;   //!< VS on the controller (Sec. 5.3)
+
+    // Error injection.
+    InjectionMode mode = InjectionMode::None;
+    double uniformBer = 0.0;     //!< Uniform mode: BER for both models
+    double plannerBer = -1.0;    //!< optional per-model override (<0: off)
+    double controllerBer = -1.0; //!< optional per-model override (<0: off)
+    bool injectPlanner = true;
+    bool injectController = true;
+    /** Substring component filter, e.g. ".attn.k" (empty: everywhere). */
+    std::string componentFilter;
+
+    // Operating points (Voltage mode).
+    double plannerVoltage = TimingErrorModel::kNominalVoltage;
+    double controllerVoltage = TimingErrorModel::kNominalVoltage;
+
+    // Voltage scaling.
+    EntropyVoltagePolicy policy; //!< used when voltageScaling
+    int vsInterval = 5;          //!< steps between LDO updates (Sec. 6.5)
+
+    // Datapath width (Sec. 6.9) and baseline protection (Sec. 6.10).
+    QuantBits bits = QuantBits::Int8;
+    Protection protection = Protection::None;
+
+    // --- convenience builders -------------------------------------------
+    static CreateConfig clean();
+    static CreateConfig uniform(double ber);
+    static CreateConfig atVoltage(double plannerV, double controllerV);
+    /** Full CREATE stack at given voltages with a VS policy. */
+    static CreateConfig fullCreate(double plannerV,
+                                   EntropyVoltagePolicy policy,
+                                   int interval = 5);
+};
+
+/** Top-level runner for the Minecraft (JARVIS-1 stand-in) stack. */
+class CreateSystem
+{
+  public:
+    explicit CreateSystem(bool verbose = true);
+
+    /** Run one episode under a configuration. */
+    EpisodeResult runEpisode(MineTask task, std::uint64_t seed,
+                             const CreateConfig& cfg);
+
+    /** Repeat episodes and aggregate (paper: >=100 repetitions). */
+    TaskStats evaluate(MineTask task, const CreateConfig& cfg, int reps,
+                       std::uint64_t seed0 = 1000);
+
+    /** Planner access; builds the rotated variant lazily. */
+    PlannerModel& planner(bool rotated);
+    ControllerModel& controller() { return *models_.controller; }
+    EntropyPredictor& predictor() { return *models_.predictor; }
+    const PaperEnergyModel& energyModel() const { return energy_; }
+    AgentConfig& agentConfig() { return agentCfg_; }
+
+  private:
+    void configureContext(ComputeContext& ctx, bool isPlanner,
+                          const CreateConfig& cfg) const;
+
+    MineModels models_;
+    std::unique_ptr<PlannerModel> rotatedPlanner_;
+    PaperEnergyModel energy_;
+    AgentConfig agentCfg_;
+};
+
+} // namespace create

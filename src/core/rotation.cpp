@@ -1,0 +1,80 @@
+#include "core/rotation.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace create {
+
+namespace {
+
+/** W <- diag(g) W (scale input rows by the folded norm gain). */
+void
+foldGainIntoRows(Tensor& w, const Tensor& g)
+{
+    for (std::int64_t i = 0; i < w.dim(0); ++i)
+        for (std::int64_t j = 0; j < w.dim(1); ++j)
+            w.at(i, j) *= g[i];
+}
+
+} // namespace
+
+void
+applyWeightRotation(PlannerModel& m)
+{
+    const int dim = m.config().dim;
+    const Tensor h = ops::hadamard(dim);
+    const Tensor ht = ops::transpose(h);
+
+    // Embedding rows live in the residual basis: E <- E H.
+    m.embeddingLayer().table() =
+        ops::matmul(m.embeddingLayer().table(), h);
+
+    for (int l = 0; l < m.config().layers; ++l) {
+        auto& blk = m.block(l);
+
+        // Fold norm1 gain into Q/K/V, then left-rotate their input side.
+        Tensor g1 = blk.norm1().gain();
+        for (nn::Linear* lin :
+             {&blk.attn().q(), &blk.attn().k(), &blk.attn().v()}) {
+            Tensor w = lin->weight();
+            foldGainIntoRows(w, g1);
+            lin->setWeight(ops::matmul(ht, w));
+        }
+        blk.norm1().gain().fill(1.0f);
+
+        // O writes the residual stream: fold outlier scale, right-rotate.
+        {
+            Tensor w = blk.attn().o().effectiveWeight();
+            blk.attn().o().clearOutChannelScale();
+            blk.attn().o().setWeight(ops::matmul(w, h));
+        }
+
+        // Fold norm2 gain into gate/up, left-rotate.
+        Tensor g2 = blk.norm2().gain();
+        for (nn::Linear* lin : {&blk.gate(), &blk.up()}) {
+            Tensor w = lin->weight();
+            foldGainIntoRows(w, g2);
+            lin->setWeight(ops::matmul(ht, w));
+        }
+        blk.norm2().gain().fill(1.0f);
+
+        // Down writes the residual stream: fold outlier scale, right-rotate.
+        {
+            Tensor w = blk.down().effectiveWeight();
+            blk.down().clearOutChannelScale();
+            blk.down().setWeight(ops::matmul(w, h));
+        }
+    }
+
+    // Final norm gain folds into the head; left-rotate the head input.
+    {
+        Tensor g = m.finalNorm().gain();
+        Tensor w = m.head().weight();
+        foldGainIntoRows(w, g);
+        m.head().setWeight(ops::matmul(ht, w));
+        m.finalNorm().gain().fill(1.0f);
+    }
+
+    m.invalidateCalibration();
+}
+
+} // namespace create

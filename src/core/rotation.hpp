@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Weight-rotation-enhanced planning (paper Sec. 5.2).
+ *
+ * Implements the exact QuaRot-style residual-basis rewrite with the
+ * orthonormal Hadamard matrix H (built by Kronecker recursion, Sec. 5.2):
+ *
+ *   embedding        E      <- E H
+ *   per block:       gains of the two RMSNorms are folded into the
+ *                    following projections, then
+ *                    W_Q, W_K, W_V, W_gate, W_up <- H^T W
+ *                    W_O, W_down                 <- W H
+ *   final norm gain  folded into the head; W_head <- H^T W_head
+ *
+ * Planted outlier channel scales are folded into W_O / W_down before the
+ * right-rotation, exactly like real outlier-laden LLM weights. Because
+ * unit-gain RMSNorm commutes with orthogonal rotations of its input, the
+ * clean network function is preserved to FP rounding, while pre-norm
+ * activations become outlier-free -- shrinking both quantization scales
+ * and anomaly-detection bounds (the AD x WR synergy of Sec. 6.6).
+ *
+ * All rotations happen offline on weights; no runtime Hadamard transforms
+ * are inserted (Sec. 5.2: "avoids online rotations").
+ */
+
+#include "models/planner.hpp"
+
+namespace create {
+
+/** Apply the offline rotation in place. Calibration must be re-run. */
+void applyWeightRotation(PlannerModel& m);
+
+} // namespace create

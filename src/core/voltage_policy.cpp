@@ -1,0 +1,127 @@
+#include "core/voltage_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace create {
+
+EntropyVoltagePolicy::EntropyVoltagePolicy()
+    : voltages_{TimingErrorModel::kNominalVoltage}, name_("nominal")
+{
+}
+
+EntropyVoltagePolicy::EntropyVoltagePolicy(std::vector<double> thresholds,
+                                           std::vector<double> voltages,
+                                           std::string name)
+    : thresholds_(std::move(thresholds)), voltages_(std::move(voltages)),
+      name_(std::move(name))
+{
+    if (voltages_.size() != thresholds_.size() + 1)
+        throw std::invalid_argument(
+            "EntropyVoltagePolicy: need thresholds.size()+1 voltages");
+}
+
+double
+EntropyVoltagePolicy::voltageFor(double normalizedEntropy) const
+{
+    std::size_t bucket = 0;
+    while (bucket < thresholds_.size() &&
+           normalizedEntropy > thresholds_[bucket])
+        ++bucket;
+    return voltages_[bucket];
+}
+
+EntropyVoltagePolicy
+EntropyVoltagePolicy::constant(double v)
+{
+    EntropyVoltagePolicy p({}, {v}, "const@" + std::to_string(v));
+    return p;
+}
+
+EntropyVoltagePolicy
+EntropyVoltagePolicy::preset(char which)
+{
+    // Fig. 21: searched step policies from conservative (A) to aggressive
+    // (F). Bucket breakpoints follow the observed entropy distribution:
+    // critical steps sit near zero entropy, navigation around 0.1-0.3 of
+    // max, and free exploration above that.
+    const std::vector<double> th = {0.04, 0.12, 0.30};
+    switch (which) {
+      case 'A':
+        return EntropyVoltagePolicy(th, {0.88, 0.86, 0.84, 0.82}, "A");
+      case 'B':
+        return EntropyVoltagePolicy(th, {0.87, 0.84, 0.80, 0.77}, "B");
+      case 'C':
+        return EntropyVoltagePolicy(th, {0.86, 0.82, 0.77, 0.72}, "C");
+      case 'D':
+        return EntropyVoltagePolicy(th, {0.84, 0.79, 0.73, 0.68}, "D");
+      case 'E':
+        return EntropyVoltagePolicy(th, {0.82, 0.76, 0.70, 0.65}, "E");
+      case 'F':
+        return EntropyVoltagePolicy(th, {0.80, 0.73, 0.66, 0.62}, "F");
+      default:
+        throw std::invalid_argument("EntropyVoltagePolicy: preset A..F");
+    }
+}
+
+std::vector<EntropyVoltagePolicy>
+EntropyVoltagePolicy::presets()
+{
+    std::vector<EntropyVoltagePolicy> out;
+    for (char c = 'A'; c <= 'F'; ++c)
+        out.push_back(preset(c));
+    return out;
+}
+
+EntropyVoltagePolicy
+EntropyVoltagePolicy::random(Rng& rng, int index)
+{
+    // Monotone non-increasing voltage steps over 4 entropy buckets.
+    const std::vector<double> th = {0.04, 0.12, 0.30};
+    std::vector<double> v(4);
+    v[0] = rng.uniform(0.78, 0.90);
+    for (int i = 1; i < 4; ++i)
+        v[static_cast<std::size_t>(i)] =
+            std::max(0.60, v[static_cast<std::size_t>(i - 1)] -
+                               rng.uniform(0.0, 0.07));
+    return EntropyVoltagePolicy(th, v, "cand" + std::to_string(index));
+}
+
+VoltageScaler::VoltageScaler(EntropyPredictor& predictor,
+                             EntropyVoltagePolicy policy, int intervalSteps,
+                             double maxEntropy)
+    : predictor_(predictor), predictorCtx_(0xFEED), policy_(std::move(policy)),
+      interval_(intervalSteps),
+      maxEntropy_(maxEntropy > 0.0 ? maxEntropy
+                                   : std::log(static_cast<double>(kNumActions)))
+{
+    predictorCtx_.domain = Domain::Predictor;
+    // The predictor runs at nominal voltage with no injection so its
+    // estimate is error-free (Sec. 5.3).
+}
+
+void
+VoltageScaler::beforeController(const MineWorld& w, std::uint64_t step,
+                                ComputeContext& controllerCtx,
+                                EpisodeResult& r)
+{
+    if (interval_ <= 0 || step % static_cast<std::uint64_t>(interval_) != 0)
+        return;
+    const MineObs obs = w.observe();
+    const Subtask& st = w.activeSubtask();
+    const auto prompt = predictorPrompt(
+        static_cast<int>(st.type), kNumSubtaskTypes, obs.spatial, obs.state,
+        predictor_.config().promptDim);
+    const float h = predictor_.infer(
+        w.renderImage(predictor_.config().imgRes,
+                      predictor_.config().viewRadius),
+        prompt, predictorCtx_);
+    ++r.predictorInvocations;
+    lastEntropy_ = h;
+    const double norm =
+        std::min(1.0, std::max(0.0, static_cast<double>(h) / maxEntropy_));
+    ldo_.set(policy_.voltageFor(norm));
+    controllerCtx.setVoltage(ldo_.vout());
+}
+
+} // namespace create

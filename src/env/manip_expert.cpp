@@ -1,0 +1,59 @@
+#include "env/manip_expert.hpp"
+
+#include <cstdlib>
+
+namespace create {
+
+namespace {
+
+ManipAction
+moveToward(int dx, int dy, Rng& rng)
+{
+    if (dx != 0 && dy != 0)
+        return rng.chance(0.5)
+                   ? (dx > 0 ? ManipAction::MoveE : ManipAction::MoveW)
+                   : (dy > 0 ? ManipAction::MoveS : ManipAction::MoveN);
+    if (dx != 0)
+        return dx > 0 ? ManipAction::MoveE : ManipAction::MoveW;
+    if (dy != 0)
+        return dy > 0 ? ManipAction::MoveS : ManipAction::MoveN;
+    return ManipAction::Noop;
+}
+
+} // namespace
+
+ManipAction
+ManipExpert::act(const ManipWorld& w, Rng& rng)
+{
+    int tx = 0, ty = 0;
+    w.subtaskTarget(tx, ty);
+    const int dx = tx - w.gripperX(), dy = ty - w.gripperY();
+    switch (w.activeSubtask()) {
+      case ManipSubtask::ReachObject:
+      case ManipSubtask::ReachButton:
+      case ManipSubtask::ReachHandle:
+        return moveToward(dx, dy, rng);
+      case ManipSubtask::GraspObject:
+        return (dx == 0 && dy == 0) ? ManipAction::Grasp
+                                    : moveToward(dx, dy, rng);
+      case ManipSubtask::TransportToGoal:
+        return moveToward(dx, dy, rng);
+      case ManipSubtask::ReleaseAtGoal:
+        return (dx == 0 && dy == 0) ? ManipAction::Release
+                                    : moveToward(dx, dy, rng);
+      case ManipSubtask::PressButton:
+        return (dx == 0 && dy == 0) ? ManipAction::Press
+                                    : moveToward(dx, dy, rng);
+      case ManipSubtask::PullHandle:
+        return (dx == 0 && dy == 0) ? ManipAction::Pull
+                                    : moveToward(dx, dy, rng);
+      case ManipSubtask::PushBlock:
+        // Stand west of the block, then push east repeatedly.
+        if (dx == 0 && dy == 0)
+            return ManipAction::MoveE;
+        return moveToward(dx, dy, rng);
+    }
+    return ManipAction::Noop;
+}
+
+} // namespace create

@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file
+ * Scripted expert for ManipWorld, used to behavior-clone the Octo / RT-1
+ * controller stand-ins (Fig. 17 cross-platform evaluation).
+ */
+
+#include "common/rng.hpp"
+#include "env/manipworld.hpp"
+
+namespace create {
+
+/** Scripted expert policy over manipulation subtasks. */
+class ManipExpert
+{
+  public:
+    static ManipAction act(const ManipWorld& w, Rng& rng);
+};
+
+} // namespace create

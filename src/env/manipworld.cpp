@@ -1,0 +1,311 @@
+#include "env/manipworld.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace create {
+
+const char*
+manipTaskName(ManipTask t)
+{
+    static const char* names[] = {"wine", "alphabet", "bbq",    "button",
+                                  "block", "handle",  "eggplant", "coke",
+                                  "carrot", "open",   "move",   "place"};
+    return names[static_cast<int>(t)];
+}
+
+std::vector<ManipSubtask>
+manipGoldPlan(ManipTask t)
+{
+    using M = ManipSubtask;
+    switch (t) {
+      case ManipTask::Button:
+        return {M::ReachButton, M::PressButton};
+      case ManipTask::Handle:
+      case ManipTask::Open:
+        return {M::ReachHandle, M::PullHandle};
+      case ManipTask::Block:
+        return {M::ReachObject, M::PushBlock};
+      case ManipTask::Coke:
+        return {M::ReachObject, M::GraspObject};
+      default:
+        // All pick-and-place style tasks.
+        return {M::ReachObject, M::GraspObject, M::TransportToGoal,
+                M::ReleaseAtGoal};
+    }
+}
+
+int
+ManipObs::spatialDim()
+{
+    // dxSign(3) dySign(3) distBucket(4) atTarget(1) holding(1)
+    // pullProgress(1) pressProgress(1) pushes(1)
+    return 3 + 3 + 4 + 1 + 1 + 1 + 1 + 1;
+}
+
+int
+ManipObs::stateDim()
+{
+    // subtask one-hot(9) drawerOpen(1) buttonPressed(1)
+    return kNumManipSubtasks + 2;
+}
+
+ManipWorld::ManipWorld(ManipTask task, std::uint64_t seed)
+    : task_(task), rng_(seed)
+{
+    reset(seed);
+}
+
+void
+ManipWorld::reset(std::uint64_t seed)
+{
+    rng_ = Rng(seed * 0x2545F4914F6CDD1Dull + 777);
+    auto place = [&](int& x, int& y) {
+        x = static_cast<int>(rng_.below(kSize));
+        y = static_cast<int>(rng_.below(kSize));
+    };
+    place(gx_, gy_);
+    do {
+        place(ox_, oy_);
+    } while (ox_ == gx_ && oy_ == gy_);
+    do {
+        place(goalX_, goalY_);
+    } while ((goalX_ == ox_ && goalY_ == oy_));
+    place(buttonX_, buttonY_);
+    place(handleX_, handleY_);
+    do {
+        place(blockX_, blockY_);
+    } while (blockX_ >= kSize - 3); // leave room to slide east
+    holding_ = false;
+    pullProgress_ = 0;
+    pressProgress_ = 0;
+    pushesDone_ = 0;
+    buttonPressed_ = false;
+    drawerOpen_ = false;
+    released_ = false;
+    subtask_ = manipGoldPlan(task_).front();
+    steps_ = 0;
+}
+
+void
+ManipWorld::move(int dx, int dy)
+{
+    const int nx = gx_ + dx, ny = gy_ + dy;
+    if (nx < 0 || ny < 0 || nx >= kSize || ny >= kSize)
+        return;
+    // Pushing: moving into the block slides it (CALVIN "slide block").
+    if (nx == blockX_ && ny == blockY_ && !holding_) {
+        const int bx = blockX_ + dx, by = blockY_ + dy;
+        if (bx >= 0 && by >= 0 && bx < kSize && by < kSize) {
+            blockX_ = bx;
+            blockY_ = by;
+            // A push counts toward the task only when sliding east
+            // (toward the drawer on the table's east edge).
+            if (dx == 1)
+                ++pushesDone_;
+            else
+                pushesDone_ = 0;
+        }
+    }
+    gx_ = nx;
+    gy_ = ny;
+    if (holding_) {
+        ox_ = gx_;
+        oy_ = gy_;
+    }
+}
+
+void
+ManipWorld::step(ManipAction a)
+{
+    const bool wasPulling = a == ManipAction::Pull;
+    switch (a) {
+      case ManipAction::MoveN: move(0, -1); break;
+      case ManipAction::MoveS: move(0, 1); break;
+      case ManipAction::MoveE: move(1, 0); break;
+      case ManipAction::MoveW: move(-1, 0); break;
+      case ManipAction::Grasp:
+        if (!holding_ && gx_ == ox_ && gy_ == oy_) {
+            // Imperfect grasping: 10% slip, retry next step.
+            if (rng_.chance(0.9))
+                holding_ = true;
+        }
+        break;
+      case ManipAction::Release:
+        if (holding_) {
+            holding_ = false;
+            if (ox_ == goalX_ && oy_ == goalY_)
+                released_ = true;
+        }
+        break;
+      case ManipAction::Press:
+        if (gx_ == buttonX_ && gy_ == buttonY_) {
+            if (++pressProgress_ >= 2)
+                buttonPressed_ = true;
+        } else {
+            pressProgress_ = 0;
+        }
+        break;
+      case ManipAction::Pull:
+        if (gx_ == handleX_ && gy_ == handleY_) {
+            if (++pullProgress_ >= 3)
+                drawerOpen_ = true;
+        } else {
+            pullProgress_ = 0;
+        }
+        break;
+      case ManipAction::Noop:
+        break;
+    }
+    // Interruptions reset critical chains (like mining in MineWorld).
+    if (!wasPulling && !drawerOpen_)
+        pullProgress_ = 0;
+    if (a != ManipAction::Press && !buttonPressed_)
+        pressProgress_ = 0;
+    ++steps_;
+}
+
+void
+ManipWorld::setActiveSubtask(ManipSubtask s)
+{
+    subtask_ = s;
+}
+
+void
+ManipWorld::subtaskTarget(int& tx, int& ty) const
+{
+    switch (subtask_) {
+      case ManipSubtask::ReachObject:
+      case ManipSubtask::GraspObject:
+        tx = ox_;
+        ty = oy_;
+        break;
+      case ManipSubtask::TransportToGoal:
+      case ManipSubtask::ReleaseAtGoal:
+        tx = goalX_;
+        ty = goalY_;
+        break;
+      case ManipSubtask::ReachButton:
+      case ManipSubtask::PressButton:
+        tx = buttonX_;
+        ty = buttonY_;
+        break;
+      case ManipSubtask::ReachHandle:
+      case ManipSubtask::PullHandle:
+        tx = handleX_;
+        ty = handleY_;
+        break;
+      case ManipSubtask::PushBlock:
+        tx = blockX_ - 1 < 0 ? 0 : blockX_ - 1; // stand west of the block
+        ty = blockY_;
+        break;
+    }
+}
+
+bool
+ManipWorld::subtaskComplete() const
+{
+    switch (subtask_) {
+      case ManipSubtask::ReachObject:
+        return gx_ == ox_ && gy_ == oy_ && !holding_;
+      case ManipSubtask::GraspObject:
+        return holding_;
+      case ManipSubtask::TransportToGoal:
+        return holding_ && ox_ == goalX_ && oy_ == goalY_;
+      case ManipSubtask::ReleaseAtGoal:
+        return released_;
+      case ManipSubtask::ReachButton:
+        return gx_ == buttonX_ && gy_ == buttonY_;
+      case ManipSubtask::PressButton:
+        return buttonPressed_;
+      case ManipSubtask::ReachHandle:
+        return gx_ == handleX_ && gy_ == handleY_;
+      case ManipSubtask::PullHandle:
+        return drawerOpen_;
+      case ManipSubtask::PushBlock:
+        return pushesDone_ >= 3;
+    }
+    return false;
+}
+
+bool
+ManipWorld::taskComplete() const
+{
+    switch (task_) {
+      case ManipTask::Button:
+        return buttonPressed_;
+      case ManipTask::Handle:
+      case ManipTask::Open:
+        return drawerOpen_;
+      case ManipTask::Block:
+        return pushesDone_ >= 3;
+      case ManipTask::Coke:
+        return holding_;
+      default:
+        return released_;
+    }
+}
+
+Tensor
+ManipWorld::renderImage(int res) const
+{
+    Tensor img({3, res, res});
+    auto paint = [&](int cx, int cy, float r, float g, float b) {
+        // One table cell covers res/kSize pixels.
+        const int scale = res / kSize;
+        for (int py = cy * scale; py < (cy + 1) * scale && py < res; ++py) {
+            for (int px = cx * scale; px < (cx + 1) * scale && px < res;
+                 ++px) {
+                img.at(0, py, px) = r;
+                img.at(1, py, px) = g;
+                img.at(2, py, px) = b;
+            }
+        }
+    };
+    for (int y = 0; y < kSize; ++y)
+        for (int x = 0; x < kSize; ++x)
+            paint(x, y, 0.75f, 0.72f, 0.68f); // table
+    paint(goalX_, goalY_, 0.30f, 0.70f, 0.35f);
+    paint(buttonX_, buttonY_, 0.85f, 0.20f, 0.20f);
+    paint(handleX_, handleY_, 0.45f, 0.35f, 0.25f);
+    paint(blockX_, blockY_, 0.25f, 0.35f, 0.80f);
+    paint(ox_, oy_, 0.95f, 0.75f, 0.20f);
+    paint(gx_, gy_, 0.10f, 0.10f, 0.10f);
+    return img;
+}
+
+ManipObs
+ManipWorld::observe() const
+{
+    ManipObs obs;
+    obs.spatial.assign(static_cast<std::size_t>(ManipObs::spatialDim()), 0.0f);
+    obs.state.assign(static_cast<std::size_t>(ManipObs::stateDim()), 0.0f);
+    int tx = 0, ty = 0;
+    subtaskTarget(tx, ty);
+    std::size_t i = 0;
+    const int sdx = tx < gx_ ? 0 : (tx == gx_ ? 1 : 2);
+    obs.spatial[i + static_cast<std::size_t>(sdx)] = 1.0f;
+    i += 3;
+    const int sdy = ty < gy_ ? 0 : (ty == gy_ ? 1 : 2);
+    obs.spatial[i + static_cast<std::size_t>(sdy)] = 1.0f;
+    i += 3;
+    const int dist = std::abs(tx - gx_) + std::abs(ty - gy_);
+    const int bucket =
+        dist == 0 ? 0 : (dist <= 2 ? 1 : (dist <= 5 ? 2 : 3));
+    obs.spatial[i + static_cast<std::size_t>(bucket)] = 1.0f;
+    i += 4;
+    obs.spatial[i++] = dist == 0 ? 1.0f : 0.0f;
+    obs.spatial[i++] = holding_ ? 1.0f : 0.0f;
+    obs.spatial[i++] = static_cast<float>(pullProgress_) / 3.0f;
+    obs.spatial[i++] = static_cast<float>(pressProgress_) / 2.0f;
+    obs.spatial[i++] = static_cast<float>(pushesDone_) / 3.0f;
+
+    std::size_t j = 0;
+    obs.state[j + static_cast<std::size_t>(subtask_)] = 1.0f;
+    j += kNumManipSubtasks;
+    obs.state[j++] = drawerOpen_ ? 1.0f : 0.0f;
+    obs.state[j++] = buttonPressed_ ? 1.0f : 0.0f;
+    return obs;
+}
+
+} // namespace create

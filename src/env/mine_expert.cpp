@@ -1,0 +1,158 @@
+#include "env/mine_expert.hpp"
+
+#include <climits>
+#include <deque>
+
+namespace create {
+
+namespace {
+
+constexpr int kInf = INT_MAX / 2;
+
+/** Move action toward (dx, dy); requires |dx|+|dy| >= 1. */
+Action
+moveToward(int dx, int dy, Rng& rng)
+{
+    // When both components are nonzero pick one at random (multi-modal).
+    if (dx != 0 && dy != 0)
+        return rng.chance(0.5) ? (dx > 0 ? Action::MoveE : Action::MoveW)
+                               : (dy > 0 ? Action::MoveS : Action::MoveN);
+    if (dx != 0)
+        return dx > 0 ? Action::MoveE : Action::MoveW;
+    return dy > 0 ? Action::MoveS : Action::MoveN;
+}
+
+} // namespace
+
+Action
+MineExpert::act(const MineWorld& w, Rng& rng)
+{
+    const Subtask& st = w.activeSubtask();
+    if (st.isCraft())
+        return Action::Craft;
+    if (st.isSmelt())
+        return Action::Smelt;
+    return gatherAction(w, rng);
+}
+
+Action
+MineExpert::gatherAction(const MineWorld& w, Rng& rng)
+{
+    const int width = w.config().width, height = w.config().height;
+    const Block tb = MineWorld::targetBlock(w.activeSubtask().type);
+    Mob::Kind mk{};
+    const bool wantsMob = MineWorld::targetMob(w.activeSubtask().type, mk);
+
+    // Collect target cells.
+    std::vector<std::pair<int, int>> targets;
+    if (tb != Block::Air) {
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                if (w.blockAt(x, y) == tb)
+                    targets.push_back({x, y});
+    } else if (wantsMob) {
+        for (const auto& m : w.mobs()) {
+            if (m.kind != mk)
+                continue;
+            if (mk == Mob::Kind::Sheep && m.shearCooldown > 0)
+                continue;
+            targets.push_back({m.x, m.y});
+        }
+    }
+
+    const int ax = w.agentX(), ay = w.agentY();
+    auto explore = [&] {
+        // Sample among passable moves; fall back to a random turn.
+        std::vector<Action> moves;
+        const int dirs[4][2] = {{0, -1}, {0, 1}, {1, 0}, {-1, 0}};
+        const Action acts[4] = {Action::MoveN, Action::MoveS, Action::MoveE,
+                                Action::MoveW};
+        for (int d = 0; d < 4; ++d) {
+            if (MineWorld::passable(w.blockAt(ax + dirs[d][0],
+                                              ay + dirs[d][1])))
+                moves.push_back(acts[d]);
+        }
+        if (moves.empty())
+            return acts[rng.below(4)];
+        return moves[rng.below(moves.size())];
+    };
+    if (targets.empty())
+        return explore();
+
+    // Target in front => harvest. Sheep are sheared (Use); everything else
+    // is attacked.
+    const int fx = ax + w.facingDx(), fy = ay + w.facingDy();
+    for (const auto& [tx, ty] : targets) {
+        if (tx == fx && ty == fy)
+            return (wantsMob && mk == Mob::Kind::Sheep) ? Action::Use
+                                                        : Action::Attack;
+    }
+    // Adjacent but not facing => turn toward it (a move into a blocked
+    // cell only changes facing).
+    for (const auto& [tx, ty] : targets) {
+        if (std::abs(tx - ax) + std::abs(ty - ay) == 1)
+            return moveToward(tx - ax, ty - ay, rng);
+    }
+
+    // Multi-source BFS over passable cells from all cells adjacent to any
+    // target; then walk downhill. Ties are broken randomly so demonstration
+    // data is multi-modal during navigation.
+    std::vector<int> dist(static_cast<std::size_t>(width * height), kInf);
+    std::deque<std::pair<int, int>> queue;
+    auto at = [&](int x, int y) -> int& {
+        return dist[static_cast<std::size_t>(y * width + x)];
+    };
+    const int dirs[4][2] = {{0, -1}, {0, 1}, {1, 0}, {-1, 0}};
+    for (const auto& [tx, ty] : targets) {
+        for (const auto& d : dirs) {
+            const int nx = tx + d[0], ny = ty + d[1];
+            if (nx < 0 || ny < 0 || nx >= width || ny >= height)
+                continue;
+            if (MineWorld::passable(w.blockAt(nx, ny)) && at(nx, ny) > 0) {
+                at(nx, ny) = 0;
+                queue.push_back({nx, ny});
+            }
+        }
+    }
+    while (!queue.empty()) {
+        const auto [x, y] = queue.front();
+        queue.pop_front();
+        for (const auto& d : dirs) {
+            const int nx = x + d[0], ny = y + d[1];
+            if (nx < 0 || ny < 0 || nx >= width || ny >= height)
+                continue;
+            if (!MineWorld::passable(w.blockAt(nx, ny)))
+                continue;
+            if (at(nx, ny) > at(x, y) + 1) {
+                at(nx, ny) = at(x, y) + 1;
+                queue.push_back({nx, ny});
+            }
+        }
+    }
+    if (at(ax, ay) >= kInf)
+        return explore();
+
+    std::vector<Action> best;
+    int bestDist = at(ax, ay);
+    const Action acts[4] = {Action::MoveN, Action::MoveS, Action::MoveE,
+                            Action::MoveW};
+    for (int d = 0; d < 4; ++d) {
+        const int nx = ax + dirs[d][0], ny = ay + dirs[d][1];
+        if (nx < 0 || ny < 0 || nx >= width || ny >= height)
+            continue;
+        if (!MineWorld::passable(w.blockAt(nx, ny)))
+            continue;
+        if (at(nx, ny) < bestDist) {
+            bestDist = at(nx, ny);
+            best.clear();
+            best.push_back(acts[d]);
+        } else if (at(nx, ny) == bestDist && at(nx, ny) < at(ax, ay)) {
+            best.push_back(acts[d]);
+        }
+    }
+    if (best.empty())
+        return explore();
+    return best[rng.below(best.size())];
+}
+
+} // namespace create

@@ -1,0 +1,896 @@
+#include "env/mineworld.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <stdexcept>
+
+namespace create {
+
+namespace {
+
+constexpr int kViewRadius = 10; //!< agent sight range (cells, Chebyshev)
+
+struct Recipe
+{
+    Item out;
+    int outCount;
+    std::vector<std::pair<Item, int>> in;
+};
+
+/** Crafting-table recipes (Minecraft-faithful ratios). */
+const Recipe&
+craftRecipe(SubtaskType t)
+{
+    static const Recipe planks{Item::Planks, 4, {{Item::Log, 1}}};
+    static const Recipe sticks{Item::Stick, 4, {{Item::Planks, 2}}};
+    static const Recipe wooden{
+        Item::WoodenPickaxe, 1, {{Item::Planks, 3}, {Item::Stick, 2}}};
+    static const Recipe stone{
+        Item::StonePickaxe, 1, {{Item::Cobblestone, 3}, {Item::Stick, 2}}};
+    static const Recipe furnace{Item::Furnace, 1, {{Item::Cobblestone, 8}}};
+    static const Recipe sword{
+        Item::IronSword, 1, {{Item::IronIngot, 2}, {Item::Stick, 1}}};
+    switch (t) {
+      case SubtaskType::CraftPlanks: return planks;
+      case SubtaskType::CraftSticks: return sticks;
+      case SubtaskType::CraftWoodenPickaxe: return wooden;
+      case SubtaskType::CraftStonePickaxe: return stone;
+      case SubtaskType::CraftFurnace: return furnace;
+      case SubtaskType::CraftIronSword: return sword;
+      default: throw std::logic_error("craftRecipe: not a craft subtask");
+    }
+}
+
+/** Furnace recipes: material -> product (fuel handled separately). */
+const Recipe&
+smeltRecipe(SubtaskType t)
+{
+    static const Recipe charcoal{Item::Charcoal, 1, {{Item::Log, 1}}};
+    static const Recipe iron{Item::IronIngot, 1, {{Item::IronOre, 1}}};
+    static const Recipe chicken{
+        Item::CookedChicken, 1, {{Item::RawChicken, 1}}};
+    switch (t) {
+      case SubtaskType::SmeltCharcoal: return charcoal;
+      case SubtaskType::SmeltIron: return iron;
+      case SubtaskType::CookChicken: return chicken;
+      default: throw std::logic_error("smeltRecipe: not a smelt subtask");
+    }
+}
+
+} // namespace
+
+Item
+Subtask::produces() const
+{
+    switch (type) {
+      case SubtaskType::MineLog: return Item::Log;
+      case SubtaskType::MineStone: return Item::Cobblestone;
+      case SubtaskType::MineCoal: return Item::Coal;
+      case SubtaskType::MineIron: return Item::IronOre;
+      case SubtaskType::HarvestSeeds: return Item::Seeds;
+      case SubtaskType::HuntChicken: return Item::RawChicken;
+      case SubtaskType::ShearWool: return Item::Wool;
+      case SubtaskType::CraftPlanks: return Item::Planks;
+      case SubtaskType::CraftSticks: return Item::Stick;
+      case SubtaskType::CraftWoodenPickaxe: return Item::WoodenPickaxe;
+      case SubtaskType::CraftStonePickaxe: return Item::StonePickaxe;
+      case SubtaskType::CraftFurnace: return Item::Furnace;
+      case SubtaskType::CraftIronSword: return Item::IronSword;
+      case SubtaskType::SmeltCharcoal: return Item::Charcoal;
+      case SubtaskType::SmeltIron: return Item::IronIngot;
+      case SubtaskType::CookChicken: return Item::CookedChicken;
+    }
+    return Item::Log;
+}
+
+bool
+Subtask::isCraft() const
+{
+    switch (type) {
+      case SubtaskType::CraftPlanks:
+      case SubtaskType::CraftSticks:
+      case SubtaskType::CraftWoodenPickaxe:
+      case SubtaskType::CraftStonePickaxe:
+      case SubtaskType::CraftFurnace:
+      case SubtaskType::CraftIronSword:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Subtask::isSmelt() const
+{
+    switch (type) {
+      case SubtaskType::SmeltCharcoal:
+      case SubtaskType::SmeltIron:
+      case SubtaskType::CookChicken:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Subtask::str() const
+{
+    static const char* names[] = {
+        "mine_log",        "mine_stone",       "mine_coal",
+        "mine_iron",       "harvest_seeds",    "hunt_chicken",
+        "shear_wool",      "craft_planks",     "craft_sticks",
+        "craft_wooden_pickaxe", "craft_stone_pickaxe", "craft_furnace",
+        "craft_iron_sword", "smelt_charcoal",  "smelt_iron",
+        "cook_chicken",
+    };
+    return std::string(names[static_cast<int>(type)]) + " x" +
+           std::to_string(count);
+}
+
+const char*
+mineTaskName(MineTask t)
+{
+    static const char* names[] = {"wooden", "stone", "charcoal",
+                                  "chicken", "coal",  "iron",
+                                  "wool",   "seed",  "log"};
+    return names[static_cast<int>(t)];
+}
+
+MineTask
+mineTaskByName(const std::string& name)
+{
+    for (int i = 0; i < kNumMineTasks; ++i)
+        if (name == mineTaskName(static_cast<MineTask>(i)))
+            return static_cast<MineTask>(i);
+    throw std::invalid_argument("unknown Minecraft task: " + name);
+}
+
+std::vector<Subtask>
+goldPlan(MineTask t)
+{
+    using S = SubtaskType;
+    auto st = [](S type, int n) { return Subtask{type, n}; };
+    switch (t) {
+      case MineTask::Log:
+        return {st(S::MineLog, 10)};
+      case MineTask::Wooden:
+        return {st(S::MineLog, 2), st(S::CraftPlanks, 8), st(S::CraftSticks, 4),
+                st(S::CraftWoodenPickaxe, 1)};
+      case MineTask::Stone:
+        return {st(S::MineLog, 2), st(S::CraftPlanks, 8), st(S::CraftSticks, 4),
+                st(S::CraftWoodenPickaxe, 1), st(S::MineStone, 3),
+                st(S::CraftStonePickaxe, 1)};
+      case MineTask::Charcoal:
+        return {st(S::MineLog, 4), st(S::CraftPlanks, 8), st(S::CraftSticks, 4),
+                st(S::CraftWoodenPickaxe, 1), st(S::MineStone, 8),
+                st(S::CraftFurnace, 1), st(S::SmeltCharcoal, 1)};
+      case MineTask::Coal:
+        return {st(S::MineLog, 2), st(S::CraftPlanks, 8), st(S::CraftSticks, 4),
+                st(S::CraftWoodenPickaxe, 1), st(S::MineCoal, 1)};
+      case MineTask::Iron:
+        return {st(S::MineLog, 2), st(S::CraftPlanks, 8), st(S::CraftSticks, 8),
+                st(S::CraftWoodenPickaxe, 1), st(S::MineStone, 11),
+                st(S::CraftStonePickaxe, 1), st(S::CraftFurnace, 1),
+                st(S::MineIron, 2), st(S::MineCoal, 2), st(S::SmeltIron, 2),
+                st(S::CraftIronSword, 1)};
+      case MineTask::Chicken:
+        return {st(S::MineLog, 3), st(S::CraftPlanks, 8), st(S::CraftSticks, 4),
+                st(S::CraftWoodenPickaxe, 1), st(S::MineStone, 8),
+                st(S::CraftFurnace, 1), st(S::HuntChicken, 1),
+                st(S::CookChicken, 1)};
+      case MineTask::Wool:
+        return {st(S::ShearWool, 5)};
+      case MineTask::Seed:
+        return {st(S::HarvestSeeds, 10)};
+    }
+    return {};
+}
+
+std::pair<Item, int>
+taskGoal(MineTask t)
+{
+    switch (t) {
+      case MineTask::Wooden: return {Item::WoodenPickaxe, 1};
+      case MineTask::Stone: return {Item::StonePickaxe, 1};
+      case MineTask::Charcoal: return {Item::Charcoal, 1};
+      case MineTask::Chicken: return {Item::CookedChicken, 1};
+      case MineTask::Coal: return {Item::Coal, 1};
+      case MineTask::Iron: return {Item::IronSword, 1};
+      case MineTask::Wool: return {Item::Wool, 5};
+      case MineTask::Seed: return {Item::Seeds, 10};
+      case MineTask::Log: return {Item::Log, 10};
+    }
+    return {Item::Log, 1};
+}
+
+int
+MineObs::spatialDim()
+{
+    // visible(1) dxSign(3) dySign(3) distBucket(4) frontIsTarget(1)
+    // frontBlock(8) frontMob(2) facing(4) progress(1) blocked(4)
+    return 1 + 3 + 3 + 4 + 1 + kNumBlockTypes + 2 + 4 + 1 + 4;
+}
+
+int
+MineObs::stateDim()
+{
+    // remainNorm(1) canMine(1) craftReady(1) kind(3: gather/craft/smelt)
+    // invFlags(8)
+    return 1 + 1 + 1 + 3 + 8;
+}
+
+MineWorld::MineWorld(Config cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    generate();
+}
+
+void
+MineWorld::reset(std::uint64_t seed)
+{
+    cfg_.seed = seed;
+    rng_ = Rng(seed * 0x9E3779B97F4A7C15ull + 12345);
+    generate();
+}
+
+Block
+MineWorld::blockAt(int x, int y) const
+{
+    if (x < 0 || y < 0 || x >= cfg_.width || y >= cfg_.height)
+        return Block::Water; // world border behaves as impassable
+    return grid_[static_cast<std::size_t>(y * cfg_.width + x)];
+}
+
+int
+MineWorld::itemCount(Item it) const
+{
+    return inventory_[static_cast<std::size_t>(static_cast<int>(it))];
+}
+
+void
+MineWorld::grantItem(Item it, int n)
+{
+    inventory_[static_cast<std::size_t>(static_cast<int>(it))] += n;
+}
+
+int
+MineWorld::facingDx() const
+{
+    static const int dx[] = {0, 0, 1, -1};
+    return dx[facing_];
+}
+
+int
+MineWorld::facingDy() const
+{
+    static const int dy[] = {-1, 1, 0, 0};
+    return dy[facing_];
+}
+
+bool
+MineWorld::passable(Block b)
+{
+    // TallGrass is a bush-like obstacle: it must be harvested from an
+    // adjacent cell (facing it), exactly like trees and ores.
+    return b == Block::Air || b == Block::Sand;
+}
+
+int
+MineWorld::hitsRequired(Block b)
+{
+    switch (b) {
+      case Block::Tree: return 3;
+      case Block::Stone: return 4;
+      case Block::CoalOre: return 4;
+      case Block::IronOre: return 5;
+      case Block::TallGrass: return 1;
+      default: return 0;
+    }
+}
+
+bool
+MineWorld::canMine(Block b) const
+{
+    switch (b) {
+      case Block::Tree:
+      case Block::TallGrass:
+        return true;
+      case Block::Stone:
+      case Block::CoalOre:
+        return itemCount(Item::WoodenPickaxe) > 0 ||
+               itemCount(Item::StonePickaxe) > 0;
+      case Block::IronOre:
+        return itemCount(Item::StonePickaxe) > 0;
+      default:
+        return false;
+    }
+}
+
+Block
+MineWorld::targetBlock(SubtaskType t)
+{
+    switch (t) {
+      case SubtaskType::MineLog: return Block::Tree;
+      case SubtaskType::MineStone: return Block::Stone;
+      case SubtaskType::MineCoal: return Block::CoalOre;
+      case SubtaskType::MineIron: return Block::IronOre;
+      case SubtaskType::HarvestSeeds: return Block::TallGrass;
+      default: return Block::Air;
+    }
+}
+
+bool
+MineWorld::targetMob(SubtaskType t, Mob::Kind& kindOut)
+{
+    if (t == SubtaskType::HuntChicken) {
+        kindOut = Mob::Kind::Chicken;
+        return true;
+    }
+    if (t == SubtaskType::ShearWool) {
+        kindOut = Mob::Kind::Sheep;
+        return true;
+    }
+    return false;
+}
+
+void
+MineWorld::generate()
+{
+    grid_.assign(static_cast<std::size_t>(cfg_.width * cfg_.height),
+                 Block::Air);
+    mobs_.clear();
+    inventory_.fill(0);
+    ax_ = cfg_.width / 2;
+    ay_ = cfg_.height / 2;
+    facing_ = 0;
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+    steps_ = 0;
+    subtask_ = Subtask{};
+    subtaskBaseline_ = 0;
+
+    auto cellAt = [&](int x, int y) -> Block& {
+        return grid_[static_cast<std::size_t>(y * cfg_.width + x)];
+    };
+    auto randCell = [&](int margin) {
+        const int x = static_cast<int>(
+            rng_.rangeInclusive(margin, cfg_.width - 1 - margin));
+        const int y = static_cast<int>(
+            rng_.rangeInclusive(margin, cfg_.height - 1 - margin));
+        return std::pair<int, int>{x, y};
+    };
+    auto scatter = [&](Block b, int n) {
+        for (int i = 0; i < n; ++i) {
+            auto [x, y] = randCell(1);
+            if (cellAt(x, y) == Block::Air)
+                cellAt(x, y) = b;
+        }
+    };
+    auto cluster = [&](Block shell, Block ore, int size, int oreCount) {
+        auto [cx, cy] = randCell(4);
+        std::vector<std::pair<int, int>> cells;
+        cells.push_back({cx, cy});
+        cellAt(cx, cy) = shell;
+        for (int i = 1; i < size; ++i) {
+            const auto& base = cells[rng_.below(cells.size())];
+            const int dirs[4][2] = {{0, -1}, {0, 1}, {1, 0}, {-1, 0}};
+            const auto& d = dirs[rng_.below(4)];
+            const int nx = base.first + d[0], ny = base.second + d[1];
+            if (nx < 1 || ny < 1 || nx >= cfg_.width - 1 ||
+                ny >= cfg_.height - 1)
+                continue;
+            if (cellAt(nx, ny) == Block::Air) {
+                cellAt(nx, ny) = shell;
+                cells.push_back({nx, ny});
+            }
+        }
+        for (int i = 0; i < oreCount && !cells.empty(); ++i) {
+            const auto& c = cells[rng_.below(cells.size())];
+            cellAt(c.first, c.second) = ore;
+        }
+    };
+    auto spawnMobs = [&](Mob::Kind kind, int n) {
+        for (int i = 0; i < n; ++i) {
+            auto [x, y] = randCell(1);
+            if (passable(cellAt(x, y)) && !(x == ax_ && y == ay_))
+                mobs_.push_back(Mob{kind, x, y, 0, 0});
+        }
+    };
+
+    // Biome-dependent generation (Table 10: jungle / plains / savanna /
+    // forest). Densities are per a 40x40 world and scale with area.
+    const double areaScale =
+        static_cast<double>(cfg_.width * cfg_.height) / 1600.0;
+    auto n = [&](int base) {
+        return std::max(1, static_cast<int>(base * areaScale));
+    };
+    switch (cfg_.task) {
+      case MineTask::Log: // forest
+        scatter(Block::Tree, n(95));
+        scatter(Block::TallGrass, n(30));
+        break;
+      case MineTask::Wooden: // jungle
+        scatter(Block::Tree, n(70));
+        scatter(Block::TallGrass, n(40));
+        scatter(Block::Water, n(10));
+        break;
+      case MineTask::Coal: // savanna
+        scatter(Block::Tree, n(28));
+        scatter(Block::TallGrass, n(60));
+        scatter(Block::Sand, n(25));
+        cluster(Block::Stone, Block::CoalOre, 24, 6);
+        cluster(Block::Stone, Block::CoalOre, 20, 5);
+        break;
+      case MineTask::Seed: // savanna
+        scatter(Block::Tree, n(20));
+        scatter(Block::TallGrass, n(110));
+        scatter(Block::Sand, n(25));
+        break;
+      case MineTask::Wool: // plains
+        scatter(Block::Tree, n(25));
+        scatter(Block::TallGrass, n(50));
+        spawnMobs(Mob::Kind::Sheep, n(9));
+        spawnMobs(Mob::Kind::Chicken, n(4));
+        break;
+      case MineTask::Chicken: // plains
+        scatter(Block::Tree, n(35));
+        scatter(Block::TallGrass, n(45));
+        cluster(Block::Stone, Block::Stone, 26, 0);
+        spawnMobs(Mob::Kind::Chicken, n(9));
+        spawnMobs(Mob::Kind::Sheep, n(4));
+        break;
+      case MineTask::Stone:
+      case MineTask::Charcoal: // plains with rock outcrops
+        scatter(Block::Tree, n(35));
+        scatter(Block::TallGrass, n(40));
+        cluster(Block::Stone, Block::Stone, 30, 0);
+        cluster(Block::Stone, Block::Stone, 24, 0);
+        spawnMobs(Mob::Kind::Chicken, n(4));
+        break;
+      case MineTask::Iron: // plains with ore-bearing outcrops
+        scatter(Block::Tree, n(35));
+        scatter(Block::TallGrass, n(35));
+        cluster(Block::Stone, Block::IronOre, 30, 5);
+        cluster(Block::Stone, Block::CoalOre, 26, 6);
+        cluster(Block::Stone, Block::Stone, 20, 0);
+        spawnMobs(Mob::Kind::Chicken, n(4));
+        break;
+    }
+
+    // Guarantee solvability: force-place any resource the gold plan needs.
+    auto forcePlace = [&](Block b, int atLeast) {
+        int have = 0;
+        for (const auto& cell : grid_)
+            if (cell == b)
+                ++have;
+        while (have < atLeast) {
+            auto [x, y] = randCell(3);
+            if (cellAt(x, y) == Block::Air && !(x == ax_ && y == ay_)) {
+                cellAt(x, y) = b;
+                ++have;
+            }
+        }
+    };
+    for (const auto& st : goldPlan(cfg_.task)) {
+        const Block tb = targetBlock(st.type);
+        if (tb != Block::Air)
+            forcePlace(tb, st.count + 10);
+        Mob::Kind kind;
+        if (targetMob(st.type, kind)) {
+            int have = 0;
+            for (const auto& m : mobs_)
+                if (m.kind == kind)
+                    ++have;
+            if (have < 3)
+                spawnMobs(kind, 3 - have);
+        }
+    }
+
+    // Clear the spawn area.
+    for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+            cellAt(ax_ + dx, ay_ + dy) = Block::Air;
+}
+
+void
+MineWorld::setActiveSubtask(Subtask s)
+{
+    subtask_ = s;
+    subtaskBaseline_ = itemCount(s.produces());
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+}
+
+bool
+MineWorld::subtaskComplete() const
+{
+    return itemCount(subtask_.produces()) - subtaskBaseline_ >= subtask_.count;
+}
+
+bool
+MineWorld::taskComplete() const
+{
+    const auto [item, count] = taskGoal(cfg_.task);
+    return itemCount(item) >= count;
+}
+
+Mob*
+MineWorld::mobAt(int x, int y)
+{
+    for (auto& m : mobs_)
+        if (m.x == x && m.y == y)
+            return &m;
+    return nullptr;
+}
+
+void
+MineWorld::moveOrFace(int dx, int dy, int dir)
+{
+    facing_ = dir;
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+    const int nx = ax_ + dx, ny = ay_ + dy;
+    if (nx < 0 || ny < 0 || nx >= cfg_.width || ny >= cfg_.height)
+        return;
+    if (!passable(blockAt(nx, ny)) || mobAt(nx, ny))
+        return;
+    ax_ = nx;
+    ay_ = ny;
+}
+
+void
+MineWorld::doAttack()
+{
+    const int fx = ax_ + facingDx(), fy = ay_ + facingDy();
+    if (Mob* m = mobAt(fx, fy)) {
+        mineProgress_ = 0;
+        mineX_ = mineY_ = -1;
+        if (++m->hitsTaken >= 2) {
+            if (m->kind == Mob::Kind::Chicken)
+                grantItem(Item::RawChicken, 1);
+            else
+                grantItem(Item::Wool, 1);
+            // Respawn elsewhere to keep mob density stable.
+            m->hitsTaken = 0;
+            m->shearCooldown = 0;
+            for (int attempt = 0; attempt < 64; ++attempt) {
+                const int x = static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(cfg_.width)));
+                const int y = static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(cfg_.height)));
+                if (passable(blockAt(x, y)) && !(x == ax_ && y == ay_) &&
+                    !mobAt(x, y)) {
+                    m->x = x;
+                    m->y = y;
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    const Block b = blockAt(fx, fy);
+    const int need = hitsRequired(b);
+    if (need == 0 || !canMine(b)) {
+        mineProgress_ = 0;
+        mineX_ = mineY_ = -1;
+        return;
+    }
+    if (fx == mineX_ && fy == mineY_) {
+        ++mineProgress_;
+    } else {
+        mineX_ = fx;
+        mineY_ = fy;
+        mineProgress_ = 1;
+    }
+    if (mineProgress_ >= need) {
+        switch (b) {
+          case Block::Tree: grantItem(Item::Log, 1); break;
+          case Block::Stone: grantItem(Item::Cobblestone, 1); break;
+          case Block::CoalOre: grantItem(Item::Coal, 1); break;
+          case Block::IronOre: grantItem(Item::IronOre, 1); break;
+          case Block::TallGrass: grantItem(Item::Seeds, 1); break;
+          default: break;
+        }
+        grid_[static_cast<std::size_t>(fy * cfg_.width + fx)] = Block::Air;
+        mineProgress_ = 0;
+        mineX_ = mineY_ = -1;
+    }
+}
+
+void
+MineWorld::doUse()
+{
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+    const int fx = ax_ + facingDx(), fy = ay_ + facingDy();
+    if (Mob* m = mobAt(fx, fy)) {
+        if (m->kind == Mob::Kind::Sheep && m->shearCooldown == 0) {
+            grantItem(Item::Wool, 1);
+            m->shearCooldown = 30;
+        }
+        return;
+    }
+    if (blockAt(fx, fy) == Block::TallGrass) {
+        grantItem(Item::Seeds, 1);
+        grid_[static_cast<std::size_t>(fy * cfg_.width + fx)] = Block::Air;
+    }
+}
+
+bool
+MineWorld::consumeFuel()
+{
+    for (Item fuel : {Item::Coal, Item::Charcoal, Item::Log}) {
+        auto& n = inventory_[static_cast<std::size_t>(static_cast<int>(fuel))];
+        if (n > 0) {
+            --n;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MineWorld::doCraft()
+{
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+    if (!subtask_.isCraft())
+        return;
+    const Recipe& r = craftRecipe(subtask_.type);
+    for (const auto& [item, count] : r.in)
+        if (itemCount(item) < count)
+            return;
+    for (const auto& [item, count] : r.in)
+        inventory_[static_cast<std::size_t>(static_cast<int>(item))] -= count;
+    grantItem(r.out, r.outCount);
+}
+
+void
+MineWorld::doSmelt()
+{
+    mineProgress_ = 0;
+    mineX_ = mineY_ = -1;
+    if (!subtask_.isSmelt() || itemCount(Item::Furnace) < 1)
+        return;
+    const Recipe& r = smeltRecipe(subtask_.type);
+    for (const auto& [item, count] : r.in)
+        if (itemCount(item) < count)
+            return;
+    // Fuel check: for charcoal, the material log and fuel log are distinct.
+    if (subtask_.type == SubtaskType::SmeltCharcoal &&
+        itemCount(Item::Log) < 2) {
+        return;
+    }
+    for (const auto& [item, count] : r.in)
+        inventory_[static_cast<std::size_t>(static_cast<int>(item))] -= count;
+    if (!consumeFuel()) {
+        // Undo material consumption: smelting failed without fuel.
+        for (const auto& [item, count] : r.in)
+            grantItem(item, count);
+        return;
+    }
+    grantItem(r.out, r.outCount);
+}
+
+void
+MineWorld::stepMobs()
+{
+    for (auto& m : mobs_) {
+        if (m.shearCooldown > 0)
+            --m.shearCooldown;
+        if (!rng_.chance(0.5))
+            continue;
+        const int dirs[4][2] = {{0, -1}, {0, 1}, {1, 0}, {-1, 0}};
+        const auto& d = dirs[rng_.below(4)];
+        const int nx = m.x + d[0], ny = m.y + d[1];
+        if (nx < 0 || ny < 0 || nx >= cfg_.width || ny >= cfg_.height)
+            continue;
+        if (passable(blockAt(nx, ny)) && !(nx == ax_ && ny == ay_) &&
+            !mobAt(nx, ny)) {
+            m.x = nx;
+            m.y = ny;
+        }
+    }
+}
+
+void
+MineWorld::step(Action a)
+{
+    switch (a) {
+      case Action::MoveN: moveOrFace(0, -1, 0); break;
+      case Action::MoveS: moveOrFace(0, 1, 1); break;
+      case Action::MoveE: moveOrFace(1, 0, 2); break;
+      case Action::MoveW: moveOrFace(-1, 0, 3); break;
+      case Action::Attack: doAttack(); break;
+      case Action::Use: doUse(); break;
+      case Action::Craft: doCraft(); break;
+      case Action::Smelt: doSmelt(); break;
+      case Action::Noop:
+        mineProgress_ = 0;
+        mineX_ = mineY_ = -1;
+        break;
+    }
+    stepMobs();
+    ++steps_;
+}
+
+MineObs
+MineWorld::observe() const
+{
+    MineObs obs;
+    obs.spatial.assign(static_cast<std::size_t>(MineObs::spatialDim()), 0.0f);
+    obs.state.assign(static_cast<std::size_t>(MineObs::stateDim()), 0.0f);
+
+    // --- locate the nearest subtask target within sight -------------------
+    const Block tb = targetBlock(subtask_.type);
+    Mob::Kind mk{};
+    const bool wantsMob = targetMob(subtask_.type, mk);
+    bool visible = false;
+    int bestDist = INT_MAX, tx = 0, ty = 0;
+    if (tb != Block::Air) {
+        for (int dy = -kViewRadius; dy <= kViewRadius; ++dy) {
+            for (int dx = -kViewRadius; dx <= kViewRadius; ++dx) {
+                const int x = ax_ + dx, y = ay_ + dy;
+                if (blockAt(x, y) != tb)
+                    continue;
+                const int dist = std::abs(dx) + std::abs(dy);
+                if (dist < bestDist) {
+                    bestDist = dist;
+                    tx = x;
+                    ty = y;
+                    visible = true;
+                }
+            }
+        }
+    } else if (wantsMob) {
+        for (const auto& m : mobs_) {
+            if (m.kind != mk)
+                continue;
+            if (mk == Mob::Kind::Sheep && m.shearCooldown > 0)
+                continue;
+            if (std::max(std::abs(m.x - ax_), std::abs(m.y - ay_)) >
+                kViewRadius)
+                continue;
+            const int dist = std::abs(m.x - ax_) + std::abs(m.y - ay_);
+            if (dist < bestDist) {
+                bestDist = dist;
+                tx = m.x;
+                ty = m.y;
+                visible = true;
+            }
+        }
+    }
+
+    std::size_t i = 0;
+    obs.spatial[i++] = visible ? 1.0f : 0.0f;
+    // dx sign one-hot (W, same, E)
+    const int sdx = visible ? (tx < ax_ ? 0 : (tx == ax_ ? 1 : 2)) : 1;
+    if (visible)
+        obs.spatial[i + static_cast<std::size_t>(sdx)] = 1.0f;
+    i += 3;
+    const int sdy = visible ? (ty < ay_ ? 0 : (ty == ay_ ? 1 : 2)) : 1;
+    if (visible)
+        obs.spatial[i + static_cast<std::size_t>(sdy)] = 1.0f;
+    i += 3;
+    // distance bucket: 1, 2-3, 4-7, 8+
+    if (visible) {
+        const int bucket =
+            bestDist <= 1 ? 0 : (bestDist <= 3 ? 1 : (bestDist <= 7 ? 2 : 3));
+        obs.spatial[i + static_cast<std::size_t>(bucket)] = 1.0f;
+    }
+    i += 4;
+    // is the target directly in front?
+    const int fx = ax_ + facingDx(), fy = ay_ + facingDy();
+    const bool frontIsTarget = visible && fx == tx && fy == ty;
+    obs.spatial[i++] = frontIsTarget ? 1.0f : 0.0f;
+    // front block one-hot
+    const Block fb = blockAt(fx, fy);
+    obs.spatial[i + static_cast<std::size_t>(fb)] = 1.0f;
+    i += kNumBlockTypes;
+    // front mob flags
+    for (const auto& m : mobs_) {
+        if (m.x == fx && m.y == fy) {
+            obs.spatial[i + (m.kind == Mob::Kind::Chicken ? 0 : 1)] = 1.0f;
+            break;
+        }
+    }
+    i += 2;
+    obs.spatial[i + static_cast<std::size_t>(facing_)] = 1.0f;
+    i += 4;
+    obs.spatial[i++] = static_cast<float>(mineProgress_) / 5.0f;
+    // blocked flags N,S,E,W
+    const int dirs[4][2] = {{0, -1}, {0, 1}, {1, 0}, {-1, 0}};
+    for (int d = 0; d < 4; ++d) {
+        const Block nb = blockAt(ax_ + dirs[d][0], ay_ + dirs[d][1]);
+        obs.spatial[i++] = passable(nb) ? 0.0f : 1.0f;
+    }
+
+    // --- state features ---------------------------------------------------
+    std::size_t j = 0;
+    const int got = itemCount(subtask_.produces()) - subtaskBaseline_;
+    const float remain =
+        static_cast<float>(std::max(0, subtask_.count - got));
+    obs.state[j++] = remain / static_cast<float>(std::max(1, subtask_.count));
+    obs.state[j++] = (tb == Block::Air || canMine(tb)) ? 1.0f : 0.0f;
+    // craft/smelt readiness
+    bool ready = false;
+    if (subtask_.isCraft()) {
+        ready = true;
+        for (const auto& [item, count] : craftRecipe(subtask_.type).in)
+            if (itemCount(item) < count)
+                ready = false;
+    } else if (subtask_.isSmelt()) {
+        ready = itemCount(Item::Furnace) >= 1;
+        for (const auto& [item, count] : smeltRecipe(subtask_.type).in)
+            if (itemCount(item) < count)
+                ready = false;
+        if (subtask_.type == SubtaskType::SmeltCharcoal &&
+            itemCount(Item::Log) < 2)
+            ready = false;
+    }
+    obs.state[j++] = ready ? 1.0f : 0.0f;
+    obs.state[j++] =
+        (!subtask_.isCraft() && !subtask_.isSmelt()) ? 1.0f : 0.0f;
+    obs.state[j++] = subtask_.isCraft() ? 1.0f : 0.0f;
+    obs.state[j++] = subtask_.isSmelt() ? 1.0f : 0.0f;
+    const Item flags[8] = {Item::Log,         Item::Planks,
+                           Item::Stick,       Item::WoodenPickaxe,
+                           Item::Cobblestone, Item::StonePickaxe,
+                           Item::Furnace,     Item::Coal};
+    for (const Item it : flags)
+        obs.state[j++] = itemCount(it) > 0 ? 1.0f : 0.0f;
+    return obs;
+}
+
+Tensor
+MineWorld::renderImage(int res, int windowRadius) const
+{
+    // Egocentric RGB view over a (2*windowRadius+1)^2 cell window, nearest-
+    // neighbor sampled to res x res. This is what the entropy predictor's
+    // CNN consumes (Table 9 pipeline).
+    static const float palette[kNumBlockTypes][3] = {
+        {0.35f, 0.65f, 0.30f}, // Air (grass floor)
+        {0.25f, 0.45f, 0.12f}, // Tree
+        {0.55f, 0.55f, 0.55f}, // Stone
+        {0.20f, 0.20f, 0.22f}, // CoalOre
+        {0.78f, 0.60f, 0.44f}, // IronOre
+        {0.55f, 0.80f, 0.35f}, // TallGrass
+        {0.20f, 0.35f, 0.85f}, // Water
+        {0.90f, 0.85f, 0.55f}, // Sand
+    };
+    const int window = 2 * windowRadius + 1;
+    Tensor img({3, res, res});
+    for (int py = 0; py < res; ++py) {
+        for (int px = 0; px < res; ++px) {
+            const int cx = ax_ - windowRadius + px * window / res;
+            const int cy = ay_ - windowRadius + py * window / res;
+            const Block b = blockAt(cx, cy);
+            float r = palette[static_cast<int>(b)][0];
+            float g = palette[static_cast<int>(b)][1];
+            float bl = palette[static_cast<int>(b)][2];
+            for (const auto& m : mobs_) {
+                if (m.x == cx && m.y == cy) {
+                    if (m.kind == Mob::Kind::Chicken) {
+                        r = 0.95f; g = 0.90f; bl = 0.60f;
+                    } else {
+                        r = 0.95f; g = 0.95f; bl = 0.95f;
+                    }
+                }
+            }
+            if (cx == ax_ && cy == ay_) {
+                r = 0.90f; g = 0.20f; bl = 0.20f;
+            }
+            // Facing cue: tint the cell directly in front so the CNN can
+            // tell "target in front" (the critical-step signal) apart.
+            if (cx == ax_ + facingDx() && cy == ay_ + facingDy()) {
+                r = std::min(1.0f, r + 0.35f);
+                bl = std::min(1.0f, bl + 0.15f);
+            }
+            img.at(0, py, px) = r;
+            img.at(1, py, px) = g;
+            img.at(2, py, px) = bl;
+        }
+    }
+    return img;
+}
+
+} // namespace create

@@ -1,0 +1,89 @@
+#include "fault/error_model.hpp"
+
+#include <cmath>
+
+namespace create {
+
+std::vector<double>
+ErrorModel::bitRates() const
+{
+    std::vector<double> r(kAccumulatorBits);
+    for (int b = 0; b < kAccumulatorBits; ++b)
+        r[static_cast<std::size_t>(b)] = bitRate(b);
+    return r;
+}
+
+double
+ErrorModel::meanBitRate() const
+{
+    double s = 0.0;
+    for (int b = 0; b < kAccumulatorBits; ++b)
+        s += bitRate(b);
+    return s / kAccumulatorBits;
+}
+
+namespace {
+
+// Exponential skew of flips toward high (long-carry-chain) bits. With
+// gamma = 0.35 the MSB carries ~30% of all flips, matching the Fig. 4(a)
+// picture where high bits dominate once the voltage drops.
+constexpr double kBitSkewGamma = 0.35;
+
+// Per-bit flip probability cannot exceed this cap (a path either meets
+// timing or not, but inputs only toggle part of the time).
+constexpr double kActivityCap = 0.75;
+
+double
+bitWeight(int bit)
+{
+    return std::exp(kBitSkewGamma * static_cast<double>(bit - (kAccumulatorBits - 1)));
+}
+
+double
+bitWeightSum()
+{
+    static const double sum = [] {
+        double s = 0.0;
+        for (int b = 0; b < kAccumulatorBits; ++b)
+            s += bitWeight(b);
+        return s;
+    }();
+    return sum;
+}
+
+} // namespace
+
+TimingErrorModel::TimingErrorModel(double voltage) : voltage_(voltage)
+{
+    const double ber = berAtVoltage(voltage);
+    const double sum = bitWeightSum();
+    for (int b = 0; b < kAccumulatorBits; ++b) {
+        double p = ber * kAccumulatorBits * bitWeight(b) / sum;
+        if (p > kActivityCap)
+            p = kActivityCap;
+        rates_[static_cast<std::size_t>(b)] = p;
+    }
+}
+
+double
+TimingErrorModel::bitRate(int bit) const
+{
+    return rates_[static_cast<std::size_t>(bit)];
+}
+
+double
+TimingErrorModel::berAtVoltage(double voltage)
+{
+    // Quadratic-in-undervolt log-BER curve anchored to the paper's regime:
+    // ~1e-10 at 0.90 V (nominal; effectively error free), ~1e-7.6 at 0.85 V,
+    // ~1e-4 at 0.75 V, ~1e-2 at 0.65 V. This is the swappable LUT that a
+    // PrimeTime/HSPICE characterization would populate on real silicon.
+    if (voltage >= kNominalVoltage)
+        return 1e-10;
+    const double dv = kNominalVoltage - voltage;
+    const double log10Ber = -10.0 + 52.3 * dv - 82.2 * dv * dv;
+    const double capped = log10Ber > -1.0 ? -1.0 : log10Ber;
+    return std::pow(10.0, capped);
+}
+
+} // namespace create

@@ -1,0 +1,51 @@
+#include "fault/injector.hpp"
+
+namespace create {
+
+std::int32_t
+BitFlipInjector::signExtend24(std::int32_t v)
+{
+    const std::uint32_t masked = static_cast<std::uint32_t>(v) & 0x00FFFFFFu;
+    if (masked & 0x00800000u)
+        return static_cast<std::int32_t>(masked | 0xFF000000u);
+    return static_cast<std::int32_t>(masked);
+}
+
+std::int32_t
+BitFlipInjector::flipBit(std::int32_t acc, int bit)
+{
+    const std::uint32_t flipped =
+        static_cast<std::uint32_t>(acc) ^ (1u << static_cast<unsigned>(bit));
+    return signExtend24(static_cast<std::int32_t>(flipped));
+}
+
+InjectionStats
+BitFlipInjector::inject(std::int32_t* acc, std::size_t n,
+                        const std::vector<double>& bitRates, Rng& rng,
+                        std::vector<std::size_t>* positionsOut)
+{
+    InjectionStats stats;
+    for (int bit = 0; bit < kAccumulatorBits &&
+                      bit < static_cast<int>(bitRates.size()); ++bit) {
+        const double p = bitRates[static_cast<std::size_t>(bit)];
+        if (p <= 0.0)
+            continue;
+        const std::uint64_t k = rng.binomial(n, p);
+        if (k == 0)
+            continue;
+        // Positions may repeat across bits (one element can take multiple
+        // flips); within one bit they are distinct, like hardware where a
+        // given path either violates timing for an element or not.
+        const auto positions = rng.sampleDistinct(n, k);
+        for (auto idx : positions) {
+            acc[idx] = flipBit(acc[idx], bit);
+            if (positionsOut)
+                positionsOut->push_back(static_cast<std::size_t>(idx));
+        }
+        stats.flips += k;
+        stats.elementsTouched += k;
+    }
+    return stats;
+}
+
+} // namespace create

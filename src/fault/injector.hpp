@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Bit-flip injector for INT32/24-bit accumulator arrays (paper Sec. 3.2).
+ *
+ * The injector emulates voltage-underscaling timing errors as random bit
+ * flips in GEMM/conv accumulation results, exactly as the paper's dynamic
+ * PyTorch-based framework does, but at the tensor-runtime level: for each
+ * bit position it samples the number of affected elements from a Binomial
+ * (Poisson-approximated at low BER) and flips that many uniformly chosen
+ * elements. This makes injection O(flips) instead of O(elements x bits),
+ * which is what makes >100-episode sweeps at BER 1e-8 tractable.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/error_model.hpp"
+
+namespace create {
+
+/** Statistics from one injection pass. */
+struct InjectionStats
+{
+    std::uint64_t flips = 0;          //!< total bits flipped
+    std::uint64_t elementsTouched = 0; //!< elements with >= 1 flip (approx.)
+};
+
+/** Flips bits in 24-bit accumulators according to an ErrorModel. */
+class BitFlipInjector
+{
+  public:
+    /**
+     * Inject into `n` accumulators in place.
+     *
+     * Accumulators are stored as int32 but represent kAccumulatorBits-wide
+     * two's-complement hardware registers: a flip of bit 23 changes the
+     * sign, and results are sign-extended back to int32.
+     */
+    static InjectionStats inject(std::int32_t* acc, std::size_t n,
+                                 const std::vector<double>& bitRates, Rng& rng,
+                                 std::vector<std::size_t>* positionsOut =
+                                     nullptr);
+
+    /** Flip one specific bit of one accumulator (used by targeted studies). */
+    static std::int32_t flipBit(std::int32_t acc, int bit);
+
+    /** Sign-extend a 24-bit two's-complement value held in an int32. */
+    static std::int32_t signExtend24(std::int32_t v);
+};
+
+} // namespace create

@@ -1,0 +1,125 @@
+#include "hw/compute_context.hpp"
+
+#include <cmath>
+
+namespace create {
+
+void
+EnergyMeter::addGemm(Domain d, double macs, double voltage)
+{
+    auto& u = perDomain_[static_cast<std::size_t>(d)];
+    const double vr = voltage / TimingErrorModel::kNominalVoltage;
+    u.macs += macs;
+    u.v2WeightedMacs += macs * vr * vr;
+    u.gemmCalls += 1;
+}
+
+void
+EnergyMeter::addFlips(Domain d, std::uint64_t flips)
+{
+    perDomain_[static_cast<std::size_t>(d)].bitFlips += flips;
+}
+
+void
+EnergyMeter::addAnomalies(Domain d, std::uint64_t cleared)
+{
+    perDomain_[static_cast<std::size_t>(d)].anomaliesCleared += cleared;
+}
+
+const DomainUsage&
+EnergyMeter::usage(Domain d) const
+{
+    return perDomain_[static_cast<std::size_t>(d)];
+}
+
+DomainUsage
+EnergyMeter::total() const
+{
+    DomainUsage t;
+    for (const auto& u : perDomain_) {
+        t.macs += u.macs;
+        t.v2WeightedMacs += u.v2WeightedMacs;
+        t.gemmCalls += u.gemmCalls;
+        t.bitFlips += u.bitFlips;
+        t.anomaliesCleared += u.anomaliesCleared;
+    }
+    return t;
+}
+
+double
+EnergyMeter::effectiveVoltage(Domain d) const
+{
+    const auto& u = perDomain_[static_cast<std::size_t>(d)];
+    if (u.macs <= 0.0)
+        return TimingErrorModel::kNominalVoltage;
+    return TimingErrorModel::kNominalVoltage * std::sqrt(u.v2WeightedMacs / u.macs);
+}
+
+void
+EnergyMeter::reset()
+{
+    perDomain_.fill(DomainUsage{});
+}
+
+ComputeContext::ComputeContext(std::uint64_t seed) : rng(seed)
+{
+    refreshRates();
+}
+
+void
+ComputeContext::setCleanMode()
+{
+    mode_ = InjectionMode::None;
+    refreshRates();
+}
+
+void
+ComputeContext::setVoltage(double v)
+{
+    voltage_ = v;
+    refreshRates();
+}
+
+void
+ComputeContext::setVoltageMode()
+{
+    mode_ = InjectionMode::Voltage;
+    refreshRates();
+}
+
+void
+ComputeContext::setUniformBer(double ber)
+{
+    mode_ = InjectionMode::Uniform;
+    uniformBer_ = ber;
+    refreshRates();
+}
+
+bool
+ComputeContext::injectionEnabledFor(const std::string& tag) const
+{
+    if (componentFilter.empty())
+        return true;
+    return tag.find(componentFilter) != std::string::npos;
+}
+
+void
+ComputeContext::refreshRates()
+{
+    bitRates_.assign(kAccumulatorBits, 0.0);
+    switch (mode_) {
+      case InjectionMode::None:
+        break;
+      case InjectionMode::Uniform:
+        for (auto& r : bitRates_)
+            r = uniformBer_;
+        break;
+      case InjectionMode::Voltage: {
+        const TimingErrorModel tm(voltage_);
+        bitRates_ = tm.bitRates();
+        break;
+      }
+    }
+}
+
+} // namespace create

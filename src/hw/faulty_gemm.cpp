@@ -1,0 +1,180 @@
+#include "hw/faulty_gemm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/injector.hpp"
+#include "tensor/ops.hpp"
+
+namespace create {
+
+void
+QuantGemmState::freeze(const Tensor& w, QuantBits bits)
+{
+    // Activation scale: calibrated absmax when available; a per-call
+    // fallback would break the fixed-scale-hardware assumption, so we use
+    // a generous default when a layer was never calibrated.
+    const float inMax = inObs.seeded() ? inObs.absMax() : 8.0f;
+    inQ = QuantParams::fromAbsMax(inMax, bits);
+    wQ = QuantParams::fromAbsMax(w.absMax(), bits);
+    // AD bound: calibrated clean-output absmax with a small margin for
+    // quantization noise. Unknown (never calibrated) => 0 => AD disabled
+    // for this layer.
+    outBound = outObs.seeded() ? outObs.absMax() * 1.05f : 0.0f;
+    wq = quantize(w, wQ);
+    frozen = true;
+}
+
+void
+QuantGemmState::invalidate()
+{
+    frozen = false;
+    wq.clear();
+    inObs.reset();
+    outObs.reset();
+    outBound = 0.0f;
+}
+
+void
+intGemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+        const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        const std::int8_t* xrow = xq + i * k;
+        std::int32_t* crow = acc + i * n;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const std::int32_t xv = xrow[kk];
+            if (xv == 0)
+                continue;
+            const std::int8_t* wrow = wq + kk * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += xv * static_cast<std::int32_t>(wrow[j]);
+        }
+    }
+}
+
+Tensor
+faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
+             QuantGemmState& st, ComputeContext& ctx, const std::string& tag)
+{
+    if (x.rank() != 2 || w.rank() != 2 || x.dim(1) != w.dim(0))
+        throw std::invalid_argument("faultyLinear: shape mismatch for " + tag);
+    const std::int64_t m = x.dim(0), k = x.dim(1), n = w.dim(1);
+
+    if (ctx.calibrating) {
+        Tensor y = ops::matmul(x, w);
+        st.inObs.observe(x);
+        st.outObs.observe(y);
+        if (bias)
+            y = ops::addRowBroadcast(y, *bias);
+        return y;
+    }
+
+    if (!st.frozen || st.wQ.bits != ctx.bits)
+        st.freeze(w, ctx.bits);
+
+    // 1. Quantize activations.
+    const std::vector<std::int8_t> xq = quantize(x, st.inQ);
+
+    // 2. Integer GEMM into 24-bit accumulators (int32-backed). The clean
+    //    accumulators are kept so protection schemes can re-execute with
+    //    independent error draws without recomputing the product.
+    std::vector<std::int32_t> cleanAcc(static_cast<std::size_t>(m * n), 0);
+    intGemm(xq.data(), m, k, st.wq.data(), n, cleanAcc.data());
+    const double gemmMacs = static_cast<double>(m * n * k);
+    ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
+
+    const bool inject =
+        ctx.mode() != InjectionMode::None && ctx.injectionEnabledFor(tag);
+    auto runOnce = [&](std::vector<std::size_t>* positions) {
+        std::vector<std::int32_t> acc = cleanAcc;
+        if (inject) {
+            const auto stats = BitFlipInjector::inject(
+                acc.data(), acc.size(), ctx.activeBitRates(), ctx.rng,
+                positions);
+            ctx.meter.addFlips(ctx.domain, stats.flips);
+        }
+        return acc;
+    };
+
+    // 3. Inject voltage-underscaling bit flips, under the configured
+    //    protection scheme (Sec. 6.10 baselines; CREATE uses None + AD).
+    std::vector<std::int32_t> acc;
+    switch (ctx.protection) {
+      case Protection::None:
+        acc = runOnce(nullptr);
+        break;
+      case Protection::Dmr: {
+        // Duplicate execution and compare; on mismatch a third execution
+        // arbitrates per element (2-of-3 vote). Two copies agreeing on a
+        // corrupted value requires the same flip twice -- negligible.
+        acc = runOnce(nullptr);
+        const auto second = runOnce(nullptr);
+        ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage()); // the copy
+        if (acc != second) {
+            const auto third = runOnce(nullptr);
+            ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
+            for (std::size_t i = 0; i < acc.size(); ++i) {
+                if (acc[i] != second[i])
+                    acc[i] = (second[i] == third[i]) ? second[i] : third[i];
+            }
+        }
+        break;
+      }
+      case Protection::ThunderVolt: {
+        // Razor-style per-PE violation detection with result bypass: any
+        // output whose accumulation saw a timing error is dropped to zero
+        // (the "excessive neuron pruning" the paper describes). Bypass
+        // circuitry adds a small energy overhead.
+        std::vector<std::size_t> positions;
+        acc = runOnce(&positions);
+        for (auto idx : positions)
+            acc[idx] = 0;
+        ctx.meter.addGemm(ctx.domain, gemmMacs * 0.05, ctx.voltage());
+        break;
+      }
+      case Protection::Abft: {
+        // Checksum detection (assumed perfect) + whole-GEMM recompute until
+        // a clean pass, bounded at 4 retries. Checksum maintenance costs
+        // roughly (M+N) x K extra MACs per attempt.
+        const double checksumMacs = static_cast<double>((m + n) * k);
+        for (int attempt = 0; attempt < 5; ++attempt) {
+            std::vector<std::size_t> positions;
+            acc = runOnce(&positions);
+            ctx.meter.addGemm(ctx.domain, checksumMacs, ctx.voltage());
+            if (positions.empty())
+                break;
+            // Recompute costs another full GEMM.
+            ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
+        }
+        break;
+      }
+    }
+
+    // 4. Anomaly detection & clearance at the systolic output stage.
+    const float deqScale = st.inQ.scale * st.wQ.scale;
+    if (ctx.anomalyDetection && st.outBound > 0.0f) {
+        const double boundAcc = static_cast<double>(st.outBound) / deqScale;
+        const auto lim = static_cast<std::int64_t>(
+            std::min(boundAcc, 8388607.0)); // 2^23 - 1 accumulator ceiling
+        std::uint64_t cleared = 0;
+        for (auto& a : acc) {
+            if (a > lim || a < -lim) {
+                a = 0;
+                ++cleared;
+            }
+        }
+        if (cleared)
+            ctx.meter.addAnomalies(ctx.domain, cleared);
+    }
+
+    // 5. Dequantize + FP32 bias.
+    Tensor y({m, n});
+    for (std::int64_t i = 0; i < m * n; ++i)
+        y[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]) * deqScale;
+    if (bias)
+        y = ops::addRowBroadcast(y, *bias);
+    return y;
+}
+
+} // namespace create

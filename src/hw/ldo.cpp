@@ -1,0 +1,47 @@
+#include "hw/ldo.hpp"
+
+#include <cmath>
+
+namespace create {
+
+DigitalLdo::DigitalLdo(LdoSpec spec) : spec_(spec), vout_(spec.vMax) {}
+
+double
+DigitalLdo::quantize(double v) const
+{
+    if (v < spec_.vMin)
+        v = spec_.vMin;
+    if (v > spec_.vMax)
+        v = spec_.vMax;
+    const double steps = std::nearbyint((v - spec_.vMin) / spec_.vStep);
+    return spec_.vMin + steps * spec_.vStep;
+}
+
+double
+DigitalLdo::set(double targetV)
+{
+    const double v = quantize(targetV);
+    const double delta = std::fabs(v - vout_);
+    if (delta < spec_.vStep / 2.0)
+        return 0.0;
+    const double latency = spec_.slewNsPer50mV * (delta / 0.050);
+    vout_ = v;
+    ++transitions_;
+    totalTransitionNs_ += latency;
+    return latency;
+}
+
+double
+DigitalLdo::worstCaseLatencyNs() const
+{
+    return spec_.slewNsPer50mV * ((spec_.vMax - spec_.vMin) / 0.050);
+}
+
+void
+DigitalLdo::resetStats()
+{
+    transitions_ = 0;
+    totalTransitionNs_ = 0.0;
+}
+
+} // namespace create

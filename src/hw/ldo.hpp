@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Behavioural model of the distributed digital LDO used for autonomy-
+ * adaptive voltage scaling (paper Sec. 5.3, Table 2, Fig. 12).
+ *
+ * Spec sheet reproduced from the paper (built on the event-driven
+ * domino-sampling LDO of Kim et al., JSSC'21):
+ *   output range 0.6-0.9 V in 10 mV steps, 90 ns / 50 mV transient
+ *   response, 99.8% peak current efficiency at 15.2 A, 0.43 mm^2.
+ */
+
+#include <cstdint>
+
+namespace create {
+
+/** Static LDO specifications (Table 2). */
+struct LdoSpec
+{
+    double vMin = 0.60;            //!< volts
+    double vMax = 0.90;            //!< volts
+    double vStep = 0.010;          //!< 10 mV resolution
+    double slewNsPer50mV = 90.0;   //!< transient response time
+    double peakCurrentEff = 0.998; //!< at iLoadMax
+    double iLoadMaxA = 15.2;
+    double areaMm2 = 0.43;
+    double currentDensityApermm2 = 35.0;
+    double technologyNm = 22.0;
+};
+
+/** Stateful digital LDO: quantizes requests and tracks switching cost. */
+class DigitalLdo
+{
+  public:
+    explicit DigitalLdo(LdoSpec spec = {});
+
+    /**
+     * Request a new output voltage.
+     *
+     * The request is clamped to [vMin, vMax] and rounded to the step grid.
+     * @return transition latency in nanoseconds (0 if already there).
+     */
+    double set(double targetV);
+
+    /** Current output voltage. */
+    double vout() const { return vout_; }
+
+    /** Clamp + quantize a voltage to the LDO grid without applying it. */
+    double quantize(double v) const;
+
+    /** Number of voltage transitions so far. */
+    std::uint64_t transitions() const { return transitions_; }
+
+    /** Total nanoseconds spent slewing. */
+    double totalTransitionNs() const { return totalTransitionNs_; }
+
+    /** Worst single-transition latency possible (full range swing). */
+    double worstCaseLatencyNs() const;
+
+    const LdoSpec& spec() const { return spec_; }
+
+    void resetStats();
+
+  private:
+    LdoSpec spec_;
+    double vout_;
+    std::uint64_t transitions_ = 0;
+    double totalTransitionNs_ = 0.0;
+};
+
+} // namespace create

@@ -1,0 +1,78 @@
+#include "hw/systolic.hpp"
+
+#include <algorithm>
+
+#include "fault/injector.hpp"
+
+namespace create {
+
+SystolicArray::SystolicArray(SystolicConfig cfg) : cfg_(cfg) {}
+
+std::uint64_t
+SystolicArray::cyclesFor(std::int64_t m, std::int64_t k, std::int64_t n) const
+{
+    // Weight-stationary mapping: a (K x N) weight tile is pinned on the PE
+    // grid; the M activation rows stream through. Per tile:
+    //   rows           cycles to load weights,
+    //   m + rows + cols - 2  cycles to stream and drain the pipeline.
+    const auto tilesK = static_cast<std::uint64_t>((k + cfg_.rows - 1) / cfg_.rows);
+    const auto tilesN = static_cast<std::uint64_t>((n + cfg_.cols - 1) / cfg_.cols);
+    const std::uint64_t perTile =
+        static_cast<std::uint64_t>(cfg_.rows) +
+        static_cast<std::uint64_t>(m + cfg_.rows + cfg_.cols - 2);
+    return tilesK * tilesN * perTile;
+}
+
+SystolicResult
+SystolicArray::run(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                   const std::int8_t* wq, std::int64_t n,
+                   const std::vector<double>& bitRates, double adBoundAcc,
+                   Rng& rng) const
+{
+    SystolicResult res;
+    res.acc.assign(static_cast<std::size_t>(m * n), 0);
+    res.cycles = cyclesFor(m, k, n);
+    res.macs = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(k) *
+               static_cast<std::uint64_t>(n);
+
+    // Column-accumulation semantics: partial sums flow down each column,
+    // one PE row (one K element) added per cycle. We emulate tile by tile
+    // so the accumulation order matches the hardware dataflow.
+    for (std::int64_t k0 = 0; k0 < k; k0 += cfg_.rows) {
+        const std::int64_t kEnd = std::min<std::int64_t>(k0 + cfg_.rows, k);
+        for (std::int64_t n0 = 0; n0 < n; n0 += cfg_.cols) {
+            const std::int64_t nEnd = std::min<std::int64_t>(n0 + cfg_.cols, n);
+            for (std::int64_t i = 0; i < m; ++i) {
+                std::int32_t* out = res.acc.data() + i * n;
+                for (std::int64_t j = n0; j < nEnd; ++j) {
+                    std::int32_t sum = out[j];
+                    for (std::int64_t kk = k0; kk < kEnd; ++kk) {
+                        sum += static_cast<std::int32_t>(xq[i * k + kk]) *
+                               static_cast<std::int32_t>(wq[kk * n + j]);
+                    }
+                    out[j] = sum;
+                }
+            }
+        }
+    }
+
+    if (!bitRates.empty()) {
+        const auto stats =
+            BitFlipInjector::inject(res.acc.data(), res.acc.size(), bitRates, rng);
+        res.flips = stats.flips;
+    }
+
+    // Output-stage anomaly-detection units: one comparator+mux per column.
+    if (adBoundAcc > 0.0) {
+        const auto lim = static_cast<std::int64_t>(std::min(adBoundAcc, 8388607.0));
+        for (auto& a : res.acc) {
+            if (a > lim || a < -lim) {
+                a = 0;
+                ++res.anomaliesCleared;
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace create

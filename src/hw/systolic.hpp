@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Functional model of the weight-stationary systolic array with the
+ * anomaly-detection output row (paper Fig. 8(b)).
+ *
+ * This model is used for hardware-facing validation: it tiles a GEMM onto
+ * an RxC PE grid, counts pipeline cycles the way SCALE-Sim does, applies
+ * per-cycle bit flips to the column accumulators, and passes final results
+ * through the comparator+mux anomaly-detection units. Tests assert that it
+ * is numerically equivalent to the fast faultyLinear() pipeline (which is
+ * what the models actually run on).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/compute_context.hpp"
+
+namespace create {
+
+/** Geometry / clock of one systolic array instance. */
+struct SystolicConfig
+{
+    int rows = 128;        //!< PE rows (K dimension)
+    int cols = 128;        //!< PE columns (N dimension)
+    double clockNs = 2.0;  //!< cycle time at nominal voltage
+};
+
+/** Result of a systolic GEMM run. */
+struct SystolicResult
+{
+    std::vector<std::int32_t> acc; //!< MxN accumulators (post AD if enabled)
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t anomaliesCleared = 0;
+    std::uint64_t flips = 0;
+};
+
+/** Weight-stationary RxC systolic array with output-stage AD units. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(SystolicConfig cfg = {});
+
+    /**
+     * Run xq(MxK) @ wq(KxN) with optional per-bit injection.
+     *
+     * @param bitRates per-bit flip probabilities applied to each element's
+     *        final accumulation (empty = clean).
+     * @param adBoundAcc AD valid bound in accumulator units (<=0 disables).
+     */
+    SystolicResult run(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                       const std::int8_t* wq, std::int64_t n,
+                       const std::vector<double>& bitRates, double adBoundAcc,
+                       Rng& rng) const;
+
+    /** Pipeline cycles for one GEMM (SCALE-Sim weight-stationary formula). */
+    std::uint64_t cyclesFor(std::int64_t m, std::int64_t k, std::int64_t n) const;
+
+    const SystolicConfig& config() const { return cfg_; }
+
+  private:
+    SystolicConfig cfg_;
+};
+
+} // namespace create

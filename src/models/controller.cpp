@@ -1,0 +1,78 @@
+#include "models/controller.hpp"
+
+namespace create {
+
+ControllerModel::ControllerModel(ControllerConfig cfg, Rng& rng)
+    : Module(cfg.name), cfg_(cfg),
+      subtaskEmb_(cfg.name + ".subtask_embed", cfg.numSubtasks, cfg.dim, rng),
+      spatialProj_(cfg.name + ".spatial_proj", cfg.spatialDim, cfg.dim,
+                   /*withBias=*/true, rng),
+      stateProj_(cfg.name + ".state_proj", cfg.stateDim, cfg.dim,
+                 /*withBias=*/true, rng),
+      headLinear_(cfg.name + ".policy_head", cfg.dim, cfg.numActions,
+                  /*withBias=*/true, rng)
+{
+    addChild(&subtaskEmb_);
+    addChild(&spatialProj_);
+    addChild(&stateProj_);
+    for (int l = 0; l < cfg.layers; ++l) {
+        blocks_.push_back(std::make_unique<nn::PostNormBlock>(
+            cfg.name + ".blk" + std::to_string(l), cfg.dim, cfg.mlpDim,
+            cfg.heads, rng));
+        addChild(blocks_.back().get());
+    }
+    addChild(&headLinear_);
+}
+
+nn::Var
+ControllerModel::forward(int subtask, const std::vector<float>& spatial,
+                         const std::vector<float>& state)
+{
+    const nn::Var prompt = subtaskEmb_.forward({subtask});
+    const nn::Var sp = spatialProj_.forward(
+        nn::Var(Tensor({1, cfg_.spatialDim},
+                       std::vector<float>(spatial.begin(), spatial.end()))));
+    const nn::Var st = stateProj_.forward(
+        nn::Var(Tensor({1, cfg_.stateDim},
+                       std::vector<float>(state.begin(), state.end()))));
+    nn::Var x = nn::concatRows({prompt, sp, st});
+    for (auto& b : blocks_)
+        x = b->forward(x);
+    return headLinear_.forward(nn::meanRows(x));
+}
+
+std::vector<float>
+ControllerModel::inferLogits(int subtask, const std::vector<float>& spatial,
+                             const std::vector<float>& state,
+                             ComputeContext& ctx)
+{
+    Tensor x({3, cfg_.dim});
+    {
+        const Tensor prompt = subtaskEmb_.infer({subtask});
+        const Tensor sp = spatialProj_.infer(
+            Tensor({1, cfg_.spatialDim},
+                   std::vector<float>(spatial.begin(), spatial.end())),
+            ctx);
+        const Tensor st = stateProj_.infer(
+            Tensor({1, cfg_.stateDim},
+                   std::vector<float>(state.begin(), state.end())),
+            ctx);
+        for (int j = 0; j < cfg_.dim; ++j) {
+            x.at(0, j) = prompt.at(0, j);
+            x.at(1, j) = sp.at(0, j);
+            x.at(2, j) = st.at(0, j);
+        }
+    }
+    for (auto& b : blocks_)
+        x = b->infer(x, ctx);
+    Tensor pooled({1, cfg_.dim});
+    for (int j = 0; j < cfg_.dim; ++j)
+        pooled.at(0, j) = (x.at(0, j) + x.at(1, j) + x.at(2, j)) / 3.0f;
+    const Tensor logits = headLinear_.infer(pooled, ctx);
+    std::vector<float> out(static_cast<std::size_t>(cfg_.numActions));
+    for (int a = 0; a < cfg_.numActions; ++a)
+        out[static_cast<std::size_t>(a)] = logits.at(0, a);
+    return out;
+}
+
+} // namespace create

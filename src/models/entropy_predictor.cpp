@@ -1,0 +1,129 @@
+#include "models/entropy_predictor.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace create {
+
+namespace {
+
+/** Non-autograd 2x2 max pool for the single-sample infer path. */
+Tensor
+maxPool(const Tensor& x)
+{
+    const std::int64_t c = x.dim(0), h = x.dim(1), w = x.dim(2);
+    Tensor out({c, h / 2, w / 2});
+    for (std::int64_t ch = 0; ch < c; ++ch)
+        for (std::int64_t y = 0; y < h / 2; ++y)
+            for (std::int64_t xx = 0; xx < w / 2; ++xx) {
+                float m = x.at(ch, y * 2, xx * 2);
+                m = std::max(m, x.at(ch, y * 2, xx * 2 + 1));
+                m = std::max(m, x.at(ch, y * 2 + 1, xx * 2));
+                m = std::max(m, x.at(ch, y * 2 + 1, xx * 2 + 1));
+                out.at(ch, y, xx) = m;
+            }
+    return out;
+}
+
+Tensor
+reluT(Tensor x)
+{
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    return x;
+}
+
+} // namespace
+
+EntropyPredictor::EntropyPredictor(PredictorConfig cfg, Rng& rng)
+    : Module(cfg.name), cfg_(cfg),
+      conv1_(cfg.name + ".conv1", 3, 16, 3, 1, 1, rng),
+      conv2_(cfg.name + ".conv2", 16, 32, 3, 1, 1, rng),
+      conv3_(cfg.name + ".conv3", 32, 64, 3, 1, 1, rng),
+      promptFc_(cfg.name + ".prompt_fc", cfg.promptDim, cfg.fuseDim,
+                /*withBias=*/true, rng),
+      fuse1_(cfg.name + ".fuse1", 64 + cfg.fuseDim, 128, /*withBias=*/true,
+             rng),
+      fuse2_(cfg.name + ".fuse2", 128, 1, /*withBias=*/true, rng)
+{
+    addChild(&conv1_);
+    addChild(&conv2_);
+    addChild(&conv3_);
+    addChild(&promptFc_);
+    addChild(&fuse1_);
+    addChild(&fuse2_);
+}
+
+nn::Var
+EntropyPredictor::forward(const nn::Var& images, const nn::Var& prompts)
+{
+    nn::Var x = nn::relu(conv1_.forward(images));
+    x = nn::maxPool2d(x);
+    x = nn::relu(conv2_.forward(x));
+    x = nn::maxPool2d(x);
+    x = nn::relu(conv3_.forward(x));
+    x = nn::globalAvgPool(x); // (B, 64)
+    const nn::Var p = nn::relu(promptFc_.forward(prompts));
+    nn::Var fused = nn::concatCols({x, p});
+    fused = nn::relu(fuse1_.forward(fused));
+    return fuse2_.forward(fused);
+}
+
+float
+EntropyPredictor::infer(const Tensor& image, const std::vector<float>& prompt,
+                        ComputeContext& ctx)
+{
+    if (image.rank() != 3 || image.dim(1) != cfg_.imgRes)
+        throw std::invalid_argument("EntropyPredictor::infer: bad image");
+    Tensor x = reluT(conv1_.infer(image, ctx));
+    x = maxPool(x);
+    x = reluT(conv2_.infer(x, ctx));
+    x = maxPool(x);
+    x = reluT(conv3_.infer(x, ctx));
+    // Global average pool -> (1, 64)
+    Tensor feat({1, 64});
+    const std::int64_t hw = x.dim(1) * x.dim(2);
+    for (std::int64_t ch = 0; ch < 64; ++ch) {
+        float s = 0.0f;
+        for (std::int64_t i = 0; i < hw; ++i)
+            s += x.data()[ch * hw + i];
+        feat.at(0, ch) = s / static_cast<float>(hw);
+    }
+    Tensor p({1, cfg_.promptDim},
+             std::vector<float>(prompt.begin(), prompt.end()));
+    Tensor pf = promptFc_.infer(p, ctx);
+    for (std::int64_t i = 0; i < pf.numel(); ++i)
+        pf[i] = pf[i] > 0.0f ? pf[i] : 0.0f;
+    Tensor fused({1, 64 + cfg_.fuseDim});
+    for (int j = 0; j < 64; ++j)
+        fused.at(0, j) = feat.at(0, j);
+    for (int j = 0; j < cfg_.fuseDim; ++j)
+        fused.at(0, 64 + j) = pf.at(0, j);
+    Tensor h = fuse1_.infer(fused, ctx);
+    for (std::int64_t i = 0; i < h.numel(); ++i)
+        h[i] = h[i] > 0.0f ? h[i] : 0.0f;
+    const Tensor out = fuse2_.infer(h, ctx);
+    return out[0];
+}
+
+std::vector<float>
+predictorPrompt(int subtaskType, int numSubtaskTypes,
+                const std::vector<float>& spatial,
+                const std::vector<float>& state, int promptDim)
+{
+    std::vector<float> p(static_cast<std::size_t>(promptDim), 0.0f);
+    if (subtaskType >= 0 && subtaskType < numSubtaskTypes &&
+        subtaskType < promptDim)
+        p[static_cast<std::size_t>(subtaskType)] = 1.0f;
+    std::size_t j = static_cast<std::size_t>(numSubtaskTypes);
+    // Target geometry: visible, direction signs, distance bucket, front.
+    for (std::size_t i = 0; i < 12 && i < spatial.size() && j < p.size();
+         ++i)
+        p[j++] = spatial[i];
+    for (std::size_t i = 0; i < 6 && i < state.size() && j < p.size(); ++i)
+        p[j++] = state[i];
+    return p;
+}
+
+} // namespace create

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Entropy predictor (paper Sec. 5.3, Fig. 11(a), Table 9): a small CNN over
+ * the observed image fused with a prompt MLP, trained with MSE + AdamW to
+ * estimate the controller's error-free action-logit entropy *before* the
+ * controller runs. Its prediction drives the LDO voltage choice.
+ *
+ * Scaled-down vs the paper (substitution note): 24x24 RGB frames instead
+ * of 64x64, stride-1 convs with pooling per Table 9's layer list. The
+ * predictor runs at nominal voltage so its output is error-free.
+ */
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace create {
+
+/** Predictor hyperparameters. */
+struct PredictorConfig
+{
+    std::string name = "entropy_predictor";
+    int imgRes = 24;
+    int viewRadius = 3; //!< zoomed egocentric window (cells) for MineWorld
+    int promptDim = 20; //!< subtask one-hot (16) + progress scalars
+    int fuseDim = 64;
+};
+
+/** CNN + MLP entropy estimator. */
+class EntropyPredictor : public nn::Module
+{
+  public:
+    EntropyPredictor(PredictorConfig cfg, Rng& rng);
+
+    /** Training forward on a batch: images (B,3,R,R), prompts (B,P) -> (B,1). */
+    nn::Var forward(const nn::Var& images, const nn::Var& prompts);
+
+    /** Deployment path on one frame; returns predicted entropy (nats). */
+    float infer(const Tensor& image, const std::vector<float>& prompt,
+                ComputeContext& ctx);
+
+    const PredictorConfig& config() const { return cfg_; }
+
+  private:
+    PredictorConfig cfg_;
+    nn::Conv2d conv1_, conv2_, conv3_;
+    nn::Linear promptFc_, fuse1_, fuse2_;
+};
+
+/**
+ * Prompt-vector builder shared by training and deployment.
+ *
+ * The prompt mirrors what the paper feeds the predictor: the subtask
+ * prompt embedding plus the controller's own observation summary (our
+ * controller consumes engineered features rather than raw pixels, so the
+ * predictor sees the same compact summary -- the consistent choice for
+ * this substitution). Layout: subtask one-hot, then the target-geometry
+ * slice of the spatial features, then the leading state features.
+ */
+std::vector<float> predictorPrompt(int subtaskType, int numSubtaskTypes,
+                                   const std::vector<float>& spatial,
+                                   const std::vector<float>& state,
+                                   int promptDim);
+
+} // namespace create

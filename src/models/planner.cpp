@@ -1,0 +1,121 @@
+#include "models/planner.hpp"
+
+#include <stdexcept>
+
+namespace create {
+
+PlannerModel::PlannerModel(PlannerConfig cfg, Rng& rng)
+    : Module(cfg.name), cfg_(cfg),
+      embed_(cfg.name + ".embed",
+             cfg.numTasks + cfg.maxDone + 1 + cfg.maxPlanLen, cfg.dim, rng),
+      finalNorm_(cfg.name + ".final_norm", cfg.dim),
+      head_(cfg.name + ".head", cfg.dim, cfg.planVocab, /*withBias=*/true, rng)
+{
+    if ((cfg.dim & (cfg.dim - 1)) != 0)
+        throw std::invalid_argument("PlannerModel: dim must be a power of 2");
+    addChild(&embed_);
+    for (int l = 0; l < cfg.layers; ++l) {
+        blocks_.push_back(std::make_unique<nn::LlamaBlock>(
+            cfg.name + ".blk" + std::to_string(l), cfg.dim, cfg.mlpDim,
+            cfg.heads, rng));
+        addChild(blocks_.back().get());
+    }
+    addChild(&finalNorm_);
+    addChild(&head_);
+
+    // Plant systematic outliers: a handful of residual channels written
+    // with a large fixed scale by O and Down in every block (the channels
+    // are the same across layers, as observed in real LLMs).
+    if (cfg.outlierChannels > 0 && cfg.outlierScale != 1.0f) {
+        Tensor s = Tensor::full({cfg.dim}, 1.0f);
+        for (int i = 0; i < cfg.outlierChannels; ++i) {
+            const int ch = (7 + i * 13) % cfg.dim;
+            s[ch] = cfg.outlierScale;
+        }
+        for (auto& b : blocks_)
+            b->plantOutliers(s);
+    }
+}
+
+std::vector<int>
+PlannerModel::inputIds(int taskId, int done) const
+{
+    if (taskId < 0 || taskId >= cfg_.numTasks)
+        throw std::invalid_argument("PlannerModel: bad task id");
+    if (done < 0)
+        done = 0;
+    if (done > cfg_.maxDone)
+        done = cfg_.maxDone;
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(2 + cfg_.maxPlanLen));
+    ids.push_back(taskId);
+    ids.push_back(cfg_.numTasks + done);
+    for (int i = 0; i < cfg_.maxPlanLen; ++i)
+        ids.push_back(cfg_.numTasks + cfg_.maxDone + 1 + i);
+    return ids;
+}
+
+nn::Var
+PlannerModel::forward(int taskId, int done)
+{
+    nn::Var x = embed_.forward(inputIds(taskId, done));
+    for (auto& b : blocks_)
+        x = b->forward(x);
+    x = finalNorm_.forward(x);
+    // Keep only the position-query rows.
+    x = nn::sliceRows(x, 2, 2 + cfg_.maxPlanLen);
+    return head_.forward(x);
+}
+
+Tensor
+PlannerModel::inferLogits(int taskId, int done, ComputeContext& ctx)
+{
+    Tensor x = embed_.infer(inputIds(taskId, done));
+    for (auto& b : blocks_)
+        x = b->infer(x, ctx);
+    x = finalNorm_.infer(x);
+    // Slice position rows.
+    Tensor q({cfg_.maxPlanLen, cfg_.dim});
+    for (int i = 0; i < cfg_.maxPlanLen; ++i)
+        for (int j = 0; j < cfg_.dim; ++j)
+            q.at(i, j) = x.at(2 + i, j);
+    return head_.infer(q, ctx);
+}
+
+std::vector<int>
+PlannerModel::inferPlan(int taskId, int done, ComputeContext& ctx)
+{
+    const Tensor logits = inferLogits(taskId, done, ctx);
+    std::vector<int> plan;
+    for (int i = 0; i < cfg_.maxPlanLen; ++i) {
+        int best = 0;
+        float bestV = logits.at(i, 0);
+        for (int v = 1; v < cfg_.planVocab; ++v) {
+            if (logits.at(i, v) > bestV) {
+                bestV = logits.at(i, v);
+                best = v;
+            }
+        }
+        if (best == endToken())
+            break;
+        plan.push_back(best);
+    }
+    return plan;
+}
+
+void
+PlannerModel::invalidateCalibration()
+{
+    head_.invalidateQuant();
+    for (auto& b : blocks_) {
+        b->attn().q().invalidateQuant();
+        b->attn().k().invalidateQuant();
+        b->attn().v().invalidateQuant();
+        b->attn().o().invalidateQuant();
+        b->gate().invalidateQuant();
+        b->up().invalidateQuant();
+        b->down().invalidateQuant();
+    }
+}
+
+} // namespace create

@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * The LLM-style planner (Fig. 3 left): a LLaMA-architecture transformer
+ * (RMSNorm, SiLU gate/up/down MLP, Q/K/V/O attention) that decomposes a
+ * high-level task into a subtask-token sequence.
+ *
+ * Formulation: non-causal "parallel decoding" seq2seq. The input sequence
+ * is [TASK(t), DONE(k), P_0 ... P_{L-1}] where TASK encodes the task id,
+ * DONE the number of already-completed subtasks (re-planning support,
+ * Sec. 2.1: the planner is re-invoked when a subtask exceeds its budget),
+ * and P_i are position query tokens. The logits at P_i give the i-th
+ * remaining subtask token; generation stops at the END token.
+ *
+ * Systematic activation outliers -- the phenomenon that makes real LLM
+ * planners fragile (Sec. 4.1, Fig. 5(i)) -- are planted as fixed per-channel
+ * scales on the residual-writing projections (O and Down). They are
+ * structural (present during training), so the trained function relies on
+ * them and INT8 deployment sees genuinely outlier-laden GEMM outputs.
+ */
+
+#include <memory>
+
+#include "nn/transformer.hpp"
+
+namespace create {
+
+/** Planner hyperparameters. */
+struct PlannerConfig
+{
+    std::string name = "planner";
+    int dim = 64;      //!< must be a power of two (Hadamard rotation)
+    int mlpDim = 192;
+    int layers = 2;
+    int heads = 4;
+    int numTasks = 9;      //!< input task vocabulary
+    int maxDone = 16;      //!< progress conditioning range [0, maxDone]
+    int maxPlanLen = 12;   //!< output positions
+    int planVocab = 26;    //!< subtask tokens + END (END = planVocab-1)
+    float outlierScale = 12.0f; //!< planted outlier magnitude
+    int outlierChannels = 4;    //!< number of outlier channels
+};
+
+/** LLaMA-style subtask planner. */
+class PlannerModel : public nn::Module
+{
+  public:
+    PlannerModel(PlannerConfig cfg, Rng& rng);
+
+    /** Training forward: logits (maxPlanLen x planVocab). */
+    nn::Var forward(int taskId, int done);
+
+    /** Deployment path: greedy plan tokens (stops at END, excluded). */
+    std::vector<int> inferPlan(int taskId, int done, ComputeContext& ctx);
+
+    /** Raw deployment logits (maxPlanLen x planVocab), for studies. */
+    Tensor inferLogits(int taskId, int done, ComputeContext& ctx);
+
+    int endToken() const { return cfg_.planVocab - 1; }
+    const PlannerConfig& config() const { return cfg_; }
+
+    nn::Embedding& embeddingLayer() { return embed_; }
+    nn::LlamaBlock& block(int i) { return *blocks_[static_cast<std::size_t>(i)]; }
+    nn::RMSNorm& finalNorm() { return finalNorm_; }
+    nn::Linear& head() { return head_; }
+
+    /** Invalidate all quantization/AD calibration (weights changed). */
+    void invalidateCalibration();
+
+  private:
+    std::vector<int> inputIds(int taskId, int done) const;
+
+    PlannerConfig cfg_;
+    nn::Embedding embed_;
+    std::vector<std::unique_ptr<nn::LlamaBlock>> blocks_;
+    nn::RMSNorm finalNorm_;
+    nn::Linear head_;
+};
+
+} // namespace create

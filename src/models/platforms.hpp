@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Cross-platform model stand-ins for the Fig. 17 generality evaluation
+ * (DESIGN.md substitution #4).
+ *
+ * Planners: OpenVLA and RoboFlamingo are LLaMA-style planners (same
+ * PlannerModel class, different depths / outlier severities reflecting
+ * their 7B vs 3B scales) that decompose manipulation tasks into motion
+ * subtasks on ManipWorld (LIBERO / CALVIN tasks).
+ *
+ * Controllers: Octo and RT-1 are post-norm Transformer policies (same
+ * ControllerModel class) behavior-cloned on ManipWorld (OXE tasks), each
+ * with a matching entropy predictor for autonomy-adaptive voltage scaling.
+ *
+ * Paper-scale energy for these platforms uses perf/workloads descriptors
+ * (OpenVLA 4595 GOps, RoboFlamingo 2411 GOps, Octo 76 GOps, RT-1 78 GOps).
+ */
+
+#include "env/manipworld.hpp"
+#include "models/controller.hpp"
+#include "models/entropy_predictor.hpp"
+#include "models/model_zoo.hpp"
+#include "models/planner.hpp"
+
+namespace create::platforms {
+
+/** END token of the manipulation plan vocabulary. */
+int manipEndToken();
+
+/** Token <-> subtask conversions (tokens are ManipSubtask indices). */
+std::vector<ManipSubtask> decodeManipPlan(const std::vector<int>& tokens);
+
+/** Load-or-train a manipulation planner ("openvla" or "roboflamingo"). */
+std::unique_ptr<PlannerModel> manipPlanner(const std::string& platform,
+                                           bool verbose = true);
+
+/** Load-or-train a manipulation controller ("octo" or "rt1"). */
+std::unique_ptr<ControllerModel> manipController(const std::string& platform,
+                                                 bool verbose = true);
+
+/** Load-or-train the entropy predictor paired with a manip controller. */
+std::unique_ptr<EntropyPredictor>
+manipPredictor(const std::string& platform, ControllerModel& controller,
+               bool verbose = true);
+
+/** Re-run quantization/AD calibration (after load or rotation). */
+void calibrateManipPlanner(PlannerModel& m);
+void calibrateManipController(ControllerModel& m);
+
+/** Predictor prompt vector: subtask one-hot + the observation summary. */
+std::vector<float> manipPrompt(ManipSubtask st, const ManipObs& obs,
+                               int promptDim);
+
+/** Predictor config used for manip platforms. */
+PredictorConfig manipPredictorConfig();
+
+} // namespace create::platforms

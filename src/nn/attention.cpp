@@ -1,0 +1,85 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace create::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int dim, int heads,
+                                       Rng& rng)
+    : Module(std::move(name)), dim_(dim), heads_(heads), headDim_(dim / heads),
+      q_(this->name() + ".q", dim, dim, /*withBias=*/false, rng),
+      k_(this->name() + ".k", dim, dim, /*withBias=*/false, rng),
+      v_(this->name() + ".v", dim, dim, /*withBias=*/false, rng),
+      o_(this->name() + ".o", dim, dim, /*withBias=*/false, rng)
+{
+    if (dim % heads != 0)
+        throw std::invalid_argument("MultiHeadAttention: dim % heads != 0");
+    addChild(&q_);
+    addChild(&k_);
+    addChild(&v_);
+    addChild(&o_);
+}
+
+Var
+MultiHeadAttention::forward(const Var& x)
+{
+    const Var q = q_.forward(x);
+    const Var k = k_.forward(x);
+    const Var v = v_.forward(x);
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(headDim_));
+    std::vector<Var> headsOut;
+    headsOut.reserve(static_cast<std::size_t>(heads_));
+    for (int h = 0; h < heads_; ++h) {
+        const std::int64_t c0 = static_cast<std::int64_t>(h) * headDim_;
+        const std::int64_t c1 = c0 + headDim_;
+        const Var qh = sliceCols(q, c0, c1);
+        const Var kh = sliceCols(k, c0, c1);
+        const Var vh = sliceCols(v, c0, c1);
+        Var scores = scale(matmul(qh, transpose(kh)), invSqrt);
+        const Var attn = softmaxRows(scores);
+        headsOut.push_back(matmul(attn, vh));
+    }
+    return o_.forward(concatCols(headsOut));
+}
+
+Tensor
+MultiHeadAttention::infer(const Tensor& x, ComputeContext& ctx)
+{
+    const Tensor q = q_.infer(x, ctx);
+    const Tensor k = k_.infer(x, ctx);
+    const Tensor v = v_.infer(x, ctx);
+    const std::int64_t t = x.dim(0);
+    const float invSqrt = 1.0f / std::sqrt(static_cast<float>(headDim_));
+    Tensor ctxOut({t, dim_});
+    for (int h = 0; h < heads_; ++h) {
+        const std::int64_t c0 = static_cast<std::int64_t>(h) * headDim_;
+        // scores = q_h @ k_h^T * invSqrt
+        Tensor scores({t, t});
+        for (std::int64_t i = 0; i < t; ++i) {
+            for (std::int64_t j = 0; j < t; ++j) {
+                float s = 0.0f;
+                for (int d = 0; d < headDim_; ++d)
+                    s += q.at(i, c0 + d) * k.at(j, c0 + d);
+                scores.at(i, j) = s * invSqrt;
+            }
+        }
+        const Tensor attn = ops::softmaxRows(scores);
+        for (std::int64_t i = 0; i < t; ++i) {
+            for (int d = 0; d < headDim_; ++d) {
+                float s = 0.0f;
+                for (std::int64_t j = 0; j < t; ++j)
+                    s += attn.at(i, j) * v.at(j, c0 + d);
+                ctxOut.at(i, c0 + d) = s;
+            }
+        }
+    }
+    // Score/context FLOPs on the vector path still cost energy.
+    ctx.meter.addGemm(ctx.domain,
+                      2.0 * static_cast<double>(t) * t * dim_, ctx.voltage());
+    return o_.infer(ctxOut, ctx);
+}
+
+} // namespace create::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Multi-head self-attention (full, non-causal) with both training and
+ * quantized-inference paths.
+ *
+ * The Q/K/V/O projections are the injection-targetable "network
+ * components" of Fig. 3/Fig. 5; the score and context matmuls are
+ * activation-by-activation products executed by the FP32 vector path
+ * (counted toward compute energy but not injected, consistent with the
+ * paper's component list).
+ */
+
+#include "nn/layers.hpp"
+
+namespace create::nn {
+
+/** Full self-attention over a (T x dim) token matrix. */
+class MultiHeadAttention : public Module
+{
+  public:
+    MultiHeadAttention(std::string name, int dim, int heads, Rng& rng);
+
+    Var forward(const Var& x);
+    Tensor infer(const Tensor& x, ComputeContext& ctx);
+
+    Linear& q() { return q_; }
+    Linear& k() { return k_; }
+    Linear& v() { return v_; }
+    Linear& o() { return o_; }
+
+    int dim() const { return dim_; }
+    int heads() const { return heads_; }
+
+  private:
+    int dim_, heads_, headDim_;
+    Linear q_, k_, v_, o_;
+};
+
+} // namespace create::nn

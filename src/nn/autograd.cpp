@@ -1,0 +1,869 @@
+#include "nn/autograd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/ops.hpp"
+
+namespace create::nn {
+
+void
+Node::ensureGrad()
+{
+    if (grad.numel() != value.numel())
+        grad = Tensor(value.shape());
+}
+
+Var::Var(Tensor value, bool requiresGrad)
+{
+    node_ = std::make_shared<Node>();
+    node_->value = std::move(value);
+    node_->requiresGrad = requiresGrad;
+}
+
+Var
+Var::fromNode(std::shared_ptr<Node> n)
+{
+    Var v;
+    v.node_ = std::move(n);
+    return v;
+}
+
+void
+Var::zeroGrad()
+{
+    if (node_) {
+        node_->ensureGrad();
+        node_->grad.fill(0.0f);
+    }
+}
+
+void
+Var::backward()
+{
+    if (!node_ || node_->value.numel() != 1)
+        throw std::logic_error("Var::backward: root must be a defined scalar");
+    // Topological order via iterative DFS.
+    std::vector<Node*> order;
+    std::unordered_set<Node*> visited;
+    std::vector<std::pair<Node*, std::size_t>> stack;
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+    while (!stack.empty()) {
+        auto& [n, idx] = stack.back();
+        if (idx < n->parents.size()) {
+            Node* p = n->parents[idx].get();
+            ++idx;
+            if (p->requiresGrad && !visited.count(p)) {
+                visited.insert(p);
+                stack.push_back({p, 0});
+            }
+        } else {
+            order.push_back(n);
+            stack.pop_back();
+        }
+    }
+    node_->ensureGrad();
+    node_->grad.fill(0.0f);
+    node_->grad[0] = 1.0f;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node* n = *it;
+        if (n->backward)
+            n->backward();
+    }
+}
+
+namespace {
+
+/** Build a child node over parents; requiresGrad if any parent requires. */
+std::shared_ptr<Node>
+makeNode(Tensor value, std::vector<std::shared_ptr<Node>> parents)
+{
+    auto n = std::make_shared<Node>();
+    n->value = std::move(value);
+    n->parents = std::move(parents);
+    for (const auto& p : n->parents)
+        if (p->requiresGrad)
+            n->requiresGrad = true;
+    return n;
+}
+
+} // namespace
+
+Var
+matmul(const Var& a, const Var& b)
+{
+    auto n = makeNode(ops::matmul(a.value(), b.value()), {a.node(), b.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        auto pb = n->parents[1];
+        n->backward = [raw, pa, pb] {
+            const Tensor& dC = raw->grad;
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                ops::matmulAccum(dC, ops::transpose(pb->value), pa->grad);
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                ops::matmulAccum(ops::transpose(pa->value), dC, pb->grad);
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+add(const Var& a, const Var& b)
+{
+    auto n = makeNode(ops::add(a.value(), b.value()), {a.node(), b.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        auto pb = n->parents[1];
+        n->backward = [raw, pa, pb] {
+            for (const auto& p : {pa, pb}) {
+                if (!p->requiresGrad)
+                    continue;
+                p->ensureGrad();
+                for (std::int64_t i = 0; i < raw->grad.numel(); ++i)
+                    p->grad[i] += raw->grad[i];
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+addBias(const Var& a, const Var& bias)
+{
+    auto n = makeNode(ops::addRowBroadcast(a.value(), bias.value()),
+                      {a.node(), bias.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        auto pb = n->parents[1];
+        n->backward = [raw, pa, pb] {
+            const Tensor& dC = raw->grad;
+            const std::int64_t m = dC.dim(0), k = dC.dim(1);
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                for (std::int64_t i = 0; i < dC.numel(); ++i)
+                    pa->grad[i] += dC[i];
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                for (std::int64_t i = 0; i < m; ++i)
+                    for (std::int64_t j = 0; j < k; ++j)
+                        pb->grad[j] += dC.at(i, j);
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+mul(const Var& a, const Var& b)
+{
+    auto n = makeNode(ops::mul(a.value(), b.value()), {a.node(), b.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        auto pb = n->parents[1];
+        n->backward = [raw, pa, pb] {
+            const Tensor& dC = raw->grad;
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                for (std::int64_t i = 0; i < dC.numel(); ++i)
+                    pa->grad[i] += dC[i] * pb->value[i];
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                for (std::int64_t i = 0; i < dC.numel(); ++i)
+                    pb->grad[i] += dC[i] * pa->value[i];
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+mulRowConst(const Var& a, const Tensor& c)
+{
+    const Tensor& av = a.value();
+    Tensor out = av;
+    if (c.numel() == av.numel()) {
+        for (std::int64_t i = 0; i < out.numel(); ++i)
+            out[i] *= c[i];
+    } else if (av.rank() == 2 && c.numel() == av.dim(1)) {
+        for (std::int64_t i = 0; i < av.dim(0); ++i)
+            for (std::int64_t j = 0; j < av.dim(1); ++j)
+                out.at(i, j) *= c[j];
+    } else {
+        throw std::invalid_argument("mulRowConst: shape mismatch");
+    }
+    auto n = makeNode(std::move(out), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        Tensor cc = c;
+        n->backward = [raw, pa, cc] {
+            pa->ensureGrad();
+            const Tensor& dC = raw->grad;
+            if (cc.numel() == dC.numel()) {
+                for (std::int64_t i = 0; i < dC.numel(); ++i)
+                    pa->grad[i] += dC[i] * cc[i];
+            } else {
+                for (std::int64_t i = 0; i < dC.dim(0); ++i)
+                    for (std::int64_t j = 0; j < dC.dim(1); ++j)
+                        pa->grad.at(i, j) += dC.at(i, j) * cc[j];
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+scale(const Var& a, float s)
+{
+    auto n = makeNode(ops::scale(a.value(), s), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa, s] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.numel(); ++i)
+                pa->grad[i] += raw->grad[i] * s;
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+relu(const Var& a)
+{
+    auto n = makeNode(ops::relu(a.value()), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.numel(); ++i)
+                if (pa->value[i] > 0.0f)
+                    pa->grad[i] += raw->grad[i];
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+silu(const Var& a)
+{
+    auto n = makeNode(ops::silu(a.value()), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.numel(); ++i) {
+                const float x = pa->value[i];
+                const float sig = 1.0f / (1.0f + std::exp(-x));
+                const float d = sig * (1.0f + x * (1.0f - sig));
+                pa->grad[i] += raw->grad[i] * d;
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+softmaxRows(const Var& a)
+{
+    auto n = makeNode(ops::softmaxRows(a.value()), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa] {
+            pa->ensureGrad();
+            const Tensor& y = raw->value;
+            const Tensor& dY = raw->grad;
+            for (std::int64_t i = 0; i < y.dim(0); ++i) {
+                float dot = 0.0f;
+                for (std::int64_t j = 0; j < y.dim(1); ++j)
+                    dot += dY.at(i, j) * y.at(i, j);
+                for (std::int64_t j = 0; j < y.dim(1); ++j)
+                    pa->grad.at(i, j) += y.at(i, j) * (dY.at(i, j) - dot);
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+rmsNorm(const Var& x, const Var& gamma, float eps)
+{
+    const Tensor& xv = x.value();
+    const std::int64_t m = xv.dim(0), d = xv.dim(1);
+    Tensor out({m, d});
+    std::vector<float> invRms(static_cast<std::size_t>(m));
+    for (std::int64_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::int64_t j = 0; j < d; ++j)
+            s += static_cast<double>(xv.at(i, j)) * xv.at(i, j);
+        const float r = 1.0f /
+            std::sqrt(static_cast<float>(s / static_cast<double>(d)) + eps);
+        invRms[static_cast<std::size_t>(i)] = r;
+        for (std::int64_t j = 0; j < d; ++j)
+            out.at(i, j) = xv.at(i, j) * r * gamma.value()[j];
+    }
+    auto n = makeNode(std::move(out), {x.node(), gamma.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto px = n->parents[0];
+        auto pg = n->parents[1];
+        n->backward = [raw, px, pg, invRms, d] {
+            const Tensor& dY = raw->grad;
+            const Tensor& xv2 = px->value;
+            const Tensor& g = pg->value;
+            const std::int64_t m2 = xv2.dim(0);
+            if (pg->requiresGrad)
+                pg->ensureGrad();
+            if (px->requiresGrad)
+                px->ensureGrad();
+            for (std::int64_t i = 0; i < m2; ++i) {
+                const float r = invRms[static_cast<std::size_t>(i)];
+                if (pg->requiresGrad) {
+                    for (std::int64_t j = 0; j < d; ++j)
+                        pg->grad[j] += dY.at(i, j) * xv2.at(i, j) * r;
+                }
+                if (px->requiresGrad) {
+                    // dx = r * (g o dY) - r^3/d * x * sum(g o dY o x)
+                    float dot = 0.0f;
+                    for (std::int64_t j = 0; j < d; ++j)
+                        dot += g[j] * dY.at(i, j) * xv2.at(i, j);
+                    const float coef = r * r * r * dot / static_cast<float>(d);
+                    for (std::int64_t j = 0; j < d; ++j) {
+                        px->grad.at(i, j) +=
+                            g[j] * dY.at(i, j) * r - xv2.at(i, j) * coef;
+                    }
+                }
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+layerNorm(const Var& x, const Var& gamma, const Var& beta, float eps)
+{
+    const Tensor& xv = x.value();
+    const std::int64_t m = xv.dim(0), d = xv.dim(1);
+    Tensor out({m, d});
+    std::vector<float> means(static_cast<std::size_t>(m));
+    std::vector<float> invStd(static_cast<std::size_t>(m));
+    for (std::int64_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::int64_t j = 0; j < d; ++j)
+            s += xv.at(i, j);
+        const float mu = static_cast<float>(s / static_cast<double>(d));
+        double v = 0.0;
+        for (std::int64_t j = 0; j < d; ++j) {
+            const double dd = xv.at(i, j) - mu;
+            v += dd * dd;
+        }
+        const float iv = 1.0f /
+            std::sqrt(static_cast<float>(v / static_cast<double>(d)) + eps);
+        means[static_cast<std::size_t>(i)] = mu;
+        invStd[static_cast<std::size_t>(i)] = iv;
+        for (std::int64_t j = 0; j < d; ++j) {
+            out.at(i, j) =
+                (xv.at(i, j) - mu) * iv * gamma.value()[j] + beta.value()[j];
+        }
+    }
+    auto n = makeNode(std::move(out), {x.node(), gamma.node(), beta.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto px = n->parents[0];
+        auto pg = n->parents[1];
+        auto pb = n->parents[2];
+        n->backward = [raw, px, pg, pb, means, invStd, d] {
+            const Tensor& dY = raw->grad;
+            const Tensor& xv2 = px->value;
+            const Tensor& g = pg->value;
+            const std::int64_t m2 = xv2.dim(0);
+            if (pg->requiresGrad)
+                pg->ensureGrad();
+            if (pb->requiresGrad)
+                pb->ensureGrad();
+            if (px->requiresGrad)
+                px->ensureGrad();
+            for (std::int64_t i = 0; i < m2; ++i) {
+                const float mu = means[static_cast<std::size_t>(i)];
+                const float iv = invStd[static_cast<std::size_t>(i)];
+                float sumDg = 0.0f, sumDgXhat = 0.0f;
+                for (std::int64_t j = 0; j < d; ++j) {
+                    const float xhat = (xv2.at(i, j) - mu) * iv;
+                    const float dg = dY.at(i, j) * g[j];
+                    sumDg += dg;
+                    sumDgXhat += dg * xhat;
+                    if (pg->requiresGrad)
+                        pg->grad[j] += dY.at(i, j) * xhat;
+                    if (pb->requiresGrad)
+                        pb->grad[j] += dY.at(i, j);
+                }
+                if (px->requiresGrad) {
+                    const float invD = 1.0f / static_cast<float>(d);
+                    for (std::int64_t j = 0; j < d; ++j) {
+                        const float xhat = (xv2.at(i, j) - mu) * iv;
+                        const float dg = dY.at(i, j) * g[j];
+                        px->grad.at(i, j) +=
+                            iv * (dg - invD * sumDg - xhat * invD * sumDgXhat);
+                    }
+                }
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+embedding(const Var& table, const std::vector<int>& ids)
+{
+    const Tensor& t = table.value();
+    const std::int64_t d = t.dim(1);
+    Tensor out({static_cast<std::int64_t>(ids.size()), d});
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (std::int64_t j = 0; j < d; ++j)
+            out.at(static_cast<std::int64_t>(i), j) = t.at(ids[i], j);
+    auto n = makeNode(std::move(out), {table.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pt = n->parents[0];
+        auto idsCopy = ids;
+        n->backward = [raw, pt, idsCopy, d] {
+            pt->ensureGrad();
+            for (std::size_t i = 0; i < idsCopy.size(); ++i)
+                for (std::int64_t j = 0; j < d; ++j)
+                    pt->grad.at(idsCopy[i], j) +=
+                        raw->grad.at(static_cast<std::int64_t>(i), j);
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+transpose(const Var& a)
+{
+    auto n = makeNode(ops::transpose(a.value()), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa] {
+            pa->ensureGrad();
+            const Tensor dT = ops::transpose(raw->grad);
+            for (std::int64_t i = 0; i < dT.numel(); ++i)
+                pa->grad[i] += dT[i];
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+sliceCols(const Var& a, std::int64_t c0, std::int64_t c1)
+{
+    const Tensor& av = a.value();
+    const std::int64_t m = av.dim(0), w = c1 - c0;
+    Tensor out({m, w});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < w; ++j)
+            out.at(i, j) = av.at(i, c0 + j);
+    auto n = makeNode(std::move(out), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa, c0, w] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.dim(0); ++i)
+                for (std::int64_t j = 0; j < w; ++j)
+                    pa->grad.at(i, c0 + j) += raw->grad.at(i, j);
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+sliceRows(const Var& a, std::int64_t r0, std::int64_t r1)
+{
+    const Tensor& av = a.value();
+    const std::int64_t h = r1 - r0, w = av.dim(1);
+    Tensor out({h, w});
+    for (std::int64_t i = 0; i < h; ++i)
+        for (std::int64_t j = 0; j < w; ++j)
+            out.at(i, j) = av.at(r0 + i, j);
+    auto n = makeNode(std::move(out), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa, r0, h, w] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < h; ++i)
+                for (std::int64_t j = 0; j < w; ++j)
+                    pa->grad.at(r0 + i, j) += raw->grad.at(i, j);
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+concatCols(const std::vector<Var>& parts)
+{
+    const std::int64_t m = parts.front().value().dim(0);
+    std::int64_t total = 0;
+    std::vector<std::shared_ptr<Node>> parents;
+    for (const auto& p : parts) {
+        total += p.value().dim(1);
+        parents.push_back(p.node());
+    }
+    Tensor out({m, total});
+    std::int64_t off = 0;
+    for (const auto& p : parts) {
+        const Tensor& pv = p.value();
+        for (std::int64_t i = 0; i < m; ++i)
+            for (std::int64_t j = 0; j < pv.dim(1); ++j)
+                out.at(i, off + j) = pv.at(i, j);
+        off += pv.dim(1);
+    }
+    auto n = makeNode(std::move(out), std::move(parents));
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto ps = n->parents;
+        n->backward = [raw, ps, m] {
+            std::int64_t off2 = 0;
+            for (const auto& p : ps) {
+                const std::int64_t w = p->value.dim(1);
+                if (p->requiresGrad) {
+                    p->ensureGrad();
+                    for (std::int64_t i = 0; i < m; ++i)
+                        for (std::int64_t j = 0; j < w; ++j)
+                            p->grad.at(i, j) += raw->grad.at(i, off2 + j);
+                }
+                off2 += w;
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+concatRows(const std::vector<Var>& parts)
+{
+    const std::int64_t w = parts.front().value().dim(1);
+    std::int64_t total = 0;
+    std::vector<std::shared_ptr<Node>> parents;
+    for (const auto& p : parts) {
+        total += p.value().dim(0);
+        parents.push_back(p.node());
+    }
+    Tensor out({total, w});
+    std::int64_t off = 0;
+    for (const auto& p : parts) {
+        const Tensor& pv = p.value();
+        for (std::int64_t i = 0; i < pv.dim(0); ++i)
+            for (std::int64_t j = 0; j < w; ++j)
+                out.at(off + i, j) = pv.at(i, j);
+        off += pv.dim(0);
+    }
+    auto n = makeNode(std::move(out), std::move(parents));
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto ps = n->parents;
+        n->backward = [raw, ps, w] {
+            std::int64_t off2 = 0;
+            for (const auto& p : ps) {
+                const std::int64_t h = p->value.dim(0);
+                if (p->requiresGrad) {
+                    p->ensureGrad();
+                    for (std::int64_t i = 0; i < h; ++i)
+                        for (std::int64_t j = 0; j < w; ++j)
+                            p->grad.at(i, j) += raw->grad.at(off2 + i, j);
+                }
+                off2 += h;
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+reshape(const Var& a, std::vector<std::int64_t> shape)
+{
+    auto n = makeNode(a.value().reshaped(shape), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.numel(); ++i)
+                pa->grad[i] += raw->grad[i];
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+conv2d(const Var& x, const Var& w, const Var& bias, int k, int stride, int pad)
+{
+    const Tensor& xv = x.value();
+    if (xv.rank() != 4)
+        throw std::invalid_argument("conv2d: (B,C,H,W) input required");
+    const std::int64_t b = xv.dim(0), c = xv.dim(1), h = xv.dim(2),
+                       wIn = xv.dim(3);
+    const int oh = ops::convOutSize(static_cast<int>(h), k, stride, pad);
+    const int ow = ops::convOutSize(static_cast<int>(wIn), k, stride, pad);
+    const std::int64_t oc = w.value().dim(1);
+
+    auto colsCache = std::make_shared<std::vector<Tensor>>();
+    colsCache->reserve(static_cast<std::size_t>(b));
+    Tensor out({b, oc, oh, ow});
+    for (std::int64_t s = 0; s < b; ++s) {
+        Tensor img({c, h, wIn});
+        std::copy(xv.data() + s * c * h * wIn,
+                  xv.data() + (s + 1) * c * h * wIn, img.data());
+        Tensor cols = ops::im2col(img, k, stride, pad);
+        Tensor y = ops::matmul(cols, w.value()); // (oh*ow, oc)
+        y = ops::addRowBroadcast(y, bias.value());
+        // Write channels-first.
+        const std::int64_t pixels = static_cast<std::int64_t>(oh) * ow;
+        for (std::int64_t pix = 0; pix < pixels; ++pix)
+            for (std::int64_t ch = 0; ch < oc; ++ch)
+                out.data()[((s * oc + ch) * pixels) + pix] = y.at(pix, ch);
+        colsCache->push_back(std::move(cols));
+    }
+    auto n = makeNode(std::move(out), {x.node(), w.node(), bias.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto px = n->parents[0];
+        auto pw = n->parents[1];
+        auto pb = n->parents[2];
+        const int kk = k, ss = stride, pp = pad;
+        n->backward = [raw, px, pw, pb, colsCache, kk, ss, pp] {
+            const Tensor& dOut = raw->grad;
+            const std::int64_t b2 = dOut.dim(0), oc2 = dOut.dim(1),
+                               oh2 = dOut.dim(2), ow2 = dOut.dim(3);
+            const std::int64_t c2 = px->value.dim(1), h2 = px->value.dim(2),
+                               w2 = px->value.dim(3);
+            if (pw->requiresGrad)
+                pw->ensureGrad();
+            if (pb->requiresGrad)
+                pb->ensureGrad();
+            if (px->requiresGrad)
+                px->ensureGrad();
+            const std::int64_t pixels = oh2 * ow2;
+            for (std::int64_t s = 0; s < b2; ++s) {
+                Tensor dY({pixels, oc2});
+                for (std::int64_t pix = 0; pix < pixels; ++pix)
+                    for (std::int64_t ch = 0; ch < oc2; ++ch)
+                        dY.at(pix, ch) =
+                            dOut.data()[((s * oc2 + ch) * pixels) + pix];
+                const Tensor& cols = (*colsCache)[static_cast<std::size_t>(s)];
+                if (pw->requiresGrad)
+                    ops::matmulAccum(ops::transpose(cols), dY, pw->grad);
+                if (pb->requiresGrad) {
+                    for (std::int64_t pix = 0; pix < pixels; ++pix)
+                        for (std::int64_t ch = 0; ch < oc2; ++ch)
+                            pb->grad[ch] += dY.at(pix, ch);
+                }
+                if (px->requiresGrad) {
+                    const Tensor dCols =
+                        ops::matmul(dY, ops::transpose(pw->value));
+                    Tensor dImg({c2, h2, w2});
+                    ops::col2imAccum(dCols, static_cast<int>(c2),
+                                     static_cast<int>(h2),
+                                     static_cast<int>(w2), kk, ss, pp, dImg);
+                    float* dst = px->grad.data() + s * c2 * h2 * w2;
+                    for (std::int64_t i = 0; i < dImg.numel(); ++i)
+                        dst[i] += dImg[i];
+                }
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+maxPool2d(const Var& x)
+{
+    const Tensor& xv = x.value();
+    const std::int64_t b = xv.dim(0), c = xv.dim(1), h = xv.dim(2),
+                       w = xv.dim(3);
+    const std::int64_t oh = h / 2, ow = w / 2;
+    Tensor out({b, c, oh, ow});
+    auto argmax = std::make_shared<std::vector<std::int64_t>>(
+        static_cast<std::size_t>(out.numel()));
+    std::int64_t oi = 0;
+    for (std::int64_t s = 0; s < b; ++s) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* plane = xv.data() + (s * c + ch) * h * w;
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xx = 0; xx < ow; ++xx, ++oi) {
+                    float best = -1e30f;
+                    std::int64_t bestIdx = 0;
+                    for (int dy = 0; dy < 2; ++dy) {
+                        for (int dx = 0; dx < 2; ++dx) {
+                            const std::int64_t idx =
+                                (y * 2 + dy) * w + (xx * 2 + dx);
+                            if (plane[idx] > best) {
+                                best = plane[idx];
+                                bestIdx = (s * c + ch) * h * w + idx;
+                            }
+                        }
+                    }
+                    out[oi] = best;
+                    (*argmax)[static_cast<std::size_t>(oi)] = bestIdx;
+                }
+            }
+        }
+    }
+    auto n = makeNode(std::move(out), {x.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto px = n->parents[0];
+        n->backward = [raw, px, argmax] {
+            px->ensureGrad();
+            for (std::int64_t i = 0; i < raw->grad.numel(); ++i)
+                px->grad[(*argmax)[static_cast<std::size_t>(i)]] +=
+                    raw->grad[i];
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+globalAvgPool(const Var& x)
+{
+    const Tensor& xv = x.value();
+    const std::int64_t b = xv.dim(0), c = xv.dim(1), h = xv.dim(2),
+                       w = xv.dim(3);
+    Tensor out({b, c});
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (std::int64_t s = 0; s < b; ++s) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* plane = xv.data() + (s * c + ch) * h * w;
+            float sum = 0.0f;
+            for (std::int64_t i = 0; i < h * w; ++i)
+                sum += plane[i];
+            out.at(s, ch) = sum * inv;
+        }
+    }
+    auto n = makeNode(std::move(out), {x.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto px = n->parents[0];
+        n->backward = [raw, px, b, c, h, w, inv] {
+            px->ensureGrad();
+            for (std::int64_t s = 0; s < b; ++s) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                    const float g = raw->grad.at(s, ch) * inv;
+                    float* plane = px->grad.data() + (s * c + ch) * h * w;
+                    for (std::int64_t i = 0; i < h * w; ++i)
+                        plane[i] += g;
+                }
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+meanRows(const Var& a)
+{
+    const Tensor& av = a.value();
+    const std::int64_t m = av.dim(0), d = av.dim(1);
+    Tensor out({1, d});
+    const float inv = 1.0f / static_cast<float>(m);
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < d; ++j)
+            out.at(0, j) += av.at(i, j) * inv;
+    auto n = makeNode(std::move(out), {a.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pa = n->parents[0];
+        n->backward = [raw, pa, m, d, inv] {
+            pa->ensureGrad();
+            for (std::int64_t i = 0; i < m; ++i)
+                for (std::int64_t j = 0; j < d; ++j)
+                    pa->grad.at(i, j) += raw->grad.at(0, j) * inv;
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+crossEntropy(const Var& logits, const std::vector<int>& targets)
+{
+    const Tensor& lv = logits.value();
+    const std::int64_t bsz = lv.dim(0), v = lv.dim(1);
+    if (bsz != static_cast<std::int64_t>(targets.size()))
+        throw std::invalid_argument("crossEntropy: batch size mismatch");
+    Tensor probs = ops::softmaxRows(lv);
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < bsz; ++i) {
+        const float p = std::max(
+            probs.at(i, targets[static_cast<std::size_t>(i)]), 1e-12f);
+        loss -= std::log(static_cast<double>(p));
+    }
+    Tensor out({1});
+    out[0] = static_cast<float>(loss / static_cast<double>(bsz));
+    auto n = makeNode(std::move(out), {logits.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pl = n->parents[0];
+        auto probsShared = std::make_shared<Tensor>(std::move(probs));
+        auto t = targets;
+        n->backward = [raw, pl, probsShared, t, bsz, v] {
+            pl->ensureGrad();
+            const float g = raw->grad[0] / static_cast<float>(bsz);
+            for (std::int64_t i = 0; i < bsz; ++i) {
+                for (std::int64_t j = 0; j < v; ++j) {
+                    float d = probsShared->at(i, j);
+                    if (j == t[static_cast<std::size_t>(i)])
+                        d -= 1.0f;
+                    pl->grad.at(i, j) += g * d;
+                }
+            }
+        };
+    }
+    return Var::fromNode(n);
+}
+
+Var
+mseLoss(const Var& pred, const Tensor& target)
+{
+    const Tensor& pv = pred.value();
+    if (pv.numel() != target.numel())
+        throw std::invalid_argument("mseLoss: size mismatch");
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < pv.numel(); ++i) {
+        const double d = pv[i] - target[i];
+        loss += d * d;
+    }
+    Tensor out({1});
+    out[0] = static_cast<float>(loss / static_cast<double>(pv.numel()));
+    auto n = makeNode(std::move(out), {pred.node()});
+    if (n->requiresGrad) {
+        auto raw = n.get();
+        auto pp = n->parents[0];
+        Tensor tcopy = target;
+        n->backward = [raw, pp, tcopy] {
+            pp->ensureGrad();
+            const float g =
+                raw->grad[0] * 2.0f / static_cast<float>(pp->value.numel());
+            for (std::int64_t i = 0; i < pp->value.numel(); ++i)
+                pp->grad[i] += g * (pp->value[i] - tcopy[i]);
+        };
+    }
+    return Var::fromNode(n);
+}
+
+} // namespace create::nn

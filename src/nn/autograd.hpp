@@ -1,0 +1,146 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal reverse-mode automatic differentiation over Tensor.
+ *
+ * This is the training substrate the paper's method depends on: the
+ * controller is behavior-cloned, the planner is supervised on the subtask
+ * corpus, and the entropy predictor is trained with an MSE loss + AdamW
+ * (paper Sec. 6.1). Graphs are tape-free DAGs of shared_ptr Nodes; calling
+ * backward() on a scalar root topologically sorts the DAG and runs each
+ * node's closure, accumulating into parent gradients.
+ *
+ * Only the ops the models need are provided; each op documents its adjoint.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace create::nn {
+
+/** Graph node: a value, an optional gradient, parents, and a backward fn. */
+struct Node
+{
+    Tensor value;
+    Tensor grad;                //!< allocated lazily, same shape as value
+    bool requiresGrad = false;
+    std::vector<std::shared_ptr<Node>> parents;
+    std::function<void()> backward; //!< accumulates into parents' grads
+
+    /** Allocate/zero the gradient buffer if needed. */
+    void ensureGrad();
+};
+
+/** Value handle used by model code. Copyable; shares the node. */
+class Var
+{
+  public:
+    Var() = default;
+    explicit Var(Tensor value, bool requiresGrad = false);
+
+    bool defined() const { return node_ != nullptr; }
+    const Tensor& value() const { return node_->value; }
+    Tensor& value() { return node_->value; }
+    const Tensor& grad() const { return node_->grad; }
+    bool requiresGrad() const { return node_ && node_->requiresGrad; }
+
+    /** Run reverse-mode AD from this scalar (numel()==1) node. */
+    void backward();
+
+    /** Zero this node's gradient buffer. */
+    void zeroGrad();
+
+    std::shared_ptr<Node> node() const { return node_; }
+    static Var fromNode(std::shared_ptr<Node> n);
+
+  private:
+    std::shared_ptr<Node> node_;
+};
+
+// --- differentiable ops -------------------------------------------------
+
+/** C = A @ B. dA += dC @ B^T, dB += A^T @ dC. */
+Var matmul(const Var& a, const Var& b);
+
+/** Elementwise sum (same shape). */
+Var add(const Var& a, const Var& b);
+
+/** Row-broadcast bias add: a(MxN) + bias(N). dBias += column sums. */
+Var addBias(const Var& a, const Var& bias);
+
+/** Elementwise product. */
+Var mul(const Var& a, const Var& b);
+
+/** Multiply by a non-differentiable constant tensor (broadcast over rows
+ *  when c has a(M x N), c(N)). Used for the planted outlier scales. */
+Var mulRowConst(const Var& a, const Tensor& c);
+
+/** Scalar scale. */
+Var scale(const Var& a, float s);
+
+/** ReLU. */
+Var relu(const Var& a);
+
+/** SiLU (swish). dy/dx = sig(x) * (1 + x * (1 - sig(x))). */
+Var silu(const Var& a);
+
+/** Row-wise softmax. dX = Y o (dY - rowsum(dY o Y)). */
+Var softmaxRows(const Var& a);
+
+/** RMSNorm with gain: y = x / rms(x) o gamma (row-wise, eps inside). */
+Var rmsNorm(const Var& x, const Var& gamma, float eps = 1e-5f);
+
+/** LayerNorm with gain and bias (row-wise). */
+Var layerNorm(const Var& x, const Var& gamma, const Var& beta,
+              float eps = 1e-5f);
+
+/** Row gather from an embedding table (V x d). Backward scatter-adds. */
+Var embedding(const Var& table, const std::vector<int>& ids);
+
+/** Transpose a rank-2 value. */
+Var transpose(const Var& a);
+
+/** Column slice [c0, c1) of a rank-2 value. */
+Var sliceCols(const Var& a, std::int64_t c0, std::int64_t c1);
+
+/** Row slice [r0, r1) of a rank-2 value. */
+Var sliceRows(const Var& a, std::int64_t r0, std::int64_t r1);
+
+/** Concatenate rank-2 values along columns. */
+Var concatCols(const std::vector<Var>& parts);
+
+/** Concatenate rank-2 values along rows. */
+Var concatRows(const std::vector<Var>& parts);
+
+/** Reshape (shares data; gradient reshaped back). */
+Var reshape(const Var& a, std::vector<std::int64_t> shape);
+
+/**
+ * Batched conv2d as a fused node.
+ *
+ * x: (B, C, H, W); w: (C*k*k, OC); bias: (OC). Output (B, OC, OH, OW).
+ * Internally im2col per sample; backward uses cached columns.
+ */
+Var conv2d(const Var& x, const Var& w, const Var& bias, int k, int stride,
+           int pad);
+
+/** 2x2/stride-2 max pooling on (B, C, H, W). */
+Var maxPool2d(const Var& x);
+
+/** Global average pool (B, C, H, W) -> (B, C). */
+Var globalAvgPool(const Var& x);
+
+/** Mean over rows: (M, N) -> (1, N). */
+Var meanRows(const Var& a);
+
+/** Cross-entropy over logits (B, V) vs target ids; scalar mean loss. */
+Var crossEntropy(const Var& logits, const std::vector<int>& targets);
+
+/** Mean-squared error between same-shaped tensors; scalar mean loss. */
+Var mseLoss(const Var& pred, const Tensor& target);
+
+} // namespace create::nn

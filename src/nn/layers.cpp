@@ -1,0 +1,230 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace create::nn {
+
+// --- Linear ---------------------------------------------------------------
+
+Linear::Linear(std::string name, int in, int out, bool withBias, Rng& rng)
+    : Module(std::move(name)), in_(in), out_(out)
+{
+    Tensor w({in, out});
+    initXavier(w, in, out, rng);
+    w_ = addParam("weight", std::move(w));
+    if (withBias)
+        b_ = addParam("bias", Tensor({out}));
+}
+
+Var
+Linear::forward(const Var& x)
+{
+    Var y = matmul(x, w_->var);
+    if (b_)
+        y = addBias(y, b_->var);
+    if (hasOutScale_)
+        y = mulRowConst(y, outScale_);
+    return y;
+}
+
+Tensor
+Linear::infer(const Tensor& x, ComputeContext& ctx)
+{
+    // The channel scale is folded into the deployed weight so that the
+    // quantization scale and AD bound are calibrated on the outlier-laden
+    // outputs (exactly what real low-precision LLM deployment sees).
+    if (hasOutScale_) {
+        const Tensor weff = effectiveWeight();
+        Tensor scaledBias;
+        const Tensor* bias = nullptr;
+        if (b_) {
+            scaledBias = b_->var.value();
+            for (std::int64_t j = 0; j < scaledBias.numel(); ++j)
+                scaledBias[j] *= outScale_[j];
+            bias = &scaledBias;
+        }
+        return faultyLinear(x, weff, bias, qstate_, ctx, name());
+    }
+    return faultyLinear(x, w_->var.value(), b_ ? &b_->var.value() : nullptr,
+                        qstate_, ctx, name());
+}
+
+void
+Linear::setOutChannelScale(Tensor s)
+{
+    if (s.numel() != out_)
+        throw std::invalid_argument("Linear::setOutChannelScale: size");
+    outScale_ = std::move(s);
+    hasOutScale_ = true;
+    qstate_.invalidate();
+}
+
+void
+Linear::clearOutChannelScale()
+{
+    hasOutScale_ = false;
+    outScale_ = Tensor();
+    qstate_.invalidate();
+}
+
+Tensor
+Linear::effectiveWeight() const
+{
+    Tensor w = w_->var.value();
+    if (hasOutScale_) {
+        for (std::int64_t i = 0; i < w.dim(0); ++i)
+            for (std::int64_t j = 0; j < w.dim(1); ++j)
+                w.at(i, j) *= outScale_[j];
+    }
+    return w;
+}
+
+void
+Linear::setWeight(Tensor w)
+{
+    if (w.numel() != w_->var.value().numel())
+        throw std::invalid_argument("Linear::setWeight: shape mismatch");
+    w_->var.value() = std::move(w);
+    qstate_.invalidate();
+}
+
+// --- Embedding --------------------------------------------------------------
+
+Embedding::Embedding(std::string name, int vocab, int dim, Rng& rng)
+    : Module(std::move(name)), dim_(dim)
+{
+    Tensor t({vocab, dim});
+    initUniform(t, 0.5f, rng);
+    table_ = addParam("table", std::move(t));
+}
+
+Var
+Embedding::forward(const std::vector<int>& ids)
+{
+    return embedding(table_->var, ids);
+}
+
+Tensor
+Embedding::infer(const std::vector<int>& ids) const
+{
+    const Tensor& t = table_->var.value();
+    Tensor out({static_cast<std::int64_t>(ids.size()), dim_});
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (int j = 0; j < dim_; ++j)
+            out.at(static_cast<std::int64_t>(i), j) = t.at(ids[i], j);
+    return out;
+}
+
+// --- RMSNorm ---------------------------------------------------------------
+
+RMSNorm::RMSNorm(std::string name, int dim) : Module(std::move(name))
+{
+    g_ = addParam("gain", Tensor::full({dim}, 1.0f));
+}
+
+Var
+RMSNorm::forward(const Var& x)
+{
+    return rmsNorm(x, g_->var);
+}
+
+Tensor
+RMSNorm::infer(const Tensor& x) const
+{
+    const std::int64_t m = x.dim(0), d = x.dim(1);
+    const Tensor& g = g_->var.value();
+    Tensor out({m, d});
+    for (std::int64_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::int64_t j = 0; j < d; ++j)
+            s += static_cast<double>(x.at(i, j)) * x.at(i, j);
+        const float r = 1.0f /
+            std::sqrt(static_cast<float>(s / static_cast<double>(d)) + 1e-5f);
+        for (std::int64_t j = 0; j < d; ++j)
+            out.at(i, j) = x.at(i, j) * r * g[j];
+    }
+    return out;
+}
+
+// --- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::string name, int dim) : Module(std::move(name))
+{
+    g_ = addParam("gain", Tensor::full({dim}, 1.0f));
+    b_ = addParam("bias", Tensor({dim}));
+}
+
+Var
+LayerNorm::forward(const Var& x)
+{
+    return layerNorm(x, g_->var, b_->var);
+}
+
+Tensor
+LayerNorm::infer(const Tensor& x) const
+{
+    const std::int64_t m = x.dim(0), d = x.dim(1);
+    const Tensor& g = g_->var.value();
+    const Tensor& b = b_->var.value();
+    Tensor out({m, d});
+    for (std::int64_t i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (std::int64_t j = 0; j < d; ++j)
+            s += x.at(i, j);
+        const float mu = static_cast<float>(s / static_cast<double>(d));
+        double v = 0.0;
+        for (std::int64_t j = 0; j < d; ++j) {
+            const double dd = x.at(i, j) - mu;
+            v += dd * dd;
+        }
+        const float iv = 1.0f /
+            std::sqrt(static_cast<float>(v / static_cast<double>(d)) + 1e-5f);
+        for (std::int64_t j = 0; j < d; ++j)
+            out.at(i, j) = (x.at(i, j) - mu) * iv * g[j] + b[j];
+    }
+    return out;
+}
+
+// --- Conv2d ---------------------------------------------------------------
+
+Conv2d::Conv2d(std::string name, int cin, int cout, int k, int stride, int pad,
+               Rng& rng)
+    : Module(std::move(name)), cin_(cin), cout_(cout), k_(k), stride_(stride),
+      pad_(pad)
+{
+    Tensor w({static_cast<std::int64_t>(cin) * k * k, cout});
+    initXavier(w, cin * k * k, cout, rng);
+    w_ = addParam("weight", std::move(w));
+    b_ = addParam("bias", Tensor({cout}));
+}
+
+Var
+Conv2d::forward(const Var& x)
+{
+    return conv2d(x, w_->var, b_->var, k_, stride_, pad_);
+}
+
+Tensor
+Conv2d::infer(const Tensor& x, ComputeContext& ctx)
+{
+    if (x.rank() != 3 || x.dim(0) != cin_)
+        throw std::invalid_argument("Conv2d::infer: (C,H,W) sample required");
+    const int oh = ops::convOutSize(static_cast<int>(x.dim(1)), k_, stride_, pad_);
+    const int ow = ops::convOutSize(static_cast<int>(x.dim(2)), k_, stride_, pad_);
+    const Tensor cols = ops::im2col(x, k_, stride_, pad_);
+    // Bias added in FP32 after AD, same as Linear.
+    Tensor y = faultyLinear(cols, w_->var.value(), &b_->var.value(), qstate_,
+                            ctx, name());
+    // (oh*ow, oc) -> (oc, oh, ow)
+    Tensor out({cout_, oh, ow});
+    const std::int64_t pixels = static_cast<std::int64_t>(oh) * ow;
+    for (std::int64_t pix = 0; pix < pixels; ++pix)
+        for (int ch = 0; ch < cout_; ++ch)
+            out.data()[ch * pixels + pix] = y.at(pix, ch);
+    return out;
+}
+
+} // namespace create::nn

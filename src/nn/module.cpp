@@ -1,0 +1,71 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace create::nn {
+
+std::vector<Param*>
+Module::parameters()
+{
+    std::vector<Param*> out;
+    for (auto& p : params_)
+        out.push_back(p.get());
+    for (auto* c : children_) {
+        auto sub = c->parameters();
+        out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+}
+
+void
+Module::save(BlobArchive& ar)
+{
+    for (auto* p : parameters()) {
+        const Tensor& t = p->var.value();
+        std::vector<std::uint64_t> dims;
+        for (auto d : t.shape())
+            dims.push_back(static_cast<std::uint64_t>(d));
+        ar.put(p->name, std::move(dims), t.vec());
+    }
+}
+
+bool
+Module::load(const BlobArchive& ar)
+{
+    for (auto* p : parameters()) {
+        if (!ar.has(p->name))
+            return false;
+        const auto& blob = ar.get(p->name);
+        Tensor& t = p->var.value();
+        if (static_cast<std::int64_t>(blob.data.size()) != t.numel())
+            return false;
+        std::copy(blob.data.begin(), blob.data.end(), t.vec().begin());
+    }
+    return true;
+}
+
+Param*
+Module::addParam(const std::string& local, Tensor init)
+{
+    auto p = std::make_unique<Param>();
+    p->name = name_ + "." + local;
+    p->var = Var(std::move(init), /*requiresGrad=*/true);
+    params_.push_back(std::move(p));
+    return params_.back().get();
+}
+
+void
+initUniform(Tensor& t, float range, Rng& rng)
+{
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-range, range));
+}
+
+void
+initXavier(Tensor& t, std::int64_t fanIn, std::int64_t fanOut, Rng& rng)
+{
+    const float range = std::sqrt(6.0f / static_cast<float>(fanIn + fanOut));
+    initUniform(t, range, rng);
+}
+
+} // namespace create::nn

@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * Module base class: named parameter trees with save/load support.
+ *
+ * Every network (planner, controller, entropy predictor) is a tree of
+ * Modules. Parameters are autograd Vars with requiresGrad=true; they are
+ * addressable by dotted path (e.g. "planner.blk0.attn.q.weight") which is
+ * also the serialization key and the injection-filter tag namespace.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "nn/autograd.hpp"
+
+namespace create::nn {
+
+/** A named trainable tensor. */
+struct Param
+{
+    std::string name;
+    Var var;
+};
+
+/** Base class for parameterized layers and models. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+    virtual ~Module() = default;
+
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    /** All parameters of this module and its children (depth-first). */
+    std::vector<Param*> parameters();
+
+    /** Serialize all parameters into the archive. */
+    void save(BlobArchive& ar);
+
+    /**
+     * Load all parameters from the archive.
+     * @return false if any parameter is missing or shaped differently.
+     */
+    bool load(const BlobArchive& ar);
+
+  protected:
+    /** Register a parameter with a local name; returns a stable pointer. */
+    Param* addParam(const std::string& local, Tensor init);
+
+    /** Register a child module (owned elsewhere, usually a member). */
+    void addChild(Module* child) { children_.push_back(child); }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Param>> params_;
+    std::vector<Module*> children_;
+};
+
+// --- weight initialization helpers ---------------------------------------
+
+/** Uniform(-range, range) init. */
+void initUniform(Tensor& t, float range, Rng& rng);
+
+/** Xavier/Glorot uniform for a (fanIn x fanOut) matrix. */
+void initXavier(Tensor& t, std::int64_t fanIn, std::int64_t fanOut, Rng& rng);
+
+} // namespace create::nn

@@ -1,0 +1,54 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace create::nn {
+
+AdamW::AdamW(std::vector<Param*> params, double lr, double beta1, double beta2,
+             double eps, double weightDecay)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weightDecay_(weightDecay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (auto* p : params_) {
+        m_.emplace_back(p->var.value().shape());
+        v_.emplace_back(p->var.value().shape());
+    }
+}
+
+void
+AdamW::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+        Param* p = params_[pi];
+        Tensor& w = p->var.value();
+        const Tensor& g = p->var.grad();
+        if (g.numel() != w.numel())
+            continue; // no gradient accumulated this step
+        Tensor& m = m_[pi];
+        Tensor& v = v_[pi];
+        for (std::int64_t i = 0; i < w.numel(); ++i) {
+            const double gi = g[i];
+            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * gi);
+            v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * gi * gi);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            const double update =
+                mhat / (std::sqrt(vhat) + eps_) + weightDecay_ * w[i];
+            w[i] = static_cast<float>(w[i] - lr_ * update);
+        }
+    }
+}
+
+void
+AdamW::zeroGrad()
+{
+    for (auto* p : params_)
+        p->var.zeroGrad();
+}
+
+} // namespace create::nn

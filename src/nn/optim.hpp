@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * AdamW optimizer (decoupled weight decay), the paper's training setup for
+ * the entropy predictor (Sec. 6.1: AdamW, weight decay 1e-2, lr 1e-4).
+ */
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace create::nn {
+
+/** AdamW over a fixed parameter list. */
+class AdamW
+{
+  public:
+    AdamW(std::vector<Param*> params, double lr, double beta1 = 0.9,
+          double beta2 = 0.999, double eps = 1e-8, double weightDecay = 1e-2);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    std::vector<Param*> params_;
+    std::vector<Tensor> m_, v_;
+    double lr_, beta1_, beta2_, eps_, weightDecay_;
+    std::int64_t t_ = 0;
+};
+
+} // namespace create::nn

@@ -1,0 +1,83 @@
+#include "nn/transformer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace create::nn {
+
+LlamaBlock::LlamaBlock(std::string name, int dim, int mlpDim, int heads,
+                       Rng& rng)
+    : Module(std::move(name)),
+      norm1_(this->name() + ".norm1", dim),
+      norm2_(this->name() + ".norm2", dim),
+      attn_(this->name() + ".attn", dim, heads, rng),
+      gate_(this->name() + ".mlp.gate", dim, mlpDim, /*withBias=*/false, rng),
+      up_(this->name() + ".mlp.up", dim, mlpDim, /*withBias=*/false, rng),
+      down_(this->name() + ".mlp.down", mlpDim, dim, /*withBias=*/false, rng)
+{
+    addChild(&norm1_);
+    addChild(&norm2_);
+    addChild(&attn_);
+    addChild(&gate_);
+    addChild(&up_);
+    addChild(&down_);
+}
+
+Var
+LlamaBlock::forward(const Var& x)
+{
+    Var h = add(x, attn_.forward(norm1_.forward(x)));
+    const Var n = norm2_.forward(h);
+    const Var act = mul(silu(gate_.forward(n)), up_.forward(n));
+    return add(h, down_.forward(act));
+}
+
+Tensor
+LlamaBlock::infer(const Tensor& x, ComputeContext& ctx)
+{
+    Tensor h = ops::add(x, attn_.infer(norm1_.infer(x), ctx));
+    const Tensor n = norm2_.infer(h);
+    const Tensor act =
+        ops::mul(ops::silu(gate_.infer(n, ctx)), up_.infer(n, ctx));
+    return ops::add(h, down_.infer(act, ctx));
+}
+
+void
+LlamaBlock::plantOutliers(const Tensor& channelScale)
+{
+    attn_.o().setOutChannelScale(channelScale);
+    down_.setOutChannelScale(channelScale);
+}
+
+PostNormBlock::PostNormBlock(std::string name, int dim, int mlpDim, int heads,
+                             Rng& rng)
+    : Module(std::move(name)),
+      attn_(this->name() + ".attn", dim, heads, rng),
+      norm1_(this->name() + ".norm1", dim),
+      norm2_(this->name() + ".norm2", dim),
+      fc1_(this->name() + ".fc1", dim, mlpDim, /*withBias=*/true, rng),
+      fc2_(this->name() + ".fc2", mlpDim, dim, /*withBias=*/true, rng)
+{
+    addChild(&attn_);
+    addChild(&norm1_);
+    addChild(&norm2_);
+    addChild(&fc1_);
+    addChild(&fc2_);
+}
+
+Var
+PostNormBlock::forward(const Var& x)
+{
+    Var h = norm1_.forward(add(x, attn_.forward(x)));
+    const Var act = relu(fc1_.forward(h));
+    return norm2_.forward(add(h, fc2_.forward(act)));
+}
+
+Tensor
+PostNormBlock::infer(const Tensor& x, ComputeContext& ctx)
+{
+    Tensor h = norm1_.infer(ops::add(x, attn_.infer(x, ctx)));
+    const Tensor act = ops::relu(fc1_.infer(h, ctx));
+    return norm2_.infer(ops::add(h, fc2_.infer(act, ctx)));
+}
+
+} // namespace create::nn

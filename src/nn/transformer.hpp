@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Transformer blocks matching Fig. 3 of the paper:
+ *
+ *  - LlamaBlock (planner): pre-RMSNorm attention + pre-RMSNorm
+ *    SiLU(gate) * up -> down MLP, residual connections. Supports planted
+ *    per-channel outlier scales on the residual-writing projections (O and
+ *    Down) to reproduce LLM systematic outliers (Fig. 5(i)).
+ *
+ *  - PostNormBlock (controller): post-LayerNorm attention and
+ *    FC1 -> ReLU -> FC2 MLP, the architecture of the Transformer
+ *    controller in Fig. 3 (right).
+ */
+
+#include "nn/attention.hpp"
+
+namespace create::nn {
+
+/** LLaMA-style pre-norm block used by the planner LLM. */
+class LlamaBlock : public Module
+{
+  public:
+    LlamaBlock(std::string name, int dim, int mlpDim, int heads, Rng& rng);
+
+    Var forward(const Var& x);
+    Tensor infer(const Tensor& x, ComputeContext& ctx);
+
+    MultiHeadAttention& attn() { return attn_; }
+    RMSNorm& norm1() { return norm1_; }
+    RMSNorm& norm2() { return norm2_; }
+    Linear& gate() { return gate_; }
+    Linear& up() { return up_; }
+    Linear& down() { return down_; }
+
+    /** Plant outlier channels: fixed scale on O and Down output channels. */
+    void plantOutliers(const Tensor& channelScale);
+
+  private:
+    RMSNorm norm1_, norm2_;
+    MultiHeadAttention attn_;
+    Linear gate_, up_, down_;
+};
+
+/** Post-norm block used by the RL controller. */
+class PostNormBlock : public Module
+{
+  public:
+    PostNormBlock(std::string name, int dim, int mlpDim, int heads, Rng& rng);
+
+    Var forward(const Var& x);
+    Tensor infer(const Tensor& x, ComputeContext& ctx);
+
+    MultiHeadAttention& attn() { return attn_; }
+    Linear& fc1() { return fc1_; }
+    Linear& fc2() { return fc2_; }
+
+  private:
+    MultiHeadAttention attn_;
+    LayerNorm norm1_, norm2_;
+    Linear fc1_, fc2_;
+};
+
+} // namespace create::nn

@@ -1,0 +1,33 @@
+#include "perf/energy.hpp"
+
+namespace create {
+
+double
+EnergyModel::computeJ(double macs, double effectiveVoltage) const
+{
+    const double vr = effectiveVoltage / k_.nominalV;
+    return macs * k_.pjPerMacNominal * 1e-12 * vr * vr;
+}
+
+ChipEnergy
+EnergyModel::invocation(const PerfCounters& c, double effectiveVoltage,
+                        double latencySec) const
+{
+    ChipEnergy e;
+    e.computeJ = computeJ(c.macs, effectiveVoltage);
+    e.sramJ = (c.sramReadBytes + c.sramWriteBytes) * k_.pjPerSramByte * 1e-12;
+    e.dramJ = c.dramBytes * k_.pjPerDramByte * 1e-12;
+    e.leakageJ = k_.sramLeakageW * latencySec;
+    return e;
+}
+
+double
+batteryLifeExtension(double chipSavings, double computeShareOfRobot)
+{
+    const double saved = chipSavings * computeShareOfRobot;
+    if (saved >= 1.0)
+        return 0.0;
+    return 1.0 / (1.0 - saved) - 1.0;
+}
+
+} // namespace create

@@ -1,0 +1,67 @@
+#include "perf/scalesim.hpp"
+
+#include <algorithm>
+
+namespace create {
+
+PerfCounters&
+PerfCounters::operator+=(const PerfCounters& o)
+{
+    cycles += o.cycles;
+    macs += o.macs;
+    sramReadBytes += o.sramReadBytes;
+    sramWriteBytes += o.sramWriteBytes;
+    dramBytes += o.dramBytes;
+    return *this;
+}
+
+ScaleSimModel::ScaleSimModel(AcceleratorConfig cfg) : cfg_(cfg) {}
+
+PerfCounters
+ScaleSimModel::gemm(const GemmShape& s, bool weightsResident) const
+{
+    PerfCounters c;
+    c.macs = static_cast<double>(s.macs());
+
+    // Weight-stationary tiling over the K (rows) and N (cols) dimensions;
+    // the M tiles are distributed across the numArrays arrays.
+    const std::int64_t tilesK = (s.k + cfg_.rows - 1) / cfg_.rows;
+    const std::int64_t tilesN = (s.n + cfg_.cols - 1) / cfg_.cols;
+    const std::int64_t mPerArray = (s.m + cfg_.numArrays - 1) / cfg_.numArrays;
+    const std::uint64_t perTile =
+        static_cast<std::uint64_t>(cfg_.rows) +
+        static_cast<std::uint64_t>(mPerArray + cfg_.rows + cfg_.cols - 2);
+    c.cycles = static_cast<std::uint64_t>(tilesK * tilesN) * perTile;
+
+    // SRAM traffic: weights streamed once per tile; activations re-read for
+    // every N tile; INT8 outputs written once.
+    c.sramReadBytes = static_cast<double>(s.k) * s.n +
+                      static_cast<double>(s.m) * s.k * tilesN;
+    c.sramWriteBytes = static_cast<double>(s.m) * s.n;
+
+    if (!weightsResident)
+        c.dramBytes = static_cast<double>(s.k) * s.n; // INT8 weights
+    return c;
+}
+
+PerfCounters
+ScaleSimModel::network(const std::vector<GemmShape>& layers,
+                       bool weightsResident, double inputDramBytes) const
+{
+    PerfCounters total;
+    for (const auto& s : layers)
+        total += gemm(s, weightsResident);
+    total.dramBytes += inputDramBytes;
+    return total;
+}
+
+double
+ScaleSimModel::latencyMs(const PerfCounters& c) const
+{
+    const double computeMs =
+        static_cast<double>(c.cycles) / (cfg_.clockGHz * 1e9) * 1e3;
+    const double dramMs = c.dramBytes / (cfg_.hbmBandwidthGBs * 1e9) * 1e3;
+    return std::max(computeMs, dramMs);
+}
+
+} // namespace create

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * SCALE-Sim-style analytical performance model (paper Sec. 6.1: "cycle-level
+ * behaviors, including inference latency and memory access, are modeled
+ * based on SCALE-Sim").
+ *
+ * Given a network as a list of GEMM shapes, the model reports pipeline
+ * cycles on the weight-stationary systolic arrays, SRAM/DRAM traffic, and
+ * wall-clock latency for the full accelerator (Fig. 12: nine 128x128 arrays
+ * at 2 ns, 71 MB on-chip SRAM, HBM2 off-chip).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace create {
+
+/** One GEMM workload: (M x K) @ (K x N). */
+struct GemmShape
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::int64_t n = 0;
+
+    std::int64_t macs() const { return m * k * n; }
+};
+
+/** Full-accelerator configuration (Fig. 12 defaults). */
+struct AcceleratorConfig
+{
+    int rows = 128;                 //!< PEs per array row
+    int cols = 128;                 //!< PEs per array column
+    int numArrays = 9;              //!< distributed arrays on die
+    double clockGHz = 0.5;          //!< 2 ns cycle
+    double sramBytes = 142.0 * 512.0 * 1024.0; //!< 71 MB on-chip buffers
+    double hbmBandwidthGBs = 450.0; //!< HBM2 sustained bandwidth
+
+    /** Peak throughput in TOPS (2 ops per MAC). */
+    double peakTops() const
+    {
+        return rows * static_cast<double>(cols) * numArrays * 2.0 * clockGHz / 1e3;
+    }
+};
+
+/** Aggregated performance counters for a layer or a whole network. */
+struct PerfCounters
+{
+    std::uint64_t cycles = 0;       //!< systolic pipeline cycles (per array set)
+    double macs = 0.0;
+    double sramReadBytes = 0.0;
+    double sramWriteBytes = 0.0;
+    double dramBytes = 0.0;
+
+    PerfCounters& operator+=(const PerfCounters& o);
+};
+
+/** Analytical systolic/DRAM model. */
+class ScaleSimModel
+{
+  public:
+    explicit ScaleSimModel(AcceleratorConfig cfg = {});
+
+    /**
+     * Model one GEMM.
+     *
+     * @param weightsResident true when weights live in on-chip SRAM for the
+     *        whole mission (the controller case); false adds DRAM weight
+     *        traffic (the planner reloads weights every inference).
+     */
+    PerfCounters gemm(const GemmShape& s, bool weightsResident) const;
+
+    /** Model a network = sum over layers (+ input DRAM traffic). */
+    PerfCounters network(const std::vector<GemmShape>& layers,
+                         bool weightsResident, double inputDramBytes) const;
+
+    /** Latency in milliseconds: max(compute-bound, DRAM-bound). */
+    double latencyMs(const PerfCounters& c) const;
+
+    const AcceleratorConfig& config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+};
+
+} // namespace create

@@ -1,0 +1,175 @@
+#include "perf/workloads.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace create {
+
+double
+Workload::analyticParamsM() const
+{
+    double p = 0.0;
+    for (const auto& g : gemms)
+        p += static_cast<double>(g.k) * static_cast<double>(g.n);
+    return p / 1e6;
+}
+
+double
+Workload::analyticGmacs() const
+{
+    double m = 0.0;
+    for (const auto& g : gemms)
+        m += static_cast<double>(g.macs());
+    return m / 1e9;
+}
+
+namespace workloads {
+
+GemmShape
+convGemm(int inHw, int cin, int cout, int k, int stride, int pad)
+{
+    const int out = ops::convOutSize(inHw, k, stride, pad);
+    return GemmShape{static_cast<std::int64_t>(out) * out,
+                     static_cast<std::int64_t>(cin) * k * k, cout};
+}
+
+Workload
+planner(const std::string& name, int layers, int hidden, int mlp, int vocab,
+        int prefillTokens, int decodeTokens, double paperParamsM,
+        double paperGops)
+{
+    Workload w;
+    w.name = name;
+    w.weightsResident = false; // billions of params never fit 71 MB SRAM
+    w.paperParamsM = paperParamsM;
+    w.paperGops = paperGops;
+
+    // Prefill processes all prompt tokens as one batched GEMM pass; decode
+    // tokens are modeled batched as well (weight streaming is amortized
+    // across the inference by the scheduler, as the paper's latency numbers
+    // imply). Embedding lookup is table-indexed, not a GEMM.
+    auto addPass = [&](int tokens) {
+        if (tokens <= 0)
+            return;
+        for (int l = 0; l < layers; ++l) {
+            // Q, K, V, O projections.
+            for (int i = 0; i < 4; ++i)
+                w.gemms.push_back({tokens, hidden, hidden});
+            // LLaMA MLP: gate, up (hidden->mlp) and down (mlp->hidden).
+            w.gemms.push_back({tokens, hidden, mlp});
+            w.gemms.push_back({tokens, hidden, mlp});
+            w.gemms.push_back({tokens, mlp, hidden});
+        }
+        // LM head on decoded positions only.
+    };
+    addPass(prefillTokens + decodeTokens);
+    w.gemms.push_back({decodeTokens, hidden, vocab});
+    // Prompt tokens + generated text enter via DRAM (negligible next to
+    // weights, included for completeness).
+    w.inputDramBytes = static_cast<double>(prefillTokens) * hidden;
+    return w;
+}
+
+Workload
+controller(const std::string& name, int imageRes, int convChannels,
+           int decLayers, int decHidden, int decMlp, int seqLen,
+           double paperParamsM, double paperGops)
+{
+    Workload w;
+    w.name = name;
+    w.weightsResident = true; // tens of MB: pinned in SRAM (Sec. 6.1)
+    w.paperParamsM = paperParamsM;
+    w.paperGops = paperGops;
+    // Camera frame fetched from DRAM every step (RGB, 1 byte/channel).
+    w.inputDramBytes = 3.0 * imageRes * imageRes;
+
+    // Image tower: strided conv pyramid from 3 channels up to convChannels
+    // (Table 8 "Img*" rows: 10 conv layers, 3-256 channels).
+    int hw = imageRes;
+    int cin = 3;
+    int cout = convChannels / 8;
+    for (int l = 0; l < 10 && hw >= 4; ++l) {
+        const int stride = (l % 2 == 1) ? 2 : 1;
+        w.gemms.push_back(convGemm(hw, cin, cout, 3, stride, 1));
+        hw = ops::convOutSize(hw, 3, stride, 1);
+        cin = cout;
+        if (cout < convChannels)
+            cout *= 2;
+        if (cout > convChannels)
+            cout = convChannels;
+    }
+
+    // Transformer decoder over seqLen tokens (visual context + prompt).
+    for (int l = 0; l < decLayers; ++l) {
+        for (int i = 0; i < 4; ++i)
+            w.gemms.push_back({seqLen, decHidden, decHidden});
+        w.gemms.push_back({seqLen, decHidden, decMlp});
+        w.gemms.push_back({seqLen, decMlp, decHidden});
+    }
+    return w;
+}
+
+Workload
+jarvisPlanner()
+{
+    return planner("JARVIS-1 planner", 32, 4096, 14336, 32000, 740, 251,
+                   7869.0, 5344.0);
+}
+
+Workload
+openVla()
+{
+    return planner("OpenVLA", 32, 4096, 11008, 32000, 617, 71, 6929.0, 4595.0);
+}
+
+Workload
+roboFlamingo()
+{
+    return planner("RoboFlamingo", 24, 2048, 8192, 32000, 505, 61, 2552.0,
+                   2411.0);
+}
+
+Workload
+jarvisController()
+{
+    // STEVE-1-style: 128px frames, 256-channel tower, 4x(1024/4096) decoder
+    // over a 128-frame context window (the memory that makes the Minecraft
+    // controller work), Table 8 / Table 4: 61 M params, 102 GOps.
+    return controller("JARVIS-1 controller", 128, 256, 4, 1024, 4096, 128,
+                      61.0, 102.0);
+}
+
+Workload
+rt1()
+{
+    return controller("RT-1", 224, 192, 8, 512, 2048, 48, 35.0, 78.0);
+}
+
+Workload
+octo()
+{
+    return controller("Octo", 224, 160, 12, 384, 1536, 64, 27.0, 76.0);
+}
+
+Workload
+entropyPredictor()
+{
+    // Table 9: three k3 convs with ReLU+pool, prompt MLP 512->64, fusion
+    // 128->128->1, on a 64x64 RGB frame.
+    Workload w;
+    w.name = "Entropy predictor";
+    w.weightsResident = true;
+    w.inputDramBytes = 3.0 * 64 * 64;
+    w.paperParamsM = 0.055;
+    w.paperGops = 0.043;
+    w.gemms.push_back(convGemm(64, 3, 16, 3, 1, 1));  // + MaxPool2d
+    w.gemms.push_back(convGemm(32, 16, 32, 3, 1, 1)); // + MaxPool2d
+    w.gemms.push_back(convGemm(16, 32, 64, 3, 1, 1)); // + AvgPool
+    w.gemms.push_back({1, 512, 64});                  // prompt MLP
+    w.gemms.push_back({1, 128, 128});                 // fusion
+    w.gemms.push_back({1, 128, 1});
+    return w;
+}
+
+} // namespace workloads
+
+} // namespace create

@@ -1,0 +1,76 @@
+#include "quant/quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace create {
+
+int
+quantMaxLevel(QuantBits bits)
+{
+    return bits == QuantBits::Int8 ? 127 : 7;
+}
+
+QuantParams
+QuantParams::fromAbsMax(float absMax, QuantBits bits)
+{
+    QuantParams qp;
+    qp.bits = bits;
+    const float levels = static_cast<float>(quantMaxLevel(bits));
+    // Guard against degenerate all-zero calibration.
+    qp.scale = absMax > 1e-20f ? absMax / levels : 1.0f / levels;
+    return qp;
+}
+
+std::vector<std::int8_t>
+quantize(const Tensor& t, const QuantParams& qp)
+{
+    const int lim = quantMaxLevel(qp.bits);
+    std::vector<std::int8_t> q(static_cast<std::size_t>(t.numel()));
+    const float inv = 1.0f / qp.scale;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        float v = t[i] * inv;
+        v = std::nearbyint(v);
+        if (v > static_cast<float>(lim))
+            v = static_cast<float>(lim);
+        if (v < static_cast<float>(-lim))
+            v = static_cast<float>(-lim);
+        q[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(v);
+    }
+    return q;
+}
+
+Tensor
+dequantize(const std::vector<std::int8_t>& q,
+           const std::vector<std::int64_t>& shape, const QuantParams& qp)
+{
+    Tensor t(shape);
+    if (t.numel() != static_cast<std::int64_t>(q.size()))
+        throw std::invalid_argument("dequantize: shape mismatch");
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(q[static_cast<std::size_t>(i)]) * qp.scale;
+    return t;
+}
+
+void
+AbsMaxObserver::observe(const Tensor& t)
+{
+    observe(t.absMax());
+}
+
+void
+AbsMaxObserver::observe(float absMax)
+{
+    if (absMax > max_)
+        max_ = absMax;
+    seen_ = true;
+}
+
+void
+AbsMaxObserver::reset()
+{
+    max_ = 0.0f;
+    seen_ = false;
+}
+
+} // namespace create

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Symmetric per-tensor quantization (INT8 default, INT4 supported) used by
+ * the accelerator pipeline, following the SmoothQuant-style W8A8 setup the
+ * paper adopts (Sec. 3.2): inputs and weights of every GEMM/conv are
+ * quantized to INT8 and accumulated in a 24-bit integer accumulator.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace create {
+
+/** Quantization bit-width options for the datapath (Sec. 6.9 studies INT4). */
+enum class QuantBits { Int8, Int4 };
+
+/** Max representable magnitude for a bit-width (127 for INT8, 7 for INT4). */
+int quantMaxLevel(QuantBits bits);
+
+/** Symmetric quantization parameters: real = scale * q. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    QuantBits bits = QuantBits::Int8;
+
+    /** Derive from a calibrated absolute maximum. */
+    static QuantParams fromAbsMax(float absMax, QuantBits bits = QuantBits::Int8);
+};
+
+/** Quantize FP32 tensor to int8 codes with saturation. */
+std::vector<std::int8_t> quantize(const Tensor& t, const QuantParams& qp);
+
+/** Dequantize int8 codes back to FP32 with the given params/shape. */
+Tensor dequantize(const std::vector<std::int8_t>& q,
+                  const std::vector<std::int64_t>& shape, const QuantParams& qp);
+
+/**
+ * Running absmax observer for calibration.
+ *
+ * Clean (error-free) calibration passes feed every GEMM input/output through
+ * one of these; the recorded maxima become the quantization scales and the
+ * anomaly-detection valid bounds (Sec. 5.1: "127x the output scaling factor").
+ */
+class AbsMaxObserver
+{
+  public:
+    void observe(const Tensor& t);
+    void observe(float absMax);
+    float absMax() const { return max_; }
+    bool seeded() const { return seen_; }
+    void reset();
+
+  private:
+    float max_ = 0.0f;
+    bool seen_ = false;
+};
+
+} // namespace create

@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * Free-function FP32 tensor kernels: GEMM, transposition, elementwise ops,
+ * softmax, im2col/col2im for convolutions, and Hadamard matrix construction.
+ *
+ * These are the exact (error-free) kernels. The quantized, fault-injected
+ * equivalents live in hw/faulty_gemm.hpp and share the same layouts.
+ */
+
+#include "tensor/tensor.hpp"
+
+namespace create::ops {
+
+/** C(MxN) = A(MxK) @ B(KxN). Shapes validated. */
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/** C += A @ B into a preallocated MxN tensor. */
+void matmulAccum(const Tensor& a, const Tensor& b, Tensor& c);
+
+/** Transpose a rank-2 tensor. */
+Tensor transpose(const Tensor& a);
+
+/** Elementwise a + b (same shape). */
+Tensor add(const Tensor& a, const Tensor& b);
+
+/** Row-broadcast add: a(MxN) + bias(N). */
+Tensor addRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/** Elementwise a * b (same shape). */
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/** Scale by a constant. */
+Tensor scale(const Tensor& a, float s);
+
+/** ReLU. */
+Tensor relu(const Tensor& a);
+
+/** SiLU: x * sigmoid(x). */
+Tensor silu(const Tensor& a);
+
+/** Row-wise softmax over the last dim of a rank-2 tensor. */
+Tensor softmaxRows(const Tensor& a);
+
+/** Softmax over a single vector. */
+std::vector<float> softmax(const std::vector<float>& logits);
+
+/** Shannon entropy (natural log) of a probability vector. */
+double entropy(const std::vector<float>& probs);
+
+/** Numerically stable log-softmax over a vector. */
+std::vector<float> logSoftmax(const std::vector<float>& logits);
+
+/**
+ * im2col for NCHW conv with square kernel.
+ *
+ * Input (C, H, W) -> matrix (outH*outW, C*k*k) so that conv becomes
+ * cols @ weight^T with weight (outC, C*k*k).
+ */
+Tensor im2col(const Tensor& input, int k, int stride, int pad);
+
+/** Output spatial size of a conv/pool: floor((in + 2*pad - k)/stride) + 1. */
+int convOutSize(int in, int k, int stride, int pad);
+
+/**
+ * Adjoint of im2col: scatter-add column gradients back into an image
+ * gradient of shape (C, H, W). `cols` must have the shape produced by
+ * im2col(input, k, stride, pad).
+ */
+void col2imAccum(const Tensor& cols, int c, int h, int w, int k, int stride,
+                 int pad, Tensor& out);
+
+/**
+ * Walsh-Hadamard matrix of size n (n must be a power of two), scaled by
+ * 1/sqrt(n) so it is orthonormal. Recursive Kronecker construction per
+ * Sec. 5.2 of the paper.
+ */
+Tensor hadamard(int n);
+
+/** Max |a-b| over all elements (shapes must match). */
+float maxAbsDiff(const Tensor& a, const Tensor& b);
+
+} // namespace create::ops

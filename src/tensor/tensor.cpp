@@ -1,0 +1,120 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace create {
+
+namespace {
+std::int64_t
+product(const std::vector<std::int64_t>& shape)
+{
+    std::int64_t n = 1;
+    for (auto d : shape) {
+        if (d < 0)
+            throw std::invalid_argument("Tensor: negative dimension");
+        n *= d;
+    }
+    return n;
+}
+} // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), numel_(product(shape_)),
+      data_(static_cast<std::size_t>(numel_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : Tensor(std::vector<std::int64_t>(shape))
+{
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(product(shape_)), data_(std::move(data))
+{
+    if (numel_ != static_cast<std::int64_t>(data_.size()))
+        throw std::invalid_argument("Tensor: shape does not match data size");
+}
+
+Tensor
+Tensor::zeros(std::vector<std::int64_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<std::int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor&
+Tensor::reshape(std::vector<std::int64_t> shape)
+{
+    if (product(shape) != numel_)
+        throw std::invalid_argument("Tensor::reshape: element count changed");
+    shape_ = std::move(shape);
+    return *this;
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::int64_t> shape) const
+{
+    Tensor t = *this;
+    t.reshape(std::move(shape));
+    return t;
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+Tensor::mean() const
+{
+    if (data_.empty())
+        return 0.0f;
+    double s = std::accumulate(data_.begin(), data_.end(), 0.0);
+    return static_cast<float>(s / static_cast<double>(data_.size()));
+}
+
+float
+Tensor::stddev() const
+{
+    if (data_.empty())
+        return 0.0f;
+    const double m = mean();
+    double s = 0.0;
+    for (float v : data_)
+        s += (v - m) * (v - m);
+    return static_cast<float>(std::sqrt(s / static_cast<double>(data_.size())));
+}
+
+std::string
+Tensor::shapeStr() const
+{
+    std::string s = "Tensor[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            s += "x";
+        s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+}
+
+} // namespace create

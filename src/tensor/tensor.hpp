@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Dense row-major FP32 tensor, the numeric substrate for every model and
+ * for the quantized hardware pipeline's float endpoints.
+ *
+ * Shapes are kept as a small vector of dims; data is a contiguous
+ * std::vector<float>. The class is intentionally simple: views/strides are
+ * not needed anywhere in this project, and copies are explicit.
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace create {
+
+/** Dense row-major FP32 tensor with up to rank-4 shapes. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+    Tensor(std::initializer_list<std::int64_t> shape);
+
+    /** Construct from shape + data (sizes must match). */
+    Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+    static Tensor zeros(std::vector<std::int64_t> shape);
+    static Tensor full(std::vector<std::int64_t> shape, float value);
+
+    const std::vector<std::int64_t>& shape() const { return shape_; }
+    std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+    std::size_t rank() const { return shape_.size(); }
+    std::int64_t numel() const { return numel_; }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::vector<float>& vec() { return data_; }
+    const std::vector<float>& vec() const { return data_; }
+
+    float& operator[](std::int64_t i) { return data_[i]; }
+    float operator[](std::int64_t i) const { return data_[i]; }
+
+    /** 2-D accessor (rank must be 2). */
+    float& at(std::int64_t r, std::int64_t c) { return data_[r * shape_[1] + c]; }
+    float at(std::int64_t r, std::int64_t c) const { return data_[r * shape_[1] + c]; }
+
+    /** 3-D accessor (rank must be 3). */
+    float& at(std::int64_t a, std::int64_t b, std::int64_t c)
+    {
+        return data_[(a * shape_[1] + b) * shape_[2] + c];
+    }
+    float at(std::int64_t a, std::int64_t b, std::int64_t c) const
+    {
+        return data_[(a * shape_[1] + b) * shape_[2] + c];
+    }
+
+    /** Reshape in place; element count must be preserved. */
+    Tensor& reshape(std::vector<std::int64_t> shape);
+
+    /** Return a reshaped copy. */
+    Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** Max of |x| over all elements (0 for empty). */
+    float absMax() const;
+
+    /** Mean over all elements (0 for empty). */
+    float mean() const;
+
+    /** Population standard deviation over all elements. */
+    float stddev() const;
+
+    /** Debug string "Tensor[2x3]". */
+    std::string shapeStr() const;
+
+  private:
+    std::vector<std::int64_t> shape_;
+    std::int64_t numel_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace create

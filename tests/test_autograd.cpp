@@ -1,0 +1,345 @@
+/** @file Numerical gradient checks for every autograd op. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/autograd.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+using nn::Var;
+
+namespace {
+
+Tensor
+randomTensor(std::vector<std::int64_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+/**
+ * Check autograd gradient of a scalar-valued function against central
+ * finite differences over every input coordinate.
+ */
+void
+checkGrad(const std::function<Var(Var&)>& f, const Tensor& x0,
+          float tol = 3e-2f)
+{
+    Var x(x0, /*requiresGrad=*/true);
+    Var loss = f(x);
+    ASSERT_EQ(loss.value().numel(), 1);
+    loss.backward();
+    const Tensor grad = x.grad();
+    const float eps = 1e-2f;
+    for (std::int64_t i = 0; i < x0.numel(); ++i) {
+        Tensor xp = x0, xm = x0;
+        xp[i] += eps;
+        xm[i] -= eps;
+        Var vp(xp), vm(xm);
+        const float lp = f(vp).value()[0];
+        const float lm = f(vm).value()[0];
+        const float num = (lp - lm) / (2.0f * eps);
+        EXPECT_NEAR(grad[i], num,
+                    tol * std::max(1.0f, std::fabs(num)))
+            << "coordinate " << i;
+    }
+}
+
+/** Scalar reducer: mean square of all entries (exercises mseLoss too). */
+Var
+reduce(const Var& y)
+{
+    return nn::mseLoss(y, Tensor(y.value().shape()));
+}
+
+} // namespace
+
+TEST(AutogradLoss, MseAnalyticGradient)
+{
+    Tensor x0({3}, {1.0f, -2.0f, 0.5f});
+    Tensor target({3}, {0.0f, 1.0f, 0.0f});
+    Var x(x0, true);
+    Var loss = nn::mseLoss(x, target);
+    loss.backward();
+    // d/dx mean((x-t)^2) = 2(x-t)/n
+    EXPECT_NEAR(x.grad()[0], 2.0f * 1.0f / 3.0f, 1e-5);
+    EXPECT_NEAR(x.grad()[1], 2.0f * -3.0f / 3.0f, 1e-5);
+    EXPECT_NEAR(x.grad()[2], 2.0f * 0.5f / 3.0f, 1e-5);
+}
+
+TEST(AutogradLoss, CrossEntropyAnalyticGradient)
+{
+    Tensor x0({1, 3}, {1.0f, 2.0f, 0.5f});
+    Var x(x0, true);
+    Var loss = nn::crossEntropy(x, {1});
+    loss.backward();
+    const auto p = ops::softmax({1.0f, 2.0f, 0.5f});
+    EXPECT_NEAR(x.grad()[0], p[0], 1e-5);
+    EXPECT_NEAR(x.grad()[1], p[1] - 1.0f, 1e-5);
+    EXPECT_NEAR(x.grad()[2], p[2], 1e-5);
+    EXPECT_NEAR(loss.value()[0], -std::log(p[1]), 1e-5);
+}
+
+TEST(AutogradOps, Matmul)
+{
+    Rng rng(1);
+    const Tensor w = randomTensor({4, 3}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::matmul(x, Var(w))); },
+              randomTensor({2, 4}, rng));
+}
+
+TEST(AutogradOps, MatmulRightOperand)
+{
+    Rng rng(2);
+    const Tensor a = randomTensor({3, 4}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::matmul(Var(a), x)); },
+              randomTensor({4, 2}, rng));
+}
+
+TEST(AutogradOps, Add)
+{
+    Rng rng(3);
+    const Tensor b = randomTensor({2, 3}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::add(x, Var(b))); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, AddBias)
+{
+    Rng rng(4);
+    const Tensor a = randomTensor({3, 4}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::addBias(Var(a), x)); },
+              randomTensor({4}, rng));
+}
+
+TEST(AutogradOps, Mul)
+{
+    Rng rng(5);
+    const Tensor b = randomTensor({2, 3}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::mul(x, Var(b))); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, MulRowConst)
+{
+    Rng rng(6);
+    Tensor c({3}, {2.0f, -1.0f, 0.5f});
+    checkGrad([&](Var& x) { return reduce(nn::mulRowConst(x, c)); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, Scale)
+{
+    Rng rng(7);
+    checkGrad([&](Var& x) { return reduce(nn::scale(x, -2.5f)); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, Relu)
+{
+    Rng rng(8);
+    Tensor x0 = randomTensor({2, 4}, rng);
+    for (std::int64_t i = 0; i < x0.numel(); ++i)
+        if (std::fabs(x0[i]) < 0.1f)
+            x0[i] = 0.5f; // keep away from the kink
+    checkGrad([&](Var& x) { return reduce(nn::relu(x)); }, x0);
+}
+
+TEST(AutogradOps, Silu)
+{
+    Rng rng(9);
+    checkGrad([&](Var& x) { return reduce(nn::silu(x)); },
+              randomTensor({2, 4}, rng));
+}
+
+TEST(AutogradOps, SoftmaxRows)
+{
+    Rng rng(10);
+    const Tensor t = randomTensor({2, 4}, rng);
+    checkGrad(
+        [&](Var& x) {
+            return nn::mseLoss(nn::softmaxRows(x), t);
+        },
+        randomTensor({2, 4}, rng));
+}
+
+TEST(AutogradOps, RmsNormInput)
+{
+    Rng rng(11);
+    const Tensor gamma = randomTensor({4}, rng);
+    checkGrad([&](Var& x) { return reduce(nn::rmsNorm(x, Var(gamma))); },
+              randomTensor({3, 4}, rng));
+}
+
+TEST(AutogradOps, RmsNormGain)
+{
+    Rng rng(12);
+    const Tensor xin = randomTensor({3, 4}, rng);
+    checkGrad([&](Var& g) { return reduce(nn::rmsNorm(Var(xin), g)); },
+              randomTensor({4}, rng));
+}
+
+TEST(AutogradOps, LayerNormInput)
+{
+    Rng rng(13);
+    const Tensor gamma = randomTensor({4}, rng);
+    const Tensor beta = randomTensor({4}, rng);
+    checkGrad(
+        [&](Var& x) {
+            return reduce(nn::layerNorm(x, Var(gamma), Var(beta)));
+        },
+        randomTensor({3, 4}, rng), 5e-2f);
+}
+
+TEST(AutogradOps, LayerNormGainAndBias)
+{
+    Rng rng(14);
+    const Tensor xin = randomTensor({3, 4}, rng);
+    const Tensor beta = randomTensor({4}, rng);
+    checkGrad(
+        [&](Var& g) {
+            return reduce(nn::layerNorm(Var(xin), g, Var(beta)));
+        },
+        randomTensor({4}, rng));
+    const Tensor gamma = randomTensor({4}, rng);
+    checkGrad(
+        [&](Var& b) {
+            return reduce(nn::layerNorm(Var(xin), Var(gamma), b));
+        },
+        randomTensor({4}, rng));
+}
+
+TEST(AutogradOps, Embedding)
+{
+    Rng rng(15);
+    checkGrad(
+        [&](Var& table) {
+            return reduce(nn::embedding(table, {0, 2, 2}));
+        },
+        randomTensor({3, 4}, rng));
+}
+
+TEST(AutogradOps, Transpose)
+{
+    Rng rng(16);
+    checkGrad([&](Var& x) { return reduce(nn::transpose(x)); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, SliceColsAndRows)
+{
+    Rng rng(17);
+    checkGrad([&](Var& x) { return reduce(nn::sliceCols(x, 1, 3)); },
+              randomTensor({3, 4}, rng));
+    checkGrad([&](Var& x) { return reduce(nn::sliceRows(x, 0, 2)); },
+              randomTensor({3, 4}, rng));
+}
+
+TEST(AutogradOps, Concat)
+{
+    Rng rng(18);
+    const Tensor other = randomTensor({2, 3}, rng);
+    checkGrad(
+        [&](Var& x) {
+            return reduce(nn::concatCols({x, Var(other)}));
+        },
+        randomTensor({2, 2}, rng));
+    const Tensor other2 = randomTensor({1, 3}, rng);
+    checkGrad(
+        [&](Var& x) {
+            return reduce(nn::concatRows({Var(other2), x}));
+        },
+        randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, Reshape)
+{
+    Rng rng(19);
+    checkGrad([&](Var& x) { return reduce(nn::reshape(x, {3, 2})); },
+              randomTensor({2, 3}, rng));
+}
+
+TEST(AutogradOps, Conv2dInput)
+{
+    Rng rng(20);
+    const Tensor w = randomTensor({2 * 9, 3}, rng, 0.5f);
+    const Tensor b = randomTensor({3}, rng);
+    checkGrad(
+        [&](Var& x) {
+            return reduce(nn::conv2d(x, Var(w), Var(b), 3, 1, 1));
+        },
+        randomTensor({2, 2, 4, 4}, rng), 5e-2f);
+}
+
+TEST(AutogradOps, Conv2dWeightAndBias)
+{
+    Rng rng(21);
+    const Tensor x = randomTensor({1, 2, 4, 4}, rng);
+    const Tensor b = randomTensor({3}, rng);
+    checkGrad(
+        [&](Var& w) {
+            return reduce(nn::conv2d(Var(x), w, Var(b), 3, 2, 1));
+        },
+        randomTensor({2 * 9, 3}, rng, 0.5f), 5e-2f);
+    const Tensor w = randomTensor({2 * 9, 3}, rng, 0.5f);
+    checkGrad(
+        [&](Var& bias) {
+            return reduce(nn::conv2d(Var(x), Var(w), bias, 3, 2, 1));
+        },
+        randomTensor({3}, rng));
+}
+
+TEST(AutogradOps, MaxPool2d)
+{
+    Rng rng(22);
+    // Perturbations must not cross argmax boundaries: spread values out.
+    Tensor x0({1, 2, 4, 4});
+    for (std::int64_t i = 0; i < x0.numel(); ++i)
+        x0[i] = static_cast<float>(i % 7) + 0.3f * static_cast<float>(i);
+    checkGrad([&](Var& x) { return reduce(nn::maxPool2d(x)); }, x0);
+}
+
+TEST(AutogradOps, GlobalAvgPool)
+{
+    Rng rng(23);
+    checkGrad([&](Var& x) { return reduce(nn::globalAvgPool(x)); },
+              randomTensor({2, 3, 4, 4}, rng));
+}
+
+TEST(AutogradOps, MeanRows)
+{
+    Rng rng(24);
+    checkGrad([&](Var& x) { return reduce(nn::meanRows(x)); },
+              randomTensor({3, 4}, rng));
+}
+
+TEST(AutogradOps, CrossEntropyNumeric)
+{
+    Rng rng(25);
+    checkGrad([&](Var& x) { return nn::crossEntropy(x, {2, 0}); },
+              randomTensor({2, 4}, rng));
+}
+
+TEST(Autograd, BackwardRequiresScalar)
+{
+    Var v(Tensor({2}), true);
+    EXPECT_THROW(v.backward(), std::logic_error);
+}
+
+TEST(Autograd, GradAccumulatesAcrossReuse)
+{
+    // y = x + x => dy/dx = 2.
+    Tensor x0({1}, {3.0f});
+    Var x(x0, true);
+    Var y = nn::add(x, x);
+    Var loss = nn::mseLoss(y, Tensor({1}));
+    loss.backward();
+    // d/dx (2x)^2 = 8x = 24.
+    EXPECT_NEAR(x.grad()[0], 24.0f, 1e-4);
+}

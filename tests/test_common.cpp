@@ -1,0 +1,104 @@
+/** @file Tests for serialization, table printing, CLI parsing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/serialize.hpp"
+#include "common/table.hpp"
+
+using namespace create;
+
+TEST(BlobArchive, PutGetRoundTrip)
+{
+    BlobArchive ar;
+    ar.put("a.weight", {2, 3}, {1, 2, 3, 4, 5, 6});
+    EXPECT_TRUE(ar.has("a.weight"));
+    EXPECT_FALSE(ar.has("missing"));
+    const auto& blob = ar.get("a.weight");
+    EXPECT_EQ(blob.dims.size(), 2u);
+    EXPECT_EQ(blob.data[5], 6.0f);
+    EXPECT_THROW(ar.get("missing"), std::out_of_range);
+}
+
+TEST(BlobArchive, RejectsMismatchedDims)
+{
+    BlobArchive ar;
+    EXPECT_THROW(ar.put("x", {2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(BlobArchive, DiskRoundTrip)
+{
+    const std::string path = "/tmp/create_test_archive.bin";
+    {
+        BlobArchive ar;
+        ar.put("m.w", {2, 2}, {1, 2, 3, 4});
+        ar.put("m.b", {2}, {-1, -2});
+        ASSERT_TRUE(ar.save(path));
+    }
+    BlobArchive loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.get("m.w").data[3], 4.0f);
+    EXPECT_EQ(loaded.get("m.b").dims[0], 2u);
+    std::remove(path.c_str());
+}
+
+TEST(BlobArchive, LoadFailsOnMissingFile)
+{
+    BlobArchive ar;
+    EXPECT_FALSE(ar.load("/tmp/definitely_not_here_12345.bin"));
+}
+
+TEST(BlobArchive, LoadFailsOnCorruptMagic)
+{
+    const std::string path = "/tmp/create_test_corrupt.bin";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+    BlobArchive ar;
+    EXPECT_FALSE(ar.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.4235, 1), "42.4%");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("test");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    const std::string path = "/tmp/create_test_table.csv";
+    t.writeCsv(path);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    EXPECT_STREQ(buf, "a,b\n1,2\n");
+    std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms)
+{
+    const char* argv[] = {"prog", "--reps", "50", "--task=stone", "--fast"};
+    Cli cli(5, const_cast<char**>(argv));
+    EXPECT_EQ(cli.integer("reps", 1), 50);
+    EXPECT_EQ(cli.str("task", "x"), "stone");
+    EXPECT_TRUE(cli.flag("fast"));
+    EXPECT_FALSE(cli.flag("other"));
+    EXPECT_EQ(cli.integer("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(cli.real("missing", 0.5), 0.5);
+}
+
+TEST(Cli, FlagFalseValues)
+{
+    const char* argv[] = {"prog", "--fast=0"};
+    Cli cli(2, const_cast<char**>(argv));
+    EXPECT_FALSE(cli.flag("fast", true));
+}

@@ -1,0 +1,235 @@
+/** @file Tests for voltage policies, the scaler, configs, and CreateSystem. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/abft.hpp"
+#include "baselines/dmr.hpp"
+#include "baselines/thundervolt.hpp"
+#include "core/create_system.hpp"
+
+using namespace create;
+
+TEST(Policy, ConstantPolicyIsFlat)
+{
+    const auto p = EntropyVoltagePolicy::constant(0.75);
+    EXPECT_DOUBLE_EQ(p.voltageFor(0.0), 0.75);
+    EXPECT_DOUBLE_EQ(p.voltageFor(1.0), 0.75);
+}
+
+TEST(Policy, PresetsMapLowEntropyToHighVoltage)
+{
+    for (const auto& p : EntropyVoltagePolicy::presets()) {
+        EXPECT_GE(p.voltageFor(0.0), p.voltageFor(1.0));
+        // Piecewise non-increasing.
+        double prev = p.voltageFor(0.0);
+        for (double h = 0.05; h <= 1.0; h += 0.05) {
+            EXPECT_LE(p.voltageFor(h), prev + 1e-12);
+            prev = p.voltageFor(h);
+        }
+    }
+}
+
+TEST(Policy, PresetsOrderedByAggressiveness)
+{
+    const auto presets = EntropyVoltagePolicy::presets();
+    for (std::size_t i = 1; i < presets.size(); ++i)
+        EXPECT_LE(presets[i].voltageFor(1.0), presets[i - 1].voltageFor(1.0));
+}
+
+TEST(Policy, RandomCandidatesAreValidAndMonotone)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const auto p = EntropyVoltagePolicy::random(rng, i);
+        double prev = 1e9;
+        for (const double v : p.voltages()) {
+            EXPECT_GE(v, 0.60);
+            EXPECT_LE(v, 0.90);
+            EXPECT_LE(v, prev + 1e-12);
+            prev = v;
+        }
+    }
+}
+
+TEST(Policy, ThrowsOnMismatchedSizes)
+{
+    EXPECT_THROW(EntropyVoltagePolicy({0.5}, {0.9}, "bad"),
+                 std::invalid_argument);
+}
+
+TEST(Config, Builders)
+{
+    const auto clean = CreateConfig::clean();
+    EXPECT_EQ(clean.mode, InjectionMode::None);
+    const auto uni = CreateConfig::uniform(1e-5);
+    EXPECT_EQ(uni.mode, InjectionMode::Uniform);
+    EXPECT_DOUBLE_EQ(uni.uniformBer, 1e-5);
+    const auto volts = CreateConfig::atVoltage(0.7, 0.8);
+    EXPECT_EQ(volts.mode, InjectionMode::Voltage);
+    EXPECT_DOUBLE_EQ(volts.plannerVoltage, 0.7);
+    const auto full =
+        CreateConfig::fullCreate(0.7, EntropyVoltagePolicy::preset('C'));
+    EXPECT_TRUE(full.anomalyDetection);
+    EXPECT_TRUE(full.weightRotation);
+    EXPECT_TRUE(full.voltageScaling);
+}
+
+TEST(Baselines, ConfigBuilders)
+{
+    EXPECT_EQ(baselines::dmrConfig(0.8).protection, Protection::Dmr);
+    EXPECT_EQ(baselines::thunderVoltConfig(0.8).protection,
+              Protection::ThunderVolt);
+    EXPECT_EQ(baselines::abftConfig(0.8).protection, Protection::Abft);
+}
+
+TEST(Baselines, DmrEnergyFactorAtLeastDouble)
+{
+    EXPECT_NEAR(baselines::dmrEnergyFactor(0.0), 2.0, 1e-12);
+    EXPECT_GT(baselines::dmrEnergyFactor(0.5), 3.0);
+}
+
+TEST(Baselines, AbftAttemptsGrowWithCorruption)
+{
+    EXPECT_NEAR(baselines::abftExpectedAttempts(0.0), 1.0, 1e-12);
+    EXPECT_GT(baselines::abftExpectedAttempts(0.9),
+              baselines::abftExpectedAttempts(0.1));
+}
+
+// --- CreateSystem end-to-end (uses cached models) --------------------------
+
+namespace {
+
+CreateSystem&
+sys()
+{
+    static CreateSystem s(/*verbose=*/false);
+    return s;
+}
+
+} // namespace
+
+TEST(CreateSystem, CleanEpisodeSucceeds)
+{
+    const auto r = sys().runEpisode(MineTask::Wooden, 42,
+                                    CreateConfig::clean());
+    EXPECT_TRUE(r.success);
+    EXPECT_GT(r.steps, 0);
+    EXPECT_EQ(r.plannerInvocations, 1);
+    EXPECT_NEAR(r.plannerEffV, 0.9, 1e-9);
+}
+
+TEST(CreateSystem, SeededEpisodesAreReproducible)
+{
+    const auto a = sys().runEpisode(MineTask::Stone, 7,
+                                    CreateConfig::uniform(1e-4));
+    const auto b = sys().runEpisode(MineTask::Stone, 7,
+                                    CreateConfig::uniform(1e-4));
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.bitFlips, b.bitFlips);
+}
+
+TEST(CreateSystem, VoltageScalingLowersEffectiveVoltage)
+{
+    CreateConfig cfg = CreateConfig::clean();
+    cfg.voltageScaling = true;
+    cfg.policy = EntropyVoltagePolicy::preset('C');
+    const auto r = sys().runEpisode(MineTask::Wooden, 42, cfg);
+    EXPECT_TRUE(r.success);
+    EXPECT_LT(r.controllerEffV, 0.9);
+    EXPECT_GT(r.predictorInvocations, 0);
+}
+
+TEST(CreateSystem, AnomalyDetectionClearsAtHighBer)
+{
+    CreateConfig cfg = CreateConfig::uniform(1e-3);
+    cfg.anomalyDetection = true;
+    const auto r = sys().runEpisode(MineTask::Wooden, 42, cfg);
+    EXPECT_GT(r.anomaliesCleared, 0u);
+}
+
+TEST(CreateSystem, EvaluateAggregates)
+{
+    const auto s = sys().evaluate(MineTask::Wooden, CreateConfig::clean(), 3);
+    EXPECT_EQ(s.episodes, 3);
+    EXPECT_GT(s.successRate, 0.5);
+    EXPECT_GT(s.avgComputeJ, 0.0);
+}
+
+TEST(CreateSystem, EnergyGrowsWithFailedEpisodes)
+{
+    // Failed episodes run to the task cap, so heavy injection costs more
+    // energy per task than clean runs (the Fig. 1(d) effect).
+    const auto clean = sys().evaluate(MineTask::Wooden,
+                                      CreateConfig::clean(), 3);
+    CreateConfig noisy = CreateConfig::uniform(5e-3);
+    const auto bad = sys().evaluate(MineTask::Wooden, noisy, 3);
+    EXPECT_GT(bad.avgComputeJ, clean.avgComputeJ);
+}
+
+TEST(VoltageScaler, AdjustsControllerContext)
+{
+    VoltageScaler scaler(sys().predictor(),
+                         EntropyVoltagePolicy::constant(0.72), 5);
+    MineWorld w({40, 40, MineTask::Wooden, 9});
+    w.setActiveSubtask({SubtaskType::MineLog, 2});
+    ComputeContext cctx(9);
+    cctx.setVoltageMode();
+    EpisodeResult r;
+    scaler.beforeController(w, 0, cctx, r);
+    EXPECT_NEAR(cctx.voltage(), 0.72, 1e-9);
+    EXPECT_EQ(r.predictorInvocations, 1);
+    // Off-interval steps leave the voltage alone (5-step updates).
+    scaler.beforeController(w, 3, cctx, r);
+    EXPECT_EQ(r.predictorInvocations, 1);
+    scaler.beforeController(w, 5, cctx, r);
+    EXPECT_EQ(r.predictorInvocations, 2);
+}
+
+TEST(VoltageScaler, LdoTracksTransitions)
+{
+    VoltageScaler scaler(sys().predictor(),
+                         EntropyVoltagePolicy::preset('F'), 5);
+    EXPECT_EQ(scaler.ldo().transitions(), 0u);
+    MineWorld w({40, 40, MineTask::Log, 10});
+    w.setActiveSubtask({SubtaskType::MineLog, 2});
+    ComputeContext cctx(10);
+    EpisodeResult r;
+    scaler.beforeController(w, 0, cctx, r);
+    EXPECT_GE(scaler.ldo().transitions(), 1u);
+    EXPECT_LE(scaler.ldo().vout(), 0.90);
+    EXPECT_GE(scaler.ldo().vout(), 0.60);
+}
+
+TEST(Metrics, AggregateComputesRates)
+{
+    PaperEnergyModel em;
+    EpisodeResult ok;
+    ok.success = true;
+    ok.steps = 100;
+    ok.plannerInvocations = 1;
+    EpisodeResult fail;
+    fail.success = false;
+    fail.steps = 2000;
+    fail.plannerInvocations = 9;
+    const auto s = aggregate({ok, fail}, em);
+    EXPECT_EQ(s.episodes, 2);
+    EXPECT_EQ(s.successes, 1);
+    EXPECT_DOUBLE_EQ(s.successRate, 0.5);
+    EXPECT_DOUBLE_EQ(s.avgStepsSuccess, 100.0);
+    EXPECT_GT(em.episodeComputeJ(fail), em.episodeComputeJ(ok));
+}
+
+TEST(Metrics, VoltageRatioScalesEnergy)
+{
+    PaperEnergyModel em;
+    EpisodeResult r;
+    r.steps = 100;
+    r.plannerInvocations = 1;
+    const double base = em.episodeComputeJ(r);
+    r.controllerV2Ratio = 0.5;
+    r.plannerV2Ratio = 0.5;
+    EXPECT_NEAR(em.episodeComputeJ(r), base * 0.5, base * 0.01);
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Property tests for the CREATE techniques that hold for *any* weights
+ * (no trained models needed): weight-rotation exactness across
+ * architectures, outlier-planting structure, protection-scheme energy
+ * accounting, and error-model equivalences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rotation.hpp"
+#include "fault/error_model.hpp"
+#include "hw/faulty_gemm.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+namespace {
+
+PlannerConfig
+tinyConfig(int dim, int layers, float outlierScale)
+{
+    PlannerConfig cfg;
+    cfg.name = "tiny";
+    cfg.dim = dim;
+    cfg.mlpDim = dim * 3;
+    cfg.layers = layers;
+    cfg.heads = 4;
+    cfg.numTasks = 5;
+    cfg.maxDone = 4;
+    cfg.maxPlanLen = 6;
+    cfg.planVocab = 8;
+    cfg.outlierScale = outlierScale;
+    cfg.outlierChannels = 3;
+    return cfg;
+}
+
+} // namespace
+
+/** Rotation must preserve the clean function for any architecture/init. */
+class RotationExactness
+    : public ::testing::TestWithParam<std::tuple<int, int, float>>
+{
+};
+
+TEST_P(RotationExactness, CleanLogitsUnchanged)
+{
+    const auto [dim, layers, scale] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(dim * 131 + layers));
+    PlannerModel m(tinyConfig(dim, layers, scale), rng);
+    // Give the norm gains non-trivial values so folding is exercised.
+    for (int l = 0; l < layers; ++l) {
+        auto& blk = m.block(l);
+        for (std::int64_t j = 0; j < dim; ++j) {
+            blk.norm1().gain()[j] = 0.5f + 0.05f * static_cast<float>(j % 7);
+            blk.norm2().gain()[j] = 1.5f - 0.04f * static_cast<float>(j % 5);
+        }
+    }
+    ComputeContext c1(1), c2(2);
+    c1.calibrating = c2.calibrating = true;
+    std::vector<Tensor> before;
+    for (int t = 0; t < 5; ++t)
+        before.push_back(m.inferLogits(t, 0, c1));
+    applyWeightRotation(m);
+    for (int t = 0; t < 5; ++t) {
+        const Tensor after = m.inferLogits(t, 0, c2);
+        const float scaleRef = std::max(1.0f, before[static_cast<std::size_t>(t)].absMax());
+        EXPECT_LT(ops::maxAbsDiff(before[static_cast<std::size_t>(t)], after),
+                  2e-3f * scaleRef)
+            << "dim=" << dim << " layers=" << layers;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, RotationExactness,
+    ::testing::Values(std::make_tuple(16, 1, 1.0f),
+                      std::make_tuple(16, 2, 8.0f),
+                      std::make_tuple(32, 2, 12.0f),
+                      std::make_tuple(64, 1, 12.0f),
+                      std::make_tuple(64, 3, 6.0f)));
+
+TEST(RotationProps, RejectsNonPowerOfTwoDim)
+{
+    Rng rng(1);
+    PlannerConfig cfg = tinyConfig(16, 1, 1.0f);
+    cfg.dim = 24;
+    EXPECT_THROW(PlannerModel(cfg, rng), std::invalid_argument);
+}
+
+TEST(OutlierPlanting, StructuralOnPreNormComponents)
+{
+    Rng rng(3);
+    PlannerModel m(tinyConfig(32, 2, 10.0f), rng);
+    for (int l = 0; l < 2; ++l) {
+        EXPECT_TRUE(m.block(l).attn().o().hasOutChannelScale());
+        EXPECT_TRUE(m.block(l).down().hasOutChannelScale());
+        EXPECT_FALSE(m.block(l).attn().k().hasOutChannelScale());
+        // The planted channels carry the configured scale.
+        EXPECT_FLOAT_EQ(m.block(l).attn().o().outChannelScale()[7], 10.0f);
+    }
+}
+
+TEST(OutlierPlanting, InflatesCalibratedRangesOfPreNormOutputs)
+{
+    Rng rng(4);
+    PlannerModel m(tinyConfig(32, 1, 12.0f), rng);
+    ComputeContext ctx(4);
+    ctx.calibrating = true;
+    for (int t = 0; t < 5; ++t)
+        m.inferLogits(t, 0, ctx);
+    const float oMax = m.block(0).attn().o().quantState().outObs.absMax();
+    const float kMax = m.block(0).attn().k().quantState().outObs.absMax();
+    EXPECT_GT(oMax, 2.0f * kMax);
+}
+
+TEST(ProtectionAccounting, AbftChargesChecksumEvenWhenClean)
+{
+    Rng rng(5);
+    Tensor x({4, 8}), w({8, 4});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.normal());
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.normal());
+    ComputeContext ctx(5);
+    ctx.protection = Protection::Abft;
+    QuantGemmState st;
+    ctx.calibrating = true;
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    ctx.calibrating = false;
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    // One GEMM (4*8*4) + one checksum pass ((4+4)*8).
+    EXPECT_DOUBLE_EQ(ctx.meter.usage(Domain::Other).macs,
+                     4.0 * 8 * 4 + (4 + 4) * 8);
+}
+
+TEST(ProtectionAccounting, ThunderVoltChargesBypassOverhead)
+{
+    Rng rng(6);
+    Tensor x({4, 8}), w({8, 4});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.normal());
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.normal());
+    ComputeContext ctx(6);
+    ctx.protection = Protection::ThunderVolt;
+    QuantGemmState st;
+    ctx.calibrating = true;
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    ctx.calibrating = false;
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    EXPECT_DOUBLE_EQ(ctx.meter.usage(Domain::Other).macs,
+                     4.0 * 8 * 4 * 1.05);
+}
+
+TEST(ErrorModelProps, UniformAndTimingAgreeOnMeanRate)
+{
+    for (double v : {0.85, 0.75, 0.65}) {
+        const TimingErrorModel tm(v);
+        const UniformErrorModel um(tm.meanBitRate());
+        EXPECT_NEAR(um.meanBitRate(), tm.meanBitRate(),
+                    tm.meanBitRate() * 1e-9);
+    }
+}
+
+TEST(ErrorModelProps, RatesAreProbabilities)
+{
+    for (double v = 0.60; v <= 0.901; v += 0.01) {
+        const TimingErrorModel tm(v);
+        for (int b = 0; b < kAccumulatorBits; ++b) {
+            EXPECT_GE(tm.bitRate(b), 0.0);
+            EXPECT_LE(tm.bitRate(b), 0.75); // activity cap
+        }
+    }
+}
+
+TEST(HadamardProps, RotationReducesPlannedOutlierAbsmax)
+{
+    // A vector with planted outliers has a much smaller absmax after the
+    // orthogonal rotation -- the WR mechanism in one line.
+    const int d = 64;
+    Rng rng(7);
+    Tensor x({1, d});
+    for (int i = 0; i < d; ++i)
+        x[i] = static_cast<float>(rng.normal());
+    for (int i = 0; i < 4; ++i)
+        x[(7 + i * 13) % d] *= 12.0f;
+    const Tensor h = ops::hadamard(d);
+    const Tensor y = ops::matmul(x, h);
+    EXPECT_LT(y.absMax(), 0.5f * x.absMax());
+}

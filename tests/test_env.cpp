@@ -1,0 +1,300 @@
+/** @file Tests for MineWorld: generation, mechanics, plans, expert. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "env/mine_expert.hpp"
+#include "env/mineworld.hpp"
+
+using namespace create;
+
+namespace {
+
+MineWorld
+makeWorld(MineTask task, std::uint64_t seed = 7)
+{
+    return MineWorld({40, 40, task, seed});
+}
+
+/** Drive the world with the privileged expert through one subtask. */
+bool
+expertCompleteSubtask(MineWorld& w, const Subtask& st, Rng& rng,
+                      int budget = 400)
+{
+    w.setActiveSubtask(st);
+    for (int i = 0; i < budget && !w.subtaskComplete(); ++i)
+        w.step(MineExpert::act(w, rng));
+    return w.subtaskComplete();
+}
+
+} // namespace
+
+TEST(MineWorld, DeterministicGeneration)
+{
+    MineWorld a = makeWorld(MineTask::Stone, 11);
+    MineWorld b = makeWorld(MineTask::Stone, 11);
+    for (int y = 0; y < 40; ++y)
+        for (int x = 0; x < 40; ++x)
+            ASSERT_EQ(a.blockAt(x, y), b.blockAt(x, y));
+    EXPECT_EQ(a.mobs().size(), b.mobs().size());
+}
+
+TEST(MineWorld, DifferentSeedsDiffer)
+{
+    MineWorld a = makeWorld(MineTask::Stone, 1);
+    MineWorld b = makeWorld(MineTask::Stone, 2);
+    int diff = 0;
+    for (int y = 0; y < 40; ++y)
+        for (int x = 0; x < 40; ++x)
+            diff += a.blockAt(x, y) != b.blockAt(x, y) ? 1 : 0;
+    EXPECT_GT(diff, 10);
+}
+
+TEST(MineWorld, SpawnAreaClear)
+{
+    MineWorld w = makeWorld(MineTask::Log);
+    for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+            EXPECT_EQ(w.blockAt(w.agentX() + dx, w.agentY() + dy), Block::Air);
+}
+
+TEST(MineWorld, BorderIsImpassable)
+{
+    MineWorld w = makeWorld(MineTask::Log);
+    EXPECT_EQ(w.blockAt(-1, 0), Block::Water);
+    EXPECT_FALSE(MineWorld::passable(w.blockAt(-1, 0)));
+}
+
+TEST(MineWorld, MoveIntoBlockedCellOnlyTurns)
+{
+    MineWorld w = makeWorld(MineTask::Log, 3);
+    // Surround agent check: walk west until blocked.
+    int lastX = w.agentX();
+    for (int i = 0; i < 40; ++i) {
+        w.step(Action::MoveW);
+        if (w.agentX() == lastX)
+            break;
+        lastX = w.agentX();
+    }
+    EXPECT_EQ(w.facingDx(), -1); // facing west regardless of the block
+}
+
+TEST(MineWorld, MiningRequiresConsecutiveHits)
+{
+    MineWorld w = makeWorld(MineTask::Log, 5);
+    Rng rng(5);
+    w.setActiveSubtask({SubtaskType::MineLog, 1});
+    // Walk the expert until it faces a tree, then count hits.
+    for (int i = 0; i < 300; ++i) {
+        const int fx = w.agentX() + w.facingDx();
+        const int fy = w.agentY() + w.facingDy();
+        if (w.blockAt(fx, fy) == Block::Tree)
+            break;
+        w.step(MineExpert::act(w, rng));
+    }
+    const int fx = w.agentX() + w.facingDx();
+    const int fy = w.agentY() + w.facingDy();
+    ASSERT_EQ(w.blockAt(fx, fy), Block::Tree);
+    w.step(Action::Attack);
+    EXPECT_EQ(w.miningProgress(), 1);
+    w.step(Action::Attack);
+    EXPECT_EQ(w.miningProgress(), 2);
+    // Interruption resets the chain (the Fig. 7 critical-step mechanic).
+    w.step(Action::Noop);
+    EXPECT_EQ(w.miningProgress(), 0);
+    w.step(Action::Attack);
+    w.step(Action::Attack);
+    w.step(Action::Attack);
+    EXPECT_EQ(w.itemCount(Item::Log), 1);
+    EXPECT_EQ(w.blockAt(fx, fy), Block::Air);
+}
+
+TEST(MineWorld, StoneNeedsPickaxe)
+{
+    MineWorld w = makeWorld(MineTask::Stone, 6);
+    EXPECT_FALSE(w.canMine(Block::Stone));
+    w.grantItem(Item::WoodenPickaxe, 1);
+    EXPECT_TRUE(w.canMine(Block::Stone));
+    EXPECT_FALSE(w.canMine(Block::IronOre));
+    w.grantItem(Item::StonePickaxe, 1);
+    EXPECT_TRUE(w.canMine(Block::IronOre));
+}
+
+TEST(MineWorld, CraftRecipesConsumeAndProduce)
+{
+    MineWorld w = makeWorld(MineTask::Wooden, 7);
+    w.grantItem(Item::Log, 1);
+    w.setActiveSubtask({SubtaskType::CraftPlanks, 4});
+    w.step(Action::Craft);
+    EXPECT_EQ(w.itemCount(Item::Planks), 4);
+    EXPECT_EQ(w.itemCount(Item::Log), 0);
+    EXPECT_TRUE(w.subtaskComplete());
+}
+
+TEST(MineWorld, CraftFailsWithoutIngredients)
+{
+    MineWorld w = makeWorld(MineTask::Wooden, 8);
+    w.setActiveSubtask({SubtaskType::CraftWoodenPickaxe, 1});
+    w.step(Action::Craft);
+    EXPECT_EQ(w.itemCount(Item::WoodenPickaxe), 0);
+}
+
+TEST(MineWorld, CraftOnlyForActiveSubtask)
+{
+    MineWorld w = makeWorld(MineTask::Wooden, 9);
+    w.grantItem(Item::Log, 2);
+    w.setActiveSubtask({SubtaskType::MineLog, 1}); // gather subtask
+    w.step(Action::Craft);
+    EXPECT_EQ(w.itemCount(Item::Planks), 0);
+}
+
+TEST(MineWorld, SmeltNeedsFurnaceAndFuel)
+{
+    MineWorld w = makeWorld(MineTask::Iron, 10);
+    w.setActiveSubtask({SubtaskType::SmeltIron, 1});
+    w.grantItem(Item::IronOre, 1);
+    w.step(Action::Smelt); // no furnace
+    EXPECT_EQ(w.itemCount(Item::IronIngot), 0);
+    w.grantItem(Item::Furnace, 1);
+    w.step(Action::Smelt); // no fuel
+    EXPECT_EQ(w.itemCount(Item::IronIngot), 0);
+    EXPECT_EQ(w.itemCount(Item::IronOre), 1); // material not lost
+    w.grantItem(Item::Coal, 1);
+    w.step(Action::Smelt);
+    EXPECT_EQ(w.itemCount(Item::IronIngot), 1);
+    EXPECT_EQ(w.itemCount(Item::Coal), 0);
+}
+
+TEST(MineWorld, CharcoalNeedsTwoLogs)
+{
+    MineWorld w = makeWorld(MineTask::Charcoal, 11);
+    w.setActiveSubtask({SubtaskType::SmeltCharcoal, 1});
+    w.grantItem(Item::Furnace, 1);
+    w.grantItem(Item::Log, 1);
+    w.step(Action::Smelt);
+    EXPECT_EQ(w.itemCount(Item::Charcoal), 0); // 1 log is not enough
+    w.grantItem(Item::Log, 1);
+    w.step(Action::Smelt);
+    EXPECT_EQ(w.itemCount(Item::Charcoal), 1);
+    EXPECT_EQ(w.itemCount(Item::Log), 0); // material + fuel consumed
+}
+
+TEST(MineWorld, ShearingHasCooldown)
+{
+    MineWorld w = makeWorld(MineTask::Wool, 12);
+    w.setActiveSubtask({SubtaskType::ShearWool, 5});
+    Rng rng(12);
+    // Drive with expert until first wool arrives.
+    for (int i = 0; i < 600 && w.itemCount(Item::Wool) == 0; ++i)
+        w.step(MineExpert::act(w, rng));
+    EXPECT_GE(w.itemCount(Item::Wool), 1);
+}
+
+TEST(MineWorld, ObservationDimensionsStable)
+{
+    MineWorld w = makeWorld(MineTask::Stone, 13);
+    w.setActiveSubtask({SubtaskType::MineLog, 2});
+    const MineObs obs = w.observe();
+    EXPECT_EQ(static_cast<int>(obs.spatial.size()), MineObs::spatialDim());
+    EXPECT_EQ(static_cast<int>(obs.state.size()), MineObs::stateDim());
+}
+
+TEST(MineWorld, RenderImageShapeAndRange)
+{
+    MineWorld w = makeWorld(MineTask::Stone, 14);
+    const Tensor img = w.renderImage(24);
+    EXPECT_EQ(img.dim(0), 3);
+    EXPECT_EQ(img.dim(1), 24);
+    EXPECT_EQ(img.dim(2), 24);
+    for (std::int64_t i = 0; i < img.numel(); ++i) {
+        EXPECT_GE(img[i], 0.0f);
+        EXPECT_LE(img[i], 1.0f);
+    }
+}
+
+TEST(MineWorld, SubtaskCompletionUsesBaseline)
+{
+    MineWorld w = makeWorld(MineTask::Log, 15);
+    w.grantItem(Item::Log, 5);
+    w.setActiveSubtask({SubtaskType::MineLog, 2});
+    EXPECT_FALSE(w.subtaskComplete()); // pre-existing logs don't count
+    w.grantItem(Item::Log, 2);
+    EXPECT_TRUE(w.subtaskComplete());
+}
+
+TEST(GoldPlans, InventoryFeasibility)
+{
+    // Property: simulating each gold plan on a pure inventory level (all
+    // gathers succeed) must satisfy every craft/smelt recipe on the way
+    // and end with the task goal.
+    for (int t = 0; t < kNumMineTasks; ++t) {
+        const auto task = static_cast<MineTask>(t);
+        MineWorld w = makeWorld(task, 100 + static_cast<std::uint64_t>(t));
+        for (const auto& st : goldPlan(task)) {
+            w.setActiveSubtask(st);
+            if (st.isCraft() || st.isSmelt()) {
+                int guard = 0;
+                while (!w.subtaskComplete() && guard++ < 10)
+                    w.step(st.isCraft() ? Action::Craft : Action::Smelt);
+            } else {
+                w.grantItem(st.produces(), st.count);
+            }
+            ASSERT_TRUE(w.subtaskComplete())
+                << mineTaskName(task) << " stuck at " << st.str();
+        }
+        EXPECT_TRUE(w.taskComplete()) << mineTaskName(task);
+    }
+}
+
+TEST(GoldPlans, TokenVocabularyRoundTrips)
+{
+    // Implicitly also checked by the planner corpus; plans are non-empty
+    // and within the planner's maxPlanLen.
+    for (int t = 0; t < kNumMineTasks; ++t) {
+        const auto plan = goldPlan(static_cast<MineTask>(t));
+        EXPECT_FALSE(plan.empty());
+        EXPECT_LE(plan.size(), 12u);
+    }
+}
+
+/** Property: the privileged expert completes every task end to end. */
+class ExpertSolvesTask : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExpertSolvesTask, FullGoldPlan)
+{
+    const auto task = static_cast<MineTask>(GetParam());
+    int successes = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        MineWorld w = makeWorld(task, seed * 997);
+        Rng rng(seed);
+        bool ok = true;
+        for (const auto& st : goldPlan(task)) {
+            if (!expertCompleteSubtask(w, st, rng)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok && w.taskComplete())
+            ++successes;
+    }
+    EXPECT_GE(successes, 2) << mineTaskName(task);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, ExpertSolvesTask,
+                         ::testing::Range(0, kNumMineTasks),
+                         [](const auto& info) {
+                             return mineTaskName(
+                                 static_cast<MineTask>(info.param));
+                         });
+
+TEST(MineTaskNames, RoundTrip)
+{
+    for (int t = 0; t < kNumMineTasks; ++t) {
+        const auto task = static_cast<MineTask>(t);
+        EXPECT_EQ(mineTaskByName(mineTaskName(task)), task);
+    }
+    EXPECT_THROW(mineTaskByName("no_such_task"), std::invalid_argument);
+}

@@ -1,0 +1,347 @@
+/** @file Tests for the hardware pipeline: faulty GEMM, AD, systolic, LDO. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/faulty_gemm.hpp"
+#include "hw/ldo.hpp"
+#include "hw/systolic.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+namespace {
+
+Tensor
+randomTensor(std::vector<std::int64_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+/** Calibrate a layer state on (x, w) and return the exact product. */
+Tensor
+calibrate(const Tensor& x, const Tensor& w, QuantGemmState& st,
+          ComputeContext& ctx)
+{
+    ctx.calibrating = true;
+    Tensor y = faultyLinear(x, w, nullptr, st, ctx, "test");
+    ctx.calibrating = false;
+    return y;
+}
+
+} // namespace
+
+TEST(FaultyGemm, CalibrationPathIsExact)
+{
+    Rng rng(1);
+    const Tensor x = randomTensor({4, 16}, rng);
+    const Tensor w = randomTensor({16, 8}, rng);
+    ComputeContext ctx(1);
+    QuantGemmState st;
+    const Tensor y = calibrate(x, w, st, ctx);
+    EXPECT_LT(ops::maxAbsDiff(y, ops::matmul(x, w)), 1e-6f);
+    EXPECT_TRUE(st.inObs.seeded());
+    EXPECT_TRUE(st.outObs.seeded());
+}
+
+TEST(FaultyGemm, QuantizedCleanPathIsClose)
+{
+    Rng rng(2);
+    const Tensor x = randomTensor({8, 32}, rng);
+    const Tensor w = randomTensor({32, 8}, rng, 0.2f);
+    ComputeContext ctx(2);
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    const Tensor quant = faultyLinear(x, w, nullptr, st, ctx, "test");
+    // INT8 quantization noise only: relative error small vs output scale.
+    EXPECT_LT(ops::maxAbsDiff(exact, quant), exact.absMax() * 0.05f + 0.05f);
+}
+
+TEST(FaultyGemm, BiasAddedAfterPipeline)
+{
+    Rng rng(3);
+    const Tensor x = randomTensor({2, 8}, rng);
+    const Tensor w = randomTensor({8, 4}, rng);
+    Tensor bias({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+    ComputeContext ctx(3);
+    QuantGemmState st;
+    ctx.calibrating = true;
+    const Tensor y = faultyLinear(x, w, &bias, st, ctx, "test");
+    const Tensor expected =
+        ops::addRowBroadcast(ops::matmul(x, w), bias);
+    EXPECT_LT(ops::maxAbsDiff(y, expected), 1e-5f);
+}
+
+TEST(FaultyGemm, InjectionCorruptsOutputs)
+{
+    Rng rng(4);
+    const Tensor x = randomTensor({16, 64}, rng);
+    const Tensor w = randomTensor({64, 32}, rng, 0.2f);
+    ComputeContext ctx(4);
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    ctx.setUniformBer(0.02);
+    const Tensor faulty = faultyLinear(x, w, nullptr, st, ctx, "test");
+    EXPECT_GT(ops::maxAbsDiff(exact, faulty), 1.0f);
+    EXPECT_GT(ctx.meter.usage(Domain::Other).bitFlips, 0u);
+}
+
+TEST(FaultyGemm, AnomalyDetectionClampsLargeErrors)
+{
+    Rng rng(5);
+    const Tensor x = randomTensor({16, 64}, rng);
+    const Tensor w = randomTensor({64, 32}, rng, 0.2f);
+    ComputeContext ctxNoAd(5), ctxAd(5);
+    QuantGemmState stNoAd, stAd;
+    const Tensor exact = calibrate(x, w, stNoAd, ctxNoAd);
+    calibrate(x, w, stAd, ctxAd);
+    ctxNoAd.setUniformBer(0.01);
+    ctxAd.setUniformBer(0.01);
+    ctxAd.anomalyDetection = true;
+    const Tensor faulty = faultyLinear(x, w, nullptr, stNoAd, ctxNoAd, "t");
+    const Tensor protectedY = faultyLinear(x, w, nullptr, stAd, ctxAd, "t");
+    // AD bounds the worst-case deviation to roughly the calibrated range.
+    EXPECT_GT(ops::maxAbsDiff(exact, faulty),
+              ops::maxAbsDiff(exact, protectedY));
+    EXPECT_LE(protectedY.absMax(), stAd.outBound * 1.01f);
+    EXPECT_GT(ctxAd.meter.usage(Domain::Other).anomaliesCleared, 0u);
+}
+
+TEST(FaultyGemm, ComponentFilterTargetsInjection)
+{
+    Rng rng(6);
+    const Tensor x = randomTensor({8, 32}, rng);
+    const Tensor w = randomTensor({32, 16}, rng, 0.2f);
+    ComputeContext ctx(6);
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    ctx.setUniformBer(0.05);
+    ctx.componentFilter = ".attn.k";
+    const Tensor skipped =
+        faultyLinear(x, w, nullptr, st, ctx, "planner.blk0.attn.q");
+    EXPECT_LT(ops::maxAbsDiff(exact, skipped), exact.absMax() * 0.05f + 0.05f);
+    const Tensor hit =
+        faultyLinear(x, w, nullptr, st, ctx, "planner.blk0.attn.k");
+    EXPECT_GT(ops::maxAbsDiff(exact, hit), 1.0f);
+}
+
+TEST(FaultyGemm, MeterAccountsMacsAndVoltage)
+{
+    Rng rng(7);
+    const Tensor x = randomTensor({4, 8}, rng);
+    const Tensor w = randomTensor({8, 2}, rng);
+    ComputeContext ctx(7);
+    ctx.domain = Domain::Controller;
+    ctx.setVoltage(0.6);
+    QuantGemmState st;
+    calibrate(x, w, st, ctx); // calibration not metered
+    EXPECT_EQ(ctx.meter.usage(Domain::Controller).gemmCalls, 0u);
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    const auto& u = ctx.meter.usage(Domain::Controller);
+    EXPECT_EQ(u.gemmCalls, 1u);
+    EXPECT_DOUBLE_EQ(u.macs, 4.0 * 8.0 * 2.0);
+    EXPECT_NEAR(ctx.meter.effectiveVoltage(Domain::Controller), 0.6, 1e-9);
+}
+
+TEST(FaultyGemm, Int4ModeRuns)
+{
+    Rng rng(8);
+    const Tensor x = randomTensor({4, 16}, rng);
+    const Tensor w = randomTensor({16, 4}, rng, 0.2f);
+    ComputeContext ctx(8);
+    ctx.bits = QuantBits::Int4;
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    const Tensor y = faultyLinear(x, w, nullptr, st, ctx, "t");
+    // INT4 noise is larger but bounded.
+    EXPECT_LT(ops::maxAbsDiff(exact, y), exact.absMax() * 0.5f + 0.5f);
+}
+
+// --- protection schemes ------------------------------------------------------
+
+TEST(Protection, DmrDoublesEnergyWhenClean)
+{
+    Rng rng(9);
+    const Tensor x = randomTensor({4, 8}, rng);
+    const Tensor w = randomTensor({8, 4}, rng);
+    ComputeContext ctx(9);
+    ctx.protection = Protection::Dmr;
+    QuantGemmState st;
+    calibrate(x, w, st, ctx);
+    faultyLinear(x, w, nullptr, st, ctx, "t");
+    EXPECT_DOUBLE_EQ(ctx.meter.usage(Domain::Other).macs, 2.0 * 4 * 8 * 4);
+}
+
+TEST(Protection, DmrSuppressesErrorsAtModerateBer)
+{
+    Rng rng(10);
+    const Tensor x = randomTensor({16, 64}, rng);
+    const Tensor w = randomTensor({64, 32}, rng, 0.2f);
+    ComputeContext plain(10), dmr(10);
+    QuantGemmState st1, st2;
+    const Tensor exact = calibrate(x, w, st1, plain);
+    calibrate(x, w, st2, dmr);
+    plain.setUniformBer(2e-4);
+    dmr.setUniformBer(2e-4);
+    dmr.protection = Protection::Dmr;
+    double plainErr = 0.0, dmrErr = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        plainErr +=
+            ops::maxAbsDiff(exact, faultyLinear(x, w, nullptr, st1, plain, "t"));
+        dmrErr +=
+            ops::maxAbsDiff(exact, faultyLinear(x, w, nullptr, st2, dmr, "t"));
+    }
+    EXPECT_LT(dmrErr, plainErr);
+}
+
+TEST(Protection, ThunderVoltZeroesFaultyOutputs)
+{
+    Rng rng(11);
+    const Tensor x = randomTensor({16, 64}, rng);
+    const Tensor w = randomTensor({64, 32}, rng, 0.2f);
+    ComputeContext ctx(11);
+    ctx.protection = Protection::ThunderVolt;
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    ctx.setUniformBer(0.01);
+    const Tensor y = faultyLinear(x, w, nullptr, st, ctx, "t");
+    // No large-magnitude survivors: every corrupted element was dropped.
+    EXPECT_LE(y.absMax(), exact.absMax() * 1.2f);
+    // But dropped (zeroed) outputs deviate from the exact result.
+    EXPECT_GT(ops::maxAbsDiff(exact, y), 0.1f);
+}
+
+TEST(Protection, AbftRecomputesUntilClean)
+{
+    Rng rng(12);
+    const Tensor x = randomTensor({16, 64}, rng);
+    const Tensor w = randomTensor({64, 32}, rng, 0.2f);
+    ComputeContext ctx(12);
+    ctx.protection = Protection::Abft;
+    QuantGemmState st;
+    const Tensor exact = calibrate(x, w, st, ctx);
+    ctx.setUniformBer(5e-5);
+    double worst = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        worst = std::max(
+            worst, static_cast<double>(ops::maxAbsDiff(
+                       exact, faultyLinear(x, w, nullptr, st, ctx, "t"))));
+    }
+    // Retries almost always land a clean pass at this BER.
+    EXPECT_LT(worst, exact.absMax() * 0.1f + 0.1f);
+}
+
+// --- systolic array -----------------------------------------------------------
+
+TEST(Systolic, MatchesIntGemm)
+{
+    Rng rng(13);
+    const std::int64_t m = 9, k = 150, n = 140;
+    std::vector<std::int8_t> xq(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> wq(static_cast<std::size_t>(k * n));
+    for (auto& v : xq)
+        v = static_cast<std::int8_t>(rng.rangeInclusive(-127, 127));
+    for (auto& v : wq)
+        v = static_cast<std::int8_t>(rng.rangeInclusive(-5, 5));
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(m * n), 0);
+    intGemm(xq.data(), m, k, wq.data(), n, ref.data());
+    SystolicArray arr;
+    Rng frng(13);
+    const auto res =
+        arr.run(xq.data(), m, k, wq.data(), n, {}, 0.0, frng);
+    EXPECT_EQ(res.acc, ref);
+    EXPECT_EQ(res.macs, static_cast<std::uint64_t>(m * k * n));
+}
+
+TEST(Systolic, CycleFormula)
+{
+    SystolicArray arr(SystolicConfig{128, 128, 2.0});
+    // One tile: load(128) + stream(m + 128 + 128 - 2).
+    EXPECT_EQ(arr.cyclesFor(10, 128, 128), 128u + 10u + 254u);
+    // 2x2 tiles doubles both K and N tiling.
+    EXPECT_EQ(arr.cyclesFor(10, 256, 256), 4u * (128u + 10u + 254u));
+}
+
+TEST(Systolic, AdRowClampsOutliers)
+{
+    std::vector<std::int8_t> xq = {127, 127};
+    std::vector<std::int8_t> wq = {127, 0, 127, 0};
+    SystolicArray arr;
+    Rng rng(14);
+    // acc[0] = 2*127*127 = 32258; bound below that clamps it to zero.
+    const auto res = arr.run(xq.data(), 1, 2, wq.data(), 2, {}, 1000.0, rng);
+    EXPECT_EQ(res.acc[0], 0);
+    EXPECT_EQ(res.anomaliesCleared, 1u);
+}
+
+// --- LDO -----------------------------------------------------------------------
+
+TEST(Ldo, QuantizesToGrid)
+{
+    DigitalLdo ldo;
+    EXPECT_NEAR(ldo.quantize(0.8449), 0.84, 1e-9);
+    EXPECT_NEAR(ldo.quantize(0.8451), 0.85, 1e-9);
+    EXPECT_NEAR(ldo.quantize(0.30), 0.60, 1e-9);
+    EXPECT_NEAR(ldo.quantize(1.20), 0.90, 1e-9);
+}
+
+TEST(Ldo, TransitionLatencyMatchesSlewSpec)
+{
+    DigitalLdo ldo;
+    // 0.90 -> 0.85 is 50 mV: one slew quantum of 90 ns (Table 2).
+    EXPECT_NEAR(ldo.set(0.85), 90.0, 1e-6);
+    // 0.85 -> 0.65 is 200 mV: 4x.
+    EXPECT_NEAR(ldo.set(0.65), 360.0, 1e-6);
+    EXPECT_EQ(ldo.transitions(), 2u);
+    EXPECT_NEAR(ldo.totalTransitionNs(), 450.0, 1e-6);
+}
+
+TEST(Ldo, NoOpWhenAlreadyThere)
+{
+    DigitalLdo ldo;
+    ldo.set(0.8);
+    EXPECT_DOUBLE_EQ(ldo.set(0.8), 0.0);
+    EXPECT_EQ(ldo.transitions(), 1u);
+}
+
+TEST(Ldo, WorstCaseBelowPaperBound)
+{
+    DigitalLdo ldo;
+    // Full 0.6-0.9 V swing: 540 ns, the Table 3 switching-latency bound.
+    EXPECT_NEAR(ldo.worstCaseLatencyNs(), 540.0, 1e-6);
+}
+
+TEST(Ldo, SpecSheetMatchesTable2)
+{
+    const LdoSpec spec;
+    EXPECT_DOUBLE_EQ(spec.vMin, 0.60);
+    EXPECT_DOUBLE_EQ(spec.vMax, 0.90);
+    EXPECT_DOUBLE_EQ(spec.vStep, 0.010);
+    EXPECT_DOUBLE_EQ(spec.peakCurrentEff, 0.998);
+    EXPECT_DOUBLE_EQ(spec.areaMm2, 0.43);
+}
+
+// --- energy meter ----------------------------------------------------------------
+
+TEST(EnergyMeter, EffectiveVoltageMixesQuadratically)
+{
+    EnergyMeter meter;
+    meter.addGemm(Domain::Controller, 100.0, 0.9);
+    meter.addGemm(Domain::Controller, 100.0, 0.6);
+    const double expected = 0.9 * std::sqrt((1.0 + (0.6 / 0.9) * (0.6 / 0.9)) / 2.0);
+    EXPECT_NEAR(meter.effectiveVoltage(Domain::Controller), expected, 1e-9);
+}
+
+TEST(EnergyMeter, DomainsAreSeparate)
+{
+    EnergyMeter meter;
+    meter.addGemm(Domain::Planner, 50.0, 0.9);
+    EXPECT_DOUBLE_EQ(meter.usage(Domain::Controller).macs, 0.0);
+    EXPECT_DOUBLE_EQ(meter.total().macs, 50.0);
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.total().macs, 0.0);
+}

@@ -1,0 +1,141 @@
+/** @file Tests for ManipWorld (cross-platform tasks) and its expert. */
+
+#include <gtest/gtest.h>
+
+#include "env/manip_expert.hpp"
+#include "env/manipworld.hpp"
+
+using namespace create;
+
+TEST(ManipWorld, DeterministicReset)
+{
+    ManipWorld a(ManipTask::Wine, 5);
+    ManipWorld b(ManipTask::Wine, 5);
+    EXPECT_EQ(a.objectX(), b.objectX());
+    EXPECT_EQ(a.goalX(), b.goalX());
+    EXPECT_EQ(a.gripperY(), b.gripperY());
+}
+
+TEST(ManipWorld, GraspOnlyOnObject)
+{
+    ManipWorld w(ManipTask::Coke, 6);
+    // Try grasping off-object: never succeeds.
+    if (w.gripperX() != w.objectX() || w.gripperY() != w.objectY()) {
+        w.step(ManipAction::Grasp);
+        EXPECT_FALSE(w.holding());
+    }
+}
+
+TEST(ManipWorld, HoldingMovesObject)
+{
+    ManipWorld w(ManipTask::Wine, 7);
+    Rng rng(7);
+    w.setActiveSubtask(ManipSubtask::ReachObject);
+    for (int i = 0; i < 60 && !w.subtaskComplete(); ++i)
+        w.step(ManipExpert::act(w, rng));
+    ASSERT_TRUE(w.subtaskComplete());
+    w.setActiveSubtask(ManipSubtask::GraspObject);
+    for (int i = 0; i < 20 && !w.holding(); ++i)
+        w.step(ManipAction::Grasp);
+    ASSERT_TRUE(w.holding());
+    const int ox = w.objectX();
+    w.step(ManipAction::MoveE);
+    if (w.gripperX() == ox + 1)
+        EXPECT_EQ(w.objectX(), ox + 1);
+}
+
+TEST(ManipWorld, PullChainResetsOnInterruption)
+{
+    ManipWorld w(ManipTask::Handle, 8);
+    Rng rng(8);
+    w.setActiveSubtask(ManipSubtask::ReachHandle);
+    for (int i = 0; i < 60 && !w.subtaskComplete(); ++i)
+        w.step(ManipExpert::act(w, rng));
+    ASSERT_TRUE(w.subtaskComplete());
+    w.setActiveSubtask(ManipSubtask::PullHandle);
+    w.step(ManipAction::Pull);
+    w.step(ManipAction::Pull);
+    EXPECT_EQ(w.pullProgress(), 2);
+    w.step(ManipAction::Noop); // interruption
+    EXPECT_EQ(w.pullProgress(), 0);
+    w.step(ManipAction::Pull);
+    w.step(ManipAction::Pull);
+    w.step(ManipAction::Pull);
+    EXPECT_TRUE(w.taskComplete());
+}
+
+TEST(ManipWorld, ButtonNeedsTwoPresses)
+{
+    ManipWorld w(ManipTask::Button, 9);
+    Rng rng(9);
+    w.setActiveSubtask(ManipSubtask::ReachButton);
+    for (int i = 0; i < 60 && !w.subtaskComplete(); ++i)
+        w.step(ManipExpert::act(w, rng));
+    ASSERT_TRUE(w.subtaskComplete());
+    w.setActiveSubtask(ManipSubtask::PressButton);
+    w.step(ManipAction::Press);
+    EXPECT_FALSE(w.taskComplete());
+    w.step(ManipAction::Press);
+    EXPECT_TRUE(w.taskComplete());
+}
+
+TEST(ManipWorld, ObservationDims)
+{
+    ManipWorld w(ManipTask::Bbq, 10);
+    const ManipObs obs = w.observe();
+    EXPECT_EQ(static_cast<int>(obs.spatial.size()), ManipObs::spatialDim());
+    EXPECT_EQ(static_cast<int>(obs.state.size()), ManipObs::stateDim());
+}
+
+TEST(ManipWorld, RenderImage)
+{
+    ManipWorld w(ManipTask::Bbq, 11);
+    const Tensor img = w.renderImage(24);
+    EXPECT_EQ(img.dim(0), 3);
+    EXPECT_EQ(img.dim(1), 24);
+    for (std::int64_t i = 0; i < img.numel(); ++i) {
+        EXPECT_GE(img[i], 0.0f);
+        EXPECT_LE(img[i], 1.0f);
+    }
+}
+
+TEST(ManipWorld, GoldPlansNonEmpty)
+{
+    for (int t = 0; t < kNumManipTasks; ++t) {
+        const auto plan = manipGoldPlan(static_cast<ManipTask>(t));
+        EXPECT_FALSE(plan.empty());
+        EXPECT_LE(plan.size(), 6u);
+    }
+}
+
+/** Property: the expert solves all twelve cross-platform tasks. */
+class ManipExpertSolves : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ManipExpertSolves, FullPlan)
+{
+    const auto task = static_cast<ManipTask>(GetParam());
+    int successes = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        ManipWorld w(task, seed * 131);
+        Rng rng(seed);
+        for (const auto st : manipGoldPlan(task)) {
+            w.setActiveSubtask(st);
+            for (int i = 0; i < 80 && !w.subtaskComplete(); ++i)
+                w.step(ManipExpert::act(w, rng));
+            if (!w.subtaskComplete())
+                break;
+        }
+        if (w.taskComplete())
+            ++successes;
+    }
+    EXPECT_GE(successes, 3) << manipTaskName(task);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, ManipExpertSolves,
+                         ::testing::Range(0, kNumManipTasks),
+                         [](const auto& info) {
+                             return manipTaskName(
+                                 static_cast<ManipTask>(info.param));
+                         });

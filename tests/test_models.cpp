@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the trained models (planner / controller / predictor) and the
+ * model zoo. These use the on-disk weight cache; the first-ever run of the
+ * suite trains the models (a few minutes), later runs load instantly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/anomaly.hpp"
+#include "core/rotation.hpp"
+#include "env/mine_expert.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+namespace {
+
+/** Shared, lazily-constructed model bundle (training is expensive). */
+MineModels&
+models()
+{
+    static MineModels m = ModelZoo::mineModels(/*verbose=*/false);
+    return m;
+}
+
+} // namespace
+
+TEST(PlanVocab, CoversAllGoldPlans)
+{
+    const auto& vocab = PlanVocab::mine();
+    for (int t = 0; t < kNumMineTasks; ++t) {
+        const auto plan = goldPlan(static_cast<MineTask>(t));
+        const auto tokens = vocab.encode(plan);
+        const auto back = vocab.decode(tokens);
+        ASSERT_EQ(back.size(), plan.size());
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            EXPECT_EQ(back[i].type, plan[i].type);
+            EXPECT_EQ(back[i].count, plan[i].count);
+        }
+    }
+}
+
+TEST(PlanVocab, DecodeDropsEndAndInvalid)
+{
+    const auto& vocab = PlanVocab::mine();
+    const auto plan = vocab.decode({0, vocab.endToken(), 1, 9999});
+    EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(SampleAction, FollowsDistribution)
+{
+    Rng rng(1);
+    // Extremely peaked logits: always the argmax.
+    const std::vector<float> peaked = {0.0f, 30.0f, 0.0f};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(sampleAction(peaked, rng), 1);
+    // Uniform logits: all actions appear.
+    const std::vector<float> uniform = {1.0f, 1.0f, 1.0f};
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(sampleAction(uniform, rng));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+/** Property: the clean planner reproduces the gold plan for every task
+ *  and every progress offset. */
+class PlannerGoldPlans : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PlannerGoldPlans, ExactFromEveryProgress)
+{
+    const int t = GetParam();
+    const auto& vocab = PlanVocab::mine();
+    const auto gold = vocab.encode(goldPlan(static_cast<MineTask>(t)));
+    ComputeContext ctx(7);
+    for (int done = 0; done <= static_cast<int>(gold.size()); ++done) {
+        const auto plan = models().planner->inferPlan(t, done, ctx);
+        ASSERT_EQ(plan.size(), gold.size() - static_cast<std::size_t>(done))
+            << "task " << mineTaskName(static_cast<MineTask>(t)) << " done "
+            << done;
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            EXPECT_EQ(plan[i], gold[static_cast<std::size_t>(done) + i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, PlannerGoldPlans,
+                         ::testing::Range(0, kNumMineTasks),
+                         [](const auto& info) {
+                             return mineTaskName(
+                                 static_cast<MineTask>(info.param));
+                         });
+
+TEST(Planner, OutlierChannelsPresent)
+{
+    // Pre-norm (O/Down) calibrated output ranges dwarf K's: the Fig. 5(i)
+    // phenomenon the planner's fragility stems from.
+    auto& p = *models().planner;
+    const float oMax = p.block(0).attn().o().quantState().outObs.absMax();
+    const float kMax = p.block(0).attn().k().quantState().outObs.absMax();
+    EXPECT_GT(oMax, 2.0f * kMax);
+}
+
+TEST(Planner, CorruptionDegradesPlans)
+{
+    ComputeContext ctx(11);
+    ctx.setUniformBer(3e-3);
+    int wrong = 0;
+    const auto& vocab = PlanVocab::mine();
+    const auto gold = vocab.encode(goldPlan(MineTask::Iron));
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto plan =
+            models().planner->inferPlan(static_cast<int>(MineTask::Iron), 0,
+                                        ctx);
+        if (plan != gold)
+            ++wrong;
+    }
+    EXPECT_GT(wrong, 0);
+}
+
+TEST(Rotation, PreservesCleanFunction)
+{
+    auto rotated = ModelZoo::minePlanner(false);
+    applyWeightRotation(*rotated);
+    ComputeContext c1(1), c2(2);
+    c1.calibrating = c2.calibrating = true;
+    for (int t = 0; t < kNumMineTasks; t += 3) {
+        const Tensor a = models().planner->inferLogits(t, 0, c1);
+        const Tensor b = rotated->inferLogits(t, 0, c2);
+        EXPECT_LT(ops::maxAbsDiff(a, b), 5e-3f) << "task " << t;
+    }
+}
+
+TEST(Rotation, RotatedPlannerStillPlansInInt8)
+{
+    auto rotated = ModelZoo::minePlanner(false);
+    applyWeightRotation(*rotated);
+    ModelZoo::calibrateMinePlanner(*rotated);
+    ComputeContext ctx(3);
+    const auto& vocab = PlanVocab::mine();
+    for (int t = 0; t < kNumMineTasks; ++t) {
+        const auto gold = vocab.encode(goldPlan(static_cast<MineTask>(t)));
+        EXPECT_EQ(rotated->inferPlan(t, 0, ctx), gold);
+    }
+}
+
+TEST(Rotation, TightensAnomalyBounds)
+{
+    auto rotated = ModelZoo::minePlanner(false);
+    applyWeightRotation(*rotated);
+    ModelZoo::calibrateMinePlanner(*rotated);
+    const auto base = plannerAdBounds(*models().planner);
+    const auto rot = plannerAdBounds(*rotated);
+    EXPECT_LT(rot.maxBound, base.maxBound * 0.7f);
+    EXPECT_LT(rot.meanBound, base.meanBound);
+}
+
+TEST(Rotation, RemovesStructuralScalesAndGains)
+{
+    auto rotated = ModelZoo::minePlanner(false);
+    applyWeightRotation(*rotated);
+    for (int l = 0; l < rotated->config().layers; ++l) {
+        EXPECT_FALSE(rotated->block(l).attn().o().hasOutChannelScale());
+        EXPECT_FALSE(rotated->block(l).down().hasOutChannelScale());
+        for (std::int64_t j = 0; j < rotated->config().dim; ++j)
+            EXPECT_FLOAT_EQ(rotated->block(l).norm1().gain()[j], 1.0f);
+    }
+}
+
+TEST(Controller, CleanPolicyCompletesWoodenSubtasks)
+{
+    ComputeContext ctx(5);
+    Rng rng(5);
+    MineWorld w({40, 40, MineTask::Wooden, 123});
+    int completed = 0;
+    for (const auto& st : goldPlan(MineTask::Wooden)) {
+        w.setActiveSubtask(st);
+        for (int i = 0; i < 250 && !w.subtaskComplete(); ++i) {
+            const MineObs obs = w.observe();
+            const auto logits = models().controller->inferLogits(
+                static_cast<int>(st.type), obs.spatial, obs.state, ctx);
+            w.step(static_cast<Action>(sampleAction(logits, rng)));
+        }
+        if (!w.subtaskComplete())
+            break;
+        ++completed;
+    }
+    EXPECT_EQ(completed, 4);
+    EXPECT_TRUE(w.taskComplete());
+}
+
+TEST(Controller, EntropySeparatesCriticalSteps)
+{
+    ComputeContext ctx(6);
+    Rng rng(6);
+    MineWorld w({40, 40, MineTask::Log, 321});
+    w.setActiveSubtask({SubtaskType::MineLog, 5});
+    double hCritical = 0.0, hFree = 0.0;
+    int nCritical = 0, nFree = 0;
+    for (int i = 0; i < 400 && !w.subtaskComplete(); ++i) {
+        const MineObs obs = w.observe();
+        const auto logits = models().controller->inferLogits(
+            static_cast<int>(SubtaskType::MineLog), obs.spatial, obs.state,
+            ctx);
+        const double h = ops::entropy(ops::softmax(logits));
+        if (obs.spatial[11] > 0.5f) { // target directly in front
+            hCritical += h;
+            ++nCritical;
+        } else {
+            hFree += h;
+            ++nFree;
+        }
+        w.step(static_cast<Action>(sampleAction(logits, rng)));
+    }
+    ASSERT_GT(nCritical, 3);
+    ASSERT_GT(nFree, 3);
+    EXPECT_LT(hCritical / nCritical, 0.5 * hFree / nFree);
+}
+
+TEST(Predictor, CorrelatesWithTrueEntropy)
+{
+    auto frames = ModelZoo::minePredictorFrames(*models().controller, 1, 777);
+    ASSERT_GT(frames.size(), 50u);
+    ComputeContext ctx(8);
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    const auto n = static_cast<double>(frames.size());
+    for (const auto& f : frames) {
+        const double pred = models().predictor->infer(f.image, f.prompt, ctx);
+        const double truth = f.entropy;
+        sx += pred;
+        sy += truth;
+        sxx += pred * pred;
+        syy += truth * truth;
+        sxy += pred * truth;
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    const double r = cov / std::sqrt(std::max(vx * vy, 1e-12));
+    // Paper Fig. 14: R^2 = 0.92. Our scaled-down predictor should still
+    // correlate strongly.
+    EXPECT_GT(r, 0.55);
+}
+
+TEST(Zoo, CacheRoundTripsExactWeights)
+{
+    auto a = ModelZoo::minePlanner(false);
+    auto b = ModelZoo::minePlanner(false); // second load from cache
+    ComputeContext c1(1), c2(2);
+    c1.calibrating = c2.calibrating = true;
+    const Tensor la = a->inferLogits(0, 0, c1);
+    const Tensor lb = b->inferLogits(0, 0, c2);
+    EXPECT_EQ(ops::maxAbsDiff(la, lb), 0.0f);
+}
+
+TEST(Zoo, BcDatasetCoversAllActions)
+{
+    const auto data = ModelZoo::mineBcDataset(1, 999);
+    ASSERT_GT(data.size(), 300u);
+    std::set<int> actions;
+    for (const auto& s : data)
+        actions.insert(s.action);
+    // Movement, attack, craft, and smelt must all be demonstrated.
+    EXPECT_GE(actions.size(), 6u);
+    EXPECT_TRUE(actions.count(static_cast<int>(Action::Craft)));
+    EXPECT_TRUE(actions.count(static_cast<int>(Action::Attack)));
+}

@@ -1,0 +1,281 @@
+/** @file Tests for layers, transformer blocks, optimizer, serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optim.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/ops.hpp"
+
+using namespace create;
+
+namespace {
+
+Tensor
+randomTensor(std::vector<std::int64_t> shape, Rng& rng, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal()) * scale;
+    return t;
+}
+
+} // namespace
+
+TEST(Linear, TrainAndCalibratedInferAgree)
+{
+    Rng rng(1);
+    nn::Linear lin("lin", 8, 4, true, rng);
+    const Tensor x = randomTensor({3, 8}, rng);
+    const Tensor train = lin.forward(nn::Var(x)).value();
+    ComputeContext ctx(1);
+    ctx.calibrating = true;
+    const Tensor infer = lin.infer(x, ctx);
+    EXPECT_LT(ops::maxAbsDiff(train, infer), 1e-5f);
+}
+
+TEST(Linear, OutChannelScaleAppliesToBothPaths)
+{
+    Rng rng(2);
+    nn::Linear lin("lin", 8, 4, false, rng);
+    Tensor s({4}, {1.0f, 10.0f, 1.0f, 1.0f});
+    lin.setOutChannelScale(s);
+    const Tensor x = randomTensor({2, 8}, rng);
+    const Tensor train = lin.forward(nn::Var(x)).value();
+    ComputeContext ctx(2);
+    ctx.calibrating = true;
+    const Tensor infer = lin.infer(x, ctx);
+    EXPECT_LT(ops::maxAbsDiff(train, infer), 1e-4f);
+    // Channel 1 must be ~10x the unscaled product.
+    lin.clearOutChannelScale();
+    const Tensor plain = lin.forward(nn::Var(x)).value();
+    EXPECT_NEAR(train.at(0, 1), 10.0f * plain.at(0, 1), 1e-3f);
+}
+
+TEST(Linear, EffectiveWeightFoldsScale)
+{
+    Rng rng(3);
+    nn::Linear lin("lin", 4, 2, false, rng);
+    Tensor s({2}, {3.0f, 1.0f});
+    lin.setOutChannelScale(s);
+    const Tensor weff = lin.effectiveWeight();
+    EXPECT_NEAR(weff.at(0, 0), lin.weight().at(0, 0) * 3.0f, 1e-6f);
+    EXPECT_NEAR(weff.at(0, 1), lin.weight().at(0, 1), 1e-6f);
+}
+
+TEST(Embedding, LookupMatchesTable)
+{
+    Rng rng(4);
+    nn::Embedding emb("emb", 5, 3, rng);
+    const Tensor out = emb.infer({2, 4});
+    for (int j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(out.at(0, j), emb.table().at(2, j));
+        EXPECT_FLOAT_EQ(out.at(1, j), emb.table().at(4, j));
+    }
+    const Tensor train = emb.forward({2, 4}).value();
+    EXPECT_LT(ops::maxAbsDiff(out, train), 1e-7f);
+}
+
+TEST(Norms, RmsNormUnitGainPreservesRms)
+{
+    Rng rng(5);
+    nn::RMSNorm norm("n", 8);
+    const Tensor x = randomTensor({4, 8}, rng, 3.0f);
+    const Tensor y = norm.infer(x);
+    for (int i = 0; i < 4; ++i) {
+        double s = 0.0;
+        for (int j = 0; j < 8; ++j)
+            s += static_cast<double>(y.at(i, j)) * y.at(i, j);
+        EXPECT_NEAR(std::sqrt(s / 8.0), 1.0, 1e-2);
+    }
+}
+
+TEST(Norms, LayerNormZeroMeanUnitVar)
+{
+    Rng rng(6);
+    nn::LayerNorm norm("n", 8);
+    const Tensor x = randomTensor({4, 8}, rng, 3.0f);
+    const Tensor y = norm.infer(x);
+    for (int i = 0; i < 4; ++i) {
+        double mean = 0.0;
+        for (int j = 0; j < 8; ++j)
+            mean += y.at(i, j);
+        EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+    }
+}
+
+TEST(Norms, TrainInferAgreement)
+{
+    Rng rng(7);
+    nn::RMSNorm rms("r", 8);
+    nn::LayerNorm ln("l", 8);
+    const Tensor x = randomTensor({3, 8}, rng);
+    EXPECT_LT(ops::maxAbsDiff(rms.forward(nn::Var(x)).value(), rms.infer(x)),
+              1e-5f);
+    EXPECT_LT(ops::maxAbsDiff(ln.forward(nn::Var(x)).value(), ln.infer(x)),
+              1e-5f);
+}
+
+TEST(Conv2d, TrainAndInferAgree)
+{
+    Rng rng(8);
+    nn::Conv2d conv("c", 3, 5, 3, 2, 1, rng);
+    const Tensor img = randomTensor({3, 8, 8}, rng);
+    Tensor batch({1, 3, 8, 8});
+    std::copy(img.data(), img.data() + img.numel(), batch.data());
+    const Tensor train = conv.forward(nn::Var(batch)).value();
+    ComputeContext ctx(8);
+    ctx.calibrating = true;
+    const Tensor infer = conv.infer(img, ctx);
+    EXPECT_EQ(infer.dim(0), 5);
+    EXPECT_EQ(infer.dim(1), 4);
+    float maxDiff = 0.0f;
+    for (std::int64_t i = 0; i < infer.numel(); ++i)
+        maxDiff = std::max(maxDiff, std::fabs(infer[i] - train[i]));
+    EXPECT_LT(maxDiff, 1e-5f);
+}
+
+TEST(Attention, OutputShapeAndAgreement)
+{
+    Rng rng(9);
+    nn::MultiHeadAttention attn("a", 16, 4, rng);
+    const Tensor x = randomTensor({5, 16}, rng);
+    const Tensor train = attn.forward(nn::Var(x)).value();
+    ComputeContext ctx(9);
+    ctx.calibrating = true;
+    const Tensor infer = attn.infer(x, ctx);
+    EXPECT_EQ(train.dim(0), 5);
+    EXPECT_EQ(train.dim(1), 16);
+    EXPECT_LT(ops::maxAbsDiff(train, infer), 1e-4f);
+}
+
+TEST(Attention, RejectsIndivisibleHeads)
+{
+    Rng rng(10);
+    EXPECT_THROW(nn::MultiHeadAttention("a", 10, 4, rng),
+                 std::invalid_argument);
+}
+
+TEST(Transformer, LlamaBlockTrainInferAgree)
+{
+    Rng rng(11);
+    nn::LlamaBlock blk("b", 16, 32, 4, rng);
+    const Tensor x = randomTensor({4, 16}, rng);
+    const Tensor train = blk.forward(nn::Var(x)).value();
+    ComputeContext ctx(11);
+    ctx.calibrating = true;
+    const Tensor infer = blk.infer(x, ctx);
+    EXPECT_LT(ops::maxAbsDiff(train, infer), 1e-4f);
+}
+
+TEST(Transformer, PostNormBlockTrainInferAgree)
+{
+    Rng rng(12);
+    nn::PostNormBlock blk("b", 16, 32, 4, rng);
+    const Tensor x = randomTensor({4, 16}, rng);
+    const Tensor train = blk.forward(nn::Var(x)).value();
+    ComputeContext ctx(12);
+    ctx.calibrating = true;
+    const Tensor infer = blk.infer(x, ctx);
+    EXPECT_LT(ops::maxAbsDiff(train, infer), 1e-4f);
+}
+
+TEST(Transformer, PlantedOutliersInflateActivations)
+{
+    Rng rng(13);
+    nn::LlamaBlock plain("p", 16, 32, 4, rng);
+    Rng rng2(13);
+    nn::LlamaBlock outlier("p", 16, 32, 4, rng2); // identical weights
+    Tensor s = Tensor::full({16}, 1.0f);
+    s[3] = 12.0f;
+    outlier.plantOutliers(s);
+    const Tensor x = randomTensor({4, 16}, rng, 0.5f);
+    ComputeContext c1(13), c2(14);
+    c1.calibrating = c2.calibrating = true;
+    plain.infer(x, c1);
+    outlier.infer(x, c2);
+    // The outlier-laden block's O projection has a larger calibrated range.
+    EXPECT_GT(outlier.attn().o().quantState().outObs.absMax(),
+              2.0f * plain.attn().o().quantState().outObs.absMax());
+}
+
+TEST(Module, SaveLoadRoundTrip)
+{
+    Rng rng(15);
+    nn::LlamaBlock blk("blk", 16, 32, 4, rng);
+    BlobArchive ar;
+    blk.save(ar);
+    Rng rng2(999);
+    nn::LlamaBlock blk2("blk", 16, 32, 4, rng2); // different init
+    ASSERT_TRUE(blk2.load(ar));
+    const Tensor x = randomTensor({2, 16}, rng);
+    EXPECT_LT(ops::maxAbsDiff(blk.forward(nn::Var(x)).value(),
+                              blk2.forward(nn::Var(x)).value()),
+              1e-6f);
+}
+
+TEST(Module, LoadFailsOnMissingParam)
+{
+    Rng rng(16);
+    nn::Linear lin("other", 4, 4, true, rng);
+    BlobArchive ar;
+    lin.save(ar);
+    nn::Linear lin2("name", 4, 4, true, rng);
+    EXPECT_FALSE(lin2.load(ar));
+}
+
+TEST(Module, ParameterNamesAreDotted)
+{
+    Rng rng(17);
+    nn::LlamaBlock blk("planner.blk0", 16, 32, 4, rng);
+    bool foundK = false;
+    for (auto* p : blk.parameters())
+        if (p->name == "planner.blk0.attn.k.weight")
+            foundK = true;
+    EXPECT_TRUE(foundK);
+}
+
+TEST(AdamW, ConvergesOnLinearRegression)
+{
+    Rng rng(18);
+    nn::Linear lin("lin", 4, 1, true, rng);
+    // Ground truth: y = sum(x) + 1.
+    nn::AdamW opt(lin.parameters(), 5e-2);
+    const int n = 64;
+    const Tensor xs = randomTensor({n, 4}, rng);
+    Tensor ys({n, 1});
+    for (int i = 0; i < n; ++i) {
+        float s = 1.0f;
+        for (int j = 0; j < 4; ++j)
+            s += xs.at(i, j);
+        ys.at(i, 0) = s;
+    }
+    float firstLoss = 0.0f, lastLoss = 0.0f;
+    for (int epoch = 0; epoch < 300; ++epoch) {
+        opt.zeroGrad();
+        nn::Var pred = lin.forward(nn::Var(xs));
+        nn::Var loss = nn::mseLoss(pred, ys);
+        loss.backward();
+        opt.step();
+        if (epoch == 0)
+            firstLoss = loss.value()[0];
+        lastLoss = loss.value()[0];
+    }
+    EXPECT_LT(lastLoss, firstLoss * 0.05f);
+    EXPECT_LT(lastLoss, 0.05f);
+}
+
+TEST(AdamW, WeightDecayShrinksUnusedWeights)
+{
+    Rng rng(19);
+    nn::Linear lin("lin", 2, 1, false, rng);
+    const float before = std::fabs(lin.weight()[0]);
+    nn::AdamW opt(lin.parameters(), 1e-2, 0.9, 0.999, 1e-8, 0.5);
+    // Zero gradients -> only the decoupled decay acts.
+    for (int i = 0; i < 50; ++i) {
+        opt.zeroGrad();
+        opt.step();
+    }
+    EXPECT_LT(std::fabs(lin.weight()[0]), before);
+}
