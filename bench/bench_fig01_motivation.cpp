@@ -15,8 +15,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 12));
-    bench::preamble("Fig. 1(b)-(d) motivation", reps);
+    bench::preamble("Fig. 1(b)-(d) motivation", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
 
     Table b("Fig. 1(b): operating voltage -> computation bit error rate");
     b.header({"voltage (V)", "BER"});

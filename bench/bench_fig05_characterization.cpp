@@ -45,8 +45,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 5 resilience characterization", reps);
+    bench::preamble("Fig. 5 resilience characterization", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
 
     sweep(sys, "Fig. 5(a)-(b): planner-only injection", true,
           {1e-6, 1e-5, 1e-4, 3e-4, 1e-3}, "", reps);

@@ -15,8 +15,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 12));
-    bench::preamble("Fig. 13 CREATE techniques", reps);
+    bench::preamble("Fig. 13 CREATE techniques", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     // (a) AD on planner.

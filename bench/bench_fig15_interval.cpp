@@ -14,8 +14,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 15 voltage update interval", reps);
+    bench::preamble("Fig. 15 voltage update interval", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
 
     for (const char* taskName : {"wooden", "stone"}) {
         const MineTask task = mineTaskByName(taskName);

@@ -22,8 +22,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 6));
-    bench::preamble("Fig. 16 overall evaluation (8 tasks)", reps);
+    bench::preamble("Fig. 16 overall evaluation (8 tasks)", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
 
     // (a) Reliability at 0.75 V.
     {

@@ -6,185 +6,75 @@
  *      energy savings at iso task quality.
  *  (b) Controllers: AD+VS applied to the JARVIS-1, Octo and RT-1 stand-ins
  *      on OXE-style tasks -- controller-side savings.
+ *
+ * Every platform runs through the shared EmbodiedSystem interface: the
+ * JARVIS-1 rows use MineSystem, the manipulation rows use ManipSystem, and
+ * all episode repetition/aggregation happens in the common evaluation
+ * engine (parallel across --threads workers).
  */
 
-#include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "core/rotation.hpp"
-#include "models/platforms.hpp"
+#include "core/manip_system.hpp"
 
 using namespace create;
-
-namespace {
-
-/** One manipulation episode: planner decomposes, controller executes. */
-struct ManipResult
-{
-    bool success = false;
-    int steps = 0;
-    int plannerInvocations = 0;
-    double plannerV2 = 1.0;
-    double controllerV2 = 1.0;
-};
-
-ManipResult
-runManipEpisode(PlannerModel& planner, ControllerModel& controller,
-                EntropyPredictor* predictor,
-                const EntropyVoltagePolicy* policy, ManipTask task,
-                std::uint64_t seed, double plannerV, bool ad, bool inject)
-{
-    ManipResult r;
-    ManipWorld world(task, seed);
-    ComputeContext pctx(seed ^ 0x111);
-    ComputeContext cctx(seed ^ 0x222);
-    ComputeContext predCtx(seed ^ 0x333);
-    pctx.domain = Domain::Planner;
-    cctx.domain = Domain::Controller;
-    pctx.anomalyDetection = cctx.anomalyDetection = ad;
-    if (inject) {
-        pctx.setVoltage(plannerV);
-        pctx.setVoltageMode();
-        cctx.setVoltage(0.90);
-        cctx.setVoltageMode();
-    }
-    DigitalLdo ldo;
-    Rng rng(seed ^ 0x444);
-
-    const auto tokens =
-        planner.inferPlan(static_cast<int>(task), 0, pctx);
-    ++r.plannerInvocations;
-    const auto plan = platforms::decodeManipPlan(tokens);
-    const double maxH = std::log(static_cast<double>(kNumManipActions));
-    int steps = 0;
-    for (const auto st : plan) {
-        world.setActiveSubtask(st);
-        while (!world.subtaskComplete() && steps < ManipWorld::kStepCap) {
-            const ManipObs obs = world.observe();
-            if (predictor && policy && steps % 5 == 0) {
-                const double h = predictor->infer(
-                    world.renderImage(predictor->config().imgRes),
-                    platforms::manipPrompt(st, obs,
-                                           predictor->config().promptDim),
-                    predCtx);
-                ldo.set(policy->voltageFor(
-                    std::min(1.0, std::max(0.0, h / maxH))));
-                cctx.setVoltage(ldo.vout());
-            }
-            const auto logits = controller.inferLogits(
-                static_cast<int>(st), obs.spatial, obs.state, cctx);
-            world.step(
-                static_cast<ManipAction>(sampleAction(logits, rng)));
-            ++steps;
-        }
-        if (steps >= ManipWorld::kStepCap)
-            break;
-    }
-    r.success = world.taskComplete();
-    r.steps = r.success ? steps : ManipWorld::kStepCap;
-    const auto& pu = pctx.meter.usage(Domain::Planner);
-    const auto& cu = cctx.meter.usage(Domain::Controller);
-    if (pu.macs > 0)
-        r.plannerV2 = pu.v2WeightedMacs / pu.macs;
-    if (cu.macs > 0)
-        r.controllerV2 = cu.v2WeightedMacs / cu.macs;
-    return r;
-}
-
-struct AggStats
-{
-    double successRate = 0.0;
-    double plannerV2 = 1.0;
-    double controllerV2 = 1.0;
-    double avgSteps = 0.0;
-};
-
-template <typename F>
-AggStats
-repeat(int reps, F&& run)
-{
-    AggStats a;
-    double pv = 0, cv = 0, st = 0;
-    int ok = 0;
-    for (int i = 0; i < reps; ++i) {
-        const ManipResult r = run(static_cast<std::uint64_t>(1000 + i * 17));
-        ok += r.success ? 1 : 0;
-        pv += r.plannerV2;
-        cv += r.controllerV2;
-        st += r.steps;
-    }
-    a.successRate = static_cast<double>(ok) / reps;
-    a.plannerV2 = pv / reps;
-    a.controllerV2 = cv / reps;
-    a.avgSteps = st / reps;
-    return a;
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 17 cross-platform generality", reps);
+    const int threads = bench::evalThreads(cli);
+    bench::preamble("Fig. 17 cross-platform generality", reps, threads);
+
+    MineSystem jarvis(false);
+    ManipSystem libero("openvla", "octo", false);
+    ManipSystem calvin("roboflamingo", "rt1", false);
+    for (EmbodiedSystem* sys :
+         {static_cast<EmbodiedSystem*>(&jarvis),
+          static_cast<EmbodiedSystem*>(&libero),
+          static_cast<EmbodiedSystem*>(&calvin)})
+        sys->setEvalThreads(threads);
 
     // --- (a) planners: AD+WR ------------------------------------------------
     Table a("Fig. 17(a): planner energy savings with AD+WR (iso quality)");
     a.header({"platform", "benchmark task", "baseline success",
               "AD+WR success", "planner energy savings"});
 
-    // JARVIS-1 rows via the full Minecraft system.
-    {
-        CreateSystem sys(false);
-        for (const char* name : {"wooden", "stone"}) {
-            const MineTask task = mineTaskByName(name);
-            const auto base =
-                sys.evaluate(task, CreateConfig::clean(), reps);
-            CreateConfig adwr = CreateConfig::atVoltage(0.72, 0.90);
-            adwr.anomalyDetection = true;
-            adwr.weightRotation = true;
-            adwr.injectController = false;
-            const auto prot = sys.evaluate(task, adwr, reps);
-            const double save =
-                1.0 - (prot.avgPlannerEffV * prot.avgPlannerEffV) /
-                          (base.avgPlannerEffV * base.avgPlannerEffV);
-            a.row({"JARVIS-1", name, Table::pct(base.successRate),
-                   Table::pct(prot.successRate), Table::pct(save)});
-        }
-    }
+    CreateConfig adwr = CreateConfig::atVoltage(0.72, 0.90);
+    adwr.anomalyDetection = true;
+    adwr.weightRotation = true;
+    adwr.injectController = false;
 
-    const struct
+    struct PlannerRow
     {
+        EmbodiedSystem* sys;
         const char* platform;
-        std::vector<ManipTask> tasks;
-    } plannerPlatforms[] = {
-        {"openvla",
-         {ManipTask::Wine, ManipTask::Alphabet, ManipTask::Bbq}},
-        {"roboflamingo",
-         {ManipTask::Button, ManipTask::Block, ManipTask::Handle}},
+        std::vector<int> tasks;
     };
-    for (const auto& pp : plannerPlatforms) {
-        auto base = platforms::manipPlanner(pp.platform, true);
-        auto rotated = platforms::manipPlanner(pp.platform, false);
-        applyWeightRotation(*rotated);
-        platforms::calibrateManipPlanner(*rotated);
-        auto controller = platforms::manipController(
-            std::string(pp.platform) == "openvla" ? "octo" : "rt1", true);
-        for (const auto task : pp.tasks) {
-            const auto clean = repeat(reps, [&](std::uint64_t seed) {
-                return runManipEpisode(*base, *controller, nullptr, nullptr,
-                                       task, seed, 0.90, false, false);
-            });
-            const auto prot = repeat(reps, [&](std::uint64_t seed) {
-                return runManipEpisode(*rotated, *controller, nullptr,
-                                       nullptr, task, seed, 0.72, true,
-                                       true);
-            });
-            a.row({pp.platform, manipTaskName(task),
-                   Table::pct(clean.successRate),
-                   Table::pct(prot.successRate),
-                   Table::pct(1.0 - prot.plannerV2 / clean.plannerV2)});
+    const PlannerRow plannerRows[] = {
+        {&jarvis, "JARVIS-1",
+         {static_cast<int>(mineTaskByName("wooden")),
+          static_cast<int>(mineTaskByName("stone"))}},
+        {&libero, "openvla",
+         {static_cast<int>(ManipTask::Wine),
+          static_cast<int>(ManipTask::Alphabet),
+          static_cast<int>(ManipTask::Bbq)}},
+        {&calvin, "roboflamingo",
+         {static_cast<int>(ManipTask::Button),
+          static_cast<int>(ManipTask::Block),
+          static_cast<int>(ManipTask::Handle)}},
+    };
+    for (const auto& row : plannerRows) {
+        for (const int task : row.tasks) {
+            const auto base =
+                row.sys->evaluate(task, CreateConfig::clean(), reps);
+            const auto prot = row.sys->evaluate(task, adwr, reps);
+            const double save = 1.0 - prot.avgPlannerV2 / base.avgPlannerV2;
+            a.row({row.platform, row.sys->taskName(task),
+                   Table::pct(base.successRate), Table::pct(prot.successRate),
+                   Table::pct(save)});
         }
     }
     a.print();
@@ -194,57 +84,36 @@ main(int argc, char** argv)
             "quality)");
     b.header({"platform", "benchmark task", "baseline success",
               "AD+VS success", "controller energy savings"});
-    {
-        CreateSystem sys(false);
-        for (const char* name : {"charcoal", "chicken"}) {
-            const MineTask task = mineTaskByName(name);
-            const auto base =
-                sys.evaluate(task, CreateConfig::clean(), reps);
-            CreateConfig advs = CreateConfig::atVoltage(0.90, 0.90);
-            advs.anomalyDetection = true;
-            advs.voltageScaling = true;
-            advs.policy = EntropyVoltagePolicy::preset('E');
-            advs.injectPlanner = false;
-            const auto prot = sys.evaluate(task, advs, reps);
-            const double save =
-                1.0 - (prot.avgControllerEffV * prot.avgControllerEffV) /
-                          (base.avgControllerEffV * base.avgControllerEffV);
-            b.row({"JARVIS-1", name, Table::pct(base.successRate),
-                   Table::pct(prot.successRate), Table::pct(save)});
-        }
-    }
-    const struct
-    {
-        const char* platform;
-        std::vector<ManipTask> tasks;
-    } controllerPlatforms[] = {
-        {"octo",
-         {ManipTask::Eggplant, ManipTask::Coke, ManipTask::Carrot}},
-        {"rt1", {ManipTask::Open, ManipTask::Move, ManipTask::Place}},
+
+    CreateConfig advs = CreateConfig::atVoltage(0.90, 0.90);
+    advs.anomalyDetection = true;
+    advs.voltageScaling = true;
+    advs.policy = EntropyVoltagePolicy::preset('E');
+    advs.injectPlanner = false;
+
+    const PlannerRow controllerRows[] = {
+        {&jarvis, "JARVIS-1",
+         {static_cast<int>(mineTaskByName("charcoal")),
+          static_cast<int>(mineTaskByName("chicken"))}},
+        {&libero, "octo",
+         {static_cast<int>(ManipTask::Eggplant),
+          static_cast<int>(ManipTask::Coke),
+          static_cast<int>(ManipTask::Carrot)}},
+        {&calvin, "rt1",
+         {static_cast<int>(ManipTask::Open),
+          static_cast<int>(ManipTask::Move),
+          static_cast<int>(ManipTask::Place)}},
     };
-    const auto policy = EntropyVoltagePolicy::preset('E');
-    for (const auto& cp : controllerPlatforms) {
-        auto planner = platforms::manipPlanner(
-            std::string(cp.platform) == "octo" ? "openvla" : "roboflamingo",
-            true);
-        auto controller = platforms::manipController(cp.platform, true);
-        auto predictor =
-            platforms::manipPredictor(cp.platform, *controller, true);
-        for (const auto task : cp.tasks) {
-            const auto clean = repeat(reps, [&](std::uint64_t seed) {
-                return runManipEpisode(*planner, *controller, nullptr,
-                                       nullptr, task, seed, 0.90, false,
-                                       false);
-            });
-            const auto prot = repeat(reps, [&](std::uint64_t seed) {
-                return runManipEpisode(*planner, *controller,
-                                       predictor.get(), &policy, task, seed,
-                                       0.90, true, true);
-            });
-            b.row({cp.platform, manipTaskName(task),
-                   Table::pct(clean.successRate),
-                   Table::pct(prot.successRate),
-                   Table::pct(1.0 - prot.controllerV2 / clean.controllerV2)});
+    for (const auto& row : controllerRows) {
+        for (const int task : row.tasks) {
+            const auto base =
+                row.sys->evaluate(task, CreateConfig::clean(), reps);
+            const auto prot = row.sys->evaluate(task, advs, reps);
+            const double save =
+                1.0 - prot.avgControllerV2 / base.avgControllerV2;
+            b.row({row.platform, row.sys->taskName(task),
+                   Table::pct(base.successRate), Table::pct(prot.successRate),
+                   Table::pct(save)});
         }
     }
     b.print();

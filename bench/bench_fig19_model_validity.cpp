@@ -37,9 +37,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 19 uniform vs hardware-specific error model",
-                    reps);
+    bench::preamble("Fig. 19 uniform vs hardware-specific error model", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     for (const bool plannerSide : {true, false}) {

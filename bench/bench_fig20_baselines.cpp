@@ -20,8 +20,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 6));
-    bench::preamble("Fig. 20 comparison with existing techniques", reps);
+    bench::preamble("Fig. 20 comparison with existing techniques", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     Table t(std::string("Fig. 20: success / energy across voltages (") +

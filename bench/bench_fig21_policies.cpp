@@ -16,8 +16,9 @@ main(int argc, char** argv)
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 6));
     const int candidates = static_cast<int>(cli.integer("candidates", 16));
-    bench::preamble("Fig. 21 entropy-to-voltage policies", reps);
+    bench::preamble("Fig. 21 entropy-to-voltage policies", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     Table m("Fig. 21: preset policies A-F (voltage per normalized-entropy "

@@ -15,8 +15,9 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const int reps = static_cast<int>(cli.integer("reps", 8));
-    bench::preamble("Table 6 INT8 vs INT4 with AD+WR", reps);
+    bench::preamble("Table 6 INT8 vs INT4 with AD+WR", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
+    sys.setEvalThreads(bench::evalThreads(cli));
     const MineTask task = mineTaskByName(cli.str("task", "stone"));
 
     Table t("Table 6: success rate on stone with AD+WR (planner injection)");

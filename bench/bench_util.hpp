@@ -5,9 +5,11 @@
  * Shared scaffolding for the experiment benches. Every bench binary
  * regenerates one table/figure of the paper; run with no arguments for
  * the fast defaults, or raise --reps toward the paper's >=100 episode
- * repetitions. A note on axes: see EXPERIMENTS.md for why the BER axis of
- * the small stand-in models sits a few orders above the paper's (flips
- * per inference is the invariant, not BER).
+ * repetitions and --threads to fan repetitions out over the parallel
+ * evaluation engine (default: all hardware threads). A note on axes: see
+ * EXPERIMENTS.md for why the BER axis of the small stand-in models sits a
+ * few orders above the paper's (flips per inference is the invariant, not
+ * BER).
  */
 
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include "common/table.hpp"
 #include "core/anomaly.hpp"
 #include "core/create_system.hpp"
+#include "core/parallel_eval.hpp"
 
 namespace create::bench {
 
@@ -28,13 +31,22 @@ berStr(double ber)
     return buf;
 }
 
-/** Standard preamble: announce the artifact and the episode count. */
+/** Worker count for the parallel evaluator (--threads, default: all). */
+inline int
+evalThreads(const Cli& cli)
+{
+    const auto n = static_cast<int>(
+        cli.integer("threads", ParallelEvaluator::defaultThreads()));
+    return n < 1 ? 1 : n;
+}
+
+/** Standard preamble: announce the artifact, episode count, and threads. */
 inline void
-preamble(const char* artifact, int reps)
+preamble(const char* artifact, int reps, int threads = 1)
 {
     std::printf("Reproducing %s  (%d episodes/config; paper uses >=100, "
-                "raise with --reps)\n",
-                artifact, reps);
+                "raise with --reps; %d eval thread%s, set with --threads)\n",
+                artifact, reps, threads, threads == 1 ? "" : "s");
 }
 
 } // namespace create::bench

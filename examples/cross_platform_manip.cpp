@@ -2,17 +2,20 @@
  * @file
  * Cross-platform demo: the OpenVLA-style planner decomposes a LIBERO-style
  * tabletop task and the Octo-style controller executes it on ManipWorld,
- * with AD+WR protecting the planner at an aggressive voltage.
+ * with AD+WR protecting the planner at an aggressive voltage -- all through
+ * the same ManipSystem backend the Fig. 17 bench evaluates.
  *
- *   ./cross_platform_manip [--task wine] [--voltage 0.72]
+ *   ./cross_platform_manip [--task wine] [--voltage 0.72] [--reps 10]
+ *                          [--threads N]
  */
 
-#include <cmath>
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hpp"
-#include "core/rotation.hpp"
-#include "models/platforms.hpp"
+#include "common/table.hpp"
+#include "core/manip_system.hpp"
+#include "core/parallel_eval.hpp"
 
 using namespace create;
 
@@ -22,6 +25,10 @@ main(int argc, char** argv)
     Cli cli(argc, argv);
     const std::string taskName = cli.str("task", "wine");
     const double voltage = cli.real("voltage", 0.72);
+    const int reps = static_cast<int>(cli.integer("reps", 10));
+    const int threads = std::max(
+        1, static_cast<int>(
+               cli.integer("threads", ParallelEvaluator::defaultThreads())));
     ManipTask task = ManipTask::Wine;
     for (int t = 0; t < kNumManipTasks; ++t)
         if (taskName == manipTaskName(static_cast<ManipTask>(t)))
@@ -31,55 +38,59 @@ main(int argc, char** argv)
                 "(AD+WR @ %.2f V) and the Octo controller\n\n",
                 manipTaskName(task), voltage);
 
-    auto planner = platforms::manipPlanner("openvla");
-    applyWeightRotation(*planner);
-    platforms::calibrateManipPlanner(*planner);
-    auto controller = platforms::manipController("octo");
+    ManipSystem sys("openvla", "octo");
+    sys.setEvalThreads(threads);
 
-    ComputeContext pctx(1), cctx(2);
-    pctx.domain = Domain::Planner;
-    pctx.anomalyDetection = true;
-    pctx.setVoltage(voltage);
-    pctx.setVoltageMode();
-    cctx.domain = Domain::Controller;
+    CreateConfig protFlags = CreateConfig::atVoltage(voltage, 0.90);
+    protFlags.anomalyDetection = true;
+    protFlags.weightRotation = true;
+    protFlags.injectController = false;
 
-    ManipWorld world(task, 777);
-    const auto tokens = planner->inferPlan(static_cast<int>(task), 0, pctx);
-    const auto plan = platforms::decodeManipPlan(tokens);
-    static const char* subtaskNames[] = {
-        "reach object", "grasp object",  "transport to goal",
-        "release at goal", "reach button", "press button",
-        "reach handle", "pull handle", "push block"};
-    std::printf("Plan (%zu motion subtasks):\n", plan.size());
-    for (std::size_t i = 0; i < plan.size(); ++i)
-        std::printf("  %zu. %s\n", i + 1,
-                    subtaskNames[static_cast<int>(plan[i])]);
-
-    Rng rng(99);
-    int steps = 0;
-    for (const auto st : plan) {
-        world.setActiveSubtask(st);
-        const int before = steps;
-        while (!world.subtaskComplete() && steps < ManipWorld::kStepCap) {
-            const ManipObs obs = world.observe();
-            const auto logits = controller->inferLogits(
-                static_cast<int>(st), obs.spatial, obs.state, cctx);
-            world.step(static_cast<ManipAction>(sampleAction(logits, rng)));
-            ++steps;
-        }
-        std::printf("  %-18s -> %s in %d steps\n",
-                    subtaskNames[static_cast<int>(st)],
-                    world.subtaskComplete() ? "done" : "STUCK",
-                    steps - before);
-        if (steps >= ManipWorld::kStepCap)
-            break;
+    // Show the plan the rotated planner emits at the aggressive voltage.
+    {
+        ComputeContext pctx(1);
+        pctx.domain = Domain::Planner;
+        protFlags.applyTo(pctx, /*isPlanner=*/true);
+        const auto tokens = sys.planner(/*rotated=*/true)
+                                .inferPlan(static_cast<int>(task), 0, pctx);
+        const auto plan = platforms::decodeManipPlan(tokens);
+        static const char* subtaskNames[] = {
+            "reach object",  "grasp object", "transport to goal",
+            "release at goal", "reach button", "press button",
+            "reach handle",  "pull handle",  "push block"};
+        std::printf("Plan (%zu motion subtasks):\n", plan.size());
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            std::printf("  %zu. %s\n", i + 1,
+                        subtaskNames[static_cast<int>(plan[i])]);
     }
-    std::printf("\nTask %s after %d steps; %llu planner bit flips were "
-                "injected and %llu anomalies cleared by AD.\n",
-                world.taskComplete() ? "COMPLETE" : "failed", steps,
-                static_cast<unsigned long long>(
-                    pctx.meter.usage(Domain::Planner).bitFlips),
-                static_cast<unsigned long long>(
-                    pctx.meter.usage(Domain::Planner).anomaliesCleared));
+
+    // One verbose episode through the shared runner.
+    const EpisodeResult r = sys.runEpisode(task, 777, protFlags);
+    std::printf("\nSingle episode: task %s after %d steps, %d/%zu subtasks; "
+                "%llu planner bit flips injected, %llu anomalies cleared by "
+                "AD.\n",
+                r.success ? "COMPLETE" : "failed", r.steps,
+                r.subtasksCompleted, manipGoldPlan(task).size(),
+                static_cast<unsigned long long>(r.bitFlips),
+                static_cast<unsigned long long>(r.anomaliesCleared));
+
+    // Aggregate comparison via the shared evaluation engine.
+    const TaskStats clean = sys.evaluate(task, CreateConfig::clean(), reps);
+    const TaskStats prot = sys.evaluate(task, protFlags, reps);
+    Table t("Clean vs AD+WR at " + std::to_string(voltage) + " V (" +
+            std::to_string(reps) + " episodes)");
+    t.header({"config", "success", "avg steps", "planner eff V",
+              "energy (J)"});
+    t.row({"clean 0.90 V", Table::pct(clean.successRate),
+           Table::num(clean.avgStepsSuccess, 0),
+           Table::num(clean.avgPlannerEffV, 3),
+           Table::num(clean.avgComputeJ, 2)});
+    t.row({"AD+WR undervolted", Table::pct(prot.successRate),
+           Table::num(prot.avgStepsSuccess, 0),
+           Table::num(prot.avgPlannerEffV, 3),
+           Table::num(prot.avgComputeJ, 2)});
+    t.print();
+    std::printf("\nPlanner-side energy savings at iso quality: %.1f%%\n",
+                100.0 * (1.0 - prot.avgPlannerV2 / clean.avgPlannerV2));
     return 0;
 }

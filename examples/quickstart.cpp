@@ -3,7 +3,7 @@
  * Quickstart: build the JARVIS-1 stand-in stack, run one Minecraft task
  * under three deployment points, and print what CREATE buys you.
  *
- *   ./quickstart [--task wooden] [--reps 10]
+ *   ./quickstart [--task wooden] [--reps 10] [--threads N]
  *
  * Deployment points compared:
  *   1. nominal voltage (0.90 V), no errors;
@@ -12,11 +12,13 @@
  *      (anomaly detection + weight rotation + adaptive voltage scaling).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/create_system.hpp"
+#include "core/parallel_eval.hpp"
 
 using namespace create;
 
@@ -26,14 +28,19 @@ main(int argc, char** argv)
     Cli cli(argc, argv);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
     const int reps = static_cast<int>(cli.integer("reps", 10));
+    const int threads = std::max(
+        1, static_cast<int>(
+               cli.integer("threads", ParallelEvaluator::defaultThreads())));
 
-    std::printf("CREATE quickstart: task '%s', %d episodes per config\n",
-                mineTaskName(task), reps);
+    std::printf("CREATE quickstart: task '%s', %d episodes per config, "
+                "%d evaluation thread%s\n",
+                mineTaskName(task), reps, threads, threads == 1 ? "" : "s");
     std::printf("(first run trains and caches the models; later runs "
                 "load from %s)\n\n",
                 ModelZoo::assetsDir().c_str());
 
     CreateSystem sys;
+    sys.setEvalThreads(threads);
 
     const CreateConfig nominal = CreateConfig::clean();
     CreateConfig unprotected = CreateConfig::atVoltage(0.75, 0.75);

@@ -5,13 +5,16 @@
  * the what-if tool for picking a deployment point.
  *
  *   ./voltage_explorer [--task stone] [--reps 8] [--vmin 0.66] [--vmax 0.90]
+ *                      [--threads N]
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/create_system.hpp"
+#include "core/parallel_eval.hpp"
 
 using namespace create;
 
@@ -23,10 +26,15 @@ main(int argc, char** argv)
     const int reps = static_cast<int>(cli.integer("reps", 8));
     const double vmin = cli.real("vmin", 0.66);
     const double vmax = cli.real("vmax", 0.90);
+    const int threads = std::max(
+        1, static_cast<int>(
+               cli.integer("threads", ParallelEvaluator::defaultThreads())));
 
-    std::printf("Voltage exploration on '%s' (%d episodes/point)\n",
-                mineTaskName(task), reps);
+    std::printf("Voltage exploration on '%s' (%d episodes/point, %d "
+                "thread%s)\n",
+                mineTaskName(task), reps, threads, threads == 1 ? "" : "s");
     CreateSystem sys;
+    sys.setEvalThreads(threads);
 
     Table t("Reliability/efficiency frontier");
     t.header({"voltage (V)", "BER", "plain success", "plain J",

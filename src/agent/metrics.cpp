@@ -52,6 +52,7 @@ aggregate(const std::vector<EpisodeResult>& results,
     s.episodes = static_cast<int>(results.size());
     double stepsSuccess = 0.0;
     double vP = 0.0, vC = 0.0, inv = 0.0;
+    double v2P = 0.0, v2C = 0.0;
     for (const auto& r : results) {
         if (r.success) {
             ++s.successes;
@@ -61,6 +62,8 @@ aggregate(const std::vector<EpisodeResult>& results,
         vP += r.plannerEffV;
         vC += r.controllerEffV;
         inv += r.plannerInvocations;
+        v2P += r.plannerV2Ratio;
+        v2C += r.controllerV2Ratio;
     }
     if (s.episodes > 0) {
         s.successRate = static_cast<double>(s.successes) / s.episodes;
@@ -68,6 +71,8 @@ aggregate(const std::vector<EpisodeResult>& results,
         s.avgPlannerEffV = vP / s.episodes;
         s.avgControllerEffV = vC / s.episodes;
         s.avgPlannerInvocations = inv / s.episodes;
+        s.avgPlannerV2 = v2P / s.episodes;
+        s.avgControllerV2 = v2C / s.episodes;
     }
     if (s.successes > 0)
         s.avgStepsSuccess = stepsSuccess / s.successes;

@@ -60,6 +60,8 @@ struct TaskStats
     double avgPlannerEffV = 0.9;
     double avgControllerEffV = 0.9;
     double avgPlannerInvocations = 0.0;
+    double avgPlannerV2 = 1.0;    //!< mean (V/Vnom)^2 over planner compute
+    double avgControllerV2 = 1.0; //!< mean (V/Vnom)^2 over controller compute
 };
 
 /** Aggregate episode results with paper-scale energy pricing. */

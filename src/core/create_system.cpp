@@ -4,54 +4,13 @@
 
 namespace create {
 
-CreateConfig
-CreateConfig::clean()
-{
-    return CreateConfig{};
-}
-
-CreateConfig
-CreateConfig::uniform(double ber)
-{
-    CreateConfig cfg;
-    cfg.mode = InjectionMode::Uniform;
-    cfg.uniformBer = ber;
-    return cfg;
-}
-
-CreateConfig
-CreateConfig::atVoltage(double plannerV, double controllerV)
-{
-    CreateConfig cfg;
-    cfg.mode = InjectionMode::Voltage;
-    cfg.plannerVoltage = plannerV;
-    cfg.controllerVoltage = controllerV;
-    return cfg;
-}
-
-CreateConfig
-CreateConfig::fullCreate(double plannerV, EntropyVoltagePolicy policy,
-                         int interval)
-{
-    CreateConfig cfg;
-    cfg.mode = InjectionMode::Voltage;
-    cfg.anomalyDetection = true;
-    cfg.weightRotation = true;
-    cfg.voltageScaling = true;
-    cfg.plannerVoltage = plannerV;
-    cfg.controllerVoltage = TimingErrorModel::kNominalVoltage;
-    cfg.policy = std::move(policy);
-    cfg.vsInterval = interval;
-    return cfg;
-}
-
-CreateSystem::CreateSystem(bool verbose)
+MineSystem::MineSystem(bool verbose)
     : models_(ModelZoo::mineModels(verbose))
 {
 }
 
 PlannerModel&
-CreateSystem::planner(bool rotated)
+MineSystem::planner(bool rotated)
 {
     if (!rotated)
         return *models_.planner;
@@ -65,41 +24,30 @@ CreateSystem::planner(bool rotated)
 }
 
 void
-CreateSystem::configureContext(ComputeContext& ctx, bool isPlanner,
-                               const CreateConfig& cfg) const
+MineSystem::prepare(const CreateConfig& cfg)
 {
-    ctx.anomalyDetection = cfg.anomalyDetection;
-    ctx.protection = cfg.protection;
-    ctx.bits = cfg.bits;
-    ctx.componentFilter = cfg.componentFilter;
-    const bool inject = isPlanner ? cfg.injectPlanner : cfg.injectController;
-    if (!inject || cfg.mode == InjectionMode::None) {
-        ctx.setCleanMode();
-        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
-                                 : cfg.controllerVoltage);
-        return;
-    }
-    if (cfg.mode == InjectionMode::Uniform) {
-        const double override_ =
-            isPlanner ? cfg.plannerBer : cfg.controllerBer;
-        ctx.setUniformBer(override_ >= 0.0 ? override_ : cfg.uniformBer);
-        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
-                                 : cfg.controllerVoltage);
-    } else {
-        ctx.setVoltage(isPlanner ? cfg.plannerVoltage
-                                 : cfg.controllerVoltage);
-        ctx.setVoltageMode();
-    }
+    if (cfg.weightRotation)
+        planner(true);
+}
+
+std::unique_ptr<EmbodiedSystem>
+MineSystem::replicate() const
+{
+    // Model training is deterministic and cached on disk by the time this
+    // instance exists, so a fresh MineSystem is bit-identical to this one.
+    auto copy = std::make_unique<MineSystem>(/*verbose=*/false);
+    copy->agentCfg_ = agentCfg_;
+    return copy;
 }
 
 EpisodeResult
-CreateSystem::runEpisode(MineTask task, std::uint64_t seed,
-                         const CreateConfig& cfg)
+MineSystem::runEpisode(int taskId, std::uint64_t seed,
+                       const CreateConfig& cfg)
 {
     ComputeContext plannerCtx(seed ^ 0x9A9A1ull);
     ComputeContext controllerCtx(seed ^ 0x7B7B2ull);
-    configureContext(plannerCtx, /*isPlanner=*/true, cfg);
-    configureContext(controllerCtx, /*isPlanner=*/false, cfg);
+    cfg.applyTo(plannerCtx, /*isPlanner=*/true);
+    cfg.applyTo(controllerCtx, /*isPlanner=*/false);
 
     PlannerModel& p = planner(cfg.weightRotation);
     EmbodiedAgent agent(p, *models_.controller, agentCfg_);
@@ -112,20 +60,8 @@ CreateSystem::runEpisode(MineTask task, std::uint64_t seed,
         if (cfg.mode != InjectionMode::None && cfg.injectController)
             controllerCtx.setVoltageMode();
     }
-    return agent.runEpisode(task, seed, plannerCtx, controllerCtx,
-                            scaler.get());
-}
-
-TaskStats
-CreateSystem::evaluate(MineTask task, const CreateConfig& cfg, int reps,
-                       std::uint64_t seed0)
-{
-    std::vector<EpisodeResult> results;
-    results.reserve(static_cast<std::size_t>(reps));
-    for (int i = 0; i < reps; ++i)
-        results.push_back(
-            runEpisode(task, seed0 + static_cast<std::uint64_t>(i), cfg));
-    return aggregate(results, energy_);
+    return agent.runEpisode(static_cast<MineTask>(taskId), seed, plannerCtx,
+                            controllerCtx, scaler.get());
 }
 
 } // namespace create

@@ -2,93 +2,74 @@
 
 /**
  * @file
- * CreateSystem: the top-level facade tying the whole CREATE stack together.
+ * MineSystem: the Minecraft (JARVIS-1 stand-in) backend of the
+ * platform-generic EmbodiedSystem facade.
  *
- * A CreateConfig describes one deployment point: the injection model
- * (uniform BER for characterization, voltage-derived for evaluation), the
- * per-model operating voltages, and which CREATE techniques are active
- * (AD at the circuit level, WR at the model level, VS at the application
- * level) or which baseline protection replaces them (DMR / ThUnderVolt /
- * ABFT, Sec. 6.10). evaluate() repeats episodes and aggregates success
- * rate, average steps, effective voltage, and paper-scale energy.
+ * Historically this class was called CreateSystem and was the only entry
+ * point into the CREATE stack; the deployment-configuration struct
+ * (CreateConfig) and the episode-repetition engine now live in
+ * core/embodied_system.hpp so the manipulation platforms share them. The
+ * CreateSystem alias is kept for source compatibility with the original
+ * benches/tests.
  */
 
 #include <memory>
 
-#include "agent/metrics.hpp"
-#include "core/voltage_policy.hpp"
+#include "core/embodied_system.hpp"
 
 namespace create {
 
-/** One deployment configuration. */
-struct CreateConfig
-{
-    // CREATE techniques.
-    bool anomalyDetection = false; //!< AD (Sec. 5.1)
-    bool weightRotation = false;   //!< WR on the planner (Sec. 5.2)
-    bool voltageScaling = false;   //!< VS on the controller (Sec. 5.3)
-
-    // Error injection.
-    InjectionMode mode = InjectionMode::None;
-    double uniformBer = 0.0;     //!< Uniform mode: BER for both models
-    double plannerBer = -1.0;    //!< optional per-model override (<0: off)
-    double controllerBer = -1.0; //!< optional per-model override (<0: off)
-    bool injectPlanner = true;
-    bool injectController = true;
-    /** Substring component filter, e.g. ".attn.k" (empty: everywhere). */
-    std::string componentFilter;
-
-    // Operating points (Voltage mode).
-    double plannerVoltage = TimingErrorModel::kNominalVoltage;
-    double controllerVoltage = TimingErrorModel::kNominalVoltage;
-
-    // Voltage scaling.
-    EntropyVoltagePolicy policy; //!< used when voltageScaling
-    int vsInterval = 5;          //!< steps between LDO updates (Sec. 6.5)
-
-    // Datapath width (Sec. 6.9) and baseline protection (Sec. 6.10).
-    QuantBits bits = QuantBits::Int8;
-    Protection protection = Protection::None;
-
-    // --- convenience builders -------------------------------------------
-    static CreateConfig clean();
-    static CreateConfig uniform(double ber);
-    static CreateConfig atVoltage(double plannerV, double controllerV);
-    /** Full CREATE stack at given voltages with a VS policy. */
-    static CreateConfig fullCreate(double plannerV,
-                                   EntropyVoltagePolicy policy,
-                                   int interval = 5);
-};
-
-/** Top-level runner for the Minecraft (JARVIS-1 stand-in) stack. */
-class CreateSystem
+/** The Minecraft / JARVIS-1 stand-in stack. */
+class MineSystem : public EmbodiedSystem
 {
   public:
-    explicit CreateSystem(bool verbose = true);
+    explicit MineSystem(bool verbose = true);
+
+    // --- EmbodiedSystem interface ----------------------------------------
+    const char* platformName() const override { return "jarvis-1"; }
+    int numTasks() const override { return kNumMineTasks; }
+    const char* taskName(int taskId) const override
+    {
+        return mineTaskName(static_cast<MineTask>(taskId));
+    }
+    EpisodeResult runEpisode(int taskId, std::uint64_t seed,
+                             const CreateConfig& cfg) override;
+    std::unique_ptr<EmbodiedSystem> replicate() const override;
+    const PaperEnergyModel& energyModel() const override { return energy_; }
+    void prepare(const CreateConfig& cfg) override;
+
+    // --- typed convenience API (source-compatible with CreateSystem) -----
+    using EmbodiedSystem::evaluate;
+    using EmbodiedSystem::runEpisodes;
 
     /** Run one episode under a configuration. */
     EpisodeResult runEpisode(MineTask task, std::uint64_t seed,
-                             const CreateConfig& cfg);
+                             const CreateConfig& cfg)
+    {
+        return runEpisode(static_cast<int>(task), seed, cfg);
+    }
 
     /** Repeat episodes and aggregate (paper: >=100 repetitions). */
     TaskStats evaluate(MineTask task, const CreateConfig& cfg, int reps,
-                       std::uint64_t seed0 = 1000);
+                       std::uint64_t seed0 = kDefaultSeed0)
+    {
+        return evaluate(static_cast<int>(task), cfg, reps, seed0);
+    }
 
     /** Planner access; builds the rotated variant lazily. */
     PlannerModel& planner(bool rotated);
     ControllerModel& controller() { return *models_.controller; }
     EntropyPredictor& predictor() { return *models_.predictor; }
-    const PaperEnergyModel& energyModel() const { return energy_; }
     AgentConfig& agentConfig() { return agentCfg_; }
 
   private:
-    void configureContext(ComputeContext& ctx, bool isPlanner,
-                          const CreateConfig& cfg) const;
-
     MineModels models_;
     std::unique_ptr<PlannerModel> rotatedPlanner_;
     PaperEnergyModel energy_;
     AgentConfig agentCfg_;
 };
+
+/** Historical name of the Minecraft backend. */
+using CreateSystem = MineSystem;
 
 } // namespace create

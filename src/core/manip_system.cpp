@@ -1,0 +1,154 @@
+#include "core/manip_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rotation.hpp"
+#include "hw/ldo.hpp"
+
+namespace create {
+
+namespace {
+
+PaperEnergyModel
+manipEnergyModel(const std::string& plannerPlatform,
+                 const std::string& controllerPlatform)
+{
+    return PaperEnergyModel(plannerPlatform == "openvla"
+                                ? workloads::openVla()
+                                : workloads::roboFlamingo(),
+                            controllerPlatform == "octo" ? workloads::octo()
+                                                         : workloads::rt1(),
+                            workloads::entropyPredictor());
+}
+
+} // namespace
+
+ManipSystem::ManipSystem(std::string plannerPlatform,
+                         std::string controllerPlatform, bool verbose)
+    : plannerPlatform_(std::move(plannerPlatform)),
+      controllerPlatform_(std::move(controllerPlatform)),
+      label_(plannerPlatform_ + "+" + controllerPlatform_),
+      verbose_(verbose),
+      planner_(platforms::manipPlanner(plannerPlatform_, verbose)),
+      controller_(platforms::manipController(controllerPlatform_, verbose)),
+      energy_(manipEnergyModel(plannerPlatform_, controllerPlatform_))
+{
+}
+
+PlannerModel&
+ManipSystem::planner(bool rotated)
+{
+    if (!rotated)
+        return *planner_;
+    if (!rotatedPlanner_) {
+        rotatedPlanner_ =
+            platforms::manipPlanner(plannerPlatform_, /*verbose=*/false);
+        applyWeightRotation(*rotatedPlanner_);
+        platforms::calibrateManipPlanner(*rotatedPlanner_);
+    }
+    return *rotatedPlanner_;
+}
+
+EntropyPredictor&
+ManipSystem::predictor()
+{
+    if (!predictor_)
+        predictor_ = platforms::manipPredictor(controllerPlatform_,
+                                               *controller_, verbose_);
+    return *predictor_;
+}
+
+void
+ManipSystem::prepare(const CreateConfig& cfg)
+{
+    if (cfg.weightRotation)
+        planner(true);
+    if (cfg.voltageScaling)
+        predictor();
+}
+
+std::unique_ptr<EmbodiedSystem>
+ManipSystem::replicate() const
+{
+    auto copy = std::make_unique<ManipSystem>(plannerPlatform_,
+                                              controllerPlatform_,
+                                              /*verbose=*/false);
+    return copy;
+}
+
+EpisodeResult
+ManipSystem::runEpisode(int taskId, std::uint64_t seed,
+                        const CreateConfig& cfg)
+{
+    EpisodeResult r;
+    ManipWorld world(static_cast<ManipTask>(taskId), seed);
+    ComputeContext plannerCtx(seed ^ 0x111ull);
+    ComputeContext controllerCtx(seed ^ 0x222ull);
+    ComputeContext predictorCtx(seed ^ 0x333ull);
+    plannerCtx.domain = Domain::Planner;
+    controllerCtx.domain = Domain::Controller;
+    predictorCtx.domain = Domain::Predictor;
+    cfg.applyTo(plannerCtx, /*isPlanner=*/true);
+    cfg.applyTo(controllerCtx, /*isPlanner=*/false);
+
+    PlannerModel& p = planner(cfg.weightRotation);
+    EntropyPredictor* pred = nullptr;
+    DigitalLdo ldo;
+    if (cfg.voltageScaling) {
+        pred = &predictor();
+        // VS implies voltage-dependent errors on the controller.
+        if (cfg.mode != InjectionMode::None && cfg.injectController)
+            controllerCtx.setVoltageMode();
+    }
+    Rng actionRng(seed ^ 0x444ull);
+
+    const auto tokens = p.inferPlan(taskId, 0, plannerCtx);
+    ++r.plannerInvocations;
+    const auto plan = platforms::decodeManipPlan(tokens);
+    const double maxH = std::log(static_cast<double>(kNumManipActions));
+    int steps = 0;
+    for (const auto st : plan) {
+        world.setActiveSubtask(st);
+        while (!world.subtaskComplete() && steps < ManipWorld::kStepCap) {
+            const ManipObs obs = world.observe();
+            if (pred && steps % cfg.vsInterval == 0) {
+                const double h = pred->infer(
+                    world.renderImage(pred->config().imgRes),
+                    platforms::manipPrompt(st, obs,
+                                           pred->config().promptDim),
+                    predictorCtx);
+                ++r.predictorInvocations;
+                ldo.set(cfg.policy.voltageFor(
+                    std::min(1.0, std::max(0.0, h / maxH))));
+                controllerCtx.setVoltage(ldo.vout());
+            }
+            const auto logits = controller_->inferLogits(
+                static_cast<int>(st), obs.spatial, obs.state, controllerCtx);
+            world.step(
+                static_cast<ManipAction>(sampleAction(logits, actionRng)));
+            ++steps;
+        }
+        if (world.subtaskComplete())
+            ++r.subtasksCompleted;
+        if (steps >= ManipWorld::kStepCap)
+            break;
+    }
+
+    r.success = world.taskComplete();
+    r.steps = r.success ? steps : ManipWorld::kStepCap;
+    const auto& pu = plannerCtx.meter.usage(Domain::Planner);
+    const auto& cu = controllerCtx.meter.usage(Domain::Controller);
+    if (pu.macs > 0.0)
+        r.plannerV2Ratio = pu.v2WeightedMacs / pu.macs;
+    if (cu.macs > 0.0)
+        r.controllerV2Ratio = cu.v2WeightedMacs / cu.macs;
+    r.plannerEffV = plannerCtx.meter.effectiveVoltage(Domain::Planner);
+    r.controllerEffV =
+        controllerCtx.meter.effectiveVoltage(Domain::Controller);
+    r.bitFlips = pu.bitFlips + cu.bitFlips;
+    r.anomaliesCleared = pu.anomaliesCleared + cu.anomaliesCleared;
+    return r;
+}
+
+} // namespace create

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <sys/stat.h>
 
 #include "env/mine_expert.hpp"
@@ -507,11 +508,11 @@ ModelZoo::minePredictor(ControllerModel& controller, bool verbose)
     if (!tryLoad(*p, path)) {
         if (verbose)
             std::fprintf(stderr, "[zoo] training entropy predictor...\n");
-        const auto frames = minePredictorFrames(controller, 2, 0x6161);
+        const auto frames = minePredictorFrames(controller, 3, 0x6161);
         if (verbose)
             std::fprintf(stderr, "[zoo] predictor dataset: %zu frames\n",
                          frames.size());
-        trainPredictor(*p, frames, 10, 1.2e-3, verbose);
+        trainPredictor(*p, frames, 30, 1.2e-3, verbose);
         saveModel(*p, path);
     }
     calibrateMinePredictor(*p, controller);

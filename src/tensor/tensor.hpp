@@ -10,6 +10,7 @@
  * not needed anywhere in this project, and copies are explicit.
  */
 
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -46,17 +47,35 @@ class Tensor
     float& operator[](std::int64_t i) { return data_[i]; }
     float operator[](std::int64_t i) const { return data_[i]; }
 
-    /** 2-D accessor (rank must be 2). */
-    float& at(std::int64_t r, std::int64_t c) { return data_[r * shape_[1] + c]; }
-    float at(std::int64_t r, std::int64_t c) const { return data_[r * shape_[1] + c]; }
+    /** 2-D accessor (rank/bounds checked in debug builds). */
+    float& at(std::int64_t r, std::int64_t c)
+    {
+        assert(rank() == 2 && "Tensor::at(r, c) requires a rank-2 tensor");
+        assert(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1] &&
+               "Tensor::at(r, c) index out of bounds");
+        return data_[r * shape_[1] + c];
+    }
+    float at(std::int64_t r, std::int64_t c) const
+    {
+        assert(rank() == 2 && "Tensor::at(r, c) requires a rank-2 tensor");
+        assert(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1] &&
+               "Tensor::at(r, c) index out of bounds");
+        return data_[r * shape_[1] + c];
+    }
 
-    /** 3-D accessor (rank must be 3). */
+    /** 3-D accessor (rank/bounds checked in debug builds). */
     float& at(std::int64_t a, std::int64_t b, std::int64_t c)
     {
+        assert(rank() == 3 && "Tensor::at(a, b, c) requires a rank-3 tensor");
+        assert(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+               c < shape_[2] && "Tensor::at(a, b, c) index out of bounds");
         return data_[(a * shape_[1] + b) * shape_[2] + c];
     }
     float at(std::int64_t a, std::int64_t b, std::int64_t c) const
     {
+        assert(rank() == 3 && "Tensor::at(a, b, c) requires a rank-3 tensor");
+        assert(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+               c < shape_[2] && "Tensor::at(a, b, c) index out of bounds");
         return data_[(a * shape_[1] + b) * shape_[2] + c];
     }
 

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CTest fixture setup: train-or-load every model the test suites and the
+ * parallel evaluator touch, so the deterministic on-disk cache is fully
+ * populated before `ctest -j` fans the suites out across processes (two
+ * processes training the same model would race on the cache file).
+ */
+
+#include <cstdio>
+
+#include "core/create_system.hpp"
+#include "core/manip_system.hpp"
+
+int
+main()
+{
+    using namespace create;
+    std::printf("[warm] minecraft stack...\n");
+    MineSystem mine(/*verbose=*/true);
+    mine.planner(/*rotated=*/true);
+
+    std::printf("[warm] openvla+octo stack...\n");
+    ManipSystem libero("openvla", "octo", /*verbose=*/true);
+    libero.planner(/*rotated=*/true);
+    libero.predictor();
+
+    std::printf("[warm] roboflamingo+rt1 stack...\n");
+    ManipSystem calvin("roboflamingo", "rt1", /*verbose=*/true);
+    calvin.planner(/*rotated=*/true);
+    calvin.predictor();
+
+    std::printf("[warm] model cache ready at %s\n",
+                ModelZoo::assetsDir().c_str());
+    return 0;
+}
