@@ -14,10 +14,11 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 12));
-    bench::preamble("Fig. 1(b)-(d) motivation", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 1(b)-(d) motivation", 12);
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
 
     Table b("Fig. 1(b): operating voltage -> computation bit error rate");
     b.header({"voltage (V)", "BER"});

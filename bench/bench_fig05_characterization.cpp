@@ -44,10 +44,11 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 5 resilience characterization", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 5 resilience characterization", 10);
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
 
     sweep(sys, "Fig. 5(a)-(b): planner-only injection", true,
           {1e-6, 1e-5, 1e-4, 3e-4, 1e-3}, "", reps);

@@ -27,9 +27,9 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 12));
+    const int reps =
+        bench::setupSerial(cli, "Fig. 6 subtask resilience diversity", 12);
     const int budget = 300;
-    bench::preamble("Fig. 6 subtask resilience diversity", reps);
 
     auto controller = ModelZoo::mineController(false);
 

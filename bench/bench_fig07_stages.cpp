@@ -19,9 +19,8 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 16));
-    bench::preamble("Fig. 7 stage-specific resilience + Fig. 10 entropy",
-                    reps);
+    const int reps = bench::setupSerial(
+        cli, "Fig. 7 stage-specific resilience + Fig. 10 entropy", 16);
     auto controller = ModelZoo::mineController(false);
 
     // --- Fig. 7: logit shapes per stage (clean run on mine_logs) --------

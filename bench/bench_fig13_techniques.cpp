@@ -14,10 +14,12 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 12));
-    bench::preamble("Fig. 13 CREATE techniques", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 13 CREATE techniques", 12,
+                     "  --task NAME  Minecraft task (default wooden)\n");
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     // (a) AD on planner.

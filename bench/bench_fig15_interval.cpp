@@ -13,10 +13,11 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 15 voltage update interval", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 15 voltage update interval", 10);
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
 
     for (const char* taskName : {"wooden", "stone"}) {
         const MineTask task = mineTaskByName(taskName);

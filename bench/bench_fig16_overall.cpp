@@ -21,10 +21,11 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 6));
-    bench::preamble("Fig. 16 overall evaluation (8 tasks)", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 16 overall evaluation (8 tasks)", 6);
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
 
     // (a) Reliability at 0.75 V.
     {

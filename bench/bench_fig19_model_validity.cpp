@@ -36,10 +36,12 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 10));
-    bench::preamble("Fig. 19 uniform vs hardware-specific error model", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 19 uniform vs hardware-specific error model", 10,
+                     "  --task NAME  Minecraft task (default wooden)\n");
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     for (const bool plannerSide : {true, false}) {

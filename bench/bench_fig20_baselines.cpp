@@ -19,10 +19,12 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 6));
-    bench::preamble("Fig. 20 comparison with existing techniques", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Fig. 20 comparison with existing techniques", 6,
+                     "  --task NAME  Minecraft task (default wooden)\n");
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     Table t(std::string("Fig. 20: success / energy across voltages (") +

@@ -14,11 +14,15 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 6));
+    const auto opt =
+        bench::setup(cli, "Fig. 21 entropy-to-voltage policies", 6,
+                     "  --task NAME      Minecraft task (default wooden)\n"
+                     "  --candidates N   policy candidates to score "
+                     "(default 16)\n");
+    const int reps = opt.reps;
     const int candidates = static_cast<int>(cli.integer("candidates", 16));
-    bench::preamble("Fig. 21 entropy-to-voltage policies", reps, bench::evalThreads(cli));
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     Table m("Fig. 21: preset policies A-F (voltage per normalized-entropy "

@@ -13,10 +13,11 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int maxReps = static_cast<int>(cli.integer("reps", 120));
-    bench::preamble("Table 5 success rate vs repetitions", maxReps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Table 5 success rate vs repetitions", 120);
+    const int maxReps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
 
     // Paper setting: wooden task, BER 1e-7 on the controller. On this
     // substrate the equivalent mild stressor is 1e-3 (see EXPERIMENTS.md

@@ -14,10 +14,12 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const int reps = static_cast<int>(cli.integer("reps", 8));
-    bench::preamble("Table 6 INT8 vs INT4 with AD+WR", reps, bench::evalThreads(cli));
+    const auto opt =
+        bench::setup(cli, "Table 6 INT8 vs INT4 with AD+WR", 8,
+                     "  --task NAME  Minecraft task (default stone)\n");
+    const int reps = opt.reps;
     CreateSystem sys(false);
-    sys.setEvalThreads(bench::evalThreads(cli));
+    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "stone"));
 
     Table t("Table 6: success rate on stone with AD+WR (planner injection)");

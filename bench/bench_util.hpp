@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -47,6 +48,65 @@ preamble(const char* artifact, int reps, int threads = 1)
     std::printf("Reproducing %s  (%d episodes/config; paper uses >=100, "
                 "raise with --reps; %d eval thread%s, set with --threads)\n",
                 artifact, reps, threads, threads == 1 ? "" : "s");
+}
+
+/** Parsed standard options of an evaluate-style bench. */
+struct BenchOptions
+{
+    int reps = 0;
+    int threads = 1;
+};
+
+namespace detail {
+
+inline BenchOptions
+setupImpl(const Cli& cli, const char* artifact, int defaultReps,
+          bool threaded, const char* extraHelp)
+{
+    if (cli.flag("help")) {
+        std::printf("%s\n\nOptions:\n"
+                    "  --reps N     episodes per configuration (default %d; "
+                    "the paper uses >=100)\n",
+                    artifact, defaultReps);
+        if (threaded)
+            std::printf("  --threads N  parallel evaluation workers "
+                        "(default: all hardware threads, here %d)\n",
+                        ParallelEvaluator::defaultThreads());
+        std::printf("%s", extraHelp ? extraHelp : "");
+        std::exit(0);
+    }
+    BenchOptions o;
+    o.reps = static_cast<int>(cli.integer("reps", defaultReps));
+    if (o.reps < 1)
+        o.reps = 1;
+    o.threads = threaded ? evalThreads(cli) : 1;
+    preamble(artifact, o.reps, o.threads);
+    return o;
+}
+
+} // namespace detail
+
+/**
+ * Shared flag handling for the evaluate-style benches: `--help` prints the
+ * usage (with this bench's actual defaults) and exits; otherwise `--reps`
+ * and `--threads` are parsed and the standard preamble is printed.
+ */
+inline BenchOptions
+setup(const Cli& cli, const char* artifact, int defaultReps,
+      const char* extraHelp = nullptr)
+{
+    return detail::setupImpl(cli, artifact, defaultReps, /*threaded=*/true,
+                             extraHelp);
+}
+
+/** setup() for the serial benches (hand-rolled loops; no --threads). */
+inline int
+setupSerial(const Cli& cli, const char* artifact, int defaultReps,
+            const char* extraHelp = nullptr)
+{
+    return detail::setupImpl(cli, artifact, defaultReps, /*threaded=*/false,
+                             extraHelp)
+        .reps;
 }
 
 } // namespace create::bench

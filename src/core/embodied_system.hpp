@@ -11,9 +11,11 @@
  * (AD at the circuit level, WR at the model level, VS at the application
  * level) or which baseline protection replaces them (DMR / ThUnderVolt /
  * ABFT, Sec. 6.10). The config is platform-agnostic: the same deployment
- * point drives the Minecraft/JARVIS-1 stack (MineSystem) and the
- * cross-platform manipulation stacks (ManipSystem), which is exactly how
- * the paper's Fig. 17 generality study treats them.
+ * point drives the Minecraft/JARVIS-1 stack (MineSystem), the
+ * cross-platform manipulation stacks (ManipSystem), and the
+ * autonomous-navigation stacks (NavSystem), which is exactly how the
+ * paper's Fig. 17 generality study treats them. The platform catalogue
+ * lives in core/platform_registry.hpp.
  *
  * evaluate() repeats episodes with deterministic per-episode seeding
  * (seed0 + rep) and aggregates success rate, average steps, effective
@@ -81,8 +83,8 @@ struct CreateConfig
 /**
  * Platform-generic episode runner + evaluation engine.
  *
- * Concrete backends (MineSystem, ManipSystem) supply the per-episode
- * behavioural simulation and a replicate() factory that rebuilds a
+ * Concrete backends (MineSystem, ManipSystem, NavSystem) supply the
+ * per-episode behavioural simulation and a replicate() factory that rebuilds a
  * bit-identical copy from the deterministic model cache; the base class
  * owns repetition, seeding, aggregation, and (optionally) the parallel
  * fan-out across a worker pool.

@@ -1,14 +1,31 @@
 #include "core/manip_system.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "core/platform_episode.hpp"
 #include "core/rotation.hpp"
-#include "hw/ldo.hpp"
 
 namespace create {
 
 namespace {
+
+/** Episode types + hooks of the manipulation family. */
+struct ManipEpisodeTraits
+{
+    using World = ManipWorld;
+    using Task = ManipTask;
+    using Action = ManipAction;
+    static constexpr int kNumActions = kNumManipActions;
+    static constexpr int kStepCap = ManipWorld::kStepCap;
+
+    static std::vector<ManipSubtask> decodePlan(const std::vector<int>& t)
+    {
+        return platforms::decodeManipPlan(t);
+    }
+    static std::vector<float> prompt(ManipSubtask st, const ManipObs& obs,
+                                     int promptDim)
+    {
+        return platforms::manipPrompt(st, obs, promptDim);
+    }
+};
 
 PaperEnergyModel
 manipEnergyModel(const std::string& plannerPlatform,
@@ -81,74 +98,11 @@ EpisodeResult
 ManipSystem::runEpisode(int taskId, std::uint64_t seed,
                         const CreateConfig& cfg)
 {
-    EpisodeResult r;
-    ManipWorld world(static_cast<ManipTask>(taskId), seed);
-    ComputeContext plannerCtx(seed ^ 0x111ull);
-    ComputeContext controllerCtx(seed ^ 0x222ull);
-    ComputeContext predictorCtx(seed ^ 0x333ull);
-    plannerCtx.domain = Domain::Planner;
-    controllerCtx.domain = Domain::Controller;
-    predictorCtx.domain = Domain::Predictor;
-    cfg.applyTo(plannerCtx, /*isPlanner=*/true);
-    cfg.applyTo(controllerCtx, /*isPlanner=*/false);
-
-    PlannerModel& p = planner(cfg.weightRotation);
-    EntropyPredictor* pred = nullptr;
-    DigitalLdo ldo;
-    if (cfg.voltageScaling) {
-        pred = &predictor();
-        // VS implies voltage-dependent errors on the controller.
-        if (cfg.mode != InjectionMode::None && cfg.injectController)
-            controllerCtx.setVoltageMode();
-    }
-    Rng actionRng(seed ^ 0x444ull);
-
-    const auto tokens = p.inferPlan(taskId, 0, plannerCtx);
-    ++r.plannerInvocations;
-    const auto plan = platforms::decodeManipPlan(tokens);
-    const double maxH = std::log(static_cast<double>(kNumManipActions));
-    int steps = 0;
-    for (const auto st : plan) {
-        world.setActiveSubtask(st);
-        while (!world.subtaskComplete() && steps < ManipWorld::kStepCap) {
-            const ManipObs obs = world.observe();
-            if (pred && steps % cfg.vsInterval == 0) {
-                const double h = pred->infer(
-                    world.renderImage(pred->config().imgRes),
-                    platforms::manipPrompt(st, obs,
-                                           pred->config().promptDim),
-                    predictorCtx);
-                ++r.predictorInvocations;
-                ldo.set(cfg.policy.voltageFor(
-                    std::min(1.0, std::max(0.0, h / maxH))));
-                controllerCtx.setVoltage(ldo.vout());
-            }
-            const auto logits = controller_->inferLogits(
-                static_cast<int>(st), obs.spatial, obs.state, controllerCtx);
-            world.step(
-                static_cast<ManipAction>(sampleAction(logits, actionRng)));
-            ++steps;
-        }
-        if (world.subtaskComplete())
-            ++r.subtasksCompleted;
-        if (steps >= ManipWorld::kStepCap)
-            break;
-    }
-
-    r.success = world.taskComplete();
-    r.steps = r.success ? steps : ManipWorld::kStepCap;
-    const auto& pu = plannerCtx.meter.usage(Domain::Planner);
-    const auto& cu = controllerCtx.meter.usage(Domain::Controller);
-    if (pu.macs > 0.0)
-        r.plannerV2Ratio = pu.v2WeightedMacs / pu.macs;
-    if (cu.macs > 0.0)
-        r.controllerV2Ratio = cu.v2WeightedMacs / cu.macs;
-    r.plannerEffV = plannerCtx.meter.effectiveVoltage(Domain::Planner);
-    r.controllerEffV =
-        controllerCtx.meter.effectiveVoltage(Domain::Controller);
-    r.bitFlips = pu.bitFlips + cu.bitFlips;
-    r.anomaliesCleared = pu.anomaliesCleared + cu.anomaliesCleared;
-    return r;
+    return runDecodedPlanEpisode<ManipEpisodeTraits>(
+        taskId, seed, cfg,
+        EpisodeSalts{0x111ull, 0x222ull, 0x333ull, 0x444ull},
+        planner(cfg.weightRotation), *controller_,
+        cfg.voltageScaling ? &predictor() : nullptr);
 }
 
 } // namespace create

@@ -1,0 +1,104 @@
+#include "core/nav_system.hpp"
+
+#include "core/platform_episode.hpp"
+#include "core/rotation.hpp"
+
+namespace create {
+
+namespace {
+
+/** Episode types + hooks of the navigation family. */
+struct NavEpisodeTraits
+{
+    using World = NavWorld;
+    using Task = NavTask;
+    using Action = NavAction;
+    static constexpr int kNumActions = kNumNavActions;
+    static constexpr int kStepCap = NavWorld::kStepCap;
+
+    static std::vector<NavSubtask> decodePlan(const std::vector<int>& t)
+    {
+        return platforms::decodeNavPlan(t);
+    }
+    static std::vector<float> prompt(NavSubtask st, const NavObs& obs,
+                                     int promptDim)
+    {
+        return platforms::navPrompt(st, obs, promptDim);
+    }
+};
+
+PaperEnergyModel
+navEnergyModel(const std::string& controllerPlatform)
+{
+    return PaperEnergyModel(workloads::navLlama(),
+                            controllerPlatform == "pathrt"
+                                ? workloads::pathRt()
+                                : workloads::swiftPilot(),
+                            workloads::entropyPredictor());
+}
+
+} // namespace
+
+NavSystem::NavSystem(std::string plannerPlatform,
+                     std::string controllerPlatform, bool verbose)
+    : plannerPlatform_(std::move(plannerPlatform)),
+      controllerPlatform_(std::move(controllerPlatform)),
+      label_(plannerPlatform_ + "+" + controllerPlatform_),
+      verbose_(verbose),
+      planner_(platforms::navPlanner(plannerPlatform_, verbose)),
+      controller_(platforms::navController(controllerPlatform_, verbose)),
+      energy_(navEnergyModel(controllerPlatform_))
+{
+}
+
+PlannerModel&
+NavSystem::planner(bool rotated)
+{
+    if (!rotated)
+        return *planner_;
+    if (!rotatedPlanner_) {
+        rotatedPlanner_ =
+            platforms::navPlanner(plannerPlatform_, /*verbose=*/false);
+        applyWeightRotation(*rotatedPlanner_);
+        platforms::calibrateNavPlanner(*rotatedPlanner_);
+    }
+    return *rotatedPlanner_;
+}
+
+EntropyPredictor&
+NavSystem::predictor()
+{
+    if (!predictor_)
+        predictor_ = platforms::navPredictor(controllerPlatform_,
+                                             *controller_, verbose_);
+    return *predictor_;
+}
+
+void
+NavSystem::prepare(const CreateConfig& cfg)
+{
+    if (cfg.weightRotation)
+        planner(true);
+    if (cfg.voltageScaling)
+        predictor();
+}
+
+std::unique_ptr<EmbodiedSystem>
+NavSystem::replicate() const
+{
+    return std::make_unique<NavSystem>(plannerPlatform_, controllerPlatform_,
+                                       /*verbose=*/false);
+}
+
+EpisodeResult
+NavSystem::runEpisode(int taskId, std::uint64_t seed,
+                      const CreateConfig& cfg)
+{
+    return runDecodedPlanEpisode<NavEpisodeTraits>(
+        taskId, seed, cfg,
+        EpisodeSalts{0x555ull, 0x666ull, 0x777ull, 0x888ull},
+        planner(cfg.weightRotation), *controller_,
+        cfg.voltageScaling ? &predictor() : nullptr);
+}
+
+} // namespace create

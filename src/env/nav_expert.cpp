@@ -1,0 +1,159 @@
+#include "env/nav_expert.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+namespace create {
+
+namespace {
+
+constexpr int kW = NavWorld::kSize;
+constexpr int kA = NavWorld::kAltitudes;
+constexpr int kNodes = kW * kW * kA;
+
+// Lateral moves are cheap; climbing costs nearly two moves, so A* threads
+// a nearby corridor gap but climbs over the wall when the detour is long.
+constexpr int kLateralCost = 10;
+constexpr int kAscendCost = 19;
+constexpr int kDescendCost = 10;
+
+int
+nodeId(int x, int y, int z)
+{
+    return (z * kW + y) * kW + x;
+}
+
+struct Goal
+{
+    int tx = -1, ty = -1; //!< -1: any
+    int tz = -1;          //!< -1: any
+    bool belowWallTop = false;
+
+    bool reached(int x, int y, int z) const
+    {
+        if (tx >= 0 && (x != tx || y != ty))
+            return false;
+        if (tz >= 0 && z != tz)
+            return false;
+        if (belowWallTop && z > 1)
+            return false;
+        return true;
+    }
+
+    int heuristic(int x, int y, int z) const
+    {
+        int h = 0;
+        if (tx >= 0)
+            h += kLateralCost * (std::abs(tx - x) + std::abs(ty - y));
+        if (tz >= 0)
+            h += kDescendCost * std::abs(tz - z);
+        else if (belowWallTop && z > 1)
+            h += kDescendCost * (z - 1);
+        return h;
+    }
+};
+
+/**
+ * Exact A* on the occupancy lattice; returns the first action of the
+ * cheapest path (ties broken by node id, so the policy is deterministic).
+ */
+NavAction
+route(const NavWorld& w, const Goal& goal)
+{
+    if (goal.reached(w.x(), w.y(), w.z()))
+        return NavAction::Hover;
+
+    std::vector<int> gCost(kNodes, -1);
+    std::vector<int> cameFrom(kNodes, -1);
+    std::vector<int> cameAction(kNodes, -1);
+    using QEntry = std::pair<int, int>; // (f, node)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> q;
+
+    const int start = nodeId(w.x(), w.y(), w.z());
+    gCost[static_cast<std::size_t>(start)] = 0;
+    q.push({goal.heuristic(w.x(), w.y(), w.z()), start});
+
+    const int dx[6] = {0, 0, 1, -1, 0, 0};
+    const int dy[6] = {-1, 1, 0, 0, 0, 0};
+    const int dz[6] = {0, 0, 0, 0, 1, -1};
+    const int cost[6] = {kLateralCost, kLateralCost, kLateralCost,
+                         kLateralCost, kAscendCost, kDescendCost};
+    const NavAction act[6] = {NavAction::MoveN, NavAction::MoveS,
+                              NavAction::MoveE, NavAction::MoveW,
+                              NavAction::Ascend, NavAction::Descend};
+
+    int goalNode = -1;
+    while (!q.empty()) {
+        const auto [f, n] = q.top();
+        q.pop();
+        const int x = n % kW, y = (n / kW) % kW, z = n / (kW * kW);
+        const int g = gCost[static_cast<std::size_t>(n)];
+        if (f > g + goal.heuristic(x, y, z))
+            continue; // stale entry
+        if (goal.reached(x, y, z)) {
+            goalNode = n;
+            break;
+        }
+        for (int d = 0; d < 6; ++d) {
+            const int nx = x + dx[d], ny = y + dy[d], nz = z + dz[d];
+            if (!w.open(nx, ny, nz))
+                continue;
+            const int m = nodeId(nx, ny, nz);
+            const int ng = g + cost[d];
+            if (gCost[static_cast<std::size_t>(m)] >= 0 &&
+                gCost[static_cast<std::size_t>(m)] <= ng)
+                continue;
+            gCost[static_cast<std::size_t>(m)] = ng;
+            cameFrom[static_cast<std::size_t>(m)] = n;
+            cameAction[static_cast<std::size_t>(m)] = d;
+            q.push({ng + goal.heuristic(nx, ny, nz), m});
+        }
+    }
+    if (goalNode < 0)
+        return NavAction::Hover; // unreachable: hold position
+
+    int n = goalNode;
+    int firstAction = -1;
+    while (cameFrom[static_cast<std::size_t>(n)] >= 0) {
+        firstAction = cameAction[static_cast<std::size_t>(n)];
+        n = cameFrom[static_cast<std::size_t>(n)];
+    }
+    return firstAction < 0 ? NavAction::Hover : act[firstAction];
+}
+
+} // namespace
+
+NavAction
+NavExpert::act(const NavWorld& w)
+{
+    int tx = 0, ty = 0;
+    w.subtaskTarget(tx, ty);
+    switch (w.activeSubtask()) {
+      case NavSubtask::TransitA:
+      case NavSubtask::TransitB:
+      case NavSubtask::TransitC:
+      case NavSubtask::ReturnHome:
+        return route(w, Goal{tx, ty, -1, false});
+      case NavSubtask::ThreadCorridor:
+        return route(w, Goal{tx, ty, -1, true});
+      case NavSubtask::ClimbOver:
+        return route(w, Goal{-1, -1, kA - 1, false});
+      case NavSubtask::DescendLand:
+        return route(w, Goal{-1, -1, 0, false});
+      case NavSubtask::HoldStation:
+        if (w.x() == tx && w.y() == ty)
+            return NavAction::Hover;
+        return route(w, Goal{tx, ty, -1, false});
+      case NavSubtask::ScanLine:
+        // Stage at the strip head, then sweep east.
+        if (w.scanProgress() > 0 ||
+            (w.x() == tx && w.y() == ty))
+            return NavAction::MoveE;
+        return route(w, Goal{tx, ty, -1, false});
+    }
+    return NavAction::Hover;
+}
+
+} // namespace create

@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * Scripted A* expert for NavWorld, used to behavior-clone the PathRT /
+ * SwiftPilot controller stand-ins (third platform family of the
+ * cross-platform evaluation).
+ *
+ * Unlike the reactive Mine/Manip experts, navigation needs global routing:
+ * the expert runs A* over the (x, y, altitude) occupancy lattice each step
+ * (300 nodes, exact) with lateral moves cheaper than climbing, so it
+ * threads the corridor gap when it is close and climbs over the wall when
+ * the detour would be longer -- the same trade-off the cloned controller
+ * has to learn from local observations.
+ */
+
+#include "env/navworld.hpp"
+
+namespace create {
+
+/** Deterministic A* expert over navigation subtasks. */
+class NavExpert
+{
+  public:
+    static NavAction act(const NavWorld& w);
+};
+
+} // namespace create

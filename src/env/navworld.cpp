@@ -1,0 +1,471 @@
+#include "env/navworld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace create {
+
+const char*
+navTaskName(NavTask t)
+{
+    static const char* names[] = {"delivery", "patrol",  "inspect",
+                                  "survey",   "corridor", "canyon",
+                                  "relay",    "rooftop", "rescue",
+                                  "homebound"};
+    return names[static_cast<int>(t)];
+}
+
+std::vector<NavSubtask>
+navGoldPlan(NavTask t)
+{
+    using N = NavSubtask;
+    switch (t) {
+      case NavTask::Delivery:
+        return {N::TransitA, N::DescendLand};
+      case NavTask::Patrol:
+        return {N::TransitA, N::TransitB, N::ReturnHome};
+      case NavTask::Inspect:
+        return {N::TransitA, N::HoldStation};
+      case NavTask::Survey:
+        return {N::TransitA, N::ScanLine};
+      case NavTask::Corridor:
+        return {N::ThreadCorridor, N::TransitB};
+      case NavTask::Canyon:
+        return {N::ThreadCorridor, N::TransitC, N::HoldStation};
+      case NavTask::Relay:
+        return {N::TransitC, N::HoldStation, N::ReturnHome};
+      case NavTask::Rooftop:
+        return {N::ClimbOver, N::TransitB, N::DescendLand};
+      case NavTask::Rescue:
+        return {N::TransitA, N::DescendLand, N::ClimbOver, N::ReturnHome};
+      case NavTask::Homebound:
+        return {N::ReturnHome, N::DescendLand};
+    }
+    return {N::TransitA};
+}
+
+int
+NavObs::spatialDim()
+{
+    // dxSign(3) dySign(3) dzSign(3) distBucket(4) atTargetXY(1)
+    // blockedTowardX(1) blockedTowardY(1) canDescend(1) altitude(1)
+    // battery(1) holdProgress(1) scanProgress(1)
+    return 3 + 3 + 3 + 4 + 1 + 1 + 1 + 1 + 1 + 1 + 1 + 1;
+}
+
+int
+NavObs::stateDim()
+{
+    // subtask one-hot(9) corridor(1) climbed(1) landed(1) home(1)
+    return kNumNavSubtasks + 4;
+}
+
+NavWorld::NavWorld(NavTask task, std::uint64_t seed)
+    : task_(task), rng_(seed)
+{
+    reset(seed);
+}
+
+void
+NavWorld::reset(std::uint64_t seed)
+{
+    rng_ = Rng(seed * 0x2545F4914F6CDD1Dull + 9091);
+
+    // The wall splits the map into a west and an east district; the one-cell
+    // gap at (wallX_, gapY_) is the corridor.
+    wallX_ = 4 + static_cast<int>(rng_.below(3));
+    gapY_ = 1 + static_cast<int>(rng_.below(kSize - 2));
+
+    // Survey strip: kScanCells + 1 cells of one west-district row.
+    surveyY_ = static_cast<int>(rng_.below(kSize));
+    scanX_ = static_cast<int>(
+        rng_.below(static_cast<std::uint64_t>(wallX_ - kScanCells)));
+
+    auto west = [&](int& px, int& py) {
+        px = static_cast<int>(rng_.below(static_cast<std::uint64_t>(wallX_)));
+        py = static_cast<int>(rng_.below(kSize));
+    };
+    auto east = [&](int& px, int& py) {
+        px = wallX_ + 1 +
+             static_cast<int>(
+                 rng_.below(static_cast<std::uint64_t>(kSize - wallX_ - 1)));
+        py = static_cast<int>(rng_.below(kSize));
+    };
+    auto distinct = [&](int px, int py, std::initializer_list<int> xs,
+                        std::initializer_list<int> ys) {
+        auto xi = xs.begin();
+        auto yi = ys.begin();
+        for (; xi != xs.end(); ++xi, ++yi)
+            if (px == *xi && py == *yi)
+                return false;
+        return true;
+    };
+
+    west(homeX_, homeY_);
+    do {
+        west(x_, y_);
+    } while (!distinct(x_, y_, {homeX_}, {homeY_}));
+    do {
+        west(wx_[0], wy_[0]);
+    } while (!distinct(wx_[0], wy_[0], {homeX_, x_}, {homeY_, y_}));
+    east(wx_[1], wy_[1]);
+    do {
+        east(wx_[2], wy_[2]);
+    } while (!distinct(wx_[2], wy_[2], {wx_[1]}, {wy_[1]}));
+
+    // One no-fly cell per district, clear of every mission marker and of the
+    // survey strip row segment.
+    auto clearOfMarkers = [&](int px, int py) {
+        if (py == surveyY_ && px >= scanX_ && px <= scanX_ + kScanCells)
+            return false;
+        return distinct(px, py,
+                        {homeX_, x_, wx_[0], wx_[1], wx_[2]},
+                        {homeY_, y_, wy_[0], wy_[1], wy_[2]});
+    };
+    do {
+        west(noflyX_[0], noflyY_[0]);
+    } while (!clearOfMarkers(noflyX_[0], noflyY_[0]));
+    do {
+        east(noflyX_[1], noflyY_[1]);
+    } while (!clearOfMarkers(noflyX_[1], noflyY_[1]));
+
+    switch (task_) {
+      case NavTask::Canyon:
+      case NavTask::Relay:
+        stationX_ = wx_[2];
+        stationY_ = wy_[2];
+        break;
+      default:
+        stationX_ = wx_[0];
+        stationY_ = wy_[0];
+        break;
+    }
+    windProb_ = (task_ == NavTask::Canyon || task_ == NavTask::Rooftop ||
+                 task_ == NavTask::Rescue)
+                    ? 0.08
+                    : 0.02;
+
+    z_ = 1;
+    battery_ = kBattery;
+    holdProgress_ = 0;
+    scanProgress_ = 0;
+    for (bool& v : visited_)
+        v = false;
+    corridor_ = climbed_ = landed_ = home_ = held_ = scanned_ = false;
+    subtask_ = navGoldPlan(task_).front();
+    steps_ = 0;
+    updateStickyFlags();
+}
+
+int
+NavWorld::heightAt(int x, int y) const
+{
+    for (int i = 0; i < 2; ++i)
+        if (x == noflyX_[i] && y == noflyY_[i])
+            return 3;
+    if (x == wallX_ && y != gapY_)
+        return 2;
+    return 0;
+}
+
+bool
+NavWorld::open(int x, int y, int z) const
+{
+    if (x < 0 || y < 0 || z < 0 || x >= kSize || y >= kSize ||
+        z >= kAltitudes)
+        return false;
+    return z >= heightAt(x, y);
+}
+
+void
+NavWorld::move(int dx, int dy)
+{
+    if (open(x_ + dx, y_ + dy, z_)) {
+        x_ += dx;
+        y_ += dy;
+        // Wind drift displaces a completed lateral move sideways.
+        if (rng_.chance(windProb_)) {
+            const int ddx[4] = {0, 0, 1, -1};
+            const int ddy[4] = {-1, 1, 0, 0};
+            const int d = static_cast<int>(rng_.below(4));
+            if (open(x_ + ddx[d], y_ + ddy[d], z_)) {
+                x_ += ddx[d];
+                y_ += ddy[d];
+            }
+        }
+    }
+}
+
+void
+NavWorld::step(NavAction a)
+{
+    const int oldX = x_;
+    const bool grounded = battery_ <= 0;
+    if (!grounded) {
+        switch (a) {
+          case NavAction::MoveN: move(0, -1); break;
+          case NavAction::MoveS: move(0, 1); break;
+          case NavAction::MoveE: move(1, 0); break;
+          case NavAction::MoveW: move(-1, 0); break;
+          case NavAction::Ascend:
+            if (open(x_, y_, z_ + 1)) {
+                ++z_;
+                --battery_; // climbing costs double
+            }
+            break;
+          case NavAction::Descend:
+            if (open(x_, y_, z_ - 1))
+                --z_;
+            break;
+          case NavAction::Hover:
+            break;
+        }
+        --battery_;
+    }
+
+    // Critical chains: interruption resets progress (like mining chains in
+    // MineWorld and pull/press chains in ManipWorld).
+    if (!held_) {
+        if (a == NavAction::Hover && !grounded && x_ == stationX_ &&
+            y_ == stationY_) {
+            if (++holdProgress_ >= kHoldSteps)
+                held_ = true;
+        } else {
+            holdProgress_ = 0;
+        }
+    }
+    if (!scanned_) {
+        if (a == NavAction::MoveE && !grounded && y_ == surveyY_ &&
+            x_ == oldX + 1) {
+            if (++scanProgress_ >= kScanCells)
+                scanned_ = true;
+        } else {
+            scanProgress_ = 0;
+        }
+    }
+
+    updateStickyFlags();
+    ++steps_;
+}
+
+void
+NavWorld::updateStickyFlags()
+{
+    for (int w = 0; w < 3; ++w)
+        if (x_ == wx_[w] && y_ == wy_[w])
+            visited_[w] = true;
+    if (x_ == wallX_ && y_ == gapY_ && z_ <= 1)
+        corridor_ = true;
+    if (z_ == kAltitudes - 1)
+        climbed_ = true;
+    if (z_ == 0)
+        landed_ = true;
+    if (x_ == homeX_ && y_ == homeY_)
+        home_ = true;
+}
+
+void
+NavWorld::setActiveSubtask(NavSubtask s)
+{
+    subtask_ = s;
+}
+
+void
+NavWorld::subtaskTarget(int& tx, int& ty) const
+{
+    switch (subtask_) {
+      case NavSubtask::TransitA:
+        tx = wx_[0];
+        ty = wy_[0];
+        break;
+      case NavSubtask::TransitB:
+        tx = wx_[1];
+        ty = wy_[1];
+        break;
+      case NavSubtask::TransitC:
+        tx = wx_[2];
+        ty = wy_[2];
+        break;
+      case NavSubtask::ThreadCorridor:
+        tx = wallX_;
+        ty = gapY_;
+        break;
+      case NavSubtask::ClimbOver:
+      case NavSubtask::DescendLand:
+        tx = x_; // altitude-only subtasks: stay put in the plane
+        ty = y_;
+        break;
+      case NavSubtask::HoldStation:
+        tx = stationX_;
+        ty = stationY_;
+        break;
+      case NavSubtask::ScanLine:
+        tx = scanX_;
+        ty = surveyY_;
+        break;
+      case NavSubtask::ReturnHome:
+        tx = homeX_;
+        ty = homeY_;
+        break;
+    }
+}
+
+int
+NavWorld::subtaskTargetZ() const
+{
+    switch (subtask_) {
+      case NavSubtask::ThreadCorridor:
+        return z_ <= 1 ? z_ : 1; // must be below the wall top in the gap
+      case NavSubtask::ClimbOver:
+        return kAltitudes - 1;
+      case NavSubtask::DescendLand:
+        return 0;
+      default:
+        return -1;
+    }
+}
+
+bool
+NavWorld::subtaskComplete() const
+{
+    switch (subtask_) {
+      case NavSubtask::TransitA:
+        return visited_[0];
+      case NavSubtask::TransitB:
+        return visited_[1];
+      case NavSubtask::TransitC:
+        return visited_[2];
+      case NavSubtask::ThreadCorridor:
+        return corridor_;
+      case NavSubtask::ClimbOver:
+        return climbed_;
+      case NavSubtask::DescendLand:
+        return landed_;
+      case NavSubtask::HoldStation:
+        return held_;
+      case NavSubtask::ScanLine:
+        return scanned_;
+      case NavSubtask::ReturnHome:
+        return home_;
+    }
+    return false;
+}
+
+bool
+NavWorld::taskComplete() const
+{
+    switch (task_) {
+      case NavTask::Delivery:
+        return visited_[0] && landed_;
+      case NavTask::Patrol:
+        return visited_[0] && visited_[1] && home_;
+      case NavTask::Inspect:
+        return visited_[0] && held_;
+      case NavTask::Survey:
+        return visited_[0] && scanned_;
+      case NavTask::Corridor:
+        return corridor_ && visited_[1];
+      case NavTask::Canyon:
+        return corridor_ && visited_[2] && held_;
+      case NavTask::Relay:
+        return visited_[2] && held_ && home_;
+      case NavTask::Rooftop:
+        return climbed_ && visited_[1] && landed_;
+      case NavTask::Rescue:
+        return visited_[0] && landed_ && climbed_ && home_;
+      case NavTask::Homebound:
+        return home_ && landed_;
+    }
+    return false;
+}
+
+Tensor
+NavWorld::renderImage(int res) const
+{
+    Tensor img({3, res, res});
+    auto paint = [&](int cx, int cy, float r, float g, float b) {
+        const int scale = res / kSize;
+        for (int py = cy * scale; py < (cy + 1) * scale && py < res; ++py) {
+            for (int px = cx * scale; px < (cx + 1) * scale && px < res;
+                 ++px) {
+                img.at(0, py, px) = r;
+                img.at(1, py, px) = g;
+                img.at(2, py, px) = b;
+            }
+        }
+    };
+    for (int yy = 0; yy < kSize; ++yy) {
+        for (int xx = 0; xx < kSize; ++xx) {
+            switch (heightAt(xx, yy)) {
+              case 3: paint(xx, yy, 0.85f, 0.15f, 0.15f); break; // no-fly
+              case 2: paint(xx, yy, 0.35f, 0.35f, 0.40f); break; // wall
+              default: paint(xx, yy, 0.62f, 0.74f, 0.58f); break; // ground
+            }
+        }
+    }
+    for (int c = 0; c <= kScanCells; ++c)
+        paint(scanX_ + c, surveyY_, 0.80f, 0.78f, 0.40f); // survey strip
+    paint(homeX_, homeY_, 0.25f, 0.65f, 0.30f);
+    paint(wx_[0], wy_[0], 0.95f, 0.75f, 0.20f);
+    paint(wx_[1], wy_[1], 0.30f, 0.60f, 0.90f);
+    paint(wx_[2], wy_[2], 0.75f, 0.35f, 0.85f);
+    // Drone brightness encodes altitude.
+    const float alt =
+        0.10f + 0.35f * static_cast<float>(z_) /
+                    static_cast<float>(kAltitudes - 1);
+    paint(x_, y_, alt, alt, alt);
+    return img;
+}
+
+NavObs
+NavWorld::observe() const
+{
+    NavObs obs;
+    obs.spatial.assign(static_cast<std::size_t>(NavObs::spatialDim()), 0.0f);
+    obs.state.assign(static_cast<std::size_t>(NavObs::stateDim()), 0.0f);
+    int tx = 0, ty = 0;
+    subtaskTarget(tx, ty);
+    std::size_t i = 0;
+    const int sdx = tx < x_ ? 0 : (tx == x_ ? 1 : 2);
+    obs.spatial[i + static_cast<std::size_t>(sdx)] = 1.0f;
+    i += 3;
+    const int sdy = ty < y_ ? 0 : (ty == y_ ? 1 : 2);
+    obs.spatial[i + static_cast<std::size_t>(sdy)] = 1.0f;
+    i += 3;
+    const int tz = subtaskTargetZ();
+    const int sdz = tz < 0 ? 1 : (tz < z_ ? 0 : (tz == z_ ? 1 : 2));
+    obs.spatial[i + static_cast<std::size_t>(sdz)] = 1.0f;
+    i += 3;
+    const int dist = std::abs(tx - x_) + std::abs(ty - y_);
+    const int bucket = dist == 0 ? 0 : (dist <= 2 ? 1 : (dist <= 5 ? 2 : 3));
+    obs.spatial[i + static_cast<std::size_t>(bucket)] = 1.0f;
+    i += 4;
+    obs.spatial[i++] = dist == 0 ? 1.0f : 0.0f;
+    const int stepX = tx < x_ ? -1 : (tx > x_ ? 1 : 0);
+    const int stepY = ty < y_ ? -1 : (ty > y_ ? 1 : 0);
+    obs.spatial[i++] =
+        (stepX != 0 && !open(x_ + stepX, y_, z_)) ? 1.0f : 0.0f;
+    obs.spatial[i++] =
+        (stepY != 0 && !open(x_, y_ + stepY, z_)) ? 1.0f : 0.0f;
+    obs.spatial[i++] = open(x_, y_, z_ - 1) ? 1.0f : 0.0f;
+    obs.spatial[i++] =
+        static_cast<float>(z_) / static_cast<float>(kAltitudes - 1);
+    obs.spatial[i++] = static_cast<float>(battery_ > 0 ? battery_ : 0) /
+                       static_cast<float>(kBattery);
+    obs.spatial[i++] =
+        static_cast<float>(holdProgress_) / static_cast<float>(kHoldSteps);
+    obs.spatial[i++] =
+        static_cast<float>(scanProgress_) / static_cast<float>(kScanCells);
+
+    std::size_t j = 0;
+    obs.state[j + static_cast<std::size_t>(subtask_)] = 1.0f;
+    j += kNumNavSubtasks;
+    obs.state[j++] = corridor_ ? 1.0f : 0.0f;
+    obs.state[j++] = climbed_ ? 1.0f : 0.0f;
+    obs.state[j++] = landed_ ? 1.0f : 0.0f;
+    obs.state[j++] = home_ ? 1.0f : 0.0f;
+    return obs;
+}
+
+} // namespace create

@@ -1,0 +1,183 @@
+#pragma once
+
+/**
+ * @file
+ * NavWorld: a 2.5D occupancy-grid autonomous-navigation environment, the
+ * third platform family of the cross-platform generality study (after
+ * MineWorld and ManipWorld). It stands in for the waypoint-mission drone /
+ * ground-robot workloads that dominate embodied-AI deployments.
+ *
+ * A drone flies over a kSize x kSize map at three altitude levels. Cells
+ * carry an occupancy height: 0 (open ground), 2 (a building wall that is
+ * only passable at the top altitude, except through a one-cell corridor
+ * gap), or 3 (a no-fly zone blocking every altitude). Ten named missions
+ * (delivery, patrol, inspect, survey, corridor, canyon, relay, rooftop,
+ * rescue, homebound) decompose into nine motion subtasks. Like the other
+ * two worlds it mixes *critical chains* -- threading the narrow corridor
+ * gap, holding station for consecutive hover steps, scanning a survey
+ * strip with consecutive east moves (interruption resets progress) -- with
+ * free transit phases, which is exactly the structure that makes
+ * entropy-based voltage scaling apply.
+ *
+ * Disturbances: lateral moves suffer seeded wind drift (stronger on the
+ * canyon/rooftop/rescue missions) and every step drains a battery
+ * (climbing costs double); an empty battery grounds the drone, so wasted
+ * motion under fault injection turns into mission failure.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace create {
+
+/** Drone actions. */
+enum class NavAction : int {
+    MoveN = 0,
+    MoveS,
+    MoveE,
+    MoveW,
+    Ascend,
+    Descend,
+    Hover,
+};
+constexpr int kNumNavActions = 7;
+
+/** Waypoint missions. */
+enum class NavTask : int {
+    Delivery = 0, //!< fly to waypoint A and land
+    Patrol,       //!< visit A then B, return home
+    Inspect,      //!< hold station over waypoint A
+    Survey,       //!< scan the survey strip after staging at A
+    Corridor,     //!< thread the wall gap, then reach B
+    Canyon,       //!< thread the gap, reach C, hold station (windy)
+    Relay,        //!< hold over C, then return home
+    Rooftop,      //!< climb over the wall to B and land (windy)
+    Rescue,       //!< land at A, climb out, return home (windy)
+    Homebound,    //!< return home and land
+};
+constexpr int kNumNavTasks = 10;
+
+const char* navTaskName(NavTask t);
+
+/** Motion-level subtasks the navigation planner emits. */
+enum class NavSubtask : int {
+    TransitA = 0,   //!< reach waypoint A (any altitude)
+    TransitB,       //!< reach waypoint B
+    TransitC,       //!< reach waypoint C
+    ThreadCorridor, //!< pass through the wall gap below the wall top
+    ClimbOver,      //!< reach the top altitude
+    DescendLand,    //!< descend to ground level
+    HoldStation,    //!< hover kHoldSteps consecutive steps at the station
+    ScanLine,       //!< kScanCells consecutive east moves on the survey row
+    ReturnHome,     //!< reach the home pad
+};
+constexpr int kNumNavSubtasks = 9;
+
+/** Gold plan per mission. */
+std::vector<NavSubtask> navGoldPlan(NavTask t);
+
+/** Controller observation (same two-part layout as MineObs / ManipObs). */
+struct NavObs
+{
+    std::vector<float> spatial;
+    std::vector<float> state;
+
+    static int spatialDim();
+    static int stateDim();
+};
+
+/** The 2.5D navigation world. */
+class NavWorld
+{
+  public:
+    static constexpr int kSize = 10;
+    static constexpr int kAltitudes = 3;  //!< z in [0, 2]
+    static constexpr int kStepCap = 140;  //!< per-episode step budget
+    static constexpr int kHoldSteps = 3;  //!< hover chain for HoldStation
+    static constexpr int kScanCells = 3;  //!< east-move chain for ScanLine
+    static constexpr int kBattery = 220;  //!< step budget incl. climb cost
+
+    NavWorld(NavTask task, std::uint64_t seed);
+
+    void reset(std::uint64_t seed);
+    void step(NavAction a);
+
+    void setActiveSubtask(NavSubtask s);
+    NavSubtask activeSubtask() const { return subtask_; }
+    bool subtaskComplete() const;
+    bool taskComplete() const;
+
+    NavObs observe() const;
+
+    /** Map RGB render (3 x res x res) for the entropy predictor. */
+    Tensor renderImage(int res) const;
+
+    /** Occupancy height of a cell: 0 open, 2 wall, 3 no-fly. */
+    int heightAt(int x, int y) const;
+    /** Whether (x, y, z) is inside the map and not inside an obstacle. */
+    bool open(int x, int y, int z) const;
+
+    // Expert/test queries.
+    int x() const { return x_; }
+    int y() const { return y_; }
+    int z() const { return z_; }
+    int battery() const { return battery_; }
+    int homeX() const { return homeX_; }
+    int homeY() const { return homeY_; }
+    int wayX(int which) const { return wx_[which]; }
+    int wayY(int which) const { return wy_[which]; }
+    int wallX() const { return wallX_; }
+    int gapY() const { return gapY_; }
+    int stationX() const { return stationX_; }
+    int stationY() const { return stationY_; }
+    int scanX() const { return scanX_; }
+    int surveyY() const { return surveyY_; }
+    int holdProgress() const { return holdProgress_; }
+    int scanProgress() const { return scanProgress_; }
+    bool visited(int which) const { return visited_[which]; }
+    bool corridorPassed() const { return corridor_; }
+    bool climbed() const { return climbed_; }
+    bool landed() const { return landed_; }
+    bool homeReached() const { return home_; }
+    bool held() const { return held_; }
+    bool scanned() const { return scanned_; }
+    NavTask task() const { return task_; }
+    std::uint64_t stepsTaken() const { return steps_; }
+
+    /** XY cell the active subtask is about (waypoint/gap/station/home). */
+    void subtaskTarget(int& tx, int& ty) const;
+    /** Goal altitude of the active subtask (-1: any altitude works). */
+    int subtaskTargetZ() const;
+
+  private:
+    void move(int dx, int dy);
+    void updateStickyFlags();
+
+    NavTask task_;
+    Rng rng_;
+    double windProb_ = 0.0;
+    int x_ = 0, y_ = 0, z_ = 1;
+    int battery_ = kBattery;
+    int homeX_ = 0, homeY_ = 0;
+    int wx_[3] = {0, 0, 0}, wy_[3] = {0, 0, 0}; //!< waypoints A, B, C
+    int wallX_ = 0, gapY_ = 0;
+    int noflyX_[2] = {0, 0}, noflyY_[2] = {0, 0};
+    int stationX_ = 0, stationY_ = 0;
+    int scanX_ = 0, surveyY_ = 0;
+    int holdProgress_ = 0;
+    int scanProgress_ = 0;
+    bool visited_[3] = {false, false, false};
+    bool corridor_ = false;
+    bool climbed_ = false;
+    bool landed_ = false;
+    bool home_ = false;
+    bool held_ = false;
+    bool scanned_ = false;
+    NavSubtask subtask_ = NavSubtask::TransitA;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace create

@@ -19,6 +19,7 @@
  */
 
 #include "env/manipworld.hpp"
+#include "env/navworld.hpp"
 #include "models/controller.hpp"
 #include "models/entropy_predictor.hpp"
 #include "models/model_zoo.hpp"
@@ -55,5 +56,37 @@ std::vector<float> manipPrompt(ManipSubtask st, const ManipObs& obs,
 
 /** Predictor config used for manip platforms. */
 PredictorConfig manipPredictorConfig();
+
+// --- navigation platform family (NavWorld; drone-scale stand-ins) ------
+
+/** END token of the navigation plan vocabulary. */
+int navEndToken();
+
+/** Token <-> subtask conversions (tokens are NavSubtask indices). */
+std::vector<NavSubtask> decodeNavPlan(const std::vector<int>& tokens);
+
+/** Load-or-train the navigation mission planner ("navllama"). */
+std::unique_ptr<PlannerModel> navPlanner(const std::string& platform,
+                                         bool verbose = true);
+
+/** Load-or-train a navigation controller ("pathrt" or "swiftpilot"). */
+std::unique_ptr<ControllerModel> navController(const std::string& platform,
+                                               bool verbose = true);
+
+/** Load-or-train the entropy predictor paired with a nav controller. */
+std::unique_ptr<EntropyPredictor>
+navPredictor(const std::string& platform, ControllerModel& controller,
+             bool verbose = true);
+
+/** Re-run quantization/AD calibration (after load or rotation). */
+void calibrateNavPlanner(PlannerModel& m);
+void calibrateNavController(ControllerModel& m);
+
+/** Predictor prompt vector: subtask one-hot + the observation summary. */
+std::vector<float> navPrompt(NavSubtask st, const NavObs& obs,
+                             int promptDim);
+
+/** Predictor config used for nav platforms. */
+PredictorConfig navPredictorConfig();
 
 } // namespace create::platforms

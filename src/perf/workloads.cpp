@@ -151,6 +151,31 @@ octo()
 }
 
 Workload
+navLlama()
+{
+    // Drone-scale mission planner: a ~1.2B LLaMA that fits an embedded
+    // flight computer, with short mission prompts (430 prefill + 48
+    // decoded plan tokens).
+    return planner("NavLLaMA", 22, 2048, 5632, 32000, 430, 48, 1196.0,
+                   1087.0);
+}
+
+Workload
+pathRt()
+{
+    // RT-class navigation policy: 176px forward camera, 128-channel tower,
+    // 6 x (384 / 1536) decoder over a 48-token context.
+    return controller("PathRT", 176, 128, 6, 384, 1536, 48, 16.0, 34.0);
+}
+
+Workload
+swiftPilot()
+{
+    // Racing-drone-scale policy: 160px frames, shallow tower and decoder.
+    return controller("SwiftPilot", 160, 96, 4, 320, 1280, 32, 9.0, 17.0);
+}
+
+Workload
 entropyPredictor()
 {
     // Table 9: three k3 convs with ReLU+pool, prompt MLP 512->64, fusion

@@ -60,6 +60,11 @@ Workload rt1();              //!< 224px, MaxViT-ish budget
 Workload octo();             //!< 224px, ViT-ish budget
 Workload entropyPredictor(); //!< Table 9 CNN+MLP
 
+// Navigation platform instances (third family; drone-scale budgets) ----
+Workload navLlama();   //!< 22 x (2048 / 5632), 430+48 tokens, ~1.2B params
+Workload pathRt();     //!< 176px tower + 6 x 384/1536 decoder
+Workload swiftPilot(); //!< 160px tower + 4 x 320/1280 decoder
+
 /** Helper: conv layer as an im2col GEMM shape. */
 GemmShape convGemm(int inHw, int cin, int cout, int k, int stride, int pad);
 

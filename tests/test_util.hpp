@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the test suites: bit-exact equality over the episode
+ * aggregation types, used by every serial-vs-parallel determinism test so
+ * a new TaskStats/EpisodeResult field only needs to be added here for all
+ * suites' bit-identity coverage to pick it up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "agent/metrics.hpp"
+
+namespace create::testutil {
+
+/** Aggregate stats must match bit-for-bit, not approximately. */
+inline void
+expectIdentical(const TaskStats& a, const TaskStats& b)
+{
+    EXPECT_EQ(a.episodes, b.episodes);
+    EXPECT_EQ(a.successes, b.successes);
+    EXPECT_EQ(a.successRate, b.successRate);
+    EXPECT_EQ(a.avgStepsSuccess, b.avgStepsSuccess);
+    EXPECT_EQ(a.avgComputeJ, b.avgComputeJ);
+    EXPECT_EQ(a.avgPlannerEffV, b.avgPlannerEffV);
+    EXPECT_EQ(a.avgControllerEffV, b.avgControllerEffV);
+    EXPECT_EQ(a.avgPlannerInvocations, b.avgPlannerInvocations);
+    EXPECT_EQ(a.avgPlannerV2, b.avgPlannerV2);
+    EXPECT_EQ(a.avgControllerV2, b.avgControllerV2);
+}
+
+/** Per-episode results must match bit-for-bit as well. */
+inline void
+expectIdentical(const EpisodeResult& a, const EpisodeResult& b)
+{
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.plannerInvocations, b.plannerInvocations);
+    EXPECT_EQ(a.predictorInvocations, b.predictorInvocations);
+    EXPECT_EQ(a.subtasksCompleted, b.subtasksCompleted);
+    EXPECT_EQ(a.plannerV2Ratio, b.plannerV2Ratio);
+    EXPECT_EQ(a.controllerV2Ratio, b.controllerV2Ratio);
+    EXPECT_EQ(a.plannerEffV, b.plannerEffV);
+    EXPECT_EQ(a.controllerEffV, b.controllerEffV);
+    EXPECT_EQ(a.bitFlips, b.bitFlips);
+    EXPECT_EQ(a.anomaliesCleared, b.anomaliesCleared);
+}
+
+} // namespace create::testutil

@@ -4,30 +4,32 @@
  * parallel evaluator touch, so the deterministic on-disk cache is fully
  * populated before `ctest -j` fans the suites out across processes (two
  * processes training the same model would race on the cache file).
+ *
+ * The platform list is not hard-coded: every platform in the
+ * PlatformRegistry is constructed and asked to prepare() the full CREATE
+ * configuration, which builds the rotated planner and the entropy
+ * predictor each stack lazily caches. Registering a new platform
+ * automatically warms it here.
  */
 
 #include <cstdio>
 
-#include "core/create_system.hpp"
-#include "core/manip_system.hpp"
+#include "core/platform_registry.hpp"
+#include "models/model_zoo.hpp"
 
 int
 main()
 {
     using namespace create;
-    std::printf("[warm] minecraft stack...\n");
-    MineSystem mine(/*verbose=*/true);
-    mine.planner(/*rotated=*/true);
+    CreateConfig warmCfg;
+    warmCfg.weightRotation = true; // build + calibrate the rotated planner
+    warmCfg.voltageScaling = true; // train/load the entropy predictor
 
-    std::printf("[warm] openvla+octo stack...\n");
-    ManipSystem libero("openvla", "octo", /*verbose=*/true);
-    libero.planner(/*rotated=*/true);
-    libero.predictor();
-
-    std::printf("[warm] roboflamingo+rt1 stack...\n");
-    ManipSystem calvin("roboflamingo", "rt1", /*verbose=*/true);
-    calvin.planner(/*rotated=*/true);
-    calvin.predictor();
+    for (const auto& info : PlatformRegistry::instance().all()) {
+        std::printf("[warm] %s stack...\n", info.name.c_str());
+        auto sys = info.factory(/*verbose=*/true);
+        sys->prepare(warmCfg);
+    }
 
     std::printf("[warm] model cache ready at %s\n",
                 ModelZoo::assetsDir().c_str());
