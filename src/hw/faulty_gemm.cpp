@@ -143,7 +143,9 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
     std::vector<std::int32_t> acc;
     switch (ctx.protection) {
       case Protection::None:
-        acc = runOnce(nullptr);
+        // With injection off the clean accumulators are consumed exactly
+        // once -- move them instead of copying the whole MxN block.
+        acc = inject ? runOnce(nullptr) : std::move(cleanAcc);
         break;
       case Protection::Dmr: {
         // Duplicate execution and compare; on mismatch a third execution

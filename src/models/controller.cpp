@@ -1,5 +1,7 @@
 #include "models/controller.hpp"
 
+#include <algorithm>
+
 namespace create {
 
 ControllerModel::ControllerModel(ControllerConfig cfg, Rng& rng)
@@ -57,11 +59,9 @@ ControllerModel::inferLogits(int subtask, const std::vector<float>& spatial,
             Tensor({1, cfg_.stateDim},
                    std::vector<float>(state.begin(), state.end())),
             ctx);
-        for (int j = 0; j < cfg_.dim; ++j) {
-            x.at(0, j) = prompt.at(0, j);
-            x.at(1, j) = sp.at(0, j);
-            x.at(2, j) = st.at(0, j);
-        }
+        std::copy(prompt.data(), prompt.data() + cfg_.dim, x.data());
+        std::copy(sp.data(), sp.data() + cfg_.dim, x.data() + cfg_.dim);
+        std::copy(st.data(), st.data() + cfg_.dim, x.data() + 2 * cfg_.dim);
     }
     for (auto& b : blocks_)
         x = b->infer(x, ctx);

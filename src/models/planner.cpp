@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/ops.hpp"
+
 namespace create {
 
 PlannerModel::PlannerModel(PlannerConfig cfg, Rng& rng)
@@ -74,11 +76,8 @@ PlannerModel::inferLogits(int taskId, int done, ComputeContext& ctx)
     for (auto& b : blocks_)
         x = b->infer(x, ctx);
     x = finalNorm_.infer(x);
-    // Slice position rows.
-    Tensor q({cfg_.maxPlanLen, cfg_.dim});
-    for (int i = 0; i < cfg_.maxPlanLen; ++i)
-        for (int j = 0; j < cfg_.dim; ++j)
-            q.at(i, j) = x.at(2 + i, j);
+    // Keep only the position-query rows.
+    const Tensor q = ops::sliceRows(x, 2, 2 + cfg_.maxPlanLen);
     return head_.infer(q, ctx);
 }
 

@@ -497,11 +497,7 @@ sliceRows(const Var& a, std::int64_t r0, std::int64_t r1)
 {
     const Tensor& av = a.value();
     const std::int64_t h = r1 - r0, w = av.dim(1);
-    Tensor out({h, w});
-    for (std::int64_t i = 0; i < h; ++i)
-        for (std::int64_t j = 0; j < w; ++j)
-            out.at(i, j) = av.at(r0 + i, j);
-    auto n = makeNode(std::move(out), {a.node()});
+    auto n = makeNode(ops::sliceRows(av, r0, r1), {a.node()});
     if (n->requiresGrad) {
         auto raw = n.get();
         auto pa = n->parents[0];

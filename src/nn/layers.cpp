@@ -1,5 +1,6 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -112,9 +113,12 @@ Embedding::infer(const std::vector<int>& ids) const
 {
     const Tensor& t = table_->var.value();
     Tensor out({static_cast<std::int64_t>(ids.size()), dim_});
-    for (std::size_t i = 0; i < ids.size(); ++i)
-        for (int j = 0; j < dim_; ++j)
-            out.at(static_cast<std::int64_t>(i), j) = t.at(ids[i], j);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        assert(ids[i] >= 0 && ids[i] < t.dim(0) &&
+               "Embedding::infer: token id out of range");
+        const float* src = t.data() + static_cast<std::int64_t>(ids[i]) * dim_;
+        std::copy(src, src + dim_, out.data() + static_cast<std::int64_t>(i) * dim_);
+    }
     return out;
 }
 

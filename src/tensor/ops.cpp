@@ -102,6 +102,17 @@ transpose(const Tensor& a)
 }
 
 Tensor
+sliceRows(const Tensor& a, std::int64_t r0, std::int64_t r1)
+{
+    require(a.rank() == 2, "sliceRows: rank-2 required");
+    require(r0 >= 0 && r0 <= r1 && r1 <= a.dim(0), "sliceRows: bad range");
+    const std::int64_t n = a.dim(1);
+    Tensor out({r1 - r0, n});
+    std::copy(a.data() + r0 * n, a.data() + r1 * n, out.data());
+    return out;
+}
+
+Tensor
 add(const Tensor& a, const Tensor& b)
 {
     require(a.numel() == b.numel(), "add: size mismatch");

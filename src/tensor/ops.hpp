@@ -22,6 +22,9 @@ void matmulAccum(const Tensor& a, const Tensor& b, Tensor& c);
 /** Transpose a rank-2 tensor. */
 Tensor transpose(const Tensor& a);
 
+/** Rows [r0, r1) of a rank-2 tensor as one contiguous memcpy. */
+Tensor sliceRows(const Tensor& a, std::int64_t r0, std::int64_t r1);
+
 /** Elementwise a + b (same shape). */
 Tensor add(const Tensor& a, const Tensor& b);
 
