@@ -70,6 +70,7 @@ main(int argc, char** argv)
     const auto opt =
         bench::setup(cli, "Fig. 17 cross-platform generality", 10,
                      kExtraHelp);
+    bench::JsonReport json(opt.jsonPath);
 
     std::vector<std::unique_ptr<EmbodiedSystem>> systems;
     for (const auto* info : selected) {
@@ -110,6 +111,10 @@ main(int argc, char** argv)
             a.row({info->name, sys.taskName(task),
                    Table::pct(base.successRate), Table::pct(prot.successRate),
                    Table::pct(save)});
+            json.add("fig17a/" + info->name + "/" + sys.taskName(task),
+                     {{"baselineSuccess", base.successRate},
+                      {"adwrSuccess", prot.successRate},
+                      {"plannerEnergySavings", save}});
         }
     }
     a.print();
@@ -136,6 +141,10 @@ main(int argc, char** argv)
             b.row({info->name, sys.taskName(task),
                    Table::pct(base.successRate), Table::pct(prot.successRate),
                    Table::pct(save)});
+            json.add("fig17b/" + info->name + "/" + sys.taskName(task),
+                     {{"baselineSuccess", base.successRate},
+                      {"advsSuccess", prot.successRate},
+                      {"controllerEnergySavings", save}});
         }
     }
     b.print();
@@ -170,6 +179,10 @@ main(int argc, char** argv)
                    Table::pct(clean.successRate),
                    Table::pct(bad.successRate),
                    Table::pct(prot.successRate)});
+            json.add("fig17c/" + info->name + "/" + sys.taskName(task),
+                     {{"cleanSuccess", clean.successRate},
+                      {"unprotectedSuccess", bad.successRate},
+                      {"createSuccess", prot.successRate}});
         }
     }
     if (navHeader)
@@ -180,5 +193,6 @@ main(int argc, char** argv)
                 "(paper: 50.7%% planner / 39.3%% controller averages), and "
                 "the full stack recovers task success at voltages where "
                 "the unprotected stacks collapse.\n");
+    json.write();
     return 0;
 }

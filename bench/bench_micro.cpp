@@ -4,7 +4,17 @@
  * GEMM, fault injection, the full faulty pipeline, the systolic model,
  * Hadamard rotation, single model inferences, and the episode evaluation
  * engine (serial vs parallel fan-out).
+ *
+ * `--json <path>` writes the per-benchmark latency records (including the
+ * per-kernel and per-inference timings) as JSON -- the machine-readable
+ * perf trajectory tracked in BENCH_micro.json at the repo root and
+ * uploaded by the CI perf-smoke job. It expands to google-benchmark's
+ * JSON reporter flags, so it composes with --benchmark_filter and
+ * --benchmark_min_time.
  */
+
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -153,4 +163,40 @@ BENCHMARK(BM_EvaluateManip)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // Translate `--json <path>` (the repo-wide bench flag) into
+    // google-benchmark's JSON reporter arguments.
+    std::vector<char*> args(argv, argv + argc);
+    std::string outFlag;
+    std::string fmtFlag;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string arg = args[i];
+        // Accept both "--json path" and "--json=path", like common/cli.hpp.
+        if (arg == "--json" && i + 1 < args.size()) {
+            outFlag = std::string("--benchmark_out=") + args[i + 1];
+            fmtFlag = "--benchmark_out_format=json";
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i + 2));
+            break;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            outFlag = "--benchmark_out=" + arg.substr(7);
+            fmtFlag = "--benchmark_out_format=json";
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    if (!outFlag.empty()) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int argcAdj = static_cast<int>(args.size());
+    benchmark::Initialize(&argcAdj, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argcAdj, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -14,6 +14,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -55,6 +58,77 @@ struct BenchOptions
 {
     int reps = 0;
     int threads = 1;
+    std::string jsonPath; //!< --json <path>: machine-readable records
+};
+
+/**
+ * Machine-readable result/latency records behind the shared --json flag.
+ *
+ * Benches add one flat record of numeric fields per measured point and
+ * call write() at the end; the file is a JSON array so perf trajectories
+ * can be tracked across commits (see BENCH_micro.json at the repo root
+ * for the micro-kernel equivalent emitted by bench_micro --json).
+ * Everything is a no-op when the flag is absent.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+    bool enabled() const { return !path_.empty(); }
+
+    void add(const std::string& name,
+             std::vector<std::pair<std::string, double>> fields)
+    {
+        if (enabled())
+            records_.push_back({name, std::move(fields)});
+    }
+
+    /** Write the collected records; prints where they went. */
+    void write() const
+    {
+        if (!enabled())
+            return;
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "--json: cannot write %s\n", path_.c_str());
+            return;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const auto& r = records_[i];
+            std::fprintf(f, "  {\"name\": \"%s\"", escaped(r.name).c_str());
+            for (const auto& [key, value] : r.fields)
+                std::fprintf(f, ", \"%s\": %.17g", escaped(key).c_str(),
+                             value);
+            std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        std::printf("\nWrote %zu JSON records to %s\n", records_.size(),
+                    path_.c_str());
+    }
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> fields;
+    };
+
+    static std::string escaped(const std::string& s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    std::string path_;
+    std::vector<Record> records_;
 };
 
 namespace detail {
@@ -72,6 +146,8 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
             std::printf("  --threads N  parallel evaluation workers "
                         "(default: all hardware threads, here %d)\n",
                         ParallelEvaluator::defaultThreads());
+        std::printf("  --json PATH  also write machine-readable result "
+                    "records to PATH\n");
         std::printf("%s", extraHelp ? extraHelp : "");
         std::exit(0);
     }
@@ -80,6 +156,7 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
     if (o.reps < 1)
         o.reps = 1;
     o.threads = threaded ? evalThreads(cli) : 1;
+    o.jsonPath = cli.str("json", "");
     preamble(artifact, o.reps, o.threads);
     return o;
 }

@@ -5,7 +5,17 @@
 namespace create {
 
 MineSystem::MineSystem(bool verbose)
-    : models_(ModelZoo::mineModels(verbose))
+    : shared_(std::make_shared<SharedModelSet>())
+{
+    MineModels models = ModelZoo::mineModels(verbose);
+    shared_->planner = std::move(models.planner);
+    shared_->controller = std::move(models.controller);
+    shared_->predictor = std::move(models.predictor);
+}
+
+MineSystem::MineSystem(std::shared_ptr<SharedModelSet> shared,
+                       AgentConfig agentCfg)
+    : shared_(std::move(shared)), agentCfg_(agentCfg)
 {
 }
 
@@ -13,31 +23,39 @@ PlannerModel&
 MineSystem::planner(bool rotated)
 {
     if (!rotated)
-        return *models_.planner;
-    if (!rotatedPlanner_) {
+        return *shared_->planner;
+    if (!shared_->rotatedPlanner) {
         // Fresh copy of the trained planner, rotated offline, recalibrated.
-        rotatedPlanner_ = ModelZoo::minePlanner(/*verbose=*/false);
-        applyWeightRotation(*rotatedPlanner_);
-        ModelZoo::calibrateMinePlanner(*rotatedPlanner_);
+        std::shared_ptr<PlannerModel> r =
+            ModelZoo::minePlanner(/*verbose=*/false);
+        applyWeightRotation(*r);
+        ModelZoo::calibrateMinePlanner(*r);
+        shared_->rotatedPlanner = std::move(r);
     }
-    return *rotatedPlanner_;
+    return *shared_->rotatedPlanner;
 }
 
 void
 MineSystem::prepare(const CreateConfig& cfg)
 {
-    if (cfg.weightRotation)
-        planner(true);
+    // Build lazy members and freeze every layer the config will touch at
+    // its deployment width -- serially, so shared model state is read-only
+    // once episodes (possibly on a worker pool) start.
+    warmFreezePlanner(planner(cfg.weightRotation), cfg.bits);
+    warmFreezeController(*shared_->controller, cfg.bits);
+    if (cfg.voltageScaling)
+        warmFreezePredictor(*shared_->predictor);
 }
 
 std::unique_ptr<EmbodiedSystem>
 MineSystem::replicate() const
 {
-    // Model training is deterministic and cached on disk by the time this
-    // instance exists, so a fresh MineSystem is bit-identical to this one.
-    auto copy = std::make_unique<MineSystem>(/*verbose=*/false);
-    copy->agentCfg_ = agentCfg_;
-    return copy;
+    // Replicas share the frozen model set (weights, quant scales, AD
+    // bounds exist once per process); only per-worker mutable state --
+    // the per-episode contexts with their RNG streams, meters, and
+    // workspaces -- is created fresh. See core/shared_models.hpp.
+    return std::unique_ptr<EmbodiedSystem>(
+        new MineSystem(shared_, agentCfg_));
 }
 
 EpisodeResult
@@ -50,11 +68,11 @@ MineSystem::runEpisode(int taskId, std::uint64_t seed,
     cfg.applyTo(controllerCtx, /*isPlanner=*/false);
 
     PlannerModel& p = planner(cfg.weightRotation);
-    EmbodiedAgent agent(p, *models_.controller, agentCfg_);
+    EmbodiedAgent agent(p, *shared_->controller, agentCfg_);
 
     std::unique_ptr<VoltageScaler> scaler;
     if (cfg.voltageScaling) {
-        scaler = std::make_unique<VoltageScaler>(*models_.predictor,
+        scaler = std::make_unique<VoltageScaler>(*shared_->predictor,
                                                  cfg.policy, cfg.vsInterval);
         // VS implies voltage-dependent errors on the controller.
         if (cfg.mode != InjectionMode::None && cfg.injectController)

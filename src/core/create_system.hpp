@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/embodied_system.hpp"
+#include "core/shared_models.hpp"
 
 namespace create {
 
@@ -58,13 +59,15 @@ class MineSystem : public EmbodiedSystem
 
     /** Planner access; builds the rotated variant lazily. */
     PlannerModel& planner(bool rotated);
-    ControllerModel& controller() { return *models_.controller; }
-    EntropyPredictor& predictor() { return *models_.predictor; }
+    ControllerModel& controller() { return *shared_->controller; }
+    EntropyPredictor& predictor() { return *shared_->predictor; }
     AgentConfig& agentConfig() { return agentCfg_; }
 
   private:
-    MineModels models_;
-    std::unique_ptr<PlannerModel> rotatedPlanner_;
+    /** Replica constructor: shares the frozen model set. */
+    MineSystem(std::shared_ptr<SharedModelSet> shared, AgentConfig agentCfg);
+
+    std::shared_ptr<SharedModelSet> shared_;
     PaperEnergyModel energy_;
     AgentConfig agentCfg_;
 };

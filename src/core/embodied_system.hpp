@@ -111,8 +111,13 @@ class EmbodiedSystem
 
     /**
      * Build a functionally identical copy of this system for a parallel
-     * worker (models reload from the deterministic on-disk cache, so
-     * replicas produce bit-identical episodes).
+     * worker. Backends share the frozen, immutable model set (FP32
+     * weights, cached quantized weights, scales, AD bounds) with their
+     * replicas and duplicate only mutable per-worker state, so replica
+     * construction is O(1) -- no model reload, recalibration, or
+     * re-freeze per worker (see core/shared_models.hpp). prepare() is
+     * the serial point that freezes everything a config will touch
+     * before episodes fan out.
      */
     virtual std::unique_ptr<EmbodiedSystem> replicate() const = 0;
 

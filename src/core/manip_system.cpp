@@ -47,9 +47,20 @@ ManipSystem::ManipSystem(std::string plannerPlatform,
       controllerPlatform_(std::move(controllerPlatform)),
       label_(plannerPlatform_ + "+" + controllerPlatform_),
       verbose_(verbose),
-      planner_(platforms::manipPlanner(plannerPlatform_, verbose)),
-      controller_(platforms::manipController(controllerPlatform_, verbose)),
+      shared_(std::make_shared<SharedModelSet>()),
       energy_(manipEnergyModel(plannerPlatform_, controllerPlatform_))
+{
+    shared_->planner = platforms::manipPlanner(plannerPlatform_, verbose);
+    shared_->controller =
+        platforms::manipController(controllerPlatform_, verbose);
+}
+
+ManipSystem::ManipSystem(const ManipSystem& prototype,
+                         std::shared_ptr<SharedModelSet> shared)
+    : plannerPlatform_(prototype.plannerPlatform_),
+      controllerPlatform_(prototype.controllerPlatform_),
+      label_(prototype.label_), verbose_(false), shared_(std::move(shared)),
+      energy_(prototype.energy_)
 {
 }
 
@@ -57,41 +68,43 @@ PlannerModel&
 ManipSystem::planner(bool rotated)
 {
     if (!rotated)
-        return *planner_;
-    if (!rotatedPlanner_) {
-        rotatedPlanner_ =
+        return *shared_->planner;
+    if (!shared_->rotatedPlanner) {
+        std::shared_ptr<PlannerModel> r =
             platforms::manipPlanner(plannerPlatform_, /*verbose=*/false);
-        applyWeightRotation(*rotatedPlanner_);
-        platforms::calibrateManipPlanner(*rotatedPlanner_);
+        applyWeightRotation(*r);
+        platforms::calibrateManipPlanner(*r);
+        shared_->rotatedPlanner = std::move(r);
     }
-    return *rotatedPlanner_;
+    return *shared_->rotatedPlanner;
 }
 
 EntropyPredictor&
 ManipSystem::predictor()
 {
-    if (!predictor_)
-        predictor_ = platforms::manipPredictor(controllerPlatform_,
-                                               *controller_, verbose_);
-    return *predictor_;
+    if (!shared_->predictor)
+        shared_->predictor = platforms::manipPredictor(
+            controllerPlatform_, *shared_->controller, verbose_);
+    return *shared_->predictor;
 }
 
 void
 ManipSystem::prepare(const CreateConfig& cfg)
 {
-    if (cfg.weightRotation)
-        planner(true);
+    // Build lazy members and freeze every layer the config will touch at
+    // its deployment width -- serially, so shared model state is read-only
+    // once episodes (possibly on a worker pool) start.
+    warmFreezePlanner(planner(cfg.weightRotation), cfg.bits);
+    warmFreezeController(*shared_->controller, cfg.bits);
     if (cfg.voltageScaling)
-        predictor();
+        warmFreezePredictor(predictor());
 }
 
 std::unique_ptr<EmbodiedSystem>
 ManipSystem::replicate() const
 {
-    auto copy = std::make_unique<ManipSystem>(plannerPlatform_,
-                                              controllerPlatform_,
-                                              /*verbose=*/false);
-    return copy;
+    // Replicas share the frozen model set; see core/shared_models.hpp.
+    return std::unique_ptr<EmbodiedSystem>(new ManipSystem(*this, shared_));
 }
 
 EpisodeResult
@@ -101,7 +114,7 @@ ManipSystem::runEpisode(int taskId, std::uint64_t seed,
     return runDecodedPlanEpisode<ManipEpisodeTraits>(
         taskId, seed, cfg,
         EpisodeSalts{0x111ull, 0x222ull, 0x333ull, 0x444ull},
-        planner(cfg.weightRotation), *controller_,
+        planner(cfg.weightRotation), *shared_->controller,
         cfg.voltageScaling ? &predictor() : nullptr);
 }
 

@@ -45,9 +45,20 @@ NavSystem::NavSystem(std::string plannerPlatform,
       controllerPlatform_(std::move(controllerPlatform)),
       label_(plannerPlatform_ + "+" + controllerPlatform_),
       verbose_(verbose),
-      planner_(platforms::navPlanner(plannerPlatform_, verbose)),
-      controller_(platforms::navController(controllerPlatform_, verbose)),
+      shared_(std::make_shared<SharedModelSet>()),
       energy_(navEnergyModel(controllerPlatform_))
+{
+    shared_->planner = platforms::navPlanner(plannerPlatform_, verbose);
+    shared_->controller =
+        platforms::navController(controllerPlatform_, verbose);
+}
+
+NavSystem::NavSystem(const NavSystem& prototype,
+                     std::shared_ptr<SharedModelSet> shared)
+    : plannerPlatform_(prototype.plannerPlatform_),
+      controllerPlatform_(prototype.controllerPlatform_),
+      label_(prototype.label_), verbose_(false), shared_(std::move(shared)),
+      energy_(prototype.energy_)
 {
 }
 
@@ -55,39 +66,43 @@ PlannerModel&
 NavSystem::planner(bool rotated)
 {
     if (!rotated)
-        return *planner_;
-    if (!rotatedPlanner_) {
-        rotatedPlanner_ =
+        return *shared_->planner;
+    if (!shared_->rotatedPlanner) {
+        std::shared_ptr<PlannerModel> r =
             platforms::navPlanner(plannerPlatform_, /*verbose=*/false);
-        applyWeightRotation(*rotatedPlanner_);
-        platforms::calibrateNavPlanner(*rotatedPlanner_);
+        applyWeightRotation(*r);
+        platforms::calibrateNavPlanner(*r);
+        shared_->rotatedPlanner = std::move(r);
     }
-    return *rotatedPlanner_;
+    return *shared_->rotatedPlanner;
 }
 
 EntropyPredictor&
 NavSystem::predictor()
 {
-    if (!predictor_)
-        predictor_ = platforms::navPredictor(controllerPlatform_,
-                                             *controller_, verbose_);
-    return *predictor_;
+    if (!shared_->predictor)
+        shared_->predictor = platforms::navPredictor(
+            controllerPlatform_, *shared_->controller, verbose_);
+    return *shared_->predictor;
 }
 
 void
 NavSystem::prepare(const CreateConfig& cfg)
 {
-    if (cfg.weightRotation)
-        planner(true);
+    // Build lazy members and freeze every layer the config will touch at
+    // its deployment width -- serially, so shared model state is read-only
+    // once episodes (possibly on a worker pool) start.
+    warmFreezePlanner(planner(cfg.weightRotation), cfg.bits);
+    warmFreezeController(*shared_->controller, cfg.bits);
     if (cfg.voltageScaling)
-        predictor();
+        warmFreezePredictor(predictor());
 }
 
 std::unique_ptr<EmbodiedSystem>
 NavSystem::replicate() const
 {
-    return std::make_unique<NavSystem>(plannerPlatform_, controllerPlatform_,
-                                       /*verbose=*/false);
+    // Replicas share the frozen model set; see core/shared_models.hpp.
+    return std::unique_ptr<EmbodiedSystem>(new NavSystem(*this, shared_));
 }
 
 EpisodeResult
@@ -97,7 +112,7 @@ NavSystem::runEpisode(int taskId, std::uint64_t seed,
     return runDecodedPlanEpisode<NavEpisodeTraits>(
         taskId, seed, cfg,
         EpisodeSalts{0x555ull, 0x666ull, 0x777ull, 0x888ull},
-        planner(cfg.weightRotation), *controller_,
+        planner(cfg.weightRotation), *shared_->controller,
         cfg.voltageScaling ? &predictor() : nullptr);
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/embodied_system.hpp"
+#include "core/shared_models.hpp"
 #include "models/platforms.hpp"
 
 namespace create {
@@ -71,7 +72,7 @@ class NavSystem : public EmbodiedSystem
 
     /** Planner access; builds the rotated variant lazily. */
     PlannerModel& planner(bool rotated);
-    ControllerModel& controller() { return *controller_; }
+    ControllerModel& controller() { return *shared_->controller; }
     /** Entropy predictor; trained/loaded lazily (only VS configs need it). */
     EntropyPredictor& predictor();
 
@@ -82,15 +83,16 @@ class NavSystem : public EmbodiedSystem
     }
 
   private:
+    /** Replica constructor: shares the frozen model set. */
+    NavSystem(const NavSystem& prototype,
+              std::shared_ptr<SharedModelSet> shared);
+
     std::string plannerPlatform_;
     std::string controllerPlatform_;
     std::string label_;
     bool verbose_;
 
-    std::unique_ptr<PlannerModel> planner_;
-    std::unique_ptr<PlannerModel> rotatedPlanner_;
-    std::unique_ptr<ControllerModel> controller_;
-    std::unique_ptr<EntropyPredictor> predictor_;
+    std::shared_ptr<SharedModelSet> shared_;
     PaperEnergyModel energy_;
 };
 

@@ -17,8 +17,9 @@ ParallelEvaluator::ParallelEvaluator(const EmbodiedSystem& prototype,
 {
     if (threads <= 0)
         threads = defaultThreads();
-    // Replicas are built serially on the calling thread: model cache
-    // loads/trains and calibration passes must not race each other.
+    // Replica construction is O(1) (shared frozen model set), but stays
+    // on the calling thread: any lazy model build triggered later runs
+    // in prepare(), also serially.
     replicas_.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t)
         replicas_.push_back(prototype.replicate());

@@ -10,10 +10,13 @@
  * but were strictly serial in the seed reproduction. The evaluator makes
  * them scale without changing a single digit of the output:
  *
- *  - Each worker owns its own EmbodiedSystem replica (planner, controller,
- *    predictor, and every per-layer QuantGemmState), rebuilt from the
- *    deterministic on-disk model cache, so calibration state and
- *    fault-injection RNG streams never share mutable state across threads.
+ *  - Each worker owns its own EmbodiedSystem replica. Replicas share the
+ *    frozen, immutable model set (weights, quantization scales, AD
+ *    bounds; see core/shared_models.hpp) -- prepare() freezes everything
+ *    a config touches serially before fan-out -- while every mutable
+ *    piece (per-episode ComputeContexts with their RNG streams, energy
+ *    meters, and GEMM workspaces) lives per worker, so threads never
+ *    share mutable state.
  *  - Episode i always runs at seed0 + i, and every ComputeContext /
  *    action RNG inside an episode is derived from that seed alone, so the
  *    per-episode RNG streams are isolated by construction.

@@ -1,0 +1,56 @@
+#include "core/shared_models.hpp"
+
+namespace create {
+
+namespace {
+
+/** A clean nominal-voltage context at the given datapath width. */
+ComputeContext
+warmContext(QuantBits bits)
+{
+    ComputeContext ctx(0);
+    ctx.bits = bits;
+    return ctx;
+}
+
+} // namespace
+
+void
+warmFreezePlanner(PlannerModel& p, QuantBits bits)
+{
+    // The head runs last, so a frozen head at the right width means the
+    // warm pass already happened (layers freeze together: calibration and
+    // invalidation both cover the whole module tree).
+    const QuantGemmState& probe = p.head().quantState();
+    if (probe.frozen && probe.wQ.bits == bits)
+        return;
+    ComputeContext ctx = warmContext(bits);
+    p.inferLogits(0, 0, ctx);
+}
+
+void
+warmFreezeController(ControllerModel& c, QuantBits bits)
+{
+    const ControllerConfig& cfg = c.config();
+    const QuantGemmState& probe =
+        c.block(cfg.layers - 1).fc2().quantState();
+    if (probe.frozen && probe.wQ.bits == bits)
+        return;
+    ComputeContext ctx = warmContext(bits);
+    c.inferLogits(0, std::vector<float>(cfg.spatialDim, 0.0f),
+                  std::vector<float>(cfg.stateDim, 0.0f), ctx);
+}
+
+void
+warmFreezePredictor(EntropyPredictor& p)
+{
+    const QuantGemmState& probe = p.fuse2().quantState();
+    if (probe.frozen && probe.wQ.bits == QuantBits::Int8)
+        return;
+    ComputeContext ctx = warmContext(QuantBits::Int8);
+    const PredictorConfig& cfg = p.config();
+    p.infer(Tensor({3, cfg.imgRes, cfg.imgRes}),
+            std::vector<float>(cfg.promptDim, 0.0f), ctx);
+}
+
+} // namespace create

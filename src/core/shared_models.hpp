@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * SharedModelSet: the immutable-at-episode-time model bundle one
+ * EmbodiedSystem backend and all of its ParallelEvaluator replicas share.
+ *
+ * Replicas used to rebuild the whole stack per worker -- deserializing
+ * every FP32 weight tensor from the model cache, re-running calibration,
+ * and re-freezing every per-layer QuantGemmState -- multiplying replica
+ * build time and resident model memory by the thread count for state that
+ * never changes during episodes. Now the backends hold their models
+ * behind shared_ptr and replicate() just bumps reference counts: frozen
+ * quantized weights (QuantGemmState::wq + scales), FP32 weight tensors,
+ * and calibration observers exist once per process. Only genuinely
+ * mutable per-worker state (per-episode ComputeContexts with their RNG
+ * streams, EnergyMeters, and GemmWorkspaces) is created per worker.
+ *
+ * Safety contract: episode execution only reads model state once every
+ * QuantGemmState is frozen at the deployment bit-width. prepare(cfg)
+ * enforces that by running the warmFreeze* helpers below -- one throwaway
+ * clean inference that freezes every layer the config will touch --
+ * serially before episodes fan out (ParallelEvaluator already calls
+ * prepare on the calling thread). Lazily-built members (rotated planner,
+ * entropy predictor) are likewise only constructed inside prepare.
+ */
+
+#include <memory>
+
+#include "models/controller.hpp"
+#include "models/entropy_predictor.hpp"
+#include "models/planner.hpp"
+
+namespace create {
+
+/** Frozen-model bundle shared across a backend and its replicas. */
+struct SharedModelSet
+{
+    std::shared_ptr<PlannerModel> planner;
+    std::shared_ptr<PlannerModel> rotatedPlanner; //!< lazy (WR configs)
+    std::shared_ptr<ControllerModel> controller;
+    std::shared_ptr<EntropyPredictor> predictor;  //!< lazy on some platforms
+};
+
+/**
+ * Freeze every planner QuantGemmState at `bits` with one clean throwaway
+ * inference (no-op when already frozen at that width).
+ */
+void warmFreezePlanner(PlannerModel& p, QuantBits bits);
+
+/** Same for the controller. */
+void warmFreezeController(ControllerModel& c, QuantBits bits);
+
+/**
+ * Same for the predictor. The predictor always deploys at the default
+ * INT8 width and nominal voltage (Sec. 5.3: its estimate is error-free),
+ * matching the per-episode predictor contexts.
+ */
+void warmFreezePredictor(EntropyPredictor& p);
+
+} // namespace create

@@ -83,6 +83,28 @@ class EnergyMeter
     std::array<DomainUsage, kNumDomains> perDomain_{};
 };
 
+/**
+ * Reusable scratch buffers for the inference hot path.
+ *
+ * One workspace lives in each ComputeContext, and contexts are never
+ * shared across threads (each episode builds its own), so the buffers are
+ * thread-safe by construction. Buffers grow to the high-water mark of the
+ * layers run under the context and are reused for every subsequent GEMM /
+ * attention call, making the steady-state pipeline allocation-free.
+ */
+struct GemmWorkspace
+{
+    std::vector<std::int8_t> xq;        //!< quantized activations
+    std::vector<std::int32_t> acc;      //!< working accumulators
+    std::vector<std::int32_t> cleanAcc; //!< clean product kept for re-execution
+    std::vector<std::int32_t> acc2;     //!< DMR duplicate execution
+    std::vector<std::int32_t> acc3;     //!< DMR arbitration execution
+    std::vector<std::size_t> positions; //!< flip positions (ThunderVolt/ABFT)
+    std::vector<float> attnK;           //!< packed K^T slab (headDim x tokens)
+    std::vector<float> attnV;           //!< packed V slab (tokens x headDim)
+    std::vector<float> attnScores;      //!< per-head score/probability matrix
+};
+
 /** Execution context threaded through every quantized layer. */
 class ComputeContext
 {
@@ -101,6 +123,7 @@ class ComputeContext
     // --- runtime state --------------------------------------------------
     Rng rng;
     EnergyMeter meter;
+    GemmWorkspace ws; //!< hot-path scratch buffers (never shared across threads)
 
     /** Disable injection (clean INT8 execution). */
     void setCleanMode();

@@ -4,25 +4,62 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "fault/injector.hpp"
 #include "tensor/ops.hpp"
 
 namespace create {
 
+namespace {
+
+/** w with a per-output-channel scale folded in (freeze/calibration only). */
+Tensor
+scaledWeight(const Tensor& w, const Tensor& outScale)
+{
+    Tensor weff = w;
+    for (std::int64_t i = 0; i < weff.dim(0); ++i)
+        for (std::int64_t j = 0; j < weff.dim(1); ++j)
+            weff.at(i, j) *= outScale[j];
+    return weff;
+}
+
+} // namespace
+
 void
-QuantGemmState::freeze(const Tensor& w, QuantBits bits)
+QuantGemmState::freeze(const Tensor& w, const Tensor* bias,
+                       const Tensor* outScale, QuantBits bits)
 {
     // Activation scale: calibrated absmax when available; a per-call
     // fallback would break the fixed-scale-hardware assumption, so we use
     // a generous default when a layer was never calibrated.
     const float inMax = inObs.seeded() ? inObs.absMax() : 8.0f;
     inQ = QuantParams::fromAbsMax(inMax, bits);
-    wQ = QuantParams::fromAbsMax(w.absMax(), bits);
+    // The deployed weight carries the structural channel scale (planted
+    // LLM outliers); folding it here means steady-state calls never
+    // rebuild the scaled FP32 weight.
+    if (outScale) {
+        const Tensor weff = scaledWeight(w, *outScale);
+        wQ = QuantParams::fromAbsMax(weff.absMax(), bits);
+        wq = quantize(weff, wQ);
+    } else {
+        wQ = QuantParams::fromAbsMax(w.absMax(), bits);
+        wq = quantize(w, wQ);
+    }
+    hasBias = bias != nullptr;
+    biasEff.clear();
+    if (bias) {
+        biasEff.resize(static_cast<std::size_t>(bias->numel()));
+        for (std::int64_t j = 0; j < bias->numel(); ++j)
+            biasEff[static_cast<std::size_t>(j)] =
+                outScale ? (*bias)[j] * (*outScale)[j] : (*bias)[j];
+    }
     // AD bound: calibrated clean-output absmax with a small margin for
     // quantization noise. Unknown (never calibrated) => 0 => AD disabled
     // for this layer.
     outBound = outObs.seeded() ? outObs.absMax() * 1.05f : 0.0f;
-    wq = quantize(w, wQ);
     frozen = true;
 }
 
@@ -31,6 +68,8 @@ QuantGemmState::invalidate()
 {
     frozen = false;
     wq.clear();
+    biasEff.clear();
+    hasBias = false;
     inObs.reset();
     outObs.reset();
     outBound = 0.0f;
@@ -40,11 +79,82 @@ void
 intGemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
         const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
 {
-    // Blocked micro-kernel: K is tiled so the 8-column weight slab a tile
-    // touches stays L1-resident, and each (row, K-tile, column-block)
-    // round keeps its 8 partial sums in int32 registers -- the naive
-    // i-k-j kernel instead re-reads and re-writes the whole accumulator
-    // row once per k, and that store/reload chain dominates its runtime.
+    // Integer accumulation is exact, so any summation order yields the
+    // same accumulators; that freedom is what lets the SIMD kernel below
+    // pair K iterations (pmaddwd) while staying bit-identical to the
+    // scalar kernel (which the golden-reference test suite asserts).
+#if defined(__SSE2__)
+    // SSE2 micro-kernel: 8 output columns per step, two K rows fused per
+    // multiply. Weights of rows kk/kk+1 are interleaved bytewise and
+    // sign-extended to int16 pairs (w[kk][j], w[kk+1][j]); pmaddwd against
+    // the broadcast activation pair (x[kk], x[kk+1]) then produces the
+    // per-column two-term partial sums directly in int32 lanes.
+    const __m128i vzero = _mm_setzero_si128();
+    for (std::int64_t i = 0; i < m; ++i) {
+        const std::int8_t* xrow = xq + i * k;
+        std::int32_t* crow = acc + i * n;
+        std::int64_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            __m128i acc0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(crow + j0));
+            __m128i acc1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(crow + j0 + 4));
+            std::int64_t kk = 0;
+            for (; kk + 2 <= k; kk += 2) {
+                const std::int32_t x0 = xrow[kk], x1 = xrow[kk + 1];
+                if ((x0 | x1) == 0)
+                    continue;
+                const std::uint32_t pair =
+                    static_cast<std::uint16_t>(x0) |
+                    (static_cast<std::uint32_t>(static_cast<std::uint16_t>(x1))
+                     << 16);
+                const __m128i xpair =
+                    _mm_set1_epi32(static_cast<std::int32_t>(pair));
+                const __m128i w0 = _mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(wq + kk * n + j0));
+                const __m128i w1 = _mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(wq + (kk + 1) * n + j0));
+                const __m128i inter = _mm_unpacklo_epi8(w0, w1);
+                const __m128i lo16 =
+                    _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
+                const __m128i hi16 =
+                    _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
+                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
+            }
+            if (kk < k) { // odd-K tail: pair the last row with zero
+                const std::int32_t x0 = xrow[kk];
+                if (x0 != 0) {
+                    const __m128i xpair = _mm_set1_epi32(
+                        static_cast<std::uint16_t>(x0));
+                    const __m128i w0 = _mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(wq + kk * n + j0));
+                    const __m128i inter = _mm_unpacklo_epi8(w0, vzero);
+                    const __m128i lo16 =
+                        _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
+                    const __m128i hi16 =
+                        _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
+                    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
+                    acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
+                }
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0), acc0);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0 + 4), acc1);
+        }
+        for (; j0 < n; ++j0) { // ragged column tail
+            std::int32_t a = crow[j0];
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const std::int32_t xv = xrow[kk];
+                if (xv != 0)
+                    a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
+            }
+            crow[j0] = a;
+        }
+    }
+#else
+    // Scalar fallback: K-tiled, 8-column register-blocked micro-kernel
+    // (each (row, K-tile, column-block) round keeps its 8 partial sums in
+    // int32 registers instead of re-reading the accumulator row per k).
     constexpr std::int64_t kNr = 8;   //!< columns per register block
     constexpr std::int64_t kKc = 256; //!< K tile (256 rows x 8 cols = 2 KiB)
     for (std::int64_t i = 0; i < m; ++i) {
@@ -92,74 +202,94 @@ intGemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
             }
         }
     }
+#endif
 }
 
 Tensor
 faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
-             QuantGemmState& st, ComputeContext& ctx, const std::string& tag)
+             QuantGemmState& st, ComputeContext& ctx, const std::string& tag,
+             const Tensor* outScale)
 {
     if (x.rank() != 2 || w.rank() != 2 || x.dim(1) != w.dim(0))
         throw std::invalid_argument("faultyLinear: shape mismatch for " + tag);
     const std::int64_t m = x.dim(0), k = x.dim(1), n = w.dim(1);
 
     if (ctx.calibrating) {
-        Tensor y = ops::matmul(x, w);
+        // Calibration is a rare clean pass; materializing the scaled
+        // weight here keeps the recorded absmax identical to deployment.
+        Tensor y = outScale ? ops::matmul(x, scaledWeight(w, *outScale))
+                            : ops::matmul(x, w);
         st.inObs.observe(x);
         st.outObs.observe(y);
-        if (bias)
-            y = ops::addRowBroadcast(y, *bias);
+        if (bias) {
+            for (std::int64_t i = 0; i < m; ++i)
+                for (std::int64_t j = 0; j < n; ++j)
+                    y.at(i, j) +=
+                        outScale ? (*bias)[j] * (*outScale)[j] : (*bias)[j];
+        }
         return y;
     }
 
     if (!st.frozen || st.wQ.bits != ctx.bits)
-        st.freeze(w, ctx.bits);
+        st.freeze(w, bias, outScale, ctx.bits);
 
-    // 1. Quantize activations.
-    const std::vector<std::int8_t> xq = quantize(x, st.inQ);
+    GemmWorkspace& ws = ctx.ws;
+    const std::size_t cnt = static_cast<std::size_t>(m * n);
 
-    // 2. Integer GEMM into 24-bit accumulators (int32-backed). The clean
-    //    accumulators are kept so protection schemes can re-execute with
-    //    independent error draws without recomputing the product.
-    std::vector<std::int32_t> cleanAcc(static_cast<std::size_t>(m * n), 0);
-    intGemm(xq.data(), m, k, st.wq.data(), n, cleanAcc.data());
+    // 1. Quantize activations into the reusable workspace buffer.
+    quantizeInto(x, st.inQ, ws.xq);
+
     const double gemmMacs = static_cast<double>(m * n * k);
-    ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
-
     const bool inject =
         ctx.mode() != InjectionMode::None && ctx.injectionEnabledFor(tag);
-    auto runOnce = [&](std::vector<std::size_t>* positions) {
-        std::vector<std::int32_t> acc = cleanAcc;
+
+    // 2. Integer GEMM into 24-bit accumulators (int32-backed). The clean
+    //    product is only kept separately when injection or a protection
+    //    scheme may re-execute with independent error draws; otherwise it
+    //    is computed directly in the working buffer and never copied.
+    const bool needClean = inject || ctx.protection != Protection::None;
+    std::vector<std::int32_t>& gemmDst = needClean ? ws.cleanAcc : ws.acc;
+    gemmDst.assign(cnt, 0);
+    intGemm(ws.xq.data(), m, k, st.wq.data(), n, gemmDst.data());
+    ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
+
+    // One (re-)execution: copy the clean accumulators into dst and draw a
+    // fresh set of error positions. Buffers are workspace-owned, so the
+    // copy reuses capacity instead of allocating.
+    auto runInto = [&](std::vector<std::int32_t>& dst,
+                       std::vector<std::size_t>* positions) {
+        dst = ws.cleanAcc;
         if (inject) {
             const auto stats = BitFlipInjector::inject(
-                acc.data(), acc.size(), ctx.activeBitRates(), ctx.rng,
+                dst.data(), dst.size(), ctx.activeBitRates(), ctx.rng,
                 positions);
             ctx.meter.addFlips(ctx.domain, stats.flips);
         }
-        return acc;
     };
 
     // 3. Inject voltage-underscaling bit flips, under the configured
     //    protection scheme (Sec. 6.10 baselines; CREATE uses None + AD).
-    std::vector<std::int32_t> acc;
+    std::vector<std::int32_t>& acc = ws.acc;
     switch (ctx.protection) {
       case Protection::None:
-        // With injection off the clean accumulators are consumed exactly
-        // once -- move them instead of copying the whole MxN block.
-        acc = inject ? runOnce(nullptr) : std::move(cleanAcc);
+        // Without injection, acc already holds the clean product.
+        if (inject)
+            runInto(acc, nullptr);
         break;
       case Protection::Dmr: {
         // Duplicate execution and compare; on mismatch a third execution
         // arbitrates per element (2-of-3 vote). Two copies agreeing on a
         // corrupted value requires the same flip twice -- negligible.
-        acc = runOnce(nullptr);
-        const auto second = runOnce(nullptr);
+        runInto(acc, nullptr);
+        runInto(ws.acc2, nullptr);
         ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage()); // the copy
-        if (acc != second) {
-            const auto third = runOnce(nullptr);
+        if (acc != ws.acc2) {
+            runInto(ws.acc3, nullptr);
             ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
-            for (std::size_t i = 0; i < acc.size(); ++i) {
-                if (acc[i] != second[i])
-                    acc[i] = (second[i] == third[i]) ? second[i] : third[i];
+            for (std::size_t i = 0; i < cnt; ++i) {
+                if (acc[i] != ws.acc2[i])
+                    acc[i] = (ws.acc2[i] == ws.acc3[i]) ? ws.acc2[i]
+                                                        : ws.acc3[i];
             }
         }
         break;
@@ -169,9 +299,9 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
         // output whose accumulation saw a timing error is dropped to zero
         // (the "excessive neuron pruning" the paper describes). Bypass
         // circuitry adds a small energy overhead.
-        std::vector<std::size_t> positions;
-        acc = runOnce(&positions);
-        for (auto idx : positions)
+        ws.positions.clear();
+        runInto(acc, &ws.positions);
+        for (auto idx : ws.positions)
             acc[idx] = 0;
         ctx.meter.addGemm(ctx.domain, gemmMacs * 0.05, ctx.voltage());
         break;
@@ -182,10 +312,10 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
         // roughly (M+N) x K extra MACs per attempt.
         const double checksumMacs = static_cast<double>((m + n) * k);
         for (int attempt = 0; attempt < 5; ++attempt) {
-            std::vector<std::size_t> positions;
-            acc = runOnce(&positions);
+            ws.positions.clear();
+            runInto(acc, &ws.positions);
             ctx.meter.addGemm(ctx.domain, checksumMacs, ctx.voltage());
-            if (positions.empty())
+            if (ws.positions.empty())
                 break;
             // Recompute costs another full GEMM.
             ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
@@ -211,12 +341,25 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
             ctx.meter.addAnomalies(ctx.domain, cleared);
     }
 
-    // 5. Dequantize + FP32 bias.
+    // 5. Dequantize + FP32 bias (channel scale already folded into both),
+    //    fused into a single output pass.
     Tensor y({m, n});
-    for (std::int64_t i = 0; i < m * n; ++i)
-        y[i] = static_cast<float>(acc[static_cast<std::size_t>(i)]) * deqScale;
-    if (bias)
-        y = ops::addRowBroadcast(y, *bias);
+    float* py = y.data();
+    const std::int32_t* pa = acc.data();
+    if (st.hasBias) {
+        const float* pb = st.biasEff.data();
+        for (std::int64_t i = 0; i < m; ++i) {
+            float* yrow = py + i * n;
+            const std::int32_t* arow = pa + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float v = static_cast<float>(arow[j]) * deqScale;
+                yrow[j] = v + pb[j];
+            }
+        }
+    } else {
+        for (std::int64_t i = 0; i < m * n; ++i)
+            py[i] = static_cast<float>(pa[i]) * deqScale;
+    }
     return y;
 }
 

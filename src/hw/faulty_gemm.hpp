@@ -38,10 +38,23 @@ struct QuantGemmState
     QuantParams wQ;         //!< frozen weight scale
     float outBound = 0.0f;  //!< AD valid |y| bound (0 = unknown -> no clamp)
     std::vector<std::int8_t> wq; //!< cached quantized weights (row-major KxN)
+    std::vector<float> biasEff;  //!< cached bias with channel scale folded in
+    bool hasBias = false;
     bool frozen = false;
 
-    /** Derive scales from observers (or the weight itself) and cache wq. */
-    void freeze(const Tensor& w, QuantBits bits);
+    /**
+     * Derive scales from observers (or the weight itself) and cache the
+     * deployed weight/bias: wq is quantized from w with the optional
+     * per-output-channel scale folded in, biasEff is bias * outScale.
+     */
+    void freeze(const Tensor& w, const Tensor* bias, const Tensor* outScale,
+                QuantBits bits);
+
+    /** freeze() for a plain (unscaled, bias-free) weight. */
+    void freeze(const Tensor& w, QuantBits bits)
+    {
+        freeze(w, nullptr, nullptr, bits);
+    }
 
     /** Drop frozen state (weights changed, e.g. after rotation). */
     void invalidate();
@@ -52,10 +65,19 @@ struct QuantGemmState
  *
  * In calibration mode computes the exact FP32 product and records stats.
  * `tag` identifies the component for targeted injection and bookkeeping.
+ * `outScale` is an optional fixed per-output-channel scale (planted LLM
+ * outliers); it is folded into the deployed weight and bias at freeze
+ * time, so steady-state calls never materialize the scaled weight.
+ *
+ * Steady-state (frozen) calls are allocation-free apart from the returned
+ * tensor: activations quantize into and accumulators live in the
+ * context's GemmWorkspace, the clean product is only copied when a
+ * protection scheme needs independent re-executions, and dequantization,
+ * bias add, and the channel scale happen in one fused output pass.
  */
 Tensor faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
                     QuantGemmState& st, ComputeContext& ctx,
-                    const std::string& tag);
+                    const std::string& tag, const Tensor* outScale = nullptr);
 
 /** Integer GEMM helper: acc(MxN) += xq(MxK) @ wq(KxN), int32 accumulators. */
 void intGemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,

@@ -43,6 +43,9 @@ class EntropyPredictor : public nn::Module
 
     const PredictorConfig& config() const { return cfg_; }
 
+    /** Final fusion layer (runs last; used to probe frozen quant state). */
+    nn::Linear& fuse2() { return fuse2_; }
+
   private:
     PredictorConfig cfg_;
     nn::Conv2d conv1_, conv2_, conv3_;

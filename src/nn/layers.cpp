@@ -1,6 +1,7 @@
 #include "nn/layers.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,23 +35,13 @@ Linear::forward(const Var& x)
 Tensor
 Linear::infer(const Tensor& x, ComputeContext& ctx)
 {
-    // The channel scale is folded into the deployed weight so that the
-    // quantization scale and AD bound are calibrated on the outlier-laden
-    // outputs (exactly what real low-precision LLM deployment sees).
-    if (hasOutScale_) {
-        const Tensor weff = effectiveWeight();
-        Tensor scaledBias;
-        const Tensor* bias = nullptr;
-        if (b_) {
-            scaledBias = b_->var.value();
-            for (std::int64_t j = 0; j < scaledBias.numel(); ++j)
-                scaledBias[j] *= outScale_[j];
-            bias = &scaledBias;
-        }
-        return faultyLinear(x, weff, bias, qstate_, ctx, name());
-    }
+    // The channel scale is folded into the deployed weight (at freeze /
+    // calibration time, inside faultyLinear) so that the quantization
+    // scale and AD bound are calibrated on the outlier-laden outputs
+    // (exactly what real low-precision LLM deployment sees).
     return faultyLinear(x, w_->var.value(), b_ ? &b_->var.value() : nullptr,
-                        qstate_, ctx, name());
+                        qstate_, ctx, name(),
+                        hasOutScale_ ? &outScale_ : nullptr);
 }
 
 void

@@ -34,6 +34,10 @@ struct QuantParams
 /** Quantize FP32 tensor to int8 codes with saturation. */
 std::vector<std::int8_t> quantize(const Tensor& t, const QuantParams& qp);
 
+/** quantize() into a caller-owned buffer (resized; capacity reused). */
+void quantizeInto(const Tensor& t, const QuantParams& qp,
+                  std::vector<std::int8_t>& out);
+
 /** Dequantize int8 codes back to FP32 with the given params/shape. */
 Tensor dequantize(const std::vector<std::int8_t>& q,
                   const std::vector<std::int64_t>& shape, const QuantParams& qp);

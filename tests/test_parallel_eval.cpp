@@ -154,3 +154,36 @@ TEST(EmbodiedSystem, ReplicateIsBitIdentical)
         replica->runEpisode(static_cast<int>(ManipTask::Button), 777, cfg);
     expectIdentical(a, b);
 }
+
+TEST(EmbodiedSystem, ReplicasShareFrozenWeightBuffers)
+{
+    // replicate() must not deep-copy or re-freeze the frozen model set:
+    // every replica sees the prototype's FP32 weight buffers and cached
+    // quantized weights at the same addresses (shared, not rebuilt).
+    CreateConfig cfg = CreateConfig::clean();
+    manipSys().prepare(cfg); // freeze once, serially
+    const auto ra = manipSys().replicate();
+    const auto rb = manipSys().replicate();
+    auto* a = dynamic_cast<ManipSystem*>(ra.get());
+    auto* b = dynamic_cast<ManipSystem*>(rb.get());
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    nn::Linear& protoHead = manipSys().planner(false).head();
+    ASSERT_TRUE(protoHead.quantState().frozen);
+    for (ManipSystem* replica : {a, b}) {
+        nn::Linear& head = replica->planner(false).head();
+        EXPECT_EQ(head.weight().data(), protoHead.weight().data());
+        EXPECT_EQ(head.quantState().wq.data(),
+                  protoHead.quantState().wq.data());
+        EXPECT_EQ(&replica->controller(), &manipSys().controller());
+    }
+
+    // Same holds for the Minecraft backend.
+    const auto mr = mineSys().replicate();
+    auto* m = dynamic_cast<MineSystem*>(mr.get());
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->planner(false).head().weight().data(),
+              mineSys().planner(false).head().weight().data());
+    EXPECT_EQ(&m->controller(), &mineSys().controller());
+}
