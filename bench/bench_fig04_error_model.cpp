@@ -18,7 +18,7 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    bench::preamble("Fig. 4 timing error model", 0);
+    bench::setupAnalytic(cli, "Fig. 4 timing error model");
 
     Table a("Fig. 4(a): bit-level timing error rate under voltage scaling");
     a.header({"bit", "0.85 V", "0.80 V", "0.75 V", "0.70 V", "0.65 V"});

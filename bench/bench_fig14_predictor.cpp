@@ -17,7 +17,7 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    bench::preamble("Fig. 14 entropy predictor accuracy", 0);
+    bench::setupAnalytic(cli, "Fig. 14 entropy predictor accuracy");
     auto controller = ModelZoo::mineController(false);
     auto predictor = ModelZoo::minePredictor(*controller, false);
 

@@ -13,11 +13,17 @@ int
 main(int argc, char** argv)
 {
     Cli cli(argc, argv);
-    const auto opt =
-        bench::setup(cli, "Fig. 15 voltage update interval", 10);
+    const auto opt = bench::setup(
+        cli, "Fig. 15 voltage update interval", 10,
+        "  --vs-interval N  evaluate only this LDO update interval "
+        "(<= 0 disables voltage scaling)\n");
     const int reps = opt.reps;
     CreateSystem sys(false);
     sys.setEvalThreads(opt.threads);
+
+    std::vector<int> intervals = {1, 5, 10, 20};
+    if (cli.has("vs-interval"))
+        intervals = {static_cast<int>(cli.integer("vs-interval", 5))};
 
     for (const char* taskName : {"wooden", "stone"}) {
         const MineTask task = mineTaskByName(taskName);
@@ -25,7 +31,7 @@ main(int argc, char** argv)
                 taskName + ", policy F, no AD)");
         t.header({"interval (steps)", "success", "energy (J)",
                   "effective V", "predictor runs/episode"});
-        for (int interval : {1, 5, 10, 20}) {
+        for (int interval : intervals) {
             CreateConfig cfg = CreateConfig::atVoltage(0.90, 0.90);
             cfg.injectPlanner = false;
             cfg.anomalyDetection = false;

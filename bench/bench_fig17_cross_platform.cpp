@@ -11,16 +11,15 @@
  *
  * Platforms are enumerated from core/platform_registry.hpp (no platform
  * list is hard-coded here): `--list-platforms` prints the catalogue and
- * `--platforms a,b,c` restricts the run. Every platform runs through the
- * shared EmbodiedSystem interface and the common evaluation engine
- * (parallel across --threads workers).
+ * `--platforms a,b,c` restricts the run. The whole figure is one
+ * SweepRunner campaign over platform-named cells: the clean deployment
+ * of each (platform, task) pair is declared by every section that
+ * baselines against it and executed once by the engine's memoization,
+ * and the cells shard across --threads workers / checkpoint with
+ * --out/--resume.
  */
 
-#include <map>
-#include <memory>
 #include <set>
-#include <stdexcept>
-#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -68,101 +67,60 @@ main(int argc, char** argv)
         return 1;
     }
     const auto opt =
-        bench::setup(cli, "Fig. 17 cross-platform generality", 10,
-                     kExtraHelp);
+        bench::setupSweep(cli, "Fig. 17 cross-platform generality", 10,
+                          kExtraHelp);
     bench::JsonReport json(opt.jsonPath);
 
-    std::vector<std::unique_ptr<EmbodiedSystem>> systems;
-    for (const auto* info : selected) {
-        systems.push_back(info->factory(/*verbose=*/false));
-        systems.back()->setEvalThreads(opt.threads);
-    }
-
-    // Sections (a), (b), and (c) baseline against the same clean
-    // deployment of the same (platform, task) pairs; evaluate each once.
-    std::map<std::pair<std::size_t, int>, TaskStats> cleanCache;
-    auto cleanStats = [&](std::size_t i, int task) -> const TaskStats& {
-        const auto key = std::make_pair(i, task);
-        auto it = cleanCache.find(key);
-        if (it == cleanCache.end())
-            it = cleanCache
-                     .emplace(key, systems[i]->evaluate(
-                                       task, CreateConfig::clean(), opt.reps))
-                     .first;
-        return it->second;
+    SweepRunner sweep(bench::sweepOptions(opt));
+    auto cell = [&](const PlatformInfo* info, int task,
+                    const CreateConfig& cfg, const std::string& label) {
+        return sweep.add({info->name, task, cfg, opt.reps,
+                          EmbodiedSystem::kDefaultSeed0,
+                          info->name + "/" + label});
+    };
+    auto cleanCell = [&](const PlatformInfo* info, int task) {
+        return cell(info, task, CreateConfig::clean(), "clean");
     };
 
-    // --- (a) planners: AD+WR ------------------------------------------------
-    Table a("Fig. 17(a): planner energy savings with AD+WR (iso quality)");
-    a.header({"platform", "benchmark task", "baseline success",
-              "AD+WR success", "planner energy savings"});
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const auto* info = selected[i];
-        EmbodiedSystem& sys = *systems[i];
+    // --- declare the sweep matrix ---------------------------------------
+    struct ARow
+    {
+        const PlatformInfo* info;
+        int task;
+        std::size_t clean, prot;
+    };
+    std::vector<ARow> aRows, bRows;
+    for (const auto* info : selected) {
         CreateConfig adwr = CreateConfig::atVoltage(info->defaultPlannerV,
                                                     info->defaultControllerV);
         adwr.anomalyDetection = true;
         adwr.weightRotation = true;
         adwr.injectController = false;
-        for (const int task : info->plannerTasks) {
-            const auto& base = cleanStats(i, task);
-            const auto prot = sys.evaluate(task, adwr, opt.reps);
-            const double save = 1.0 - prot.avgPlannerV2 / base.avgPlannerV2;
-            a.row({info->name, sys.taskName(task),
-                   Table::pct(base.successRate), Table::pct(prot.successRate),
-                   Table::pct(save)});
-            json.add("fig17a/" + info->name + "/" + sys.taskName(task),
-                     {{"baselineSuccess", base.successRate},
-                      {"adwrSuccess", prot.successRate},
-                      {"plannerEnergySavings", save}});
-        }
+        for (const int task : info->plannerTasks)
+            aRows.push_back({info, task, cleanCell(info, task),
+                             cell(info, task, adwr, "AD+WR")});
     }
-    a.print();
-
-    // --- (b) controllers: AD+VS ---------------------------------------------
-    Table b("Fig. 17(b): controller energy savings with AD+VS (iso "
-            "quality)");
-    b.header({"platform", "benchmark task", "baseline success",
-              "AD+VS success", "controller energy savings"});
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const auto* info = selected[i];
-        EmbodiedSystem& sys = *systems[i];
+    for (const auto* info : selected) {
         CreateConfig advs = CreateConfig::atVoltage(info->defaultControllerV,
                                                     info->defaultControllerV);
         advs.anomalyDetection = true;
         advs.voltageScaling = true;
         advs.policy = EntropyVoltagePolicy::preset('E');
         advs.injectPlanner = false;
-        for (const int task : info->controllerTasks) {
-            const auto& base = cleanStats(i, task);
-            const auto prot = sys.evaluate(task, advs, opt.reps);
-            const double save =
-                1.0 - prot.avgControllerV2 / base.avgControllerV2;
-            b.row({info->name, sys.taskName(task),
-                   Table::pct(base.successRate), Table::pct(prot.successRate),
-                   Table::pct(save)});
-            json.add("fig17b/" + info->name + "/" + sys.taskName(task),
-                     {{"baselineSuccess", base.successRate},
-                      {"advsSuccess", prot.successRate},
-                      {"controllerEnergySavings", save}});
-        }
+        for (const int task : info->controllerTasks)
+            bRows.push_back({info, task, cleanCell(info, task),
+                             cell(info, task, advs, "AD+VS")});
     }
-    b.print();
-
-    // --- (c) navigation family: protection at an aggressive voltage --------
-    bool navHeader = false;
-    Table c("Fig. 17(c): navigation missions at aggressive voltage -- "
-            "unprotected vs full CREATE (AD+WR+VS)");
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const auto* info = selected[i];
+    struct CRow
+    {
+        const PlatformInfo* info;
+        int task;
+        std::size_t clean, unprot, full;
+    };
+    std::vector<CRow> cRows;
+    for (const auto* info : selected) {
         if (info->envFamily != "navigation")
             continue;
-        if (!navHeader) {
-            c.header({"platform", "mission", "clean success",
-                      "unprotected @ low V", "CREATE @ low V"});
-            navHeader = true;
-        }
-        EmbodiedSystem& sys = *systems[i];
         CreateConfig unprot = CreateConfig::atVoltage(info->defaultPlannerV,
                                                       0.80);
         CreateConfig full = CreateConfig::fullCreate(
@@ -171,21 +129,76 @@ main(int argc, char** argv)
                                info->plannerTasks.end());
         missions.insert(info->controllerTasks.begin(),
                         info->controllerTasks.end());
-        for (const int task : missions) {
-            const auto& clean = cleanStats(i, task);
-            const auto bad = sys.evaluate(task, unprot, opt.reps);
-            const auto prot = sys.evaluate(task, full, opt.reps);
-            c.row({info->name, sys.taskName(task),
-                   Table::pct(clean.successRate),
-                   Table::pct(bad.successRate),
-                   Table::pct(prot.successRate)});
-            json.add("fig17c/" + info->name + "/" + sys.taskName(task),
-                     {{"cleanSuccess", clean.successRate},
-                      {"unprotectedSuccess", bad.successRate},
-                      {"createSuccess", prot.successRate}});
-        }
+        for (const int task : missions)
+            cRows.push_back({info, task, cleanCell(info, task),
+                             cell(info, task, unprot, "unprotected"),
+                             cell(info, task, full, "CREATE")});
     }
-    if (navHeader)
+
+    sweep.run();
+
+    // Task-name lookup for rendering, off the engine's own prototypes.
+    auto taskName = [&](const PlatformInfo* info, int task) -> std::string {
+        return sweep.system(info->name).taskName(task);
+    };
+
+    // --- (a) planners: AD+WR ------------------------------------------------
+    Table a("Fig. 17(a): planner energy savings with AD+WR (iso quality)");
+    a.header({"platform", "benchmark task", "baseline success",
+              "AD+WR success", "planner energy savings"});
+    for (const auto& r : aRows) {
+        const auto& base = sweep.stats(r.clean);
+        const auto& prot = sweep.stats(r.prot);
+        const double save = 1.0 - prot.avgPlannerV2 / base.avgPlannerV2;
+        a.row({r.info->name, taskName(r.info, r.task),
+               Table::pct(base.successRate), Table::pct(prot.successRate),
+               Table::pct(save)});
+        json.add("fig17a/" + r.info->name + "/" + taskName(r.info, r.task),
+                 {{"baselineSuccess", base.successRate},
+                  {"adwrSuccess", prot.successRate},
+                  {"plannerEnergySavings", save}});
+    }
+    a.print();
+
+    // --- (b) controllers: AD+VS ---------------------------------------------
+    Table b("Fig. 17(b): controller energy savings with AD+VS (iso "
+            "quality)");
+    b.header({"platform", "benchmark task", "baseline success",
+              "AD+VS success", "controller energy savings"});
+    for (const auto& r : bRows) {
+        const auto& base = sweep.stats(r.clean);
+        const auto& prot = sweep.stats(r.prot);
+        const double save =
+            1.0 - prot.avgControllerV2 / base.avgControllerV2;
+        b.row({r.info->name, taskName(r.info, r.task),
+               Table::pct(base.successRate), Table::pct(prot.successRate),
+               Table::pct(save)});
+        json.add("fig17b/" + r.info->name + "/" + taskName(r.info, r.task),
+                 {{"baselineSuccess", base.successRate},
+                  {"advsSuccess", prot.successRate},
+                  {"controllerEnergySavings", save}});
+    }
+    b.print();
+
+    // --- (c) navigation family: protection at an aggressive voltage --------
+    Table c("Fig. 17(c): navigation missions at aggressive voltage -- "
+            "unprotected vs full CREATE (AD+WR+VS)");
+    if (!cRows.empty())
+        c.header({"platform", "mission", "clean success",
+                  "unprotected @ low V", "CREATE @ low V"});
+    for (const auto& r : cRows) {
+        const auto& clean = sweep.stats(r.clean);
+        const auto& bad = sweep.stats(r.unprot);
+        const auto& prot = sweep.stats(r.full);
+        c.row({r.info->name, taskName(r.info, r.task),
+               Table::pct(clean.successRate), Table::pct(bad.successRate),
+               Table::pct(prot.successRate)});
+        json.add("fig17c/" + r.info->name + "/" + taskName(r.info, r.task),
+                 {{"cleanSuccess", clean.successRate},
+                  {"unprotectedSuccess", bad.successRate},
+                  {"createSuccess", prot.successRate}});
+    }
+    if (!cRows.empty())
         c.print();
 
     std::printf("\nShape check vs paper: AD+WR and AD+VS transfer across "

@@ -16,10 +16,11 @@
 using namespace create;
 
 int
-main(int, char**)
+main(int argc, char** argv)
 {
-    bench::preamble("Fig. 18 / Tables 3-4 / Fig. 12(c) hardware analytics",
-                    0);
+    Cli cli(argc, argv);
+    bench::setupAnalytic(
+        cli, "Fig. 18 / Tables 3-4 / Fig. 12(c) hardware analytics");
     ScaleSimModel model;
     EnergyModel energy;
 

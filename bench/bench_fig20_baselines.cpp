@@ -4,6 +4,7 @@
  * DMR doubles (or worse) energy; ThUnderVolt-style bypass prunes outputs
  * and degrades quality at low voltage; ABFT's recovery loop explodes as
  * BER grows. CREATE (AD+WR+VS) holds task quality at the lowest energy.
+ * The voltage x scheme grid is one declared SweepRunner campaign.
  */
 
 #include <cmath>
@@ -20,50 +21,57 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const auto opt =
-        bench::setup(cli, "Fig. 20 comparison with existing techniques", 6,
-                     "  --task NAME  Minecraft task (default wooden)\n");
+        bench::setupSweep(cli, "Fig. 20 comparison with existing techniques",
+                          6, "  --task NAME  Minecraft task (default wooden)\n");
     const int reps = opt.reps;
-    CreateSystem sys(false);
-    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
+
+    SweepRunner sweep(bench::sweepOptions(opt));
+
+    struct Entry
+    {
+        double v;
+        const char* name;
+        CreateConfig cfg;
+        std::size_t h = 0;
+    };
+    std::vector<Entry> entries;
+    for (double v : {0.85, 0.80, 0.75, 0.72, 0.68}) {
+        CreateConfig createCfg =
+            CreateConfig::fullCreate(v, EntropyVoltagePolicy::preset('D'));
+        entries.push_back({v, "unprotected", CreateConfig::atVoltage(v, v)});
+        entries.push_back({v, "DMR", baselines::dmrConfig(v)});
+        entries.push_back({v, "ThUnderVolt", baselines::thunderVoltConfig(v)});
+        entries.push_back({v, "ABFT", baselines::abftConfig(v)});
+        entries.push_back({v, "CREATE", createCfg});
+    }
+    for (auto& e : entries)
+        e.h = sweep.add({"jarvis-1", static_cast<int>(task), e.cfg, reps,
+                         EmbodiedSystem::kDefaultSeed0,
+                         std::string(e.name) + "@" + Table::num(e.v, 2)});
+
+    sweep.run();
 
     Table t(std::string("Fig. 20: success / energy across voltages (") +
             mineTaskName(task) + ")");
     t.header({"voltage", "scheme", "success", "avg steps", "energy (J)"});
-
-    for (double v : {0.85, 0.80, 0.75, 0.72, 0.68}) {
-        struct Entry
-        {
-            const char* name;
-            CreateConfig cfg;
-        };
-        CreateConfig createCfg =
-            CreateConfig::fullCreate(v, EntropyVoltagePolicy::preset('D'));
-        std::vector<Entry> entries = {
-            {"unprotected", CreateConfig::atVoltage(v, v)},
-            {"DMR", baselines::dmrConfig(v)},
-            {"ThUnderVolt", baselines::thunderVoltConfig(v)},
-            {"ABFT", baselines::abftConfig(v)},
-            {"CREATE", createCfg},
-        };
-        for (auto& e : entries) {
-            const auto s = sys.evaluate(task, e.cfg, reps);
-            // DMR/ABFT energy multipliers come from the meter's V^2-MAC
-            // accounting, which already includes re-executions; reflect
-            // them through the simulated-vs-expected MAC ratio.
-            double energy = s.avgComputeJ;
-            if (e.cfg.protection == Protection::Dmr)
-                energy *= 2.0; // duplicate execution at paper scale
-            if (e.cfg.protection == Protection::Abft) {
-                const double gemmCorrupt = std::min(
-                    1.0, TimingErrorModel::berAtVoltage(v) * 24.0 * 2e4);
-                energy *= baselines::abftExpectedAttempts(gemmCorrupt);
-            }
-            if (e.cfg.protection == Protection::ThunderVolt)
-                energy *= 1.05; // bypass fabric overhead
-            t.row({Table::num(v, 2), e.name, Table::pct(s.successRate),
-                   Table::num(s.avgStepsSuccess, 0), Table::num(energy, 2)});
+    for (const auto& e : entries) {
+        const auto& s = sweep.stats(e.h);
+        // DMR/ABFT energy multipliers come from the meter's V^2-MAC
+        // accounting, which already includes re-executions; reflect
+        // them through the simulated-vs-expected MAC ratio.
+        double energy = s.avgComputeJ;
+        if (e.cfg.protection == Protection::Dmr)
+            energy *= 2.0; // duplicate execution at paper scale
+        if (e.cfg.protection == Protection::Abft) {
+            const double gemmCorrupt = std::min(
+                1.0, TimingErrorModel::berAtVoltage(e.v) * 24.0 * 2e4);
+            energy *= baselines::abftExpectedAttempts(gemmCorrupt);
         }
+        if (e.cfg.protection == Protection::ThunderVolt)
+            energy *= 1.05; // bypass fabric overhead
+        t.row({Table::num(e.v, 2), e.name, Table::pct(s.successRate),
+               Table::num(s.avgStepsSuccess, 0), Table::num(energy, 2)});
     }
     t.print();
     std::printf("\nShape check vs paper: DMR is reliable but >=2x energy; "

@@ -3,7 +3,9 @@
  * Fig. 21 + the Sec. 6.5 policy search: the entropy-to-voltage mappings.
  * Prints the A-F preset tables and runs a random search over candidate
  * policies (paper: 100 candidates), reporting the Pareto frontier of
- * (success rate, effective voltage).
+ * (success rate, effective voltage). Candidates are generated first and
+ * the whole search is declared as one SweepRunner campaign, so a large
+ * --candidates run shards across --threads and resumes with --out.
  */
 
 #include "bench_util.hpp"
@@ -15,14 +17,12 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const auto opt =
-        bench::setup(cli, "Fig. 21 entropy-to-voltage policies", 6,
-                     "  --task NAME      Minecraft task (default wooden)\n"
-                     "  --candidates N   policy candidates to score "
-                     "(default 16)\n");
+        bench::setupSweep(cli, "Fig. 21 entropy-to-voltage policies", 6,
+                          "  --task NAME      Minecraft task (default wooden)\n"
+                          "  --candidates N   policy candidates to score "
+                          "(default 16)\n");
     const int reps = opt.reps;
     const int candidates = static_cast<int>(cli.integer("candidates", 16));
-    CreateSystem sys(false);
-    sys.setEvalThreads(opt.threads);
     const MineTask task = mineTaskByName(cli.str("task", "wooden"));
 
     Table m("Fig. 21: preset policies A-F (voltage per normalized-entropy "
@@ -37,29 +37,43 @@ main(int argc, char** argv)
     m.print();
 
     // Policy search: random candidates + the presets, evaluated with AD on.
-    Table s("Sec. 6.5 policy search (candidates + presets, AD on)");
-    s.header({"policy", "success", "effective V", "energy (J)"});
-    auto evalPolicy = [&](const EntropyVoltagePolicy& p) {
+    SweepRunner sweep(bench::sweepOptions(opt));
+    auto policyCell = [&](const EntropyVoltagePolicy& p,
+                          const std::string& label) {
         CreateConfig cfg = CreateConfig::atVoltage(0.90, 0.90);
         cfg.injectPlanner = false;
         cfg.anomalyDetection = true;
         cfg.voltageScaling = true;
         cfg.policy = p;
-        return sys.evaluate(task, cfg, reps);
+        return sweep.add({"jarvis-1", static_cast<int>(task), cfg, reps,
+                          EmbodiedSystem::kDefaultSeed0, label});
     };
     struct Scored
     {
         std::string name;
-        TaskStats stats;
+        std::size_t h;
     };
-    std::vector<Scored> scored;
+    std::vector<Scored> declared;
     for (const auto& p : EntropyVoltagePolicy::presets())
-        scored.push_back({"preset " + p.name(), evalPolicy(p)});
+        declared.push_back({"preset " + p.name(), policyCell(p, p.name())});
     Rng rng(0xCADD1);
     for (int i = 0; i < candidates; ++i) {
         const auto p = EntropyVoltagePolicy::random(rng, i);
-        scored.push_back({p.name(), evalPolicy(p)});
+        declared.push_back({p.name(), policyCell(p, p.name())});
     }
+
+    sweep.run();
+
+    Table s("Sec. 6.5 policy search (candidates + presets, AD on)");
+    s.header({"policy", "success", "effective V", "energy (J)"});
+    struct Result
+    {
+        std::string name;
+        TaskStats stats;
+    };
+    std::vector<Result> scored;
+    for (const auto& d : declared)
+        scored.push_back({d.name, sweep.stats(d.h)});
     for (const auto& sc : scored) {
         s.row({sc.name, Table::pct(sc.stats.successRate),
                Table::num(sc.stats.avgControllerEffV, 3),

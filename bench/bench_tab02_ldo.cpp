@@ -10,9 +10,10 @@
 using namespace create;
 
 int
-main(int, char**)
+main(int argc, char** argv)
 {
-    bench::preamble("Table 2 LDO specifications", 0);
+    Cli cli(argc, argv);
+    bench::setupAnalytic(cli, "Table 2 LDO specifications");
     DigitalLdo ldo;
     const LdoSpec& s = ldo.spec();
 

@@ -2,7 +2,10 @@
  * @file
  * Table 5: statistical significance of repetitions. Measured success rate
  * vs the number of repeated episodes; convergence by ~100 repetitions
- * justifies the paper's protocol.
+ * justifies the paper's protocol. One SweepRunner cell supplies the
+ * ordered per-episode results the running success rate is read off of
+ * (the engine re-derives episodes deterministically when the cell itself
+ * was resumed from an --out store).
  */
 
 #include "bench_util.hpp"
@@ -14,10 +17,8 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv);
     const auto opt =
-        bench::setup(cli, "Table 5 success rate vs repetitions", 120);
+        bench::setupSweep(cli, "Table 5 success rate vs repetitions", 120);
     const int maxReps = opt.reps;
-    CreateSystem sys(false);
-    sys.setEvalThreads(opt.threads);
 
     // Paper setting: wooden task, BER 1e-7 on the controller. On this
     // substrate the equivalent mild stressor is 1e-3 (see EXPERIMENTS.md
@@ -25,14 +26,19 @@ main(int argc, char** argv)
     CreateConfig cfg = CreateConfig::uniform(1e-3);
     cfg.injectPlanner = false;
 
+    SweepRunner sweep(bench::sweepOptions(opt));
+    const std::size_t h =
+        sweep.add({"jarvis-1", static_cast<int>(MineTask::Wooden), cfg,
+                   maxReps, EmbodiedSystem::kDefaultSeed0, "tab05"});
+    sweep.run();
+
     std::vector<int> checkpoints = {10, 20, 40, 60, 80, 100, 120};
     Table t("Table 5: measured success rate vs number of repetitions "
             "(wooden, controller BER 1e-3)");
     t.header({"repetitions", "success rate"});
     // All episodes run through the (parallel) evaluation engine; the
     // running success rate is then read off the ordered results.
-    const auto results = sys.runEpisodes(static_cast<int>(MineTask::Wooden),
-                                         cfg, maxReps);
+    const auto& results = sweep.episodes(h);
     int successes = 0;
     std::size_t next = 0;
     for (int i = 0; i < maxReps && next < checkpoints.size(); ++i) {

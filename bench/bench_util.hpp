@@ -5,8 +5,10 @@
  * Shared scaffolding for the experiment benches. Every bench binary
  * regenerates one table/figure of the paper; run with no arguments for
  * the fast defaults, or raise --reps toward the paper's >=100 episode
- * repetitions and --threads to fan repetitions out over the parallel
- * evaluation engine (default: all hardware threads). A note on axes: see
+ * repetitions and --threads to fan the work out (default: all hardware
+ * threads). The sweep-based drivers (fig13/16/17/20/21, tab05) declare
+ * their matrix on the SweepRunner campaign engine and additionally take
+ * --out (resumable JSON result store) and --resume. A note on axes: see
  * EXPERIMENTS.md for why the BER axis of the small stand-in models sits a
  * few orders above the paper's (flips per inference is the invariant, not
  * BER).
@@ -19,10 +21,12 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/serialize.hpp"
 #include "common/table.hpp"
 #include "core/anomaly.hpp"
 #include "core/create_system.hpp"
 #include "core/parallel_eval.hpp"
+#include "core/sweep.hpp"
 
 namespace create::bench {
 
@@ -58,17 +62,32 @@ struct BenchOptions
 {
     int reps = 0;
     int threads = 1;
-    std::string jsonPath; //!< --json <path>: machine-readable records
+    std::string jsonPath;  //!< --json <path>: machine-readable records
+    std::string storePath; //!< --out <path>: SweepRunner result store
+    bool resume = false;   //!< --resume: skip cells already in the store
 };
+
+/** SweepRunner options of a sweep-based driver (--threads/--out/--resume). */
+inline SweepRunner::Options
+sweepOptions(const BenchOptions& o)
+{
+    SweepRunner::Options so;
+    so.threads = o.threads;
+    so.storePath = o.storePath;
+    so.resume = o.resume;
+    return so;
+}
 
 /**
  * Machine-readable result/latency records behind the shared --json flag.
  *
  * Benches add one flat record of numeric fields per measured point and
- * call write() at the end; the file is a JSON array so perf trajectories
- * can be tracked across commits (see BENCH_micro.json at the repo root
- * for the micro-kernel equivalent emitted by bench_micro --json).
- * Everything is a no-op when the flag is absent.
+ * call write() at the end; the file is a JSON array (the JsonRecord
+ * format of common/serialize, shared with the SweepRunner result store)
+ * so perf trajectories can be tracked across commits (see
+ * BENCH_micro.json at the repo root for the micro-kernel equivalent
+ * emitted by bench_micro --json). Everything is a no-op when the flag is
+ * absent.
  */
 class JsonReport
 {
@@ -81,7 +100,7 @@ class JsonReport
              std::vector<std::pair<std::string, double>> fields)
     {
         if (enabled())
-            records_.push_back({name, std::move(fields)});
+            records_.push_back({name, {}, std::move(fields)});
     }
 
     /** Write the collected records; prints where they went. */
@@ -89,53 +108,24 @@ class JsonReport
     {
         if (!enabled())
             return;
-        std::FILE* f = std::fopen(path_.c_str(), "w");
-        if (!f) {
+        if (!writeJsonRecords(path_, records_)) {
             std::fprintf(stderr, "--json: cannot write %s\n", path_.c_str());
             return;
         }
-        std::fprintf(f, "[\n");
-        for (std::size_t i = 0; i < records_.size(); ++i) {
-            const auto& r = records_[i];
-            std::fprintf(f, "  {\"name\": \"%s\"", escaped(r.name).c_str());
-            for (const auto& [key, value] : r.fields)
-                std::fprintf(f, ", \"%s\": %.17g", escaped(key).c_str(),
-                             value);
-            std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
-        }
-        std::fprintf(f, "]\n");
-        std::fclose(f);
         std::printf("\nWrote %zu JSON records to %s\n", records_.size(),
                     path_.c_str());
     }
 
   private:
-    struct Record
-    {
-        std::string name;
-        std::vector<std::pair<std::string, double>> fields;
-    };
-
-    static std::string escaped(const std::string& s)
-    {
-        std::string out;
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out.push_back('\\');
-            out.push_back(c);
-        }
-        return out;
-    }
-
     std::string path_;
-    std::vector<Record> records_;
+    std::vector<JsonRecord> records_;
 };
 
 namespace detail {
 
 inline BenchOptions
 setupImpl(const Cli& cli, const char* artifact, int defaultReps,
-          bool threaded, const char* extraHelp)
+          bool threaded, bool sweep, const char* extraHelp)
 {
     if (cli.flag("help")) {
         std::printf("%s\n\nOptions:\n"
@@ -148,6 +138,11 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
                         ParallelEvaluator::defaultThreads());
         std::printf("  --json PATH  also write machine-readable result "
                     "records to PATH\n");
+        if (sweep)
+            std::printf("  --out PATH   resumable campaign result store "
+                        "(JSON; cells flush as they finish)\n"
+                        "  --resume     skip cells already completed in the "
+                        "--out store\n");
         std::printf("%s", extraHelp ? extraHelp : "");
         std::exit(0);
     }
@@ -157,6 +152,10 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
         o.reps = 1;
     o.threads = threaded ? evalThreads(cli) : 1;
     o.jsonPath = cli.str("json", "");
+    if (sweep) {
+        o.storePath = cli.str("out", "");
+        o.resume = cli.flag("resume");
+    }
     preamble(artifact, o.reps, o.threads);
     return o;
 }
@@ -173,7 +172,34 @@ setup(const Cli& cli, const char* artifact, int defaultReps,
       const char* extraHelp = nullptr)
 {
     return detail::setupImpl(cli, artifact, defaultReps, /*threaded=*/true,
-                             extraHelp);
+                             /*sweep=*/false, extraHelp);
+}
+
+/** setup() for the SweepRunner drivers: adds --out / --resume. */
+inline BenchOptions
+setupSweep(const Cli& cli, const char* artifact, int defaultReps,
+           const char* extraHelp = nullptr)
+{
+    return detail::setupImpl(cli, artifact, defaultReps, /*threaded=*/true,
+                             /*sweep=*/true, extraHelp);
+}
+
+/**
+ * Flag handling for the analytic (no-episode) benches: `--help` and the
+ * standard preamble. These reports are deterministic analytics with no
+ * repetition/threading knobs.
+ */
+inline void
+setupAnalytic(const Cli& cli, const char* artifact)
+{
+    if (cli.flag("help")) {
+        std::printf("%s\n\nOptions:\n"
+                    "  --help       this message (deterministic analytic "
+                    "report; no other flags)\n",
+                    artifact);
+        std::exit(0);
+    }
+    preamble(artifact, 0);
 }
 
 /** setup() for the serial benches (hand-rolled loops; no --threads). */
@@ -182,7 +208,7 @@ setupSerial(const Cli& cli, const char* artifact, int defaultReps,
             const char* extraHelp = nullptr)
 {
     return detail::setupImpl(cli, artifact, defaultReps, /*threaded=*/false,
-                             extraHelp)
+                             /*sweep=*/false, extraHelp)
         .reps;
 }
 

@@ -95,7 +95,11 @@ EmbodiedAgent::runEpisode(MineTask task, std::uint64_t seed,
     }
 
     r.success = world.taskComplete();
-    r.steps = r.success ? steps : cfg_.taskCap;
+    // Executed steps. On this path a failed episode always runs to
+    // cfg_.taskCap (the loop only exits on success or cap), so this equals
+    // the old `success ? steps : taskCap` accounting; stated this way all
+    // platform families bill actual executed controller steps.
+    r.steps = steps;
 
     const auto& pu = plannerCtx.meter.usage(Domain::Planner);
     const auto& cu = controllerCtx.meter.usage(Domain::Controller);

@@ -28,7 +28,8 @@ namespace create {
 struct EpisodeResult
 {
     bool success = false;
-    int steps = 0;
+    int steps = 0; //!< controller steps actually executed (failed episodes
+                   //!< that exhaust their plan early bill only what ran)
     int plannerInvocations = 0;
     int predictorInvocations = 0; //!< incremented by the VS hook
     int subtasksCompleted = 0;

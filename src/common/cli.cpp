@@ -1,6 +1,9 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace create {
 
@@ -39,14 +42,34 @@ std::int64_t
 Cli::integer(const std::string& name, std::int64_t dflt) const
 {
     auto it = kv_.find(name);
-    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == kv_.end())
+        return dflt;
+    const std::string& v = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || end != v.c_str() + v.size())
+        fail("--" + name + ": expected an integer, got '" + v + "'");
+    if (errno == ERANGE)
+        fail("--" + name + ": integer out of range: '" + v + "'");
+    return parsed;
 }
 
 double
 Cli::real(const std::string& name, double dflt) const
 {
     auto it = kv_.find(name);
-    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+    if (it == kv_.end())
+        return dflt;
+    const std::string& v = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (v.empty() || end != v.c_str() + v.size())
+        fail("--" + name + ": expected a number, got '" + v + "'");
+    if (errno == ERANGE)
+        fail("--" + name + ": number out of range: '" + v + "'");
+    return parsed;
 }
 
 bool
@@ -55,7 +78,22 @@ Cli::flag(const std::string& name, bool dflt) const
     auto it = kv_.find(name);
     if (it == kv_.end())
         return dflt;
-    return it->second != "0" && it->second != "false";
+    const std::string& v = it->second;
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fail("--" + name + ": expected a boolean (1/true/yes/on or "
+         "0/false/no/off), got '" + v + "'");
+}
+
+void
+Cli::fail(const std::string& message) const
+{
+    if (throwOnError_)
+        throw std::invalid_argument(message);
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    std::exit(2);
 }
 
 } // namespace create

@@ -5,7 +5,11 @@
  * Tiny command-line flag parser shared by benches and examples.
  *
  * Supports "--name value" and "--name=value". Unrecognized flags are kept so
- * google-benchmark binaries can pass their own flags through.
+ * google-benchmark binaries can pass their own flags through. Typed
+ * accessors validate their value: a flag that is present but does not parse
+ * as the requested type is an error (printed to stderr with exit(2) by
+ * default, or thrown as std::invalid_argument in throw mode) instead of
+ * silently becoming 0 -- `--reps=abc` used to zero out a whole sweep.
  */
 
 #include <cstdint>
@@ -22,12 +26,31 @@ class Cli
 
     bool has(const std::string& name) const;
     std::string str(const std::string& name, const std::string& dflt) const;
+
+    /** Integer flag; the whole value must parse (e.g. "12abc" is an error). */
     std::int64_t integer(const std::string& name, std::int64_t dflt) const;
+
+    /** Real flag; the whole value must parse. */
     double real(const std::string& name, double dflt) const;
+
+    /**
+     * Boolean flag. A bare "--x" is true; explicit values accept
+     * 1/true/yes/on and 0/false/no/off (anything else is an error).
+     */
     bool flag(const std::string& name, bool dflt = false) const;
 
+    /**
+     * In throw mode malformed values raise std::invalid_argument instead
+     * of exiting; used by tests and library-style callers.
+     */
+    void setThrowOnError(bool enable) { throwOnError_ = enable; }
+
   private:
+    /** Report a malformed flag value: exit(2) or throw (see above). */
+    [[noreturn]] void fail(const std::string& message) const;
+
     std::map<std::string, std::string> kv_;
+    bool throwOnError_ = false;
 };
 
 } // namespace create

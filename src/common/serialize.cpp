@@ -1,6 +1,10 @@
 #include "common/serialize.hpp"
 
+#include <unistd.h>
+
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace create {
@@ -112,6 +116,203 @@ BlobArchive::load(const std::string& path)
     }
     std::fclose(f);
     return true;
+}
+
+double
+JsonRecord::number(const std::string& key, double dflt) const
+{
+    for (const auto& [k, v] : numbers)
+        if (k == key)
+            return v;
+    return dflt;
+}
+
+std::string
+JsonRecord::text(const std::string& key, const std::string& dflt) const
+{
+    for (const auto& [k, v] : strings)
+        if (k == key)
+            return v;
+    return dflt;
+}
+
+namespace {
+
+std::string
+jsonEscaped(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Cursor over the restricted JSON grammar the writer emits. */
+struct JsonCursor
+{
+    const std::string& text;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool accept(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString(std::string& out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return false;
+                c = text[pos++];
+            }
+            out.push_back(c);
+        }
+        if (pos >= text.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool parseNumber(double& out)
+    {
+        skipWs();
+        const char* start = text.c_str() + pos;
+        char* end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+writeJsonRecords(const std::string& path,
+                 const std::vector<JsonRecord>& records)
+{
+    // Write-then-rename so a reader (or a kill mid-write) never sees a
+    // truncated file -- the SweepRunner store is rewritten after every
+    // completed cell and must survive being killed at any point. The tmp
+    // name is per-process so two writers at worst last-write-win whole
+    // consistent files instead of interleaving into one.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto& r = records[i];
+        std::fprintf(f, "  {\"name\": \"%s\"", jsonEscaped(r.name).c_str());
+        for (const auto& [key, value] : r.strings)
+            std::fprintf(f, ", \"%s\": \"%s\"", jsonEscaped(key).c_str(),
+                         jsonEscaped(value).c_str());
+        for (const auto& [key, value] : r.numbers)
+            std::fprintf(f, ", \"%s\": %.17g", jsonEscaped(key).c_str(),
+                         value);
+        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool
+readJsonRecords(const std::string& path, std::vector<JsonRecord>& out)
+{
+    out.clear();
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    JsonCursor cur{text};
+    if (!cur.accept('['))
+        return false;
+    if (cur.accept(']'))
+        return true; // empty array
+    for (;;) {
+        if (!cur.accept('{')) {
+            out.clear();
+            return false;
+        }
+        JsonRecord rec;
+        if (!cur.accept('}')) {
+            for (;;) {
+                std::string key;
+                if (!cur.parseString(key) || !cur.accept(':')) {
+                    out.clear();
+                    return false;
+                }
+                cur.skipWs();
+                if (cur.pos < text.size() && text[cur.pos] == '"') {
+                    std::string value;
+                    if (!cur.parseString(value)) {
+                        out.clear();
+                        return false;
+                    }
+                    if (key == "name")
+                        rec.name = value;
+                    else
+                        rec.strings.emplace_back(key, value);
+                } else {
+                    double value = 0.0;
+                    if (!cur.parseNumber(value)) {
+                        out.clear();
+                        return false;
+                    }
+                    rec.numbers.emplace_back(key, value);
+                }
+                if (cur.accept(','))
+                    continue;
+                if (cur.accept('}'))
+                    break;
+                out.clear();
+                return false;
+            }
+        }
+        out.push_back(std::move(rec));
+        if (cur.accept(','))
+            continue;
+        if (cur.accept(']'))
+            return true;
+        out.clear();
+        return false;
+    }
 }
 
 } // namespace create

@@ -2,16 +2,24 @@
 
 /**
  * @file
- * Minimal binary serialization used to cache trained model weights.
+ * Minimal binary serialization used to cache trained model weights, plus
+ * the flat JSON record format shared by the bench --json reports and the
+ * SweepRunner result store.
  *
- * Format: little-endian stream of records. Each record is
+ * Binary format: little-endian stream of records. Each record is
  *   [u32 name_len][name bytes][u32 ndims][u64 dims...][f32 data...]
  * preceded by a file magic. Readers load the whole archive into a map.
+ *
+ * JSON format: an array of flat objects, each `{"name": "...", <string
+ * fields>, <numeric fields>}`. Numbers are written with %.17g so a
+ * write/read round trip reproduces every double bit-exactly (the
+ * SweepRunner --resume path depends on that).
  */
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace create {
@@ -49,5 +57,31 @@ class BlobArchive
   private:
     std::map<std::string, NamedBlob> blobs_;
 };
+
+/** One flat JSON record: a name plus string and numeric fields. */
+struct JsonRecord
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> strings;
+    std::vector<std::pair<std::string, double>> numbers;
+
+    /** First numeric field with this key, or `dflt` when absent. */
+    double number(const std::string& key, double dflt = 0.0) const;
+
+    /** First string field with this key, or `dflt` when absent. */
+    std::string text(const std::string& key,
+                     const std::string& dflt = "") const;
+};
+
+/** Write records as a JSON array. Returns false on I/O failure. */
+bool writeJsonRecords(const std::string& path,
+                      const std::vector<JsonRecord>& records);
+
+/**
+ * Parse a file written by writeJsonRecords (an array of flat objects with
+ * string/number values). Returns false when the file is missing or
+ * malformed; `out` is cleared either way.
+ */
+bool readJsonRecords(const std::string& path, std::vector<JsonRecord>& out);
 
 } // namespace create

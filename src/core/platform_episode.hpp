@@ -79,7 +79,10 @@ runDecodedPlanEpisode(int taskId, std::uint64_t seed,
         world.setActiveSubtask(st);
         while (!world.subtaskComplete() && steps < Traits::kStepCap) {
             const auto obs = world.observe();
-            if (pred && steps % cfg.vsInterval == 0) {
+            // vsInterval <= 0 disables the predictor/LDO updates entirely,
+            // matching VoltageScaler::beforeController on the Mine path
+            // (and avoiding a modulo-by-zero).
+            if (pred && cfg.vsInterval > 0 && steps % cfg.vsInterval == 0) {
                 const double h = pred->infer(
                     world.renderImage(pred->config().imgRes),
                     Traits::prompt(st, obs, pred->config().promptDim),
@@ -102,7 +105,12 @@ runDecodedPlanEpisode(int taskId, std::uint64_t seed,
     }
 
     r.success = world.taskComplete();
-    r.steps = r.success ? steps : Traits::kStepCap;
+    // Bill the controller steps that actually executed. A failed episode
+    // whose decoded plan exhausted early used to bill the full kStepCap,
+    // inflating PaperEnergyModel::controllerJ for unprotected low-voltage
+    // cells (the Mine path always runs failures to the cap, so all three
+    // families now agree on "steps = executed steps").
+    r.steps = steps;
     const auto& pu = plannerCtx.meter.usage(Domain::Planner);
     const auto& cu = controllerCtx.meter.usage(Domain::Controller);
     if (pu.macs > 0.0)

@@ -1,0 +1,416 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "common/serialize.hpp"
+#include "core/platform_registry.hpp"
+
+namespace create {
+
+namespace {
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char*
+modeTag(InjectionMode m)
+{
+    switch (m) {
+      case InjectionMode::None: return "none";
+      case InjectionMode::Uniform: return "uniform";
+      case InjectionMode::Voltage: return "voltage";
+    }
+    return "?";
+}
+
+/** TaskStats <-> JsonRecord field mapping of the result store. */
+constexpr std::pair<const char*, double TaskStats::*> kStatFields[] = {
+    {"successRate", &TaskStats::successRate},
+    {"avgStepsSuccess", &TaskStats::avgStepsSuccess},
+    {"avgComputeJ", &TaskStats::avgComputeJ},
+    {"avgPlannerEffV", &TaskStats::avgPlannerEffV},
+    {"avgControllerEffV", &TaskStats::avgControllerEffV},
+    {"avgPlannerInvocations", &TaskStats::avgPlannerInvocations},
+    {"avgPlannerV2", &TaskStats::avgPlannerV2},
+    {"avgControllerV2", &TaskStats::avgControllerV2},
+};
+
+} // namespace
+
+std::string
+sweepFingerprint(const SweepCell& cell)
+{
+    const CreateConfig& c = cell.cfg;
+    // Canonical: everything that can change execution, nothing that
+    // cannot. The policy's display name never matters; the whole policy
+    // (and the LDO update interval) only matters under voltageScaling;
+    // BER fields only matter under Uniform injection; the injection
+    // target switches and component filter only matter when injection is
+    // active at all. Operating voltages always matter (the energy meter
+    // prices clean compute at them too).
+    std::string fp = "v1|" + cell.platform +
+                     "|task=" + std::to_string(cell.taskId) +
+                     "|reps=" + std::to_string(cell.reps) +
+                     "|seed0=" + std::to_string(cell.seed0);
+    fp += "|tech=";
+    fp += c.anomalyDetection ? 'A' : '-';
+    fp += c.weightRotation ? 'W' : '-';
+    fp += c.voltageScaling ? 'V' : '-';
+    fp += std::string("|bits=") + (c.bits == QuantBits::Int8 ? "8" : "4");
+    fp += "|prot=" + std::to_string(static_cast<int>(c.protection));
+    fp += std::string("|mode=") + modeTag(c.mode);
+    fp += "|pV=" + fmt(c.plannerVoltage) + "|cV=" + fmt(c.controllerVoltage);
+    if (c.mode != InjectionMode::None) {
+        fp += "|injP=" + std::to_string(c.injectPlanner ? 1 : 0) +
+              "|injC=" + std::to_string(c.injectController ? 1 : 0);
+        fp += "|filter=" + c.componentFilter;
+        if (c.mode == InjectionMode::Uniform)
+            fp += "|ber=" + fmt(c.uniformBer) + "|pber=" + fmt(c.plannerBer) +
+                  "|cber=" + fmt(c.controllerBer);
+    }
+    if (c.voltageScaling) {
+        fp += "|vsInt=" + std::to_string(c.vsInterval) + "|policy=";
+        for (double t : c.policy.thresholds())
+            fp += fmt(t) + ",";
+        fp += ":";
+        for (double v : c.policy.voltages())
+            fp += fmt(v) + ",";
+    }
+    return fp;
+}
+
+SweepRunner::SweepRunner() : SweepRunner(Options()) {}
+
+SweepRunner::SweepRunner(Options opt) : opt_(std::move(opt))
+{
+    if (opt_.threads < 1)
+        opt_.threads = 1;
+}
+
+std::size_t
+SweepRunner::add(SweepCell cell)
+{
+    if (!PlatformRegistry::instance().find(cell.platform))
+        throw std::invalid_argument("SweepRunner: unknown platform '" +
+                                    cell.platform + "'");
+    if (cell.reps < 1)
+        throw std::invalid_argument("SweepRunner: cell needs reps >= 1");
+    CellState st;
+    st.cell = std::move(cell);
+    st.fingerprint = sweepFingerprint(st.cell);
+    const std::size_t handle = cells_.size();
+    const auto [it, inserted] =
+        byFingerprint_.emplace(st.fingerprint, handle);
+    st.primary = it->second;
+    cells_.push_back(std::move(st));
+    return handle;
+}
+
+const SweepCell&
+SweepRunner::cell(std::size_t handle) const
+{
+    return cells_.at(handle).cell;
+}
+
+CellSource
+SweepRunner::source(std::size_t handle) const
+{
+    const CellState& st = cells_.at(handle);
+    return st.primary == handle ? st.source : CellSource::Memoized;
+}
+
+const TaskStats&
+SweepRunner::stats(std::size_t handle) const
+{
+    const CellState& st = cells_.at(cells_.at(handle).primary);
+    if (!st.done)
+        throw std::logic_error("SweepRunner::stats before run()");
+    return st.stats;
+}
+
+EmbodiedSystem&
+SweepRunner::system(const std::string& platform)
+{
+    return *prototypeFor(platform);
+}
+
+EmbodiedSystem*
+SweepRunner::prototypeFor(const std::string& platform)
+{
+    auto it = prototypes_.find(platform);
+    if (it == prototypes_.end())
+        it = prototypes_
+                 .emplace(platform, PlatformRegistry::instance().make(
+                                        platform, /*verbose=*/false))
+                 .first;
+    return it->second.get();
+}
+
+void
+SweepRunner::runCell(CellState& st, EmbodiedSystem& sys)
+{
+    auto results = sys.runEpisodes(st.cell.taskId, st.cell.cfg, st.cell.reps,
+                                   st.cell.seed0);
+    st.stats = aggregate(results, sys.energyModel());
+    st.episodes = std::move(results);
+    st.hasEpisodes = true;
+    {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        st.done = true;
+    }
+    if (!opt_.storePath.empty())
+        flushStore(); // incremental: a killed campaign resumes
+    if (opt_.verbose)
+        std::fprintf(stderr, "[sweep] done %s (%s, success %.0f%%)\n",
+                     st.cell.label.empty() ? st.fingerprint.c_str()
+                                           : st.cell.label.c_str(),
+                     sys.taskName(st.cell.taskId),
+                     100.0 * st.stats.successRate);
+}
+
+void
+SweepRunner::loadStore(std::map<std::string, TaskStats>& stored)
+{
+    std::vector<JsonRecord> records;
+    if (readJsonRecords(opt_.storePath, records)) {
+        for (JsonRecord& rec : records) {
+            if (opt_.resume) {
+                TaskStats s;
+                s.episodes = static_cast<int>(rec.number("episodes"));
+                s.successes = static_cast<int>(rec.number("successes"));
+                for (const auto& [key, member] : kStatFields)
+                    s.*member = rec.number(key);
+                stored.emplace(rec.name, s);
+            }
+            // Keep every record through future flushes, including ones no
+            // declared cell (yet) matches -- a rewrite must never drop
+            // another campaign's results.
+            storeRecords_.emplace(rec.name, std::move(rec));
+        }
+    } else if (std::FILE* probe = std::fopen(opt_.storePath.c_str(), "rb")) {
+        // An existing-but-unparsable store (e.g. hand-edited or from a
+        // foreign tool) should not be silently ignored: with --resume it
+        // re-runs hours of episodes, and either way the next flush
+        // replaces it.
+        std::fclose(probe);
+        std::fprintf(stderr,
+                     "[sweep] cannot parse result store %s; %s\n",
+                     opt_.storePath.c_str(),
+                     opt_.resume ? "re-running every cell"
+                                 : "it will be replaced");
+    }
+}
+
+void
+SweepRunner::flushStore()
+{
+    // Merge + snapshot under storeMu_ (cheap), write the file under a
+    // separate I/O mutex so workers marking their cells done never queue
+    // behind disk I/O. A version stamp drops stale snapshots when two
+    // flushes race, so the file on disk only moves forward.
+    std::vector<JsonRecord> records;
+    std::uint64_t version = 0;
+    {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        for (const CellState& st : cells_) {
+            if (&st != &cells_[st.primary] || !st.done)
+                continue;
+            JsonRecord rec;
+            rec.name = st.fingerprint;
+            rec.strings.emplace_back("platform", st.cell.platform);
+            rec.strings.emplace_back("label", st.cell.label);
+            rec.numbers.emplace_back("task", st.cell.taskId);
+            rec.numbers.emplace_back("reps", st.cell.reps);
+            rec.numbers.emplace_back("seed0",
+                                     static_cast<double>(st.cell.seed0));
+            rec.numbers.emplace_back("episodes", st.stats.episodes);
+            rec.numbers.emplace_back("successes", st.stats.successes);
+            for (const auto& [key, member] : kStatFields)
+                rec.numbers.emplace_back(key, st.stats.*member);
+            storeRecords_[st.fingerprint] = std::move(rec);
+        }
+        records.reserve(storeRecords_.size());
+        for (const auto& [fp, rec] : storeRecords_)
+            records.push_back(rec);
+        version = ++storeVersion_;
+    }
+    std::lock_guard<std::mutex> io(storeIoMu_);
+    if (version <= storeWritten_)
+        return; // a newer snapshot already reached disk
+    if (!writeJsonRecords(opt_.storePath, records))
+        std::fprintf(stderr, "[sweep] cannot write result store %s\n",
+                     opt_.storePath.c_str());
+    else
+        storeWritten_ = version;
+}
+
+void
+SweepRunner::run()
+{
+    if (!ran_ && opt_.resume && opt_.storePath.empty())
+        std::fprintf(stderr, "[sweep] --resume without a result store "
+                             "(--out) has no effect\n");
+
+    // Load the store on every run() call: campaigns can be phased (add()
+    // more cells after a run, run again: only the new cells execute).
+    // Existing records are preserved through flushes even without
+    // --resume (two campaigns can share one store); --resume additionally
+    // uses them to skip execution.
+    std::map<std::string, TaskStats> stored;
+    if (!opt_.storePath.empty())
+        loadStore(stored);
+
+    // Classify cells; collect pending primaries in submission order.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        CellState& st = cells_[i];
+        if (st.primary != i || st.done)
+            continue;
+        const auto it = stored.find(st.fingerprint);
+        if (it != stored.end()) {
+            st.stats = it->second;
+            st.source = CellSource::Resumed;
+            st.done = true;
+            continue;
+        }
+        pending.push_back(i);
+    }
+
+    // Waves: freezing quantized weights is per-width state on the shared
+    // model set, so cells of one platform at different QuantBits must not
+    // run concurrently. Bucket pending cells by (platform, bits) in
+    // first-appearance order and run the buckets sequentially.
+    std::vector<std::pair<std::string, std::vector<std::size_t>>> buckets;
+    for (const std::size_t idx : pending) {
+        const CellState& st = cells_[idx];
+        const std::string key =
+            st.cell.platform +
+            (st.cell.cfg.bits == QuantBits::Int8 ? "|8" : "|4");
+        auto it = std::find_if(buckets.begin(), buckets.end(),
+                               [&](const auto& b) { return b.first == key; });
+        if (it == buckets.end()) {
+            buckets.push_back({key, {}});
+            it = buckets.end() - 1;
+        }
+        it->second.push_back(idx);
+    }
+
+    for (auto& [key, bucketCells] : buckets) {
+        const std::string& platform = cells_[bucketCells.front()].cell.platform;
+        EmbodiedSystem* proto = prototypeFor(platform);
+        // Serial warm point: build lazy models (rotated planner, entropy
+        // predictor) and freeze every layer at this bucket's width before
+        // any fan-out, so workers only read shared model state.
+        for (const std::size_t idx : bucketCells)
+            proto->prepare(cells_[idx].cell.cfg);
+
+        const int cellWorkers = std::max(
+            1, std::min<int>(opt_.threads,
+                             static_cast<int>(bucketCells.size())));
+        // Leftover thread budget fans out within cells via the existing
+        // episode-parallel engine (a one-cell campaign still scales).
+        const int episodeThreads = std::max(1, opt_.threads / cellWorkers);
+
+        if (cellWorkers == 1) {
+            proto->setEvalThreads(episodeThreads);
+            for (const std::size_t idx : bucketCells)
+                runCell(cells_[idx], *proto);
+            continue;
+        }
+
+        auto& replicas = replicas_[platform];
+        while (static_cast<int>(replicas.size()) < cellWorkers)
+            replicas.push_back(proto->replicate());
+        for (auto& r : replicas)
+            r->setEvalThreads(episodeThreads);
+
+        std::atomic<std::size_t> cursor{0};
+        std::string firstError;
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(cellWorkers));
+        for (int w = 0; w < cellWorkers; ++w) {
+            workers.emplace_back([&, w] {
+                try {
+                    for (;;) {
+                        const std::size_t i = cursor.fetch_add(1);
+                        if (i >= bucketCells.size())
+                            return;
+                        runCell(cells_[bucketCells[i]],
+                                *replicas[static_cast<std::size_t>(w)]);
+                    }
+                } catch (const std::exception& e) {
+                    std::lock_guard<std::mutex> lock(storeMu_);
+                    if (firstError.empty())
+                        firstError = e.what();
+                }
+            });
+        }
+        for (auto& w : workers)
+            w.join();
+        if (!firstError.empty())
+            throw std::runtime_error("SweepRunner worker failed: " +
+                                     firstError);
+    }
+
+    if (!opt_.storePath.empty())
+        flushStore(); // include resumed cells so the store stays whole
+
+    // Recount from cell state (idempotent across phased runs).
+    executed_ = memoized_ = resumed_ = 0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const CellState& st = cells_[i];
+        if (st.primary != i)
+            ++memoized_;
+        else if (st.source == CellSource::Resumed)
+            ++resumed_;
+        else if (st.done)
+            ++executed_;
+    }
+    // Print the summary on the first run even when nothing was pending (a
+    // fully-resumed campaign still reports executed=0); later phases only
+    // report when they actually had work.
+    if (!ran_ || !pending.empty())
+        std::printf("%s\n", summary().c_str());
+    ran_ = true;
+}
+
+const std::vector<EpisodeResult>&
+SweepRunner::episodes(std::size_t handle)
+{
+    CellState& st = cells_.at(cells_.at(handle).primary);
+    if (!st.done)
+        throw std::logic_error("SweepRunner::episodes before run()");
+    if (!st.hasEpisodes) {
+        // Resumed cell: re-derive the per-episode results. Execution is
+        // deterministic, so these are exactly the episodes the stored
+        // aggregate came from.
+        EmbodiedSystem* proto = prototypeFor(st.cell.platform);
+        proto->prepare(st.cell.cfg);
+        proto->setEvalThreads(opt_.threads);
+        st.episodes = proto->runEpisodes(st.cell.taskId, st.cell.cfg,
+                                         st.cell.reps, st.cell.seed0);
+        st.hasEpisodes = true;
+    }
+    return st.episodes;
+}
+
+std::string
+SweepRunner::summary() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "[sweep] cells=%zu executed=%d memoized=%d resumed=%d",
+                  cells_.size(), executed_, memoized_, resumed_);
+    return buf;
+}
+
+} // namespace create

@@ -1,0 +1,193 @@
+#pragma once
+
+/**
+ * @file
+ * SweepRunner: the declarative (task x config x reps) campaign engine the
+ * figure drivers run on.
+ *
+ * Every paper figure is a sweep matrix -- the same evaluate() call over a
+ * grid of deployment points -- and every driver used to hand-roll that
+ * loop serially, re-evaluating identical cells (the clean baseline shows
+ * up in three sections of Fig. 17 alone) with no way to shard across
+ * config points or resume a long campaign. SweepRunner replaces the loop:
+ *
+ *  - Drivers *declare* their matrix as SweepCells `{platform, taskId,
+ *    CreateConfig, reps, seed0}` up front (add() returns a handle), call
+ *    run() once, and render tables from stats(handle).
+ *  - Cell-level sharding: a shared worker pool drains the queue of cells;
+ *    each worker owns bit-identical EmbodiedSystem replicas (frozen model
+ *    set shared, see core/shared_models.hpp) and runs its cell's episodes
+ *    through the existing engine (EmbodiedSystem::runEpisodes), so every
+ *    cell's TaskStats is bit-identical to serial execution regardless of
+ *    thread count or scheduling. When there are fewer pending cells than
+ *    workers the leftover budget fans out *within* cells via
+ *    setEvalThreads (the ParallelEvaluator path), so a one-cell campaign
+ *    still scales.
+ *  - Cross-cell memoization: cells are keyed by a canonical fingerprint
+ *    of (platform, task, config, reps, seed0) -- fields that cannot
+ *    affect execution (the VS policy when voltageScaling is off, BERs
+ *    when injection is off, the policy's display name) are excluded -- so
+ *    a duplicated clean-baseline cell is evaluated exactly once.
+ *  - Resumable result store: with a storePath every completed cell's
+ *    TaskStats is flushed to a flat JSON array (common/serialize's
+ *    JsonRecord format, %.17g round-trip-exact); with resume=true cells
+ *    whose fingerprint is already in the store load their stats instead
+ *    of re-executing. Kill a campaign anywhere and re-run it with
+ *    --resume: only the missing cells execute.
+ *
+ * Scheduling constraint: freezing quantized weights is per-width state on
+ * the shared model set, so cells of the same platform at different
+ * QuantBits must not run concurrently. run() therefore executes in waves
+ * of one (platform, bits) bucket each, pre-warming the bucket's configs
+ * serially (prepare) before fanning its cells out.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "core/embodied_system.hpp"
+
+namespace create {
+
+/** One (platform, task, config, repetitions) point of a campaign. */
+struct SweepCell
+{
+    std::string platform; //!< PlatformRegistry key, e.g. "jarvis-1"
+    int taskId = 0;
+    CreateConfig cfg;
+    int reps = 1;
+    std::uint64_t seed0 = EmbodiedSystem::kDefaultSeed0;
+    std::string label; //!< cosmetic: verbose progress + store records
+};
+
+/** Where a cell's result came from. */
+enum class CellSource
+{
+    Executed, //!< episodes ran in this campaign
+    Memoized, //!< shared an earlier identical cell's execution
+    Resumed,  //!< loaded from the resume store without executing
+};
+
+/**
+ * Canonical fingerprint of a cell: equal behavior => equal string. Keys
+ * memoization and the resume store.
+ */
+std::string sweepFingerprint(const SweepCell& cell);
+
+/** Declarative campaign runner (see file comment). */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        int threads = 1;       //!< total worker budget (cells + episodes)
+        std::string storePath; //!< JSON result store; empty disables it
+        bool resume = false;   //!< skip cells already in the store
+        bool verbose = false;  //!< per-cell progress lines on stderr
+    };
+
+    SweepRunner();
+    explicit SweepRunner(Options opt);
+    SweepRunner(const SweepRunner&) = delete;
+    SweepRunner& operator=(const SweepRunner&) = delete;
+
+    /**
+     * Declare a cell; returns its handle. Validates the platform name
+     * against the PlatformRegistry (throws std::invalid_argument on an
+     * unknown platform). Campaigns can be phased: add() more cells after
+     * a run() -- results already gathered can steer what the next phase
+     * declares (e.g. fig16's fallback operating point only where the
+     * voltage search failed) -- then run() again.
+     */
+    std::size_t add(SweepCell cell);
+
+    /** Number of declared cells. */
+    std::size_t size() const { return cells_.size(); }
+
+    /**
+     * Execute every not-yet-completed cell (so re-running after adding a
+     * new phase of cells only executes the additions). Prints the
+     * one-line summary ("[sweep] cells=... executed=... memoized=...
+     * resumed=...") after the first run and after any phase with work.
+     */
+    void run();
+
+    const SweepCell& cell(std::size_t handle) const;
+
+    /** Aggregated stats of a cell (run() must have completed). */
+    const TaskStats& stats(std::size_t handle) const;
+
+    /** How this cell's result was obtained. */
+    CellSource source(std::size_t handle) const;
+
+    /**
+     * Per-episode results of a cell. Available directly for executed
+     * cells; a resumed cell's episodes are re-derived on demand by
+     * re-running it (deterministic, so the results are the ones the
+     * stored stats came from).
+     */
+    const std::vector<EpisodeResult>& episodes(std::size_t handle);
+
+    /**
+     * The engine's prototype system of a platform (built on demand from
+     * the PlatformRegistry); useful for task-name lookups when rendering.
+     */
+    EmbodiedSystem& system(const std::string& platform);
+
+    int executedCells() const { return executed_; }
+    int memoizedCells() const { return memoized_; }
+    int resumedCells() const { return resumed_; }
+
+    /** The "[sweep] ..." summary line run() prints. */
+    std::string summary() const;
+
+  private:
+    struct CellState
+    {
+        SweepCell cell;
+        std::string fingerprint;
+        std::size_t primary = 0; //!< first cell with this fingerprint
+        CellSource source = CellSource::Executed;
+        TaskStats stats;
+        std::vector<EpisodeResult> episodes;
+        bool hasEpisodes = false;
+        bool done = false;
+    };
+
+    EmbodiedSystem* prototypeFor(const std::string& platform);
+    void runCell(CellState& st, EmbodiedSystem& sys);
+    void loadStore(std::map<std::string, TaskStats>& stored);
+    void flushStore();
+
+    Options opt_;
+    bool ran_ = false;
+    // Deque: phased add() must not invalidate the stats()/cell()/
+    // episodes() references handed out for earlier phases' handles.
+    std::deque<CellState> cells_;
+    std::map<std::string, std::size_t> byFingerprint_;
+    std::map<std::string, std::unique_ptr<EmbodiedSystem>> prototypes_;
+    std::map<std::string, std::vector<std::unique_ptr<EmbodiedSystem>>>
+        replicas_;
+    /**
+     * Store records by fingerprint: everything loaded from disk plus
+     * every completed cell. Flushes write this merged view, so records a
+     * later phase (or another campaign sharing the store) needs are
+     * never dropped by a rewrite.
+     */
+    std::map<std::string, JsonRecord> storeRecords_;
+    std::mutex storeMu_;  //!< guards cell completion + storeRecords_
+    std::mutex storeIoMu_; //!< guards the file write, outside storeMu_
+    std::uint64_t storeVersion_ = 0;   //!< bumped per snapshot
+    std::uint64_t storeWritten_ = 0;   //!< newest version on disk
+    int executed_ = 0;
+    int memoized_ = 0;
+    int resumed_ = 0;
+};
+
+} // namespace create

@@ -102,3 +102,103 @@ TEST(Cli, FlagFalseValues)
     Cli cli(2, const_cast<char**>(argv));
     EXPECT_FALSE(cli.flag("fast", true));
 }
+
+TEST(Cli, FlagAcceptsBooleanWords)
+{
+    const char* argv[] = {"prog", "--a=true", "--b=false", "--c=yes",
+                          "--d=no", "--e=on", "--f=off"};
+    Cli cli(7, const_cast<char**>(argv));
+    EXPECT_TRUE(cli.flag("a"));
+    EXPECT_FALSE(cli.flag("b", true));
+    EXPECT_TRUE(cli.flag("c"));
+    EXPECT_FALSE(cli.flag("d", true));
+    EXPECT_TRUE(cli.flag("e"));
+    EXPECT_FALSE(cli.flag("f", true));
+}
+
+TEST(Cli, RejectsUnparsableNumerics)
+{
+    // `--reps=abc` used to strtoll to 0 silently and zero out a whole
+    // sweep; malformed values are now a diagnostic.
+    const char* argv[] = {"prog", "--reps=abc", "--frac=0.5x", "--n=12abc",
+                          "--fast=maybe", "--empty="};
+    Cli cli(6, const_cast<char**>(argv));
+    cli.setThrowOnError(true);
+    EXPECT_THROW(cli.integer("reps", 1), std::invalid_argument);
+    EXPECT_THROW(cli.real("frac", 0.0), std::invalid_argument);
+    EXPECT_THROW(cli.integer("n", 1), std::invalid_argument);
+    EXPECT_THROW(cli.real("n", 1.0), std::invalid_argument); // nor a real
+    EXPECT_THROW(cli.flag("fast"), std::invalid_argument);
+    EXPECT_THROW(cli.integer("empty", 1), std::invalid_argument);
+    // Missing flags still fall back to their defaults.
+    EXPECT_EQ(cli.integer("absent", 9), 9);
+}
+
+TEST(Cli, RejectsOutOfRangeNumerics)
+{
+    // strtoll saturates (LLONG_MAX + errno=ERANGE) on overflow; without
+    // the errno check `--reps=99999999999999999999` silently became a
+    // huge (or, after narrowing, negative) rep count.
+    const char* argv[] = {"prog", "--reps=99999999999999999999",
+                          "--ber=1e999"};
+    Cli cli(3, const_cast<char**>(argv));
+    cli.setThrowOnError(true);
+    EXPECT_THROW(cli.integer("reps", 1), std::invalid_argument);
+    EXPECT_THROW(cli.real("ber", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, ParsesValidNumerics)
+{
+    const char* argv[] = {"prog", "--reps", "50", "--ber=1e-4",
+                          "--offset=-3"};
+    Cli cli(5, const_cast<char**>(argv));
+    cli.setThrowOnError(true);
+    EXPECT_EQ(cli.integer("reps", 1), 50);
+    EXPECT_DOUBLE_EQ(cli.real("ber", 0.0), 1e-4);
+    EXPECT_EQ(cli.integer("offset", 0), -3);
+}
+
+TEST(JsonRecords, RoundTripIsBitExact)
+{
+    const std::string path = "/tmp/create_test_records.json";
+    std::vector<JsonRecord> records(2);
+    records[0].name = "cell/one";
+    records[0].strings = {{"platform", "jarvis-1"}, {"label", "a \"b\" \\c"}};
+    records[0].numbers = {{"successRate", 1.0 / 3.0},
+                          {"avgComputeJ", 0.72907653395061733},
+                          {"negative", -1e-17}};
+    records[1].name = "cell/two";
+    records[1].numbers = {{"episodes", 120}};
+    ASSERT_TRUE(writeJsonRecords(path, records));
+
+    std::vector<JsonRecord> loaded;
+    ASSERT_TRUE(readJsonRecords(path, loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].name, "cell/one");
+    EXPECT_EQ(loaded[0].text("platform"), "jarvis-1");
+    EXPECT_EQ(loaded[0].text("label"), "a \"b\" \\c");
+    // %.17g round-trips every double bit-exactly (--resume depends on it).
+    EXPECT_EQ(loaded[0].number("successRate"), 1.0 / 3.0);
+    EXPECT_EQ(loaded[0].number("avgComputeJ"), 0.72907653395061733);
+    EXPECT_EQ(loaded[0].number("negative"), -1e-17);
+    EXPECT_EQ(loaded[1].number("episodes"), 120.0);
+    EXPECT_EQ(loaded[1].text("missing", "dflt"), "dflt");
+    std::remove(path.c_str());
+}
+
+TEST(JsonRecords, EmptyArrayAndMalformedInput)
+{
+    const std::string path = "/tmp/create_test_records_edge.json";
+    ASSERT_TRUE(writeJsonRecords(path, {}));
+    std::vector<JsonRecord> loaded;
+    ASSERT_TRUE(readJsonRecords(path, loaded));
+    EXPECT_TRUE(loaded.empty());
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("[{\"name\": \"x\", \"broken\": }]", f);
+    std::fclose(f);
+    EXPECT_FALSE(readJsonRecords(path, loaded));
+    EXPECT_FALSE(readJsonRecords("/tmp/definitely_not_here_9876.json",
+                                 loaded));
+    std::remove(path.c_str());
+}

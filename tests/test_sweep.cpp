@@ -1,0 +1,319 @@
+/** @file Tests for the SweepRunner campaign engine: sharded-vs-serial
+ *  bit-identity across cells, cross-cell memoization, resume round trips
+ *  through the JSON result store, fingerprint canonicalization, and the
+ *  episode-loop regressions this PR fixed (vsInterval <= 0, executed-step
+ *  billing). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/create_system.hpp"
+#include "core/manip_system.hpp"
+#include "core/sweep.hpp"
+#include "env/manipworld.hpp"
+#include "test_util.hpp"
+
+using namespace create;
+using testutil::expectIdentical;
+
+namespace {
+
+/** A small mixed-platform campaign exercising injection, WR, and VS. */
+std::vector<SweepCell>
+campaignCells(int reps)
+{
+    CreateConfig mineInj = CreateConfig::uniform(5e-4);
+    mineInj.anomalyDetection = true;
+    CreateConfig manipAdwr = CreateConfig::atVoltage(0.72, 0.90);
+    manipAdwr.anomalyDetection = true;
+    manipAdwr.weightRotation = true;
+    return {
+        {"jarvis-1", static_cast<int>(MineTask::Wooden), mineInj, reps},
+        {"jarvis-1", static_cast<int>(MineTask::Stone),
+         CreateConfig::clean(), reps},
+        {"openvla+octo", static_cast<int>(ManipTask::Wine), manipAdwr,
+         reps},
+    };
+}
+
+} // namespace
+
+TEST(Sweep, ShardedVsSerialBitIdentical)
+{
+    const int reps = 5;
+    const auto cells = campaignCells(reps);
+
+    SweepRunner serial(SweepRunner::Options{});
+    SweepRunner sharded([] {
+        SweepRunner::Options o;
+        o.threads = 4;
+        return o;
+    }());
+    for (const auto& c : cells) {
+        serial.add(c);
+        sharded.add(c);
+    }
+    serial.run();
+    sharded.run();
+
+    // Ground truth: the systems' own (serial) evaluation engine.
+    MineSystem mine(false);
+    ManipSystem manip("openvla", "octo", false);
+    const TaskStats direct[] = {
+        mine.evaluate(cells[0].taskId, cells[0].cfg, reps),
+        mine.evaluate(cells[1].taskId, cells[1].cfg, reps),
+        manip.evaluate(cells[2].taskId, cells[2].cfg, reps),
+    };
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        expectIdentical(direct[h], serial.stats(h));
+        expectIdentical(direct[h], sharded.stats(h));
+    }
+    EXPECT_EQ(serial.executedCells(), 3);
+    EXPECT_EQ(sharded.executedCells(), 3);
+}
+
+TEST(Sweep, MemoizesDuplicateCells)
+{
+    const auto cells = campaignCells(3);
+    SweepRunner sweep;
+    const std::size_t a = sweep.add(cells[1]); // clean baseline ...
+    const std::size_t b = sweep.add(cells[0]);
+    const std::size_t c = sweep.add(cells[1]); // ... declared twice
+    sweep.run();
+
+    EXPECT_EQ(sweep.executedCells(), 2);
+    EXPECT_EQ(sweep.memoizedCells(), 1);
+    EXPECT_EQ(sweep.source(a), CellSource::Executed);
+    EXPECT_EQ(sweep.source(b), CellSource::Executed);
+    EXPECT_EQ(sweep.source(c), CellSource::Memoized);
+    expectIdentical(sweep.stats(a), sweep.stats(c));
+    EXPECT_EQ(&sweep.stats(a), &sweep.stats(c)); // one execution, shared
+}
+
+TEST(Sweep, ResumeRoundTripThroughStore)
+{
+    const std::string path = "/tmp/create_test_sweep_store.json";
+    std::remove(path.c_str());
+    const auto cells = campaignCells(3);
+
+    // Partial campaign: only the first two cells reach the store.
+    SweepRunner::Options withStore;
+    withStore.storePath = path;
+    {
+        SweepRunner partial(withStore);
+        partial.add(cells[0]);
+        partial.add(cells[1]);
+        partial.run();
+    }
+
+    // Full campaign with --resume: the stored cells load, only the new
+    // cell executes, and every stat is bit-identical to a fresh run.
+    SweepRunner::Options resume = withStore;
+    resume.resume = true;
+    SweepRunner resumed(resume);
+    SweepRunner fresh;
+    for (const auto& c : cells) {
+        resumed.add(c);
+        fresh.add(c);
+    }
+    resumed.run();
+    fresh.run();
+
+    EXPECT_EQ(resumed.resumedCells(), 2);
+    EXPECT_EQ(resumed.executedCells(), 1);
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        SCOPED_TRACE(h);
+        expectIdentical(fresh.stats(h), resumed.stats(h));
+        EXPECT_EQ(resumed.source(h), h < 2 ? CellSource::Resumed
+                                           : CellSource::Executed);
+    }
+
+    // A second resume over the (now complete) store executes nothing.
+    SweepRunner again(resume);
+    for (const auto& c : cells)
+        again.add(c);
+    again.run();
+    EXPECT_EQ(again.executedCells(), 0);
+    EXPECT_EQ(again.resumedCells(), 3);
+
+    // Resumed cells re-derive their per-episode results on demand,
+    // bit-identical to the executed ones.
+    const auto& fromStore = again.episodes(0);
+    const auto& executed = fresh.episodes(0);
+    ASSERT_EQ(fromStore.size(), executed.size());
+    for (std::size_t i = 0; i < executed.size(); ++i)
+        expectIdentical(executed[i], fromStore[i]);
+
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, SharedStoreIsNotClobberedAcrossCampaigns)
+{
+    // Two campaigns writing to one store (the second without --resume)
+    // must both leave their records behind: a flush merges, not replaces.
+    const std::string path = "/tmp/create_test_sweep_shared.json";
+    std::remove(path.c_str());
+    const auto cells = campaignCells(2);
+    SweepRunner::Options withStore;
+    withStore.storePath = path;
+    {
+        SweepRunner a(withStore);
+        a.add(cells[0]);
+        a.run();
+    }
+    {
+        SweepRunner b(withStore); // no resume: must still preserve A's cell
+        b.add(cells[1]);
+        b.run();
+    }
+    SweepRunner::Options resume = withStore;
+    resume.resume = true;
+    SweepRunner c(resume);
+    c.add(cells[0]);
+    c.add(cells[1]);
+    c.run();
+    EXPECT_EQ(c.executedCells(), 0);
+    EXPECT_EQ(c.resumedCells(), 2);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, PhasedCampaignExecutesOnlyNewCells)
+{
+    // fig16 pattern: a first phase's results decide what the second
+    // phase declares; the second run() must not re-execute phase 1.
+    const auto cells = campaignCells(3);
+    SweepRunner sweep;
+    const std::size_t a = sweep.add(cells[0]);
+    sweep.run();
+    EXPECT_EQ(sweep.executedCells(), 1);
+    const TaskStats phase1 = sweep.stats(a);
+
+    const std::size_t b = sweep.add(cells[1]);
+    const std::size_t dup = sweep.add(cells[0]); // memoizes across phases
+    sweep.run();
+    EXPECT_EQ(sweep.executedCells(), 2);
+    EXPECT_EQ(sweep.memoizedCells(), 1);
+    expectIdentical(phase1, sweep.stats(a)); // phase 1 result untouched
+    expectIdentical(phase1, sweep.stats(dup));
+    MineSystem mine(false);
+    expectIdentical(mine.evaluate(cells[1].taskId, cells[1].cfg, 3),
+                    sweep.stats(b));
+}
+
+TEST(Sweep, EpisodesMatchAggregateOrdering)
+{
+    SweepRunner sweep;
+    const auto cells = campaignCells(4);
+    const std::size_t h = sweep.add(cells[0]);
+    sweep.run();
+    const auto& eps = sweep.episodes(h);
+    ASSERT_EQ(eps.size(), 4u);
+    MineSystem mine(false);
+    expectIdentical(sweep.stats(h),
+                    aggregate(mine.runEpisodes(cells[0].taskId, cells[0].cfg,
+                                               4, cells[0].seed0),
+                              mine.energyModel()));
+}
+
+TEST(Sweep, FingerprintCanonicalization)
+{
+    SweepCell a{"jarvis-1", 0, CreateConfig::clean(), 6};
+
+    // The VS policy (and its display name) cannot affect execution while
+    // voltageScaling is off.
+    SweepCell b = a;
+    b.cfg.policy = EntropyVoltagePolicy::preset('C');
+    b.cfg.vsInterval = 17;
+    EXPECT_EQ(sweepFingerprint(a), sweepFingerprint(b));
+
+    // BER fields cannot matter without injection.
+    SweepCell c = a;
+    c.cfg.uniformBer = 0.5;
+    c.cfg.injectPlanner = false;
+    EXPECT_EQ(sweepFingerprint(a), sweepFingerprint(c));
+
+    // With VS on, equal-valued policies match across display names ...
+    SweepCell d = a, e = a;
+    d.cfg.voltageScaling = true;
+    e.cfg.voltageScaling = true;
+    d.cfg.policy = EntropyVoltagePolicy::preset('C');
+    e.cfg.policy = EntropyVoltagePolicy(d.cfg.policy.thresholds(),
+                                        d.cfg.policy.voltages(), "renamed");
+    EXPECT_EQ(sweepFingerprint(d), sweepFingerprint(e));
+    // ... and differing voltages do not.
+    e.cfg.policy = EntropyVoltagePolicy::preset('D');
+    EXPECT_NE(sweepFingerprint(d), sweepFingerprint(e));
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(d));
+
+    // Execution-relevant knobs all split the key.
+    SweepCell f = a;
+    f.reps = 7;
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(f));
+    SweepCell g = a;
+    g.seed0 = 4242;
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(g));
+    SweepCell h = a;
+    h.cfg = CreateConfig::uniform(1e-3);
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(h));
+    SweepCell i = a;
+    i.platform = "openvla+octo";
+    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(i));
+}
+
+TEST(Sweep, RejectsUnknownPlatformAndBadReps)
+{
+    SweepRunner sweep;
+    EXPECT_THROW(sweep.add({"no-such-platform", 0, CreateConfig::clean(), 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(sweep.add({"jarvis-1", 0, CreateConfig::clean(), 0}),
+                 std::invalid_argument);
+}
+
+// --- episode-loop regressions this PR fixed ------------------------------
+
+TEST(EpisodeLoop, VsIntervalNonPositiveDisablesPredictor)
+{
+    // vsInterval <= 0 used to hit `steps % 0` (UB) on the decoded-plan
+    // platforms; it now disables the predictor/LDO updates, matching the
+    // Mine path's VoltageScaler guard.
+    ManipSystem sys("openvla", "octo", false);
+    for (const int interval : {0, -3}) {
+        CreateConfig cfg = CreateConfig::fullCreate(
+            0.72, EntropyVoltagePolicy::preset('E'), interval);
+        sys.prepare(cfg);
+        const auto r = sys.runEpisode(ManipTask::Wine, 77, cfg);
+        EXPECT_EQ(r.predictorInvocations, 0) << "interval " << interval;
+    }
+    // Sanity: a positive interval does run the predictor.
+    CreateConfig on = CreateConfig::fullCreate(
+        0.72, EntropyVoltagePolicy::preset('E'), 5);
+    sys.prepare(on);
+    EXPECT_GT(sys.runEpisode(ManipTask::Wine, 77, on).predictorInvocations,
+              0);
+}
+
+TEST(EpisodeLoop, FailedEpisodesBillExecutedSteps)
+{
+    // A corrupted planner can decode a plan that exhausts long before the
+    // step cap; such failures used to bill the full kStepCap controller
+    // steps into the energy model. They now bill what actually ran.
+    ManipSystem sys("openvla", "octo", false);
+    CreateConfig cfg = CreateConfig::uniform(1e-2);
+    cfg.injectController = false;
+    sys.prepare(cfg);
+    int failures = 0, earlyExhaust = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const auto r = sys.runEpisode(ManipTask::Wine, seed, cfg);
+        EXPECT_LE(r.steps, ManipWorld::kStepCap);
+        if (!r.success) {
+            ++failures;
+            if (r.steps < ManipWorld::kStepCap)
+                ++earlyExhaust;
+        }
+    }
+    ASSERT_GT(failures, 0) << "stressor too mild to exercise the fix";
+    EXPECT_GT(earlyExhaust, 0)
+        << "no failed episode exhausted its plan early; every failure "
+           "billed the cap, which is what the old accounting always did";
+}
