@@ -4,7 +4,8 @@
  * DMR doubles (or worse) energy; ThUnderVolt-style bypass prunes outputs
  * and degrades quality at low voltage; ABFT's recovery loop explodes as
  * BER grows. CREATE (AD+WR+VS) holds task quality at the lowest energy.
- * The voltage x scheme grid is one declared SweepRunner campaign.
+ * The voltage x scheme grid is one declared SweepRunner campaign
+ * (episode-ledger store: --out/--resume/--shard/--progress).
  */
 
 #include <cmath>

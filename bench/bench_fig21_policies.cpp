@@ -5,7 +5,8 @@
  * policies (paper: 100 candidates), reporting the Pareto frontier of
  * (success rate, effective voltage). Candidates are generated first and
  * the whole search is declared as one SweepRunner campaign, so a large
- * --candidates run shards across --threads and resumes with --out.
+ * --candidates run shards across --threads (or --shard i/N processes)
+ * and resumes with --out at episode granularity.
  */
 
 #include "bench_util.hpp"

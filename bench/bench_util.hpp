@@ -8,7 +8,9 @@
  * repetitions and --threads to fan the work out (default: all hardware
  * threads). The sweep-based drivers (fig13/16/17/20/21, tab05) declare
  * their matrix on the SweepRunner campaign engine and additionally take
- * --out (resumable JSON result store) and --resume. A note on axes: see
+ * --out (resumable episode-ledger store), --resume, --shard i/N
+ * (partition one campaign across N processes sharing a store),
+ * --progress, and --flush-every. A note on axes: see
  * EXPERIMENTS.md for why the BER axis of the small stand-in models sits a
  * few orders above the paper's (flips per inference is the invariant, not
  * BER).
@@ -63,11 +65,18 @@ struct BenchOptions
     int reps = 0;
     int threads = 1;
     std::string jsonPath;  //!< --json <path>: machine-readable records
-    std::string storePath; //!< --out <path>: SweepRunner result store
-    bool resume = false;   //!< --resume: skip cells already in the store
+    std::string storePath; //!< --out <path>: SweepRunner episode store
+    bool resume = false;   //!< --resume: reuse ledgers already in the store
+    bool progress = false; //!< --progress: stderr status line per flush
+    int flushEvery = 16;   //!< --flush-every N: episodes per store flush
+    int shardIndex = 0;    //!< --shard i/N: this process's partition
+    int shardCount = 1;
 };
 
-/** SweepRunner options of a sweep-based driver (--threads/--out/--resume). */
+/**
+ * SweepRunner options of a sweep-based driver
+ * (--threads/--out/--resume/--shard/--progress/--flush-every).
+ */
 inline SweepRunner::Options
 sweepOptions(const BenchOptions& o)
 {
@@ -75,6 +84,10 @@ sweepOptions(const BenchOptions& o)
     so.threads = o.threads;
     so.storePath = o.storePath;
     so.resume = o.resume;
+    so.progress = o.progress;
+    so.flushEvery = o.flushEvery;
+    so.shardIndex = o.shardIndex;
+    so.shardCount = o.shardCount;
     return so;
 }
 
@@ -139,10 +152,17 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
         std::printf("  --json PATH  also write machine-readable result "
                     "records to PATH\n");
         if (sweep)
-            std::printf("  --out PATH   resumable campaign result store "
-                        "(JSON; cells flush as they finish)\n"
-                        "  --resume     skip cells already completed in the "
-                        "--out store\n");
+            std::printf(
+                "  --out PATH     resumable episode-ledger store (JSON; "
+                "episodes flush in batches)\n"
+                "  --resume       reuse episodes already in the --out "
+                "store (prefix slices included)\n"
+                "  --shard I/N    run partition I of N over the pending "
+                "ledgers (share one --out)\n"
+                "  --progress     one stderr status line per flush "
+                "(episodes/s, success, ETA)\n"
+                "  --flush-every N  episodes per store flush (default "
+                "16)\n");
         std::printf("%s", extraHelp ? extraHelp : "");
         std::exit(0);
     }
@@ -155,6 +175,23 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
     if (sweep) {
         o.storePath = cli.str("out", "");
         o.resume = cli.flag("resume");
+        o.progress = cli.flag("progress");
+        o.flushEvery = static_cast<int>(cli.integer("flush-every", 16));
+        const std::string shard = cli.str("shard", "");
+        if (!shard.empty()) {
+            int i = -1, n = 0;
+            char tail = '\0';
+            if (std::sscanf(shard.c_str(), "%d/%d%c", &i, &n, &tail) != 2 ||
+                i < 0 || n < 1 || i >= n) {
+                std::fprintf(stderr,
+                             "error: --shard: expected i/N with 0 <= i < N, "
+                             "got '%s'\n",
+                             shard.c_str());
+                std::exit(2);
+            }
+            o.shardIndex = i;
+            o.shardCount = n;
+        }
     }
     preamble(artifact, o.reps, o.threads);
     return o;

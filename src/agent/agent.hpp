@@ -24,7 +24,12 @@
 
 namespace create {
 
-/** Outcome + accounting of one episode. */
+/**
+ * Outcome + accounting of one episode. This is the atom of the whole
+ * result pipeline: campaigns persist episodes (see EpisodeRecord in
+ * agent/metrics.hpp for the priced, serializable form), and every
+ * aggregate is a deterministic fold over an ordered run of them.
+ */
 struct EpisodeResult
 {
     bool success = false;

@@ -45,20 +45,20 @@ PaperEnergyModel::episodeComputeJ(const EpisodeResult& r) const
 }
 
 TaskStats
-aggregate(const std::vector<EpisodeResult>& results,
-          const PaperEnergyModel& energy)
+aggregate(const EpisodeRecord* records, std::size_t n)
 {
     TaskStats s;
-    s.episodes = static_cast<int>(results.size());
+    s.episodes = static_cast<int>(n);
     double stepsSuccess = 0.0;
     double vP = 0.0, vC = 0.0, inv = 0.0;
     double v2P = 0.0, v2C = 0.0;
-    for (const auto& r : results) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const EpisodeResult& r = records[i].result;
         if (r.success) {
             ++s.successes;
             stepsSuccess += r.steps;
         }
-        s.avgComputeJ += energy.episodeComputeJ(r);
+        s.avgComputeJ += records[i].computeJ;
         vP += r.plannerEffV;
         vC += r.controllerEffV;
         inv += r.plannerInvocations;
@@ -77,6 +77,128 @@ aggregate(const std::vector<EpisodeResult>& results,
     if (s.successes > 0)
         s.avgStepsSuccess = stepsSuccess / s.successes;
     return s;
+}
+
+TaskStats
+aggregate(const std::vector<EpisodeRecord>& records)
+{
+    return aggregate(records.data(), records.size());
+}
+
+TaskStats
+aggregate(const std::vector<EpisodeResult>& results,
+          const PaperEnergyModel& energy)
+{
+    // Price each episode, then run the pure fold: the sums accumulate in
+    // the same order over the same doubles as the pre-ledger loop did, so
+    // the aggregate is bit-identical.
+    std::vector<EpisodeRecord> records;
+    records.reserve(results.size());
+    for (const auto& r : results)
+        records.push_back({r, energy.episodeComputeJ(r)});
+    return aggregate(records);
+}
+
+namespace {
+
+/** EpisodeResult <-> JsonRecord numeric field mapping. */
+struct EpisodeField
+{
+    const char* key;
+    double (*get)(const EpisodeRecord&);
+    void (*set)(EpisodeRecord&, double);
+};
+
+constexpr EpisodeField kEpisodeFields[] = {
+    {"success", [](const EpisodeRecord& e) {
+         return e.result.success ? 1.0 : 0.0;
+     },
+     [](EpisodeRecord& e, double v) { e.result.success = v != 0.0; }},
+    {"steps", [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.steps);
+     },
+     [](EpisodeRecord& e, double v) { e.result.steps = static_cast<int>(v); }},
+    {"plannerInvocations",
+     [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.plannerInvocations);
+     },
+     [](EpisodeRecord& e, double v) {
+         e.result.plannerInvocations = static_cast<int>(v);
+     }},
+    {"predictorInvocations",
+     [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.predictorInvocations);
+     },
+     [](EpisodeRecord& e, double v) {
+         e.result.predictorInvocations = static_cast<int>(v);
+     }},
+    {"subtasksCompleted",
+     [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.subtasksCompleted);
+     },
+     [](EpisodeRecord& e, double v) {
+         e.result.subtasksCompleted = static_cast<int>(v);
+     }},
+    {"plannerV2Ratio",
+     [](const EpisodeRecord& e) { return e.result.plannerV2Ratio; },
+     [](EpisodeRecord& e, double v) { e.result.plannerV2Ratio = v; }},
+    {"controllerV2Ratio",
+     [](const EpisodeRecord& e) { return e.result.controllerV2Ratio; },
+     [](EpisodeRecord& e, double v) { e.result.controllerV2Ratio = v; }},
+    {"plannerEffV",
+     [](const EpisodeRecord& e) { return e.result.plannerEffV; },
+     [](EpisodeRecord& e, double v) { e.result.plannerEffV = v; }},
+    {"controllerEffV",
+     [](const EpisodeRecord& e) { return e.result.controllerEffV; },
+     [](EpisodeRecord& e, double v) { e.result.controllerEffV = v; }},
+    {"bitFlips",
+     [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.bitFlips);
+     },
+     [](EpisodeRecord& e, double v) {
+         e.result.bitFlips = static_cast<std::uint64_t>(v);
+     }},
+    {"anomaliesCleared",
+     [](const EpisodeRecord& e) {
+         return static_cast<double>(e.result.anomaliesCleared);
+     },
+     [](EpisodeRecord& e, double v) {
+         e.result.anomaliesCleared = static_cast<std::uint64_t>(v);
+     }},
+    {"computeJ", [](const EpisodeRecord& e) { return e.computeJ; },
+     [](EpisodeRecord& e, double v) { e.computeJ = v; }},
+};
+
+} // namespace
+
+JsonRecord
+episodeToRecord(std::string name, const EpisodeRecord& record)
+{
+    JsonRecord rec;
+    rec.name = std::move(name);
+    rec.numbers.reserve(std::size(kEpisodeFields));
+    for (const auto& f : kEpisodeFields)
+        rec.numbers.emplace_back(f.key, f.get(record));
+    return rec;
+}
+
+bool
+episodeFromRecord(const JsonRecord& rec, EpisodeRecord& out)
+{
+    out = EpisodeRecord{};
+    for (const auto& f : kEpisodeFields) {
+        bool found = false;
+        for (const auto& [key, value] : rec.numbers) {
+            if (key == f.key) {
+                f.set(out, value);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
 }
 
 } // namespace create

@@ -14,9 +14,12 @@
  * magnitudes of Figs. 16-18.
  */
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "common/serialize.hpp"
 #include "perf/energy.hpp"
 #include "perf/workloads.hpp"
 
@@ -64,8 +67,59 @@ struct TaskStats
     double avgControllerV2 = 1.0; //!< mean (V/Vnom)^2 over controller compute
 };
 
+/**
+ * The unit of record of the campaign result pipeline: one episode's
+ * behavioural outcome plus its paper-scale compute energy, priced once at
+ * completion time. A cell's TaskStats is a pure deterministic fold
+ * (aggregate()) over an ordered ledger of these, which is why a persisted
+ * reps=120 ledger can serve any reps<=120 request bit-identically by
+ * slicing the prefix.
+ */
+struct EpisodeRecord
+{
+    EpisodeResult result;
+    double computeJ = 0.0; //!< PaperEnergyModel::episodeComputeJ(result)
+};
+
+/**
+ * Name -> member mapping of TaskStats' derived (double) fields; shared by
+ * the sweep store's legacy v1 read path and the sweep-diff comparator so
+ * a new field only needs to be added here.
+ */
+inline constexpr std::pair<const char*, double TaskStats::*>
+    kTaskStatFields[] = {
+        {"successRate", &TaskStats::successRate},
+        {"avgStepsSuccess", &TaskStats::avgStepsSuccess},
+        {"avgComputeJ", &TaskStats::avgComputeJ},
+        {"avgPlannerEffV", &TaskStats::avgPlannerEffV},
+        {"avgControllerEffV", &TaskStats::avgControllerEffV},
+        {"avgPlannerInvocations", &TaskStats::avgPlannerInvocations},
+        {"avgPlannerV2", &TaskStats::avgPlannerV2},
+        {"avgControllerV2", &TaskStats::avgControllerV2},
+};
+
+/**
+ * The pure fold: aggregate the first `n` records of an episode ledger.
+ * Deterministic in the record values alone (the energy was priced when
+ * the record was made), so folding a ledger read back from a store is
+ * bit-identical to folding the live results it was written from.
+ */
+TaskStats aggregate(const EpisodeRecord* records, std::size_t n);
+TaskStats aggregate(const std::vector<EpisodeRecord>& records);
+
 /** Aggregate episode results with paper-scale energy pricing. */
 TaskStats aggregate(const std::vector<EpisodeResult>& results,
                     const PaperEnergyModel& energy);
+
+/**
+ * JsonRecord round trip for one ledger entry. Every field is written
+ * through the %.17g path of common/serialize, so a write/read round trip
+ * reproduces the episode bit-exactly (integer counters up to 2^53 are
+ * exact in a double; episode step/flip counts sit far below that).
+ */
+JsonRecord episodeToRecord(std::string name, const EpisodeRecord& record);
+
+/** Parse a record written by episodeToRecord. False if fields are missing. */
+bool episodeFromRecord(const JsonRecord& rec, EpisodeRecord& out);
 
 } // namespace create

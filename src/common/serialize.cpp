@@ -210,13 +210,29 @@ struct JsonCursor
 
 } // namespace
 
+namespace {
+
+void
+printJsonRecord(std::FILE* f, const JsonRecord& r, bool last)
+{
+    std::fprintf(f, "  {\"name\": \"%s\"", jsonEscaped(r.name).c_str());
+    for (const auto& [key, value] : r.strings)
+        std::fprintf(f, ", \"%s\": \"%s\"", jsonEscaped(key).c_str(),
+                     jsonEscaped(value).c_str());
+    for (const auto& [key, value] : r.numbers)
+        std::fprintf(f, ", \"%s\": %.17g", jsonEscaped(key).c_str(), value);
+    std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+/** Write-then-rename over any record range (see vector overload docs). */
+template <typename Iter, typename Get>
 bool
-writeJsonRecords(const std::string& path,
-                 const std::vector<JsonRecord>& records)
+writeJsonRecordsImpl(const std::string& path, Iter begin, Iter end,
+                     std::size_t count, Get get)
 {
     // Write-then-rename so a reader (or a kill mid-write) never sees a
     // truncated file -- the SweepRunner store is rewritten after every
-    // completed cell and must survive being killed at any point. The tmp
+    // flush batch and must survive being killed at any point. The tmp
     // name is per-process so two writers at worst last-write-win whole
     // consistent files instead of interleaving into one.
     const std::string tmp =
@@ -225,17 +241,9 @@ writeJsonRecords(const std::string& path,
     if (!f)
         return false;
     std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const auto& r = records[i];
-        std::fprintf(f, "  {\"name\": \"%s\"", jsonEscaped(r.name).c_str());
-        for (const auto& [key, value] : r.strings)
-            std::fprintf(f, ", \"%s\": \"%s\"", jsonEscaped(key).c_str(),
-                         jsonEscaped(value).c_str());
-        for (const auto& [key, value] : r.numbers)
-            std::fprintf(f, ", \"%s\": %.17g", jsonEscaped(key).c_str(),
-                         value);
-        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
-    }
+    std::size_t i = 0;
+    for (Iter it = begin; it != end; ++it, ++i)
+        printJsonRecord(f, get(*it), i + 1 == count);
     std::fprintf(f, "]\n");
     const bool ok = std::ferror(f) == 0;
     std::fclose(f);
@@ -244,6 +252,28 @@ writeJsonRecords(const std::string& path,
         return false;
     }
     return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace
+
+bool
+writeJsonRecords(const std::string& path,
+                 const std::vector<JsonRecord>& records)
+{
+    return writeJsonRecordsImpl(path, records.begin(), records.end(),
+                                records.size(),
+                                [](const JsonRecord& r) -> const JsonRecord& {
+                                    return r;
+                                });
+}
+
+bool
+writeJsonRecords(const std::string& path,
+                 const std::map<std::string, JsonRecord>& records)
+{
+    return writeJsonRecordsImpl(
+        path, records.begin(), records.end(), records.size(),
+        [](const auto& kv) -> const JsonRecord& { return kv.second; });
 }
 
 bool

@@ -12,8 +12,10 @@
  *
  * JSON format: an array of flat objects, each `{"name": "...", <string
  * fields>, <numeric fields>}`. Numbers are written with %.17g so a
- * write/read round trip reproduces every double bit-exactly (the
- * SweepRunner --resume path depends on that).
+ * write/read round trip reproduces every double bit-exactly -- the
+ * SweepRunner episode-ledger store depends on that: a resumed or
+ * prefix-sliced cell's stats are re-folded from round-tripped episode
+ * records and must match the original fold bit-for-bit.
  */
 
 #include <cstdint>
@@ -76,6 +78,14 @@ struct JsonRecord
 /** Write records as a JSON array. Returns false on I/O failure. */
 bool writeJsonRecords(const std::string& path,
                       const std::vector<JsonRecord>& records);
+
+/**
+ * Same, from a name-keyed map (records written in key order). Lets the
+ * SweepRunner store flush its record index without materializing an
+ * O(store) vector copy per flush.
+ */
+bool writeJsonRecords(const std::string& path,
+                      const std::map<std::string, JsonRecord>& records);
 
 /**
  * Parse a file written by writeJsonRecords (an array of flat objects with

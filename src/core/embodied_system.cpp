@@ -81,7 +81,7 @@ EmbodiedSystem::prepare(const CreateConfig&)
 
 std::vector<EpisodeResult>
 EmbodiedSystem::runEpisodes(int taskId, const CreateConfig& cfg, int reps,
-                            std::uint64_t seed0)
+                            std::uint64_t seed0, EpisodeSink* sink)
 {
     if (evalThreads_ > 1 && reps > 1) {
         // Never build more replicas than there are episodes to run; keep
@@ -92,14 +92,17 @@ EmbodiedSystem::runEpisodes(int taskId, const CreateConfig& cfg, int reps,
         if (!evaluator_ || evaluator_->threads() < wanted ||
             evaluator_->threads() > evalThreads_)
             evaluator_ = std::make_unique<ParallelEvaluator>(*this, wanted);
-        return evaluator_->runEpisodes(taskId, cfg, reps, seed0);
+        return evaluator_->runEpisodes(taskId, cfg, reps, seed0, sink);
     }
     prepare(cfg);
     std::vector<EpisodeResult> results;
     results.reserve(static_cast<std::size_t>(reps));
-    for (int i = 0; i < reps; ++i)
+    for (int i = 0; i < reps; ++i) {
         results.push_back(
             runEpisode(taskId, seed0 + static_cast<std::uint64_t>(i), cfg));
+        if (sink)
+            sink->onEpisode(i, results.back());
+    }
     return results;
 }
 

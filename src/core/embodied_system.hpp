@@ -34,6 +34,22 @@ namespace create {
 
 class ParallelEvaluator;
 
+/**
+ * Observer of completed episodes, called as they finish. With a parallel
+ * evaluator the calls arrive from worker threads in completion order (not
+ * episode order), so implementations must be thread-safe; `index` is the
+ * episode's position within the runEpisodes() call (seed = seed0 + index).
+ * The SweepRunner's store sink streams episodes to disk through this, so
+ * a killed campaign keeps every episode that reached a flush instead of
+ * losing the whole cell.
+ */
+class EpisodeSink
+{
+  public:
+    virtual ~EpisodeSink() = default;
+    virtual void onEpisode(int index, const EpisodeResult& result) = 0;
+};
+
 /** One deployment configuration (platform-agnostic). */
 struct CreateConfig
 {
@@ -133,11 +149,14 @@ class EmbodiedSystem
 
     /**
      * Run `reps` episodes at seeds seed0, seed0+1, ... and return results
-     * in episode order (serial, or fanned out when evalThreads() > 1).
+     * in episode order (serial, or fanned out when evalThreads() > 1). An
+     * optional sink observes each episode as it completes (thread-safe,
+     * completion order; see EpisodeSink).
      */
     std::vector<EpisodeResult> runEpisodes(int taskId,
                                            const CreateConfig& cfg, int reps,
-                                           std::uint64_t seed0 = kDefaultSeed0);
+                                           std::uint64_t seed0 = kDefaultSeed0,
+                                           EpisodeSink* sink = nullptr);
 
     /** Repeat episodes and aggregate (paper: >=100 repetitions). */
     TaskStats evaluate(int taskId, const CreateConfig& cfg, int reps,

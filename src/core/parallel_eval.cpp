@@ -60,9 +60,12 @@ ParallelEvaluator::workerLoop(std::size_t workerIdx)
                 const int i = nextEpisode_.fetch_add(1);
                 if (i >= job.reps)
                     break;
-                (*job.out)[static_cast<std::size_t>(i)] = sys.runEpisode(
+                EpisodeResult& slot = (*job.out)[static_cast<std::size_t>(i)];
+                slot = sys.runEpisode(
                     job.taskId, job.seed0 + static_cast<std::uint64_t>(i),
                     *job.cfg);
+                if (job.sink)
+                    job.sink->onEpisode(i, slot);
             }
         } catch (const std::exception& e) {
             std::lock_guard<std::mutex> lock(mu_);
@@ -79,7 +82,7 @@ ParallelEvaluator::workerLoop(std::size_t workerIdx)
 
 std::vector<EpisodeResult>
 ParallelEvaluator::runEpisodes(int taskId, const CreateConfig& cfg, int reps,
-                               std::uint64_t seed0)
+                               std::uint64_t seed0, EpisodeSink* sink)
 {
     // Materialize config-dependent lazy state (rotated planner, entropy
     // predictor) serially before fanning out, so workers never train or
@@ -91,7 +94,7 @@ ParallelEvaluator::runEpisodes(int taskId, const CreateConfig& cfg, int reps,
         static_cast<std::size_t>(reps < 0 ? 0 : reps));
     {
         std::unique_lock<std::mutex> lock(mu_);
-        job_ = Job{taskId, &cfg, reps, seed0, &results};
+        job_ = Job{taskId, &cfg, reps, seed0, &results, sink};
         nextEpisode_.store(0);
         workersDone_ = 0;
         workerError_.clear();

@@ -65,10 +65,14 @@ class ParallelEvaluator
     /**
      * Run `reps` episodes at seeds seed0, seed0+1, ... across the pool.
      * Returns results in episode order. Blocks until all episodes finish.
+     * The optional sink is invoked from the worker threads as episodes
+     * complete (it must be thread-safe; completion order is arbitrary but
+     * each index is reported exactly once).
      */
     std::vector<EpisodeResult>
     runEpisodes(int taskId, const CreateConfig& cfg, int reps,
-                std::uint64_t seed0 = EmbodiedSystem::kDefaultSeed0);
+                std::uint64_t seed0 = EmbodiedSystem::kDefaultSeed0,
+                EpisodeSink* sink = nullptr);
 
     /** runEpisodes + aggregation at the platform's paper-scale energy. */
     TaskStats evaluate(int taskId, const CreateConfig& cfg, int reps,
@@ -85,6 +89,7 @@ class ParallelEvaluator
         int reps = 0;
         std::uint64_t seed0 = 0;
         std::vector<EpisodeResult>* out = nullptr;
+        EpisodeSink* sink = nullptr;
     };
 
     void workerLoop(std::size_t workerIdx);

@@ -1,0 +1,184 @@
+#include "core/store_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+#include "core/sweep.hpp"
+
+namespace create {
+
+namespace {
+
+std::string
+fmtg(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+withinTolerance(double a, double b, const StoreDiffOptions& opt)
+{
+    if (a == b)
+        return true; // covers exact equality including both zero
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= opt.absTol + opt.relTol * scale;
+}
+
+} // namespace
+
+bool
+loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
+               std::string& error)
+{
+    out.clear();
+    error.clear();
+    std::vector<JsonRecord> records;
+    if (!readJsonRecords(path, records)) {
+        error = "cannot read result store " + path;
+        return false;
+    }
+
+    // Pass 1: collect episode ledgers (v2) and remember meta records.
+    std::map<std::string, std::map<int, EpisodeRecord>> ledgers;
+    std::map<std::string, const JsonRecord*> metas;
+    std::vector<const JsonRecord*> legacyRecords;
+    for (const JsonRecord& rec : records) {
+        if (rec.name == kSweepStoreSchemaRecord)
+            continue;
+        std::string fp;
+        const int idx = sweepEpisodeIndex(rec.name, &fp);
+        if (idx >= 0) {
+            EpisodeRecord er;
+            if (episodeFromRecord(rec, er))
+                ledgers[fp][idx] = er;
+            continue;
+        }
+        if (rec.name.rfind("v1|", 0) == 0 &&
+            rec.number("episodes", -1.0) >= 0.0) {
+            legacyRecords.push_back(&rec);
+            continue;
+        }
+        metas.emplace(rec.name, &rec);
+    }
+
+    // Pass 2: fold each ledger's contiguous prefix (a hole from a killed
+    // mid-flush campaign ends the comparable range; the suffix beyond it
+    // was never certified by a completed fold).
+    for (const auto& [fp, eps] : ledgers) {
+        StoreCell cell;
+        cell.fingerprint = fp;
+        std::vector<EpisodeRecord> prefix;
+        prefix.reserve(eps.size());
+        int next = 0;
+        for (const auto& [idx, rec] : eps) {
+            if (idx != next)
+                break;
+            prefix.push_back(rec);
+            ++next;
+        }
+        cell.episodes = next;
+        cell.stats = aggregate(prefix);
+        const auto mit = metas.find(fp);
+        if (mit != metas.end()) {
+            cell.platform = mit->second->text("platform");
+            cell.label = mit->second->text("label");
+        }
+        out.push_back(std::move(cell));
+    }
+
+    // Legacy v1 cell records contribute their aggregates directly.
+    for (const JsonRecord* rec : legacyRecords) {
+        StoreCell cell;
+        cell.fingerprint = rec->name;
+        cell.platform = rec->text("platform");
+        cell.label = rec->text("label");
+        cell.legacy = true;
+        cell.episodes = static_cast<int>(rec->number("episodes"));
+        cell.stats.episodes = cell.episodes;
+        cell.stats.successes = static_cast<int>(rec->number("successes"));
+        for (const auto& [key, member] : kTaskStatFields)
+            cell.stats.*member = rec->number(key);
+        out.push_back(std::move(cell));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const StoreCell& a, const StoreCell& b) {
+                  return a.fingerprint < b.fingerprint;
+              });
+    return true;
+}
+
+StoreDiffResult
+diffStoreCells(const std::vector<StoreCell>& a,
+               const std::vector<StoreCell>& b, const StoreDiffOptions& opt)
+{
+    StoreDiffResult res;
+    res.cellsA = static_cast<int>(a.size());
+    res.cellsB = static_cast<int>(b.size());
+
+    std::map<std::string, const StoreCell*> byFpB;
+    for (const StoreCell& cell : b)
+        byFpB.emplace(cell.fingerprint, &cell);
+
+    std::vector<StoreDiffEntry> onlyA, onlyB;
+    for (const StoreCell& ca : a) {
+        const auto it = byFpB.find(ca.fingerprint);
+        if (it == byFpB.end()) {
+            onlyA.push_back({StoreDiffEntry::Kind::OnlyInA, ca.fingerprint,
+                             ca.label.empty() ? "missing from B"
+                                              : ca.label + ": missing from B"});
+            continue;
+        }
+        const StoreCell& cb = *it->second;
+        byFpB.erase(it);
+        ++res.compared;
+        if (ca.episodes != cb.episodes ||
+            ca.stats.successes != cb.stats.successes) {
+            res.entries.push_back(
+                {StoreDiffEntry::Kind::Episodes, ca.fingerprint,
+                 "episodes/successes " + std::to_string(ca.episodes) + "/" +
+                     std::to_string(ca.stats.successes) + " vs " +
+                     std::to_string(cb.episodes) + "/" +
+                     std::to_string(cb.stats.successes)});
+            continue; // stat drift is implied by a different fold length
+        }
+        for (const auto& [key, member] : kTaskStatFields) {
+            const double va = ca.stats.*member;
+            const double vb = cb.stats.*member;
+            if (!withinTolerance(va, vb, opt))
+                res.entries.push_back({StoreDiffEntry::Kind::Stat,
+                                       ca.fingerprint,
+                                       std::string(key) + " " + fmtg(va) +
+                                           " vs " + fmtg(vb)});
+        }
+    }
+    for (const auto& [fp, cell] : byFpB)
+        onlyB.push_back({StoreDiffEntry::Kind::OnlyInB, fp,
+                         cell->label.empty() ? "new in B"
+                                             : cell->label + ": new in B"});
+
+    res.entries.insert(res.entries.end(), onlyA.begin(), onlyA.end());
+    res.entries.insert(res.entries.end(), onlyB.begin(), onlyB.end());
+    return res;
+}
+
+StoreDiffResult
+diffStores(const std::string& pathA, const std::string& pathB,
+           const StoreDiffOptions& opt)
+{
+    std::vector<StoreCell> a, b;
+    std::string error;
+    if (!loadStoreCells(pathA, a, error))
+        throw std::runtime_error(error);
+    if (!loadStoreCells(pathB, b, error))
+        throw std::runtime_error(error);
+    return diffStoreCells(a, b, opt);
+}
+
+} // namespace create

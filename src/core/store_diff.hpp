@@ -1,0 +1,93 @@
+#pragma once
+
+/**
+ * @file
+ * Cell-by-fingerprint comparison of two SweepRunner result stores, so any
+ * campaign becomes a regression gate: run the matrix twice (different
+ * commit, thread count, shard split, machine), `sweep-diff a.json b.json`,
+ * and a nonzero exit means the results drifted.
+ *
+ * Both store schemas load: a v2 episode-ledger store folds each
+ * fingerprint's contiguous episode prefix through the same aggregate()
+ * the engine uses (the per-episode records carry their energy, so no
+ * platform model is needed), and a legacy v1 store contributes its
+ * cell-level aggregates directly. Fingerprints are compared as opaque
+ * keys -- v1 and v2 fingerprints of the same cell intentionally differ
+ * (the v2 identity has no reps), so diffing across schema generations
+ * reports the generation change instead of guessing an equivalence.
+ */
+
+#include <string>
+#include <vector>
+
+#include "agent/metrics.hpp"
+
+namespace create {
+
+/** One comparable cell of a store: a fingerprint and its folded stats. */
+struct StoreCell
+{
+    std::string fingerprint;
+    std::string platform; //!< from the ledger meta record, may be empty
+    std::string label;    //!< from the ledger meta record, may be empty
+    TaskStats stats;
+    int episodes = 0;  //!< episodes folded (v2: contiguous prefix length)
+    bool legacy = false; //!< v1 cell-level record (no episode ledger)
+};
+
+/** Tolerances for stat comparisons: pass when
+ *  |a-b| <= absTol + relTol * max(|a|, |b|). Defaults demand equality. */
+struct StoreDiffOptions
+{
+    double absTol = 0.0;
+    double relTol = 0.0;
+};
+
+/** One reported difference. */
+struct StoreDiffEntry
+{
+    enum class Kind
+    {
+        OnlyInA,   //!< cell missing from store B
+        OnlyInB,   //!< cell new in store B
+        Episodes,  //!< episode/success counts differ
+        Stat,      //!< a derived stat differs beyond tolerance
+    };
+    Kind kind;
+    std::string fingerprint;
+    std::string detail; //!< human-readable, e.g. "successRate 0.5 vs 0.25"
+};
+
+/** Full comparison result. */
+struct StoreDiffResult
+{
+    std::vector<StoreDiffEntry> entries;
+    int cellsA = 0;
+    int cellsB = 0;
+    int compared = 0; //!< fingerprints present in both stores
+
+    bool clean() const { return entries.empty(); }
+};
+
+/**
+ * Load a store into comparable cells (see file comment). Returns false
+ * with `error` set when the file is missing or unparsable.
+ */
+bool loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
+                    std::string& error);
+
+/**
+ * Compare two loaded stores cell-by-fingerprint. Entries are ordered:
+ * changed cells first (fingerprint order), then cells only in A, then
+ * cells only in B.
+ */
+StoreDiffResult diffStoreCells(const std::vector<StoreCell>& a,
+                               const std::vector<StoreCell>& b,
+                               const StoreDiffOptions& opt = {});
+
+/** loadStoreCells + diffStoreCells; throws std::runtime_error on I/O. */
+StoreDiffResult diffStores(const std::string& pathA,
+                           const std::string& pathB,
+                           const StoreDiffOptions& opt = {});
+
+} // namespace create

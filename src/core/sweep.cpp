@@ -1,8 +1,15 @@
 #include "core/sweep.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -32,36 +39,19 @@ modeTag(InjectionMode m)
     return "?";
 }
 
-/** TaskStats <-> JsonRecord field mapping of the result store. */
-constexpr std::pair<const char*, double TaskStats::*> kStatFields[] = {
-    {"successRate", &TaskStats::successRate},
-    {"avgStepsSuccess", &TaskStats::avgStepsSuccess},
-    {"avgComputeJ", &TaskStats::avgComputeJ},
-    {"avgPlannerEffV", &TaskStats::avgPlannerEffV},
-    {"avgControllerEffV", &TaskStats::avgControllerEffV},
-    {"avgPlannerInvocations", &TaskStats::avgPlannerInvocations},
-    {"avgPlannerV2", &TaskStats::avgPlannerV2},
-    {"avgControllerV2", &TaskStats::avgControllerV2},
-};
-
-} // namespace
-
+/**
+ * The config-dependent fingerprint tail shared by the v1 and v2 formats:
+ * everything that can change execution, nothing that cannot. The policy's
+ * display name never matters; the whole policy (and the LDO update
+ * interval) only matters under voltageScaling; BER fields only matter
+ * under Uniform injection; the injection target switches and component
+ * filter only matter when injection is active at all. Operating voltages
+ * always matter (the energy meter prices clean compute at them too).
+ */
 std::string
-sweepFingerprint(const SweepCell& cell)
+fingerprintTail(const CreateConfig& c)
 {
-    const CreateConfig& c = cell.cfg;
-    // Canonical: everything that can change execution, nothing that
-    // cannot. The policy's display name never matters; the whole policy
-    // (and the LDO update interval) only matters under voltageScaling;
-    // BER fields only matter under Uniform injection; the injection
-    // target switches and component filter only matter when injection is
-    // active at all. Operating voltages always matter (the energy meter
-    // prices clean compute at them too).
-    std::string fp = "v1|" + cell.platform +
-                     "|task=" + std::to_string(cell.taskId) +
-                     "|reps=" + std::to_string(cell.reps) +
-                     "|seed0=" + std::to_string(cell.seed0);
-    fp += "|tech=";
+    std::string fp = "|tech=";
     fp += c.anomalyDetection ? 'A' : '-';
     fp += c.weightRotation ? 'W' : '-';
     fp += c.voltageScaling ? 'V' : '-';
@@ -88,12 +78,147 @@ sweepFingerprint(const SweepCell& cell)
     return fp;
 }
 
+double
+nowSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+} // namespace
+
+std::string
+sweepFingerprint(const SweepCell& cell)
+{
+    // v2: reps is canonicalized away. Episodes run at seed0 + i, so a
+    // cell's reps is the length of the prefix it reads off the shared
+    // ledger, not part of the ledger's identity.
+    return "v2|" + cell.platform + "|task=" + std::to_string(cell.taskId) +
+           "|seed0=" + std::to_string(cell.seed0) + fingerprintTail(cell.cfg);
+}
+
+std::string
+sweepFingerprintLegacyV1(const SweepCell& cell)
+{
+    return "v1|" + cell.platform + "|task=" + std::to_string(cell.taskId) +
+           "|reps=" + std::to_string(cell.reps) +
+           "|seed0=" + std::to_string(cell.seed0) + fingerprintTail(cell.cfg);
+}
+
+std::string
+sweepEpisodeKey(const std::string& fingerprint, int index)
+{
+    return fingerprint + "#" + std::to_string(index);
+}
+
+int
+sweepEpisodeIndex(const std::string& recordName, std::string* fingerprint)
+{
+    const std::size_t hash = recordName.rfind('#');
+    if (hash == std::string::npos || hash + 1 >= recordName.size())
+        return -1;
+    long long index = 0;
+    for (std::size_t i = hash + 1; i < recordName.size(); ++i) {
+        const char c = recordName[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+        index = index * 10 + (c - '0');
+        // A hand-edited/corrupt store must not overflow into a bogus
+        // valid-looking index (or signed-overflow UB).
+        if (index > std::numeric_limits<int>::max())
+            return -1;
+    }
+    if (fingerprint)
+        *fingerprint = recordName.substr(0, hash);
+    return static_cast<int>(index);
+}
+
+void
+SweepRunner::Ledger::grow(int need)
+{
+    if (static_cast<int>(eps.size()) < need) {
+        eps.resize(static_cast<std::size_t>(need));
+        have.resize(static_cast<std::size_t>(need), 0);
+    }
+}
+
+int
+SweepRunner::Ledger::prefixLen(int limit) const
+{
+    int n = 0;
+    const int cap = std::min(limit, static_cast<int>(have.size()));
+    while (n < cap && have[static_cast<std::size_t>(n)])
+        ++n;
+    return n;
+}
+
+/** Streams one work unit's completed episodes into the ledger + store. */
+class SweepRunner::StoreSink : public EpisodeSink
+{
+  public:
+    StoreSink(SweepRunner& runner, const std::string& fingerprint,
+              Ledger& ledger, const PaperEnergyModel& energy)
+        : runner_(runner), fingerprint_(fingerprint), ledger_(ledger),
+          energy_(energy), toStore_(!runner.opt_.storePath.empty())
+    {
+    }
+
+    int base = 0; //!< ledger index of this run's episode 0
+
+    void onEpisode(int index, const EpisodeResult& result) override
+    {
+        // Price the episode once, at completion: the record is the unit
+        // of campaign state from here on.
+        const EpisodeRecord rec{result, energy_.episodeComputeJ(result)};
+        bool doFlush = false;
+        {
+            std::lock_guard<std::mutex> lock(runner_.storeMu_);
+            const auto idx = static_cast<std::size_t>(base + index);
+            ledger_.eps[idx] = rec;
+            ledger_.have[idx] = 1;
+            ledger_.anyExecuted = true;
+            ++runner_.episodesExecuted_;
+            ++runner_.progressDone_;
+            if (result.success)
+                ++runner_.progressSucc_;
+            if (toStore_)
+                runner_.pendingRecords_.push_back(episodeToRecord(
+                    sweepEpisodeKey(fingerprint_, base + index), rec));
+            if (++runner_.flushTick_ >= runner_.opt_.flushEvery) {
+                runner_.flushTick_ = 0;
+                doFlush = true;
+            }
+        }
+        if (doFlush) {
+            runner_.flushStore();
+            if (runner_.opt_.progress)
+                runner_.progressLine();
+        }
+    }
+
+  private:
+    SweepRunner& runner_;
+    const std::string& fingerprint_;
+    Ledger& ledger_;
+    const PaperEnergyModel& energy_;
+    const bool toStore_;
+};
+
 SweepRunner::SweepRunner() : SweepRunner(Options()) {}
 
 SweepRunner::SweepRunner(Options opt) : opt_(std::move(opt))
 {
     if (opt_.threads < 1)
         opt_.threads = 1;
+    if (opt_.flushEvery < 1)
+        opt_.flushEvery = 1;
+    if (opt_.shardCount < 1)
+        opt_.shardCount = 1;
+    if (opt_.shardIndex < 0 || opt_.shardIndex >= opt_.shardCount)
+        throw std::invalid_argument("SweepRunner: shard index " +
+                                    std::to_string(opt_.shardIndex) +
+                                    " outside 0.." +
+                                    std::to_string(opt_.shardCount - 1));
 }
 
 std::size_t
@@ -108,8 +233,11 @@ SweepRunner::add(SweepCell cell)
     st.cell = std::move(cell);
     st.fingerprint = sweepFingerprint(st.cell);
     const std::size_t handle = cells_.size();
-    const auto [it, inserted] =
-        byFingerprint_.emplace(st.fingerprint, handle);
+    // Exact duplicates (same ledger *and* same prefix length) memoize
+    // onto the first declaration; distinct-reps cells of one ledger stay
+    // separate handles and slice their own prefixes.
+    const auto [it, inserted] = byKey_.emplace(
+        st.fingerprint + "|reps=" + std::to_string(st.cell.reps), handle);
     st.primary = it->second;
     cells_.push_back(std::move(st));
     return handle;
@@ -156,174 +284,440 @@ SweepRunner::prototypeFor(const std::string& platform)
 }
 
 void
-SweepRunner::runCell(CellState& st, EmbodiedSystem& sys)
+SweepRunner::finalizeGroup(const std::string& fingerprint,
+                           const std::vector<std::size_t>& members,
+                           std::size_t owner, bool executedNow, bool skipped)
 {
-    auto results = sys.runEpisodes(st.cell.taskId, st.cell.cfg, st.cell.reps,
-                                   st.cell.seed0);
-    st.stats = aggregate(results, sys.energyModel());
-    st.episodes = std::move(results);
-    st.hasEpisodes = true;
-    {
-        std::lock_guard<std::mutex> lock(storeMu_);
+    std::lock_guard<std::mutex> lock(storeMu_);
+    const Ledger& led = ledgers_.find(fingerprint)->second;
+    for (const std::size_t m : members) {
+        CellState& st = cells_[m];
+        // A skipped cell (another shard owns the ledger) folds whatever
+        // contiguous prefix is locally available -- possibly nothing.
+        const int n =
+            skipped ? led.prefixLen(st.cell.reps) : st.cell.reps;
+        st.stats = aggregate(led.eps.data(), static_cast<std::size_t>(n));
+        if (skipped)
+            st.source = CellSource::Skipped;
+        else if (m == owner && executedNow)
+            st.source = CellSource::Executed;
+        else if (led.anyExecuted)
+            st.source = CellSource::Sliced;
+        else
+            st.source = CellSource::Resumed;
         st.done = true;
     }
-    if (!opt_.storePath.empty())
-        flushStore(); // incremental: a killed campaign resumes
-    if (opt_.verbose)
-        std::fprintf(stderr, "[sweep] done %s (%s, success %.0f%%)\n",
-                     st.cell.label.empty() ? st.fingerprint.c_str()
-                                           : st.cell.label.c_str(),
-                     sys.taskName(st.cell.taskId),
-                     100.0 * st.stats.successRate);
+    if (executedNow)
+        ++unitsDone_;
 }
 
 void
-SweepRunner::loadStore(std::map<std::string, TaskStats>& stored)
+SweepRunner::runUnit(WorkUnit& unit, EmbodiedSystem& sys)
 {
+    const SweepCell& c = cells_[unit.owner].cell;
+    StoreSink sink(*this, unit.fingerprint, *unit.led, sys.energyModel());
+    for (const auto& [start, count] : unit.runs) {
+        sink.base = start;
+        sys.runEpisodes(c.taskId, c.cfg, count,
+                        c.seed0 + static_cast<std::uint64_t>(start), &sink);
+    }
+    finalizeGroup(unit.fingerprint, unit.members, unit.owner,
+                  /*executedNow=*/true, /*skipped=*/false);
+    if (!opt_.storePath.empty())
+        flushStore(); // unit boundary: a killed campaign resumes from here
+    if (opt_.progress)
+        progressLine();
+    if (opt_.verbose)
+        std::fprintf(stderr, "[sweep] done %s (%s, success %.0f%%)\n",
+                     c.label.empty() ? unit.fingerprint.c_str()
+                                     : c.label.c_str(),
+                     sys.taskName(c.taskId),
+                     100.0 * cells_[unit.owner].stats.successRate);
+}
+
+void
+SweepRunner::loadStore(
+    std::map<std::string, std::map<int, EpisodeRecord>>& eps,
+    std::map<std::string, TaskStats>& legacy)
+{
+    // Called from run() before any worker starts (and after any previous
+    // phase's workers joined), so storeRecords_ is safe to fill; the
+    // lock below just documents the storeIoMu_ ownership.
+    std::lock_guard<std::mutex> io(storeIoMu_);
     std::vector<JsonRecord> records;
-    if (readJsonRecords(opt_.storePath, records)) {
-        for (JsonRecord& rec : records) {
-            if (opt_.resume) {
+    if (!readJsonRecords(opt_.storePath, records)) {
+        if (std::FILE* probe = std::fopen(opt_.storePath.c_str(), "rb")) {
+            // An existing-but-unparsable store (e.g. hand-edited or from
+            // a foreign tool) should not be silently ignored: with
+            // --resume it re-runs hours of episodes, and either way the
+            // next flush replaces it.
+            std::fclose(probe);
+            std::fprintf(stderr,
+                         "[sweep] cannot parse result store %s; %s\n",
+                         opt_.storePath.c_str(),
+                         opt_.resume ? "re-running every cell"
+                                     : "it will be replaced");
+        }
+        return;
+    }
+
+    // A store without a schema record is a PR 4-era (v1) cell-level
+    // store; its records are served read-only for whole-cell resume.
+    int schema = 1;
+    for (const JsonRecord& rec : records)
+        if (rec.name == kSweepStoreSchemaRecord)
+            schema = static_cast<int>(rec.number("schema", 1));
+    if (schema > kSweepStoreSchema) {
+        // Rewriting a future-schema store would mix our records under
+        // its (still present) newer schema header and corrupt it for the
+        // build that owns it. Treat it strictly read-only: disable the
+        // store for this campaign (no resume, no flushes).
+        std::fprintf(stderr,
+                     "[sweep] result store %s has schema %d (newer than "
+                     "this build's %d); leaving it untouched -- this "
+                     "campaign runs without a store\n",
+                     opt_.storePath.c_str(), schema, kSweepStoreSchema);
+        opt_.storePath.clear();
+        return;
+    }
+
+    for (JsonRecord& rec : records) {
+        if (opt_.resume && rec.name != kSweepStoreSchemaRecord) {
+            std::string fp;
+            const int idx = sweepEpisodeIndex(rec.name, &fp);
+            if (idx >= 0) {
+                EpisodeRecord er;
+                if (episodeFromRecord(rec, er))
+                    eps[fp][idx] = er;
+                else
+                    std::fprintf(stderr,
+                                 "[sweep] store record %s is missing "
+                                 "episode fields; re-running it\n",
+                                 rec.name.c_str());
+            } else if (rec.name.rfind("v1|", 0) == 0 &&
+                       rec.number("episodes", -1.0) >= 0.0) {
                 TaskStats s;
                 s.episodes = static_cast<int>(rec.number("episodes"));
                 s.successes = static_cast<int>(rec.number("successes"));
-                for (const auto& [key, member] : kStatFields)
+                for (const auto& [key, member] : kTaskStatFields)
                     s.*member = rec.number(key);
-                stored.emplace(rec.name, s);
+                legacy.emplace(rec.name, s);
             }
-            // Keep every record through future flushes, including ones no
-            // declared cell (yet) matches -- a rewrite must never drop
-            // another campaign's results.
-            storeRecords_.emplace(rec.name, std::move(rec));
         }
-    } else if (std::FILE* probe = std::fopen(opt_.storePath.c_str(), "rb")) {
-        // An existing-but-unparsable store (e.g. hand-edited or from a
-        // foreign tool) should not be silently ignored: with --resume it
-        // re-runs hours of episodes, and either way the next flush
-        // replaces it.
-        std::fclose(probe);
-        std::fprintf(stderr,
-                     "[sweep] cannot parse result store %s; %s\n",
-                     opt_.storePath.c_str(),
-                     opt_.resume ? "re-running every cell"
-                                 : "it will be replaced");
+        // Keep every record through future flushes, including ones no
+        // declared cell (yet) matches -- a rewrite must never drop
+        // another campaign's (or shard's) results.
+        storeRecords_.emplace(rec.name, std::move(rec));
     }
 }
 
 void
 SweepRunner::flushStore()
 {
-    // Merge + snapshot under storeMu_ (cheap), write the file under a
-    // separate I/O mutex so workers marking their cells done never queue
-    // behind disk I/O. A version stamp drops stale snapshots when two
-    // flushes race, so the file on disk only moves forward.
-    std::vector<JsonRecord> records;
+    if (opt_.storePath.empty())
+        return;
+    // Drain the pending batch under storeMu_ (O(batch), so workers
+    // streaming episodes never queue behind disk or an O(store) copy),
+    // then merge + write under the separate I/O mutex. A version stamp
+    // drops stale batches when two flushes race: the loser's records are
+    // already merged into storeRecords_, so the winning (newer) write --
+    // and every later one -- carries them; the file on disk only moves
+    // forward.
+    std::vector<JsonRecord> pending;
     std::uint64_t version = 0;
     {
         std::lock_guard<std::mutex> lock(storeMu_);
-        for (const CellState& st : cells_) {
-            if (&st != &cells_[st.primary] || !st.done)
-                continue;
-            JsonRecord rec;
-            rec.name = st.fingerprint;
-            rec.strings.emplace_back("platform", st.cell.platform);
-            rec.strings.emplace_back("label", st.cell.label);
-            rec.numbers.emplace_back("task", st.cell.taskId);
-            rec.numbers.emplace_back("reps", st.cell.reps);
-            rec.numbers.emplace_back("seed0",
-                                     static_cast<double>(st.cell.seed0));
-            rec.numbers.emplace_back("episodes", st.stats.episodes);
-            rec.numbers.emplace_back("successes", st.stats.successes);
-            for (const auto& [key, member] : kStatFields)
-                rec.numbers.emplace_back(key, st.stats.*member);
-            storeRecords_[st.fingerprint] = std::move(rec);
-        }
-        records.reserve(storeRecords_.size());
-        for (const auto& [fp, rec] : storeRecords_)
-            records.push_back(rec);
+        pending.swap(pendingRecords_);
         version = ++storeVersion_;
     }
     std::lock_guard<std::mutex> io(storeIoMu_);
-    if (version <= storeWritten_)
-        return; // a newer snapshot already reached disk
-    if (!writeJsonRecords(opt_.storePath, records))
+    for (JsonRecord& rec : pending) {
+        std::string name = rec.name;
+        storeRecords_[std::move(name)] = std::move(rec);
+    }
+    // Skip the write only when a newer flush already reached disk AND we
+    // merged nothing new: a racing newer flush can win the I/O mutex
+    // before our batch is merged, so its file does not contain our
+    // records -- returning then would strand this batch in memory past
+    // the at-most-one-flush-batch kill-durability guarantee.
+    if (version <= storeWritten_ && pending.empty())
+        return;
+    if (storeRecords_.find(kSweepStoreSchemaRecord) == storeRecords_.end()) {
+        JsonRecord schema;
+        schema.name = kSweepStoreSchemaRecord;
+        schema.numbers.emplace_back("schema", kSweepStoreSchema);
+        storeRecords_.emplace(schema.name, std::move(schema));
+    }
+    // Sharded campaigns: other processes rewrite the same file, so the
+    // read-merge-rename must be atomic across processes too. The flock
+    // on a sidecar serializes writers (a kill while holding it is
+    // harmless -- an flock dies with its process) and the re-read
+    // carries their records forward; ours win per key. A single process
+    // skips both: its in-memory view is already a superset of the disk.
+    int lockFd = -1;
+    if (opt_.shardCount > 1) {
+        const std::string lockPath = opt_.storePath + ".lock";
+        lockFd = ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+        if (lockFd < 0 || ::flock(lockFd, LOCK_EX) != 0) {
+            // Proceeding unlocked risks two shards' read-merge-rename
+            // interleaving (last writer drops the other's batch); there
+            // is no safe fallback, so at least say it happened.
+            std::fprintf(stderr,
+                         "[sweep] warning: cannot lock %s; concurrent "
+                         "shard flushes may drop each other's records\n",
+                         lockPath.c_str());
+        }
+        std::vector<JsonRecord> disk;
+        if (readJsonRecords(opt_.storePath, disk))
+            for (JsonRecord& rec : disk) {
+                std::string name = rec.name;
+                storeRecords_.emplace(std::move(name), std::move(rec));
+            }
+    }
+    if (!writeJsonRecords(opt_.storePath, storeRecords_))
         std::fprintf(stderr, "[sweep] cannot write result store %s\n",
                      opt_.storePath.c_str());
     else
-        storeWritten_ = version;
+        storeWritten_ = std::max(storeWritten_, version);
+    if (lockFd >= 0)
+        ::close(lockFd); // releases the flock
+}
+
+void
+SweepRunner::progressLine()
+{
+    long long done = 0, total = 0, succ = 0;
+    std::size_t unitsDone = 0, unitsTotal = 0;
+    double elapsed = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        done = progressDone_;
+        total = progressTotal_;
+        succ = progressSucc_;
+        unitsDone = unitsDone_;
+        unitsTotal = unitsTotal_;
+        elapsed = nowSeconds() - progressStart_;
+    }
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                      : 0.0;
+    char eta[32];
+    if (rate > 0.0 && done < total)
+        std::snprintf(eta, sizeof(eta), "%.0fs",
+                      static_cast<double>(total - done) / rate);
+    else
+        std::snprintf(eta, sizeof(eta), "%s", done >= total ? "0s" : "?");
+    std::fprintf(stderr,
+                 "[sweep] progress: ledgers %zu/%zu, episodes %lld/%lld, "
+                 "%.1f eps/s, success %.1f%%, eta %s\n",
+                 unitsDone, unitsTotal, done, total, rate,
+                 done > 0 ? 100.0 * static_cast<double>(succ) /
+                                static_cast<double>(done)
+                          : 0.0,
+                 eta);
 }
 
 void
 SweepRunner::run()
 {
-    if (!ran_ && opt_.resume && opt_.storePath.empty())
-        std::fprintf(stderr, "[sweep] --resume without a result store "
-                             "(--out) has no effect\n");
+    if (!ran_) {
+        if (opt_.resume && opt_.storePath.empty())
+            std::fprintf(stderr, "[sweep] --resume without a result store "
+                                 "(--out) has no effect\n");
+        if (opt_.shardCount > 1 && opt_.storePath.empty())
+            std::fprintf(stderr,
+                         "[sweep] --shard without a result store (--out) "
+                         "computes results other processes cannot see\n");
+    }
 
     // Load the store on every run() call: campaigns can be phased (add()
-    // more cells after a run, run again: only the new cells execute).
+    // more cells after a run, run again: only the new work executes).
     // Existing records are preserved through flushes even without
     // --resume (two campaigns can share one store); --resume additionally
-    // uses them to skip execution.
-    std::map<std::string, TaskStats> stored;
+    // seeds the ledgers from them.
+    std::map<std::string, std::map<int, EpisodeRecord>> storedEps;
+    std::map<std::string, TaskStats> legacy;
     if (!opt_.storePath.empty())
-        loadStore(stored);
+        loadStore(storedEps, legacy);
 
-    // Classify cells; collect pending primaries in submission order.
-    std::vector<std::size_t> pending;
+    bool phaseHadWork = false;
+
+    // Legacy v1 records satisfy whole cells read-only (stats without a
+    // ledger) -- but only when the v2 ledger cannot already cover the
+    // cell (episodes beat opaque aggregates).
+    if (opt_.resume && !legacy.empty()) {
+        for (std::size_t i = 0; i < cells_.size(); ++i) {
+            CellState& st = cells_[i];
+            if (st.primary != i || st.done)
+                continue;
+            const auto it = legacy.find(sweepFingerprintLegacyV1(st.cell));
+            if (it == legacy.end())
+                continue;
+            const auto se = storedEps.find(st.fingerprint);
+            if (se != storedEps.end()) {
+                bool covered = true;
+                for (int k = 0; k < st.cell.reps && covered; ++k)
+                    covered = se->second.count(k) > 0;
+                if (covered)
+                    continue;
+            }
+            st.stats = it->second;
+            st.source = CellSource::Resumed;
+            st.done = true;
+            phaseHadWork = true;
+        }
+    }
+
+    // Group the pending primary cells by ledger fingerprint (submission
+    // order); the group's episode budget is its deepest cell's reps.
+    std::vector<std::string> order;
+    std::map<std::string, WorkUnit> groups;
     for (std::size_t i = 0; i < cells_.size(); ++i) {
         CellState& st = cells_[i];
         if (st.primary != i || st.done)
             continue;
-        const auto it = stored.find(st.fingerprint);
-        if (it != stored.end()) {
-            st.stats = it->second;
-            st.source = CellSource::Resumed;
-            st.done = true;
-            continue;
+        auto [it, inserted] = groups.emplace(st.fingerprint, WorkUnit{});
+        WorkUnit& u = it->second;
+        if (inserted) {
+            u.fingerprint = st.fingerprint;
+            order.push_back(st.fingerprint);
         }
-        pending.push_back(i);
+        u.members.push_back(i);
+        if (st.cell.reps > u.need) {
+            u.need = st.cell.reps;
+            u.owner = i;
+        }
     }
 
+    // Seed each group's ledger from the store (prefixes, with holes from
+    // a mid-flush kill allowed) and collect the episode ranges it still
+    // needs. Fully-covered groups complete without executing anything.
+    std::vector<WorkUnit> units;
+    for (const std::string& fp : order) {
+        WorkUnit u = std::move(groups.find(fp)->second);
+        Ledger& led = ledgers_[fp];
+        led.grow(u.need);
+        const auto se = storedEps.find(fp);
+        if (se != storedEps.end()) {
+            for (const auto& [idx, rec] : se->second)
+                if (idx < u.need && !led.have[static_cast<std::size_t>(idx)]) {
+                    led.eps[static_cast<std::size_t>(idx)] = rec;
+                    led.have[static_cast<std::size_t>(idx)] = 1;
+                }
+        }
+        for (int k = 0; k < u.need;) {
+            if (led.have[static_cast<std::size_t>(k)]) {
+                ++k;
+                continue;
+            }
+            const int start = k;
+            while (k < u.need && !led.have[static_cast<std::size_t>(k)])
+                ++k;
+            u.runs.emplace_back(start, k - start);
+        }
+        u.led = &led;
+        if (!opt_.storePath.empty()) {
+            // Ledger meta record: lets tools (sweep-diff, progress
+            // viewers) label a fingerprint without re-deriving it.
+            const SweepCell& oc = cells_[u.owner].cell;
+            JsonRecord meta;
+            meta.name = fp;
+            meta.strings.emplace_back("platform", oc.platform);
+            meta.strings.emplace_back("label", oc.label);
+            meta.numbers.emplace_back("task", oc.taskId);
+            meta.numbers.emplace_back("seed0",
+                                      static_cast<double>(oc.seed0));
+            std::lock_guard<std::mutex> lock(storeIoMu_);
+            storeRecords_[fp] = std::move(meta);
+        }
+        if (u.runs.empty()) {
+            finalizeGroup(fp, u.members, u.owner, /*executedNow=*/false,
+                          /*skipped=*/false);
+            phaseHadWork = true;
+        } else {
+            units.push_back(std::move(u));
+        }
+    }
+
+    // Distributed sharding: partition the pending-ledger list (ordered by
+    // fingerprint, so every process derives the same partition from the
+    // same store snapshot) and keep our share. Skipped ledgers complete
+    // with whatever local prefix they have -- the shared store's union is
+    // the campaign's real artifact.
+    if (opt_.shardCount > 1 && !units.empty()) {
+        std::sort(units.begin(), units.end(),
+                  [](const WorkUnit& a, const WorkUnit& b) {
+                      return a.fingerprint < b.fingerprint;
+                  });
+        std::vector<WorkUnit> mine;
+        for (std::size_t k = 0; k < units.size(); ++k) {
+            if (static_cast<int>(k % static_cast<std::size_t>(
+                                         opt_.shardCount)) ==
+                opt_.shardIndex) {
+                mine.push_back(std::move(units[k]));
+            } else {
+                finalizeGroup(units[k].fingerprint, units[k].members,
+                              units[k].owner, /*executedNow=*/false,
+                              /*skipped=*/true);
+                phaseHadWork = true;
+            }
+        }
+        units = std::move(mine);
+    }
+
+    // Progress accounting for this run().
+    {
+        std::lock_guard<std::mutex> lock(storeMu_);
+        progressTotal_ = 0;
+        for (const WorkUnit& u : units)
+            for (const auto& [start, count] : u.runs)
+                progressTotal_ += count;
+        progressDone_ = progressSucc_ = 0;
+        unitsTotal_ = units.size();
+        unitsDone_ = 0;
+        progressStart_ = nowSeconds();
+    }
+    if (!units.empty())
+        phaseHadWork = true;
+
     // Waves: freezing quantized weights is per-width state on the shared
-    // model set, so cells of one platform at different QuantBits must not
-    // run concurrently. Bucket pending cells by (platform, bits) in
+    // model set, so ledgers of one platform at different QuantBits must
+    // not run concurrently. Bucket pending units by (platform, bits) in
     // first-appearance order and run the buckets sequentially.
     std::vector<std::pair<std::string, std::vector<std::size_t>>> buckets;
-    for (const std::size_t idx : pending) {
-        const CellState& st = cells_[idx];
+    for (std::size_t k = 0; k < units.size(); ++k) {
+        const SweepCell& c = cells_[units[k].owner].cell;
         const std::string key =
-            st.cell.platform +
-            (st.cell.cfg.bits == QuantBits::Int8 ? "|8" : "|4");
+            c.platform + (c.cfg.bits == QuantBits::Int8 ? "|8" : "|4");
         auto it = std::find_if(buckets.begin(), buckets.end(),
                                [&](const auto& b) { return b.first == key; });
         if (it == buckets.end()) {
             buckets.push_back({key, {}});
             it = buckets.end() - 1;
         }
-        it->second.push_back(idx);
+        it->second.push_back(k);
     }
 
-    for (auto& [key, bucketCells] : buckets) {
-        const std::string& platform = cells_[bucketCells.front()].cell.platform;
+    for (auto& [key, bucketUnits] : buckets) {
+        const std::string& platform =
+            cells_[units[bucketUnits.front()].owner].cell.platform;
         EmbodiedSystem* proto = prototypeFor(platform);
         // Serial warm point: build lazy models (rotated planner, entropy
         // predictor) and freeze every layer at this bucket's width before
         // any fan-out, so workers only read shared model state.
-        for (const std::size_t idx : bucketCells)
-            proto->prepare(cells_[idx].cell.cfg);
+        for (const std::size_t k : bucketUnits)
+            proto->prepare(cells_[units[k].owner].cell.cfg);
 
         const int cellWorkers = std::max(
             1, std::min<int>(opt_.threads,
-                             static_cast<int>(bucketCells.size())));
-        // Leftover thread budget fans out within cells via the existing
-        // episode-parallel engine (a one-cell campaign still scales).
+                             static_cast<int>(bucketUnits.size())));
+        // Leftover thread budget fans out within ledgers via the existing
+        // episode-parallel engine (a one-ledger campaign still scales).
         const int episodeThreads = std::max(1, opt_.threads / cellWorkers);
 
         if (cellWorkers == 1) {
             proto->setEvalThreads(episodeThreads);
-            for (const std::size_t idx : bucketCells)
-                runCell(cells_[idx], *proto);
+            for (const std::size_t k : bucketUnits)
+                runUnit(units[k], *proto);
             continue;
         }
 
@@ -342,9 +736,9 @@ SweepRunner::run()
                 try {
                     for (;;) {
                         const std::size_t i = cursor.fetch_add(1);
-                        if (i >= bucketCells.size())
+                        if (i >= bucketUnits.size())
                             return;
-                        runCell(cells_[bucketCells[i]],
+                        runUnit(units[bucketUnits[i]],
                                 *replicas[static_cast<std::size_t>(w)]);
                     }
                 } catch (const std::exception& e) {
@@ -362,23 +756,30 @@ SweepRunner::run()
     }
 
     if (!opt_.storePath.empty())
-        flushStore(); // include resumed cells so the store stays whole
+        flushStore(); // include resumed/meta records so the store is whole
 
     // Recount from cell state (idempotent across phased runs).
-    executed_ = memoized_ = resumed_ = 0;
+    executed_ = memoized_ = resumed_ = sliced_ = skipped_ = 0;
     for (std::size_t i = 0; i < cells_.size(); ++i) {
         const CellState& st = cells_[i];
-        if (st.primary != i)
+        if (st.primary != i) {
             ++memoized_;
-        else if (st.source == CellSource::Resumed)
-            ++resumed_;
-        else if (st.done)
-            ++executed_;
+            continue;
+        }
+        if (!st.done)
+            continue;
+        switch (st.source) {
+          case CellSource::Executed: ++executed_; break;
+          case CellSource::Resumed: ++resumed_; break;
+          case CellSource::Sliced: ++sliced_; break;
+          case CellSource::Skipped: ++skipped_; break;
+          case CellSource::Memoized: break; // primaries are never Memoized
+        }
     }
     // Print the summary on the first run even when nothing was pending (a
     // fully-resumed campaign still reports executed=0); later phases only
     // report when they actually had work.
-    if (!ran_ || !pending.empty())
+    if (!ran_ || phaseHadWork)
         std::printf("%s\n", summary().c_str());
     ran_ = true;
 }
@@ -389,27 +790,47 @@ SweepRunner::episodes(std::size_t handle)
     CellState& st = cells_.at(cells_.at(handle).primary);
     if (!st.done)
         throw std::logic_error("SweepRunner::episodes before run()");
-    if (!st.hasEpisodes) {
-        // Resumed cell: re-derive the per-episode results. Execution is
-        // deterministic, so these are exactly the episodes the stored
-        // aggregate came from.
+    if (st.hasEpisodes)
+        return st.episodes;
+    // The cell's prefix of the shared ledger, when present (executed,
+    // sliced, or resumed from a v2 store).
+    const int want = st.source == CellSource::Skipped ? st.stats.episodes
+                                                      : st.cell.reps;
+    const auto lit = ledgers_.find(st.fingerprint);
+    if (lit != ledgers_.end() && lit->second.prefixLen(want) >= want) {
+        st.episodes.reserve(static_cast<std::size_t>(want));
+        for (int i = 0; i < want; ++i)
+            st.episodes.push_back(
+                lit->second.eps[static_cast<std::size_t>(i)].result);
+    } else {
+        // Legacy v1 resume: the store only held the aggregate. Re-derive
+        // the per-episode results; execution is deterministic, so these
+        // are exactly the episodes the stored stats came from.
         EmbodiedSystem* proto = prototypeFor(st.cell.platform);
         proto->prepare(st.cell.cfg);
         proto->setEvalThreads(opt_.threads);
         st.episodes = proto->runEpisodes(st.cell.taskId, st.cell.cfg,
                                          st.cell.reps, st.cell.seed0);
-        st.hasEpisodes = true;
     }
+    st.hasEpisodes = true;
     return st.episodes;
 }
 
 std::string
 SweepRunner::summary() const
 {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  "[sweep] cells=%zu executed=%d memoized=%d resumed=%d",
-                  cells_.size(), executed_, memoized_, resumed_);
+    char buf[192];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "[sweep] cells=%zu executed=%d memoized=%d resumed=%d sliced=%d "
+        "eps=%lld",
+        cells_.size(), executed_, memoized_, resumed_, sliced_,
+        episodesExecuted_);
+    if (opt_.shardCount > 1 && n > 0 &&
+        n < static_cast<int>(sizeof(buf)))
+        std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                      " shard=%d/%d skipped=%d", opt_.shardIndex,
+                      opt_.shardCount, skipped_);
     return buf;
 }
 

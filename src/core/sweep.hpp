@@ -3,43 +3,51 @@
 /**
  * @file
  * SweepRunner: the declarative (task x config x reps) campaign engine the
- * figure drivers run on.
+ * figure drivers run on, with the per-episode ledger as its unit of
+ * campaign state.
  *
  * Every paper figure is a sweep matrix -- the same evaluate() call over a
  * grid of deployment points -- and every driver used to hand-roll that
- * loop serially, re-evaluating identical cells (the clean baseline shows
- * up in three sections of Fig. 17 alone) with no way to shard across
- * config points or resume a long campaign. SweepRunner replaces the loop:
+ * loop serially. SweepRunner replaces the loop:
  *
  *  - Drivers *declare* their matrix as SweepCells `{platform, taskId,
  *    CreateConfig, reps, seed0}` up front (add() returns a handle), call
  *    run() once, and render tables from stats(handle).
- *  - Cell-level sharding: a shared worker pool drains the queue of cells;
- *    each worker owns bit-identical EmbodiedSystem replicas (frozen model
- *    set shared, see core/shared_models.hpp) and runs its cell's episodes
- *    through the existing engine (EmbodiedSystem::runEpisodes), so every
- *    cell's TaskStats is bit-identical to serial execution regardless of
- *    thread count or scheduling. When there are fewer pending cells than
- *    workers the leftover budget fans out *within* cells via
- *    setEvalThreads (the ParallelEvaluator path), so a one-cell campaign
- *    still scales.
- *  - Cross-cell memoization: cells are keyed by a canonical fingerprint
- *    of (platform, task, config, reps, seed0) -- fields that cannot
- *    affect execution (the VS policy when voltageScaling is off, BERs
- *    when injection is off, the policy's display name) are excluded -- so
- *    a duplicated clean-baseline cell is evaluated exactly once.
- *  - Resumable result store: with a storePath every completed cell's
- *    TaskStats is flushed to a flat JSON array (common/serialize's
- *    JsonRecord format, %.17g round-trip-exact); with resume=true cells
- *    whose fingerprint is already in the store load their stats instead
- *    of re-executing. Kill a campaign anywhere and re-run it with
- *    --resume: only the missing cells execute.
+ *  - The unit of record is the episode, not the cell. Episodes are seeded
+ *    seed0 + i, so a cell's identity is (platform, task, config, seed0)
+ *    alone -- `reps` is just a prefix length. Cells sharing that identity
+ *    share one *episode ledger*; a reps=120 ledger serves any reps<=120
+ *    cell by slicing its prefix, and a reps=50 ledger partially seeds a
+ *    reps=120 request, executing only episodes 50..119. TaskStats is a
+ *    pure deterministic fold (aggregate()) over the ledger prefix, so
+ *    sliced, resumed, and executed cells are all bit-identical.
+ *  - Cell-level sharding: a shared worker pool drains the queue of
+ *    pending ledgers; each worker owns bit-identical EmbodiedSystem
+ *    replicas (frozen model set shared, see core/shared_models.hpp) and
+ *    runs episodes through the existing engine, so every cell's stats are
+ *    bit-identical to serial execution regardless of thread count. When
+ *    ledgers are scarcer than workers the leftover budget fans out
+ *    *within* a ledger via setEvalThreads (the ParallelEvaluator path).
+ *  - Streaming result store: completed episodes flush to the JSON store
+ *    in batches of Options::flushEvery (atomic tmp+rename writes that
+ *    merge with the records already on disk), so a campaign killed
+ *    mid-cell resumes from the surviving episode prefix instead of
+ *    re-running the cell. Legacy cell-level (v1) stores are still read --
+ *    served read-only for whole-cell resume, never merged into ledgers.
+ *  - Distributed sharding: Options::shardIndex/shardCount partition the
+ *    pending-ledger list (post-memoization, post-resume, ordered by
+ *    fingerprint) so N processes sharing one --out store cover a
+ *    campaign exactly once. Each flush re-merges with the store on disk,
+ *    so concurrent shards union rather than clobber. The partition is
+ *    computed from the pending list each process observes at startup:
+ *    launch all shards against the same store snapshot (or none), not
+ *    against each other's partial output.
  *
  * Scheduling constraint: freezing quantized weights is per-width state on
  * the shared model set, so cells of the same platform at different
  * QuantBits must not run concurrently. run() therefore executes in waves
  * of one (platform, bits) bucket each, pre-warming the bucket's configs
- * serially (prepare) before fanning its cells out.
+ * serially (prepare) before fanning its ledgers out.
  */
 
 #include <cstdint>
@@ -70,15 +78,41 @@ struct SweepCell
 enum class CellSource
 {
     Executed, //!< episodes ran in this campaign
-    Memoized, //!< shared an earlier identical cell's execution
+    Memoized, //!< shared an earlier identical cell's result (same reps)
     Resumed,  //!< loaded from the resume store without executing
+    Sliced,   //!< prefix of a longer ledger executed in this campaign
+    Skipped,  //!< owned by another shard; stats cover the local prefix only
 };
 
 /**
- * Canonical fingerprint of a cell: equal behavior => equal string. Keys
- * memoization and the resume store.
+ * Canonical fingerprint of a cell's *ledger*: equal behavior => equal
+ * string. `reps` is canonicalized away (episodes are seeded seed0 + i, so
+ * reps is a prefix length, not part of the identity), as is anything that
+ * cannot affect execution. Keys memoization, the result store, and shard
+ * partitioning.
  */
 std::string sweepFingerprint(const SweepCell& cell);
+
+/**
+ * The PR 4-era cell fingerprint (includes reps). Only used by the store
+ * migration read path to match records in legacy cell-level stores.
+ */
+std::string sweepFingerprintLegacyV1(const SweepCell& cell);
+
+/** Schema version written by the episode-ledger store. */
+constexpr int kSweepStoreSchema = 2;
+/** Name of the store's schema record. */
+constexpr const char* kSweepStoreSchemaRecord = "sweep-store";
+
+/** Store key of one ledger episode: `<fingerprint>#<index>`. */
+std::string sweepEpisodeKey(const std::string& fingerprint, int index);
+
+/**
+ * Parse an episode store key; returns the episode index and (optionally)
+ * the fingerprint, or -1 when the name is not an episode key.
+ */
+int sweepEpisodeIndex(const std::string& recordName,
+                      std::string* fingerprint = nullptr);
 
 /** Declarative campaign runner (see file comment). */
 class SweepRunner
@@ -86,10 +120,14 @@ class SweepRunner
   public:
     struct Options
     {
-        int threads = 1;       //!< total worker budget (cells + episodes)
+        int threads = 1;       //!< total worker budget (ledgers + episodes)
         std::string storePath; //!< JSON result store; empty disables it
-        bool resume = false;   //!< skip cells already in the store
-        bool verbose = false;  //!< per-cell progress lines on stderr
+        bool resume = false;   //!< satisfy cells from the store's ledgers
+        bool verbose = false;  //!< per-ledger progress lines on stderr
+        bool progress = false; //!< one stderr status line per flush batch
+        int flushEvery = 16;   //!< episodes per store flush / progress tick
+        int shardIndex = 0;    //!< this process's shard (0-based)
+        int shardCount = 1;    //!< total shards; 1 disables partitioning
     };
 
     SweepRunner();
@@ -112,25 +150,33 @@ class SweepRunner
 
     /**
      * Execute every not-yet-completed cell (so re-running after adding a
-     * new phase of cells only executes the additions). Prints the
-     * one-line summary ("[sweep] cells=... executed=... memoized=...
-     * resumed=...") after the first run and after any phase with work.
+     * new phase of cells only executes the additions). Only the episodes
+     * missing from each cell's ledger run -- stored or previously
+     * executed prefixes are reused. Prints the one-line summary
+     * ("[sweep] cells=... executed=...") after the first run and after
+     * any phase with work.
      */
     void run();
 
     const SweepCell& cell(std::size_t handle) const;
 
-    /** Aggregated stats of a cell (run() must have completed). */
+    /**
+     * Aggregated stats of a cell: the deterministic fold of its ledger
+     * prefix (run() must have completed). For a Skipped cell (sharded
+     * campaign, owned by another process) this covers only the episodes
+     * present locally -- possibly none.
+     */
     const TaskStats& stats(std::size_t handle) const;
 
     /** How this cell's result was obtained. */
     CellSource source(std::size_t handle) const;
 
     /**
-     * Per-episode results of a cell. Available directly for executed
-     * cells; a resumed cell's episodes are re-derived on demand by
-     * re-running it (deterministic, so the results are the ones the
-     * stored stats came from).
+     * Per-episode results of a cell: its prefix of the shared ledger.
+     * Cells resumed from a v2 store read them directly; cells resumed
+     * from a legacy v1 store re-derive them on demand by re-running
+     * (deterministic, so the results are the ones the stored stats came
+     * from).
      */
     const std::vector<EpisodeResult>& episodes(std::size_t handle);
 
@@ -143,51 +189,105 @@ class SweepRunner
     int executedCells() const { return executed_; }
     int memoizedCells() const { return memoized_; }
     int resumedCells() const { return resumed_; }
+    int slicedCells() const { return sliced_; }
+    int skippedCells() const { return skipped_; }
+
+    /** Episodes actually executed by this runner (campaign lifetime). */
+    long long episodesExecuted() const { return episodesExecuted_; }
 
     /** The "[sweep] ..." summary line run() prints. */
     std::string summary() const;
 
   private:
+    /** Shared episode ledger of one fingerprint. */
+    struct Ledger
+    {
+        std::vector<EpisodeRecord> eps;
+        std::vector<char> have;
+        bool anyExecuted = false; //!< gained episodes by running, ever
+
+        void grow(int need);
+        int prefixLen(int limit) const;
+    };
+
     struct CellState
     {
         SweepCell cell;
         std::string fingerprint;
-        std::size_t primary = 0; //!< first cell with this fingerprint
+        std::size_t primary = 0; //!< first cell with this (fp, reps)
         CellSource source = CellSource::Executed;
         TaskStats stats;
-        std::vector<EpisodeResult> episodes;
+        std::vector<EpisodeResult> episodes; //!< cached prefix slice
         bool hasEpisodes = false;
         bool done = false;
     };
 
+    /** One pending ledger: the episode ranges it still needs to run. */
+    struct WorkUnit
+    {
+        std::string fingerprint;
+        std::size_t owner = 0; //!< first member cell with the max reps
+        int need = 0;
+        std::vector<std::pair<int, int>> runs; //!< missing (start, count)
+        std::vector<std::size_t> members;      //!< primary cells, any reps
+        Ledger* led = nullptr;
+    };
+
+    class StoreSink; //!< EpisodeSink streaming a unit's episodes in
+
     EmbodiedSystem* prototypeFor(const std::string& platform);
-    void runCell(CellState& st, EmbodiedSystem& sys);
-    void loadStore(std::map<std::string, TaskStats>& stored);
+    void runUnit(WorkUnit& unit, EmbodiedSystem& sys);
+    void finalizeGroup(const std::string& fingerprint,
+                       const std::vector<std::size_t>& members,
+                       std::size_t owner, bool executedNow, bool skipped);
+    void loadStore(std::map<std::string, std::map<int, EpisodeRecord>>& eps,
+                   std::map<std::string, TaskStats>& legacy);
     void flushStore();
+    void progressLine();
 
     Options opt_;
     bool ran_ = false;
     // Deque: phased add() must not invalidate the stats()/cell()/
     // episodes() references handed out for earlier phases' handles.
     std::deque<CellState> cells_;
-    std::map<std::string, std::size_t> byFingerprint_;
+    std::map<std::string, std::size_t> byKey_; //!< (fp, reps) -> primary
+    std::map<std::string, Ledger> ledgers_;
     std::map<std::string, std::unique_ptr<EmbodiedSystem>> prototypes_;
     std::map<std::string, std::vector<std::unique_ptr<EmbodiedSystem>>>
         replicas_;
     /**
-     * Store records by fingerprint: everything loaded from disk plus
-     * every completed cell. Flushes write this merged view, so records a
-     * later phase (or another campaign sharing the store) needs are
-     * never dropped by a rewrite.
+     * Store records by name: everything loaded from disk plus every
+     * flushed episode. Flushes write this merged view (re-merged, under
+     * a cross-process file lock, with whatever is on disk when shards
+     * share the store), so records another campaign or shard needs are
+     * never dropped by a rewrite. Owned by the flush path: only touched
+     * under storeIoMu_ (or before workers start).
      */
     std::map<std::string, JsonRecord> storeRecords_;
-    std::mutex storeMu_;  //!< guards cell completion + storeRecords_
-    std::mutex storeIoMu_; //!< guards the file write, outside storeMu_
-    std::uint64_t storeVersion_ = 0;   //!< bumped per snapshot
-    std::uint64_t storeWritten_ = 0;   //!< newest version on disk
+    /**
+     * Episode records completed since the last flush. Workers append
+     * here under storeMu_ -- O(batch), never O(store) -- and flushStore
+     * drains it into storeRecords_ under storeIoMu_.
+     */
+    std::vector<JsonRecord> pendingRecords_;
+    std::mutex storeMu_;   //!< guards ledgers, cell completion, pending
+    std::mutex storeIoMu_; //!< guards storeRecords_ + the file write
+    std::uint64_t storeVersion_ = 0; //!< bumped per flush batch
+    std::uint64_t storeWritten_ = 0; //!< newest version on disk
+    int flushTick_ = 0;              //!< episodes since the last flush
     int executed_ = 0;
     int memoized_ = 0;
     int resumed_ = 0;
+    int sliced_ = 0;
+    int skipped_ = 0;
+    long long episodesExecuted_ = 0;
+    // Progress accounting of the current run() (guarded by storeMu_).
+    long long progressTotal_ = 0;
+    long long progressDone_ = 0;
+    long long progressSucc_ = 0;
+    std::size_t unitsTotal_ = 0;
+    std::size_t unitsDone_ = 0;
+    double progressStart_ = 0.0; //!< steady-clock seconds at run() start
 };
 
 } // namespace create

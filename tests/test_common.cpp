@@ -189,7 +189,7 @@ TEST(JsonRecords, RoundTripIsBitExact)
 TEST(JsonRecords, EmptyArrayAndMalformedInput)
 {
     const std::string path = "/tmp/create_test_records_edge.json";
-    ASSERT_TRUE(writeJsonRecords(path, {}));
+    ASSERT_TRUE(writeJsonRecords(path, std::vector<JsonRecord>{}));
     std::vector<JsonRecord> loaded;
     ASSERT_TRUE(readJsonRecords(path, loaded));
     EXPECT_TRUE(loaded.empty());

@@ -1,0 +1,234 @@
+/** @file Tests for the episode-record JSON round trip and the sweep-diff
+ *  store comparator: bit-exact ledger round trips, clean verdicts on
+ *  identical stores, tolerance handling, new/missing cells, episode-count
+ *  mismatches, and legacy v1 aggregate comparison. All stores here are
+ *  synthesized records -- no models run. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "core/store_diff.hpp"
+#include "core/sweep.hpp"
+
+using namespace create;
+
+namespace {
+
+EpisodeRecord
+makeEpisode(int i, bool success)
+{
+    EpisodeRecord e;
+    e.result.success = success;
+    e.result.steps = 100 + 13 * i;
+    e.result.plannerInvocations = 1 + i % 3;
+    e.result.predictorInvocations = 20 * i;
+    e.result.subtasksCompleted = i % 5;
+    e.result.plannerV2Ratio = 1.0 / 3.0 + 0.01 * i;
+    e.result.controllerV2Ratio = 0.1 * (i + 1);
+    e.result.plannerEffV = 0.9 - 0.007 * i;
+    e.result.controllerEffV = 0.72 + 1e-9 * i;
+    e.result.bitFlips = static_cast<std::uint64_t>(1) << (i % 40);
+    e.result.anomaliesCleared = static_cast<std::uint64_t>(7 * i);
+    e.computeJ = 1234.5678901234567 / (i + 1);
+    return e;
+}
+
+/** Write a v2 store with one ledger of `n` episodes per fingerprint. */
+void
+writeStore(const std::string& path, const std::vector<std::string>& fps,
+           int n, int perturbEpisode = -1)
+{
+    std::vector<JsonRecord> records;
+    JsonRecord schema;
+    schema.name = kSweepStoreSchemaRecord;
+    schema.numbers.emplace_back("schema", kSweepStoreSchema);
+    records.push_back(schema);
+    for (const auto& fp : fps) {
+        JsonRecord meta;
+        meta.name = fp;
+        meta.strings.emplace_back("platform", "jarvis-1");
+        meta.strings.emplace_back("label", "cell-" + fp.substr(0, 8));
+        meta.numbers.emplace_back("task", 0);
+        meta.numbers.emplace_back("seed0", 1000);
+        records.push_back(meta);
+        for (int i = 0; i < n; ++i) {
+            EpisodeRecord e = makeEpisode(i, i % 2 == 0);
+            if (i == perturbEpisode)
+                e.computeJ *= 1.0 + 1e-12; // one-ulp-ish drift
+            records.push_back(
+                episodeToRecord(sweepEpisodeKey(fp, i), e));
+        }
+    }
+    ASSERT_TRUE(writeJsonRecords(path, records));
+}
+
+} // namespace
+
+TEST(EpisodeLedger, JsonRoundTripIsBitExact)
+{
+    const std::string path = "/tmp/create_test_episode_rt.json";
+    std::vector<JsonRecord> out;
+    for (int i = 0; i < 8; ++i)
+        out.push_back(episodeToRecord(sweepEpisodeKey("v2|x", i),
+                                      makeEpisode(i, i % 3 == 0)));
+    ASSERT_TRUE(writeJsonRecords(path, out));
+    std::vector<JsonRecord> in;
+    ASSERT_TRUE(readJsonRecords(path, in));
+    ASSERT_EQ(in.size(), out.size());
+    for (int i = 0; i < 8; ++i) {
+        const EpisodeRecord want = makeEpisode(i, i % 3 == 0);
+        EpisodeRecord got;
+        std::string fp;
+        ASSERT_EQ(sweepEpisodeIndex(in[static_cast<std::size_t>(i)].name,
+                                    &fp),
+                  i);
+        EXPECT_EQ(fp, "v2|x");
+        ASSERT_TRUE(
+            episodeFromRecord(in[static_cast<std::size_t>(i)], got));
+        EXPECT_EQ(want.result.success, got.result.success);
+        EXPECT_EQ(want.result.steps, got.result.steps);
+        EXPECT_EQ(want.result.plannerInvocations,
+                  got.result.plannerInvocations);
+        EXPECT_EQ(want.result.predictorInvocations,
+                  got.result.predictorInvocations);
+        EXPECT_EQ(want.result.subtasksCompleted,
+                  got.result.subtasksCompleted);
+        EXPECT_EQ(want.result.plannerV2Ratio, got.result.plannerV2Ratio);
+        EXPECT_EQ(want.result.controllerV2Ratio,
+                  got.result.controllerV2Ratio);
+        EXPECT_EQ(want.result.plannerEffV, got.result.plannerEffV);
+        EXPECT_EQ(want.result.controllerEffV, got.result.controllerEffV);
+        EXPECT_EQ(want.result.bitFlips, got.result.bitFlips);
+        EXPECT_EQ(want.result.anomaliesCleared,
+                  got.result.anomaliesCleared);
+        EXPECT_EQ(want.computeJ, got.computeJ);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(EpisodeLedger, RejectsRecordsWithMissingFields)
+{
+    JsonRecord rec = episodeToRecord("v2|x#0", makeEpisode(0, true));
+    EpisodeRecord out;
+    EXPECT_TRUE(episodeFromRecord(rec, out));
+    rec.numbers.erase(rec.numbers.begin() + 2);
+    EXPECT_FALSE(episodeFromRecord(rec, out));
+}
+
+TEST(EpisodeLedger, EpisodeKeyParsing)
+{
+    EXPECT_EQ(sweepEpisodeIndex("v2|a|task=1#17"), 17);
+    EXPECT_EQ(sweepEpisodeIndex("v2|a|task=1"), -1);   // meta record
+    EXPECT_EQ(sweepEpisodeIndex("v1|a|reps=3"), -1);   // legacy record
+    EXPECT_EQ(sweepEpisodeIndex("sweep-store"), -1);   // schema record
+    EXPECT_EQ(sweepEpisodeIndex("v2|a#12x"), -1);      // not an index
+    EXPECT_EQ(sweepEpisodeIndex("v2|a#"), -1);
+}
+
+TEST(StoreDiff, IdenticalStoresAreClean)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1", "v2|p2"}, 6);
+    writeStore(b, {"v2|p1", "v2|p2"}, 6);
+    const StoreDiffResult res = diffStores(a, b);
+    EXPECT_TRUE(res.clean());
+    EXPECT_EQ(res.compared, 2);
+    EXPECT_EQ(res.cellsA, 2);
+    EXPECT_EQ(res.cellsB, 2);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, ReportsNewAndMissingCells)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1", "v2|p2"}, 4);
+    writeStore(b, {"v2|p2", "v2|p3"}, 4);
+    const StoreDiffResult res = diffStores(a, b);
+    ASSERT_EQ(res.entries.size(), 2u);
+    EXPECT_EQ(res.compared, 1);
+    EXPECT_EQ(res.entries[0].kind, StoreDiffEntry::Kind::OnlyInA);
+    EXPECT_EQ(res.entries[0].fingerprint, "v2|p1");
+    EXPECT_EQ(res.entries[1].kind, StoreDiffEntry::Kind::OnlyInB);
+    EXPECT_EQ(res.entries[1].fingerprint, "v2|p3");
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, DetectsStatDriftAndHonorsTolerance)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1"}, 6);
+    writeStore(b, {"v2|p1"}, 6, /*perturbEpisode=*/3);
+    const StoreDiffResult strict = diffStores(a, b);
+    ASSERT_FALSE(strict.clean());
+    EXPECT_EQ(strict.entries[0].kind, StoreDiffEntry::Kind::Stat);
+    EXPECT_NE(strict.entries[0].detail.find("avgComputeJ"),
+              std::string::npos);
+
+    StoreDiffOptions tol;
+    tol.relTol = 1e-9;
+    EXPECT_TRUE(diffStores(a, b, tol).clean());
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, DetectsEpisodeCountMismatch)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1"}, 6);
+    writeStore(b, {"v2|p1"}, 4);
+    const StoreDiffResult res = diffStores(a, b);
+    ASSERT_EQ(res.entries.size(), 1u);
+    EXPECT_EQ(res.entries[0].kind, StoreDiffEntry::Kind::Episodes);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, ComparesLegacyV1Aggregates)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    auto writeV1 = [](const std::string& path, double successRate) {
+        JsonRecord rec;
+        rec.name = "v1|jarvis-1|task=0|reps=4|seed0=1000|tech=---";
+        rec.numbers.emplace_back("episodes", 4);
+        rec.numbers.emplace_back("successes", successRate * 4);
+        for (const auto& [key, member] : kTaskStatFields) {
+            (void)member;
+            rec.numbers.emplace_back(key, key == std::string("successRate")
+                                              ? successRate
+                                              : 1.5);
+        }
+        ASSERT_TRUE(writeJsonRecords(path, {rec}));
+    };
+    writeV1(a, 0.75);
+    writeV1(b, 0.75);
+    EXPECT_TRUE(diffStores(a, b).clean());
+    writeV1(b, 0.5); // successes change too -> episode/success mismatch
+    const StoreDiffResult res = diffStores(a, b);
+    ASSERT_EQ(res.entries.size(), 1u);
+    EXPECT_EQ(res.entries[0].kind, StoreDiffEntry::Kind::Episodes);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, MissingFileIsAnError)
+{
+    std::vector<StoreCell> cells;
+    std::string error;
+    EXPECT_FALSE(
+        loadStoreCells("/tmp/create_no_such_store.json", cells, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_THROW(diffStores("/tmp/create_no_such_store.json",
+                            "/tmp/create_no_such_store.json"),
+                 std::runtime_error);
+}

@@ -1,13 +1,16 @@
 /** @file Tests for the SweepRunner campaign engine: sharded-vs-serial
- *  bit-identity across cells, cross-cell memoization, resume round trips
- *  through the JSON result store, fingerprint canonicalization, and the
- *  episode-loop regressions this PR fixed (vsInterval <= 0, executed-step
- *  billing). */
+ *  bit-identity across cells, cross-cell memoization, episode-ledger
+ *  round trips through the JSON result store (prefix slicing, mid-cell
+ *  kill/resume, legacy v1 migration, --shard partitioning), fingerprint
+ *  canonicalization, and the episode-loop regressions PR 4 fixed
+ *  (vsInterval <= 0, executed-step billing). */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
+#include "common/serialize.hpp"
 #include "core/create_system.hpp"
 #include "core/manip_system.hpp"
 #include "core/sweep.hpp"
@@ -246,10 +249,14 @@ TEST(Sweep, FingerprintCanonicalization)
     EXPECT_NE(sweepFingerprint(d), sweepFingerprint(e));
     EXPECT_NE(sweepFingerprint(a), sweepFingerprint(d));
 
-    // Execution-relevant knobs all split the key.
+    // reps is canonicalized away: episodes run at seed0 + i, so reps is
+    // a prefix length of the shared ledger, not part of its identity.
     SweepCell f = a;
     f.reps = 7;
-    EXPECT_NE(sweepFingerprint(a), sweepFingerprint(f));
+    EXPECT_EQ(sweepFingerprint(a), sweepFingerprint(f));
+    // ... but the legacy (v1) cell fingerprint still includes it, so the
+    // migration read path matches PR 4-era records exactly.
+    EXPECT_NE(sweepFingerprintLegacyV1(a), sweepFingerprintLegacyV1(f));
     SweepCell g = a;
     g.seed0 = 4242;
     EXPECT_NE(sweepFingerprint(a), sweepFingerprint(g));
@@ -268,6 +275,291 @@ TEST(Sweep, RejectsUnknownPlatformAndBadReps)
                  std::invalid_argument);
     EXPECT_THROW(sweep.add({"jarvis-1", 0, CreateConfig::clean(), 0}),
                  std::invalid_argument);
+}
+
+TEST(Sweep, SlicedCellsShareOneExecution)
+{
+    // reps is a prefix length: declaring the same deployment point at
+    // several depths executes only the deepest and slices the rest.
+    const auto cells = campaignCells(5);
+    SweepRunner sweep;
+    SweepCell shallow = cells[0];
+    shallow.reps = 2;
+    const std::size_t small = sweep.add(shallow);
+    const std::size_t deep = sweep.add(cells[0]); // reps = 5
+    sweep.run();
+
+    EXPECT_EQ(sweep.executedCells(), 1);
+    EXPECT_EQ(sweep.slicedCells(), 1);
+    EXPECT_EQ(sweep.episodesExecuted(), 5);
+    EXPECT_EQ(sweep.source(deep), CellSource::Executed);
+    EXPECT_EQ(sweep.source(small), CellSource::Sliced);
+
+    MineSystem mine(false);
+    expectIdentical(mine.evaluate(shallow.taskId, shallow.cfg, 2),
+                    sweep.stats(small));
+    expectIdentical(mine.evaluate(cells[0].taskId, cells[0].cfg, 5),
+                    sweep.stats(deep));
+    // The slice's episodes are literally the ledger prefix.
+    const auto& eps = sweep.episodes(small);
+    ASSERT_EQ(eps.size(), 2u);
+    for (std::size_t i = 0; i < eps.size(); ++i)
+        expectIdentical(sweep.episodes(deep)[i], eps[i]);
+}
+
+TEST(Sweep, PrefixSliceServesSmallerRepsFromStore)
+{
+    // A stored reps=12 ledger must satisfy reps in {3, 6, 12} with zero
+    // episodes executed, bit-identically to direct evaluate() -- the
+    // convergence-study (Table 5) de-duplication.
+    const std::string path = "/tmp/create_test_sweep_prefix.json";
+    std::remove(path.c_str());
+    SweepCell cell = campaignCells(12)[0];
+
+    SweepRunner::Options withStore;
+    withStore.storePath = path;
+    {
+        SweepRunner seed(withStore);
+        seed.add(cell);
+        seed.run();
+        EXPECT_EQ(seed.episodesExecuted(), 12);
+    }
+
+    SweepRunner::Options resume = withStore;
+    resume.resume = true;
+    SweepRunner sliced(resume);
+    std::vector<std::size_t> handles;
+    for (int reps : {3, 6, 12}) {
+        SweepCell c = cell;
+        c.reps = reps;
+        handles.push_back(sliced.add(c));
+    }
+    sliced.run();
+    EXPECT_EQ(sliced.executedCells(), 0);
+    EXPECT_EQ(sliced.episodesExecuted(), 0);
+    EXPECT_EQ(sliced.resumedCells(), 3);
+
+    MineSystem mine(false);
+    const int repsOf[] = {3, 6, 12};
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        SCOPED_TRACE(repsOf[i]);
+        EXPECT_EQ(sliced.source(handles[i]), CellSource::Resumed);
+        expectIdentical(mine.evaluate(cell.taskId, cell.cfg, repsOf[i]),
+                        sliced.stats(handles[i]));
+    }
+
+    // The reverse direction: a shallow store partially seeds a deeper
+    // request, executing only the missing suffix.
+    SweepRunner deeper(resume);
+    SweepCell deepCell = cell;
+    deepCell.reps = 15;
+    const std::size_t h = deeper.add(deepCell);
+    deeper.run();
+    EXPECT_EQ(deeper.episodesExecuted(), 3); // episodes 12..14 only
+    EXPECT_EQ(deeper.source(h), CellSource::Executed);
+    expectIdentical(mine.evaluate(cell.taskId, cell.cfg, 15),
+                    deeper.stats(h));
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, MidCellKillResumeExecutesOnlyMissingEpisodes)
+{
+    // Simulate a campaign killed mid-cell: truncate the stored ledger
+    // (drop a suffix AND punch a hole, as an interrupted batched flush
+    // can leave either) and resume. Only the missing episodes run, and
+    // the final stats are bit-identical to an uninterrupted campaign.
+    const std::string path = "/tmp/create_test_sweep_kill.json";
+    std::remove(path.c_str());
+    SweepCell cell = campaignCells(10)[0];
+    const std::string fp = sweepFingerprint(cell);
+
+    SweepRunner::Options withStore;
+    withStore.storePath = path;
+    {
+        SweepRunner full(withStore);
+        full.add(cell);
+        full.run();
+    }
+
+    std::vector<JsonRecord> records;
+    ASSERT_TRUE(readJsonRecords(path, records));
+    const auto gone = [&](const std::string& name) {
+        return name == sweepEpisodeKey(fp, 4) ||      // the hole
+               name == sweepEpisodeKey(fp, 7) ||      // the lost suffix
+               name == sweepEpisodeKey(fp, 8) ||
+               name == sweepEpisodeKey(fp, 9);
+    };
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [&](const JsonRecord& r) {
+                                     return gone(r.name);
+                                 }),
+                  records.end());
+    ASSERT_TRUE(writeJsonRecords(path, records));
+
+    SweepRunner::Options resume = withStore;
+    resume.resume = true;
+    SweepRunner resumed(resume);
+    const std::size_t h = resumed.add(cell);
+    resumed.run();
+    EXPECT_EQ(resumed.episodesExecuted(), 4); // 4, 7, 8, 9
+    EXPECT_EQ(resumed.source(h), CellSource::Executed);
+
+    SweepRunner fresh;
+    const std::size_t hf = fresh.add(cell);
+    fresh.run();
+    expectIdentical(fresh.stats(hf), resumed.stats(h));
+    const auto& a = fresh.episodes(hf);
+    const auto& b = resumed.episodes(h);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, LegacyV1StoreMigration)
+{
+    // A PR 4-era cell-level store (aggregate stats keyed by the v1
+    // fingerprint, no episodes) still resumes whole cells read-only, and
+    // a flush carries its records forward instead of dropping them.
+    const std::string path = "/tmp/create_test_sweep_v1.json";
+    std::remove(path.c_str());
+    const SweepCell cell = campaignCells(3)[0];
+
+    MineSystem mine(false);
+    const TaskStats direct = mine.evaluate(cell.taskId, cell.cfg, cell.reps);
+    JsonRecord v1;
+    v1.name = sweepFingerprintLegacyV1(cell);
+    v1.strings.emplace_back("platform", cell.platform);
+    v1.numbers.emplace_back("task", cell.taskId);
+    v1.numbers.emplace_back("reps", cell.reps);
+    v1.numbers.emplace_back("episodes", direct.episodes);
+    v1.numbers.emplace_back("successes", direct.successes);
+    for (const auto& [key, member] : kTaskStatFields)
+        v1.numbers.emplace_back(key, direct.*member);
+    ASSERT_TRUE(writeJsonRecords(path, {v1}));
+
+    SweepRunner::Options resume;
+    resume.storePath = path;
+    resume.resume = true;
+    SweepRunner sweep(resume);
+    const std::size_t h = sweep.add(cell);
+    // A second cell at different reps cannot use the v1 aggregate (its
+    // reps is part of the v1 identity); it executes its own ledger.
+    SweepCell other = cell;
+    other.reps = 2;
+    const std::size_t h2 = sweep.add(other);
+    sweep.run();
+
+    EXPECT_EQ(sweep.source(h), CellSource::Resumed);
+    EXPECT_EQ(sweep.resumedCells(), 1);
+    expectIdentical(direct, sweep.stats(h));
+    EXPECT_EQ(sweep.source(h2), CellSource::Executed);
+    EXPECT_EQ(sweep.episodesExecuted(), 2);
+    expectIdentical(mine.evaluate(cell.taskId, cell.cfg, 2),
+                    sweep.stats(h2));
+
+    // A legacy cell's episodes re-derive deterministically on demand.
+    const auto& eps = sweep.episodes(h);
+    ASSERT_EQ(eps.size(), 3u);
+    expectIdentical(aggregate(mine.runEpisodes(cell.taskId, cell.cfg, 3,
+                                               cell.seed0),
+                              mine.energyModel()),
+                    sweep.stats(h));
+
+    // The flush rewrote the store: v1 record preserved, v2 schema added.
+    std::vector<JsonRecord> records;
+    ASSERT_TRUE(readJsonRecords(path, records));
+    bool hasV1 = false, hasSchema = false;
+    for (const auto& rec : records) {
+        hasV1 = hasV1 || rec.name == v1.name;
+        hasSchema = hasSchema || rec.name == kSweepStoreSchemaRecord;
+    }
+    EXPECT_TRUE(hasV1);
+    EXPECT_TRUE(hasSchema);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, ShardsPartitionPendingLedgersExactlyOnce)
+{
+    // Two shard processes sharing one store must cover the campaign
+    // exactly once between them, and their merged store must satisfy a
+    // full --resume run with zero execution.
+    const std::string path = "/tmp/create_test_sweep_shard.json";
+    std::remove(path.c_str());
+    const auto cells = campaignCells(2);
+
+    long long totalExecuted = 0;
+    for (int shard = 0; shard < 2; ++shard) {
+        SweepRunner::Options o;
+        o.storePath = path;
+        o.shardIndex = shard;
+        o.shardCount = 2;
+        SweepRunner runner(o);
+        for (const auto& c : cells)
+            runner.add(c);
+        runner.run();
+        EXPECT_EQ(runner.executedCells() + runner.skippedCells(), 3)
+            << "shard " << shard;
+        EXPECT_GT(runner.executedCells(), 0) << "shard " << shard;
+        totalExecuted += runner.episodesExecuted();
+    }
+    EXPECT_EQ(totalExecuted, 3 * 2); // every episode exactly once
+
+    SweepRunner::Options resume;
+    resume.storePath = path;
+    resume.resume = true;
+    SweepRunner merged(resume);
+    SweepRunner fresh;
+    for (const auto& c : cells) {
+        merged.add(c);
+        fresh.add(c);
+    }
+    merged.run();
+    fresh.run();
+    EXPECT_EQ(merged.executedCells(), 0);
+    EXPECT_EQ(merged.episodesExecuted(), 0);
+    EXPECT_EQ(merged.resumedCells(), 3);
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        SCOPED_TRACE(h);
+        expectIdentical(fresh.stats(h), merged.stats(h));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, NewerSchemaStoreIsLeftUntouched)
+{
+    // A store written by a future schema must not be resumed from OR
+    // rewritten (our records under its schema header would corrupt it
+    // for the build that owns it): the campaign runs storeless.
+    const std::string path = "/tmp/create_test_sweep_future.json";
+    JsonRecord schema;
+    schema.name = kSweepStoreSchemaRecord;
+    schema.numbers.emplace_back("schema", kSweepStoreSchema + 1);
+    ASSERT_TRUE(writeJsonRecords(path, {schema}));
+
+    SweepRunner::Options o;
+    o.storePath = path;
+    o.resume = true;
+    SweepRunner sweep(o);
+    const std::size_t h = sweep.add(campaignCells(2)[0]);
+    sweep.run();
+    EXPECT_EQ(sweep.source(h), CellSource::Executed);
+    EXPECT_EQ(sweep.episodesExecuted(), 2);
+
+    std::vector<JsonRecord> records;
+    ASSERT_TRUE(readJsonRecords(path, records));
+    ASSERT_EQ(records.size(), 1u); // exactly the foreign schema record
+    EXPECT_EQ(records[0].name, kSweepStoreSchemaRecord);
+    EXPECT_EQ(records[0].number("schema"), kSweepStoreSchema + 1);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, RejectsBadShardOptions)
+{
+    SweepRunner::Options o;
+    o.shardIndex = 2;
+    o.shardCount = 2;
+    EXPECT_THROW(SweepRunner{o}, std::invalid_argument);
 }
 
 // --- episode-loop regressions this PR fixed ------------------------------
