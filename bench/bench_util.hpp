@@ -29,6 +29,7 @@
 #include "core/create_system.hpp"
 #include "core/parallel_eval.hpp"
 #include "core/sweep.hpp"
+#include "hw/kernel_dispatch.hpp"
 
 namespace create::bench {
 
@@ -57,6 +58,9 @@ preamble(const char* artifact, int reps, int threads = 1)
     std::printf("Reproducing %s  (%d episodes/config; paper uses >=100, "
                 "raise with --reps; %d eval thread%s, set with --threads)\n",
                 artifact, reps, threads, threads == 1 ? "" : "s");
+    // Which SIMD tier the quantized hot path selected on this host
+    // (override with CREATE_FORCE_ISA; see src/hw/kernel_dispatch.hpp).
+    std::printf("[simd] %s\n", simd::report().c_str());
 }
 
 /** Parsed standard options of an evaluate-style bench. */
@@ -68,6 +72,7 @@ struct BenchOptions
     std::string storePath; //!< --out <path>: SweepRunner episode store
     bool resume = false;   //!< --resume: reuse ledgers already in the store
     bool progress = false; //!< --progress: stderr status line per flush
+    bool batched = true;   //!< --no-batch: disable cross-episode fusion
     int flushEvery = 16;   //!< --flush-every N: episodes per store flush
     int shardIndex = 0;    //!< --shard i/N: this process's partition
     int shardCount = 1;
@@ -82,6 +87,7 @@ sweepOptions(const BenchOptions& o)
 {
     SweepRunner::Options so;
     so.threads = o.threads;
+    so.batched = o.batched;
     so.storePath = o.storePath;
     so.resume = o.resume;
     so.progress = o.progress;
@@ -160,9 +166,11 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
                 "  --shard I/N    run partition I of N over the pending "
                 "ledgers (share one --out)\n"
                 "  --progress     one stderr status line per flush "
-                "(episodes/s, success, ETA)\n"
+                "(episodes/s, success, ETA, GEMM fusion)\n"
                 "  --flush-every N  episodes per store flush (default "
-                "16)\n");
+                "16)\n"
+                "  --no-batch     disable cross-episode GEMM fusion "
+                "(bit-identical; for A/B timing)\n");
         std::printf("%s", extraHelp ? extraHelp : "");
         std::exit(0);
     }
@@ -176,6 +184,7 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
         o.storePath = cli.str("out", "");
         o.resume = cli.flag("resume");
         o.progress = cli.flag("progress");
+        o.batched = !cli.flag("no-batch");
         o.flushEvery = static_cast<int>(cli.integer("flush-every", 16));
         const std::string shard = cli.str("shard", "");
         if (!shard.empty()) {

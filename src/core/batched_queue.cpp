@@ -1,0 +1,180 @@
+#include "core/batched_queue.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/kernel_dispatch.hpp"
+
+namespace create {
+
+BatchStats&
+BatchStats::operator+=(const BatchStats& o)
+{
+    requests += o.requests;
+    groups += o.groups;
+    maxBatch = std::max(maxBatch, o.maxBatch);
+    peakWorkers = std::max(peakWorkers, o.peakWorkers);
+    return *this;
+}
+
+BatchedInferenceQueue::BatchedInferenceQueue(int batchWindowUs)
+{
+    if (batchWindowUs < 0) {
+        batchWindowUs = 200;
+        if (const char* env = std::getenv("CREATE_BATCH_WINDOW_US")) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v >= 0)
+                batchWindowUs = static_cast<int>(v);
+        }
+    }
+    window_ = std::chrono::microseconds(batchWindowUs);
+}
+
+void
+BatchedInferenceQueue::beginWorker()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++active_;
+    peakWorkers_ = std::max(peakWorkers_, active_);
+}
+
+void
+BatchedInferenceQueue::endWorker()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        --active_;
+    }
+    // Thresholds shrank ("one request per registered worker" may now
+    // hold); wake waiters to re-evaluate.
+    cv_.notify_all();
+}
+
+void
+BatchedInferenceQueue::gemm(const std::int8_t* xq, std::int64_t m,
+                            std::int64_t k, const std::int8_t* wq,
+                            std::int64_t n, std::int32_t* acc)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    ++requests_;
+    if (active_ <= 1) {
+        // No concurrent submitters possible: execute inline. (This is
+        // also the serial-evaluation degenerate case.)
+        ++groupsRun_;
+        maxBatch_ = std::max<std::uint64_t>(maxBatch_, 1);
+        lk.unlock();
+        simd::active().intGemm(xq, m, k, wq, n, acc);
+        return;
+    }
+
+    Request req{xq, m, acc, false};
+    const Key key{static_cast<const void*>(wq), k, n};
+    std::shared_ptr<Group>& slot = pending_[key];
+    if (!slot) {
+        slot = std::make_shared<Group>();
+        slot->key = key;
+    }
+    const std::shared_ptr<Group> g = slot; // keep alive across pop
+    g->reqs.push_back(&req);
+    ++inflight_;
+    cv_.notify_all(); // arrival may complete someone's "group full"
+
+    bool timedOut = false;
+    while (!req.done) {
+        if (!g->popped) {
+            const bool groupFull =
+                static_cast<int>(g->reqs.size()) >= active_;
+            // Every registered worker is inside gemm(): nobody else can
+            // join any group, so waiting longer buys nothing.
+            const bool everyoneHere = inflight_ >= active_;
+            if (groupFull || everyoneHere || timedOut) {
+                executeGroup(lk, g, k, n);
+                continue;
+            }
+        }
+        timedOut =
+            cv_.wait_for(lk, window_) == std::cv_status::timeout;
+    }
+    --inflight_;
+}
+
+void
+BatchedInferenceQueue::executeGroup(std::unique_lock<std::mutex>& lk,
+                                    const std::shared_ptr<Group>& g,
+                                    std::int64_t k, std::int64_t n)
+{
+    g->popped = true;
+    pending_.erase(g->key);
+    ++groupsRun_;
+    maxBatch_ = std::max(maxBatch_, static_cast<std::uint64_t>(g->reqs.size()));
+    // Snapshot: owners cannot leave while not done, so the Request
+    // pointers stay valid without the lock.
+    const std::vector<Request*> reqs = g->reqs;
+    const std::int8_t* wq =
+        static_cast<const std::int8_t*>(std::get<0>(g->key));
+    lk.unlock();
+
+    if (reqs.size() == 1) {
+        // Solo group: run on the caller's buffers, no staging copy.
+        Request* r = reqs.front();
+        simd::active().intGemm(r->xq, r->m, k, wq, n, r->acc);
+    } else {
+        // Fuse: concatenate the m-rows of every request, one kernel call,
+        // scatter each slice back with memcpy. The sink contract requires
+        // zero-filled acc (see IntGemmSink), so copying the staged result
+        // equals accumulating onto zeros bit for bit while halving the
+        // scatter's memory traffic. Staging is thread_local so concurrent
+        // executions of different groups never share buffers.
+        thread_local std::vector<std::int8_t> xbuf;
+        thread_local std::vector<std::int32_t> abuf;
+        std::int64_t mTotal = 0;
+        for (const Request* r : reqs)
+            mTotal += r->m;
+        xbuf.resize(static_cast<std::size_t>(mTotal * k));
+        abuf.assign(static_cast<std::size_t>(mTotal * n), 0);
+        std::int64_t row = 0;
+        for (const Request* r : reqs) {
+            std::memcpy(xbuf.data() + row * k, r->xq,
+                        static_cast<std::size_t>(r->m * k));
+            row += r->m;
+        }
+        simd::active().intGemm(xbuf.data(), mTotal, k, wq, n, abuf.data());
+        row = 0;
+        for (Request* r : reqs) {
+            std::memcpy(r->acc, abuf.data() + row * n,
+                        static_cast<std::size_t>(r->m * n) *
+                            sizeof(std::int32_t));
+            row += r->m;
+        }
+    }
+
+    lk.lock();
+    for (Request* r : reqs)
+        r->done = true;
+    cv_.notify_all();
+}
+
+BatchStats
+BatchedInferenceQueue::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    BatchStats s;
+    s.requests = requests_;
+    s.groups = groupsRun_;
+    s.maxBatch = maxBatch_;
+    s.peakWorkers = peakWorkers_;
+    return s;
+}
+
+void
+BatchedInferenceQueue::resetStats()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    requests_ = 0;
+    groupsRun_ = 0;
+    maxBatch_ = 0;
+    peakWorkers_ = active_;
+}
+
+} // namespace create

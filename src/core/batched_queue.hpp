@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * BatchedInferenceQueue: cross-episode fusion of concurrent int-GEMMs.
+ *
+ * ParallelEvaluator workers run episodes of the same deployment cell at
+ * the same time, and every episode walks the same frozen models layer by
+ * layer -- so at any instant several workers tend to be sitting in
+ * faultyLinear with *the same weight matrix* and different activation
+ * rows (replicas share frozen weights by pointer; see
+ * core/shared_models.hpp). This queue exploits that: workers submit their
+ * quantized GEMMs through the IntGemmSink hook on ComputeContext, and
+ * requests that share (wq, k, n) are fused into one wide kernel call by
+ * concatenating their m-rows, then scattered back.
+ *
+ * Bit-identity: batching only concatenates rows. Each output row of the
+ * fused GEMM is the same exact int32 dot-product sums over the same
+ * inputs (integer accumulation is order-exact, and the dispatched
+ * kernels are row-independent), and the scatter copies each request's
+ * row slice into its zero-filled accumulator (the IntGemmSink
+ * contract), which is bit-for-bit what the direct accumulate-onto-zero
+ * call produces. Episode results with batching on/off are therefore
+ * byte-identical -- asserted by tests/test_parallel_eval.cpp.
+ *
+ * Why it is faster: the register-blocked AVX2/AVX-512 kernels share each
+ * widened weight load across a quad of rows, so fusing four concurrent
+ * m=1 controller projections into one m=4 call streams the weight matrix
+ * once instead of four times; tails and per-call overhead amortize the
+ * same way.
+ *
+ * Coordination is work-conserving and deadlock-free by construction:
+ *  - a worker executes its group immediately when every registered
+ *    worker has a request queued (nobody else can arrive),
+ *  - or when its group already holds one request per registered worker,
+ *  - otherwise it waits at most one batch window (CREATE_BATCH_WINDOW_US,
+ *    default 200us) and then executes whatever has gathered.
+ * Workers register via WorkerScope around their episode-draining loop,
+ * so the queue always knows how many submitters can possibly show up;
+ * with one (or no) registered worker, submissions execute inline.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "hw/compute_context.hpp"
+
+namespace create {
+
+/** Fusion counters (see SweepRunner --progress and bench reports). */
+struct BatchStats
+{
+    std::uint64_t requests = 0; //!< GEMMs submitted through the queue
+    std::uint64_t groups = 0;   //!< kernel calls actually issued
+    std::uint64_t maxBatch = 0; //!< largest number of fused requests
+    int peakWorkers = 0;        //!< high-water registered submitters
+
+    /** Mean requests fused per kernel call (1.0 = no fusion happened). */
+    double avgBatch() const
+    {
+        return groups ? static_cast<double>(requests) /
+                            static_cast<double>(groups)
+                      : 0.0;
+    }
+    /** avgBatch over the best case (one request per registered worker). */
+    double fillRate() const
+    {
+        return peakWorkers > 0 && groups
+                   ? avgBatch() / static_cast<double>(peakWorkers)
+                   : 0.0;
+    }
+
+    BatchStats& operator+=(const BatchStats& o);
+};
+
+/** Cross-episode GEMM batcher; one per ParallelEvaluator pool. */
+class BatchedInferenceQueue : public IntGemmSink
+{
+  public:
+    /**
+     * @param batchWindowUs max microseconds a lone request waits for
+     *        company before executing solo; < 0 reads CREATE_BATCH_WINDOW_US
+     *        (default 200).
+     */
+    explicit BatchedInferenceQueue(int batchWindowUs = -1);
+
+    /** Register/deregister a submitting worker (see WorkerScope). */
+    void beginWorker();
+    void endWorker();
+
+    /** RAII worker registration (exception-safe). */
+    class WorkerScope
+    {
+      public:
+        explicit WorkerScope(BatchedInferenceQueue* q) : q_(q)
+        {
+            if (q_)
+                q_->beginWorker();
+        }
+        ~WorkerScope()
+        {
+            if (q_)
+                q_->endWorker();
+        }
+        WorkerScope(const WorkerScope&) = delete;
+        WorkerScope& operator=(const WorkerScope&) = delete;
+
+      private:
+        BatchedInferenceQueue* q_;
+    };
+
+    /** IntGemmSink: submit one GEMM; blocks until the result is in acc. */
+    void gemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+              const std::int8_t* wq, std::int64_t n,
+              std::int32_t* acc) override;
+
+    BatchStats stats() const;
+    void resetStats();
+
+  private:
+    using Key = std::tuple<const void*, std::int64_t, std::int64_t>;
+
+    struct Request
+    {
+        const std::int8_t* xq;
+        std::int64_t m;
+        std::int32_t* acc;
+        bool done;
+    };
+
+    struct Group
+    {
+        Key key;
+        std::vector<Request*> reqs;
+        bool popped = false; //!< removed from pending_; being executed
+    };
+
+    /** Pop `g` and run the fused kernel (unlocks `lk` during compute). */
+    void executeGroup(std::unique_lock<std::mutex>& lk,
+                      const std::shared_ptr<Group>& g, std::int64_t k,
+                      std::int64_t n);
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<Key, std::shared_ptr<Group>> pending_;
+    int active_ = 0;   //!< registered workers
+    int inflight_ = 0; //!< workers currently inside gemm()
+    std::chrono::microseconds window_;
+
+    // counters (guarded by mu_)
+    std::uint64_t requests_ = 0;
+    std::uint64_t groupsRun_ = 0;
+    std::uint64_t maxBatch_ = 0;
+    int peakWorkers_ = 0;
+};
+
+} // namespace create

@@ -506,14 +506,39 @@ SweepRunner::progressLine()
                       static_cast<double>(total - done) / rate);
     else
         std::snprintf(eta, sizeof(eta), "%s", done >= total ? "0s" : "?");
+    // GEMM-fusion health of the batched inference path (absent when the
+    // episode fan-out or batching never engaged this campaign).
+    const BatchStats bs = batchStats();
+    char batch[64] = "";
+    if (bs.requests > 0)
+        std::snprintf(batch, sizeof(batch),
+                      ", batch avg %.2f fill %.0f%%", bs.avgBatch(),
+                      100.0 * bs.fillRate());
     std::fprintf(stderr,
                  "[sweep] progress: ledgers %zu/%zu, episodes %lld/%lld, "
-                 "%.1f eps/s, success %.1f%%, eta %s\n",
+                 "%.1f eps/s, success %.1f%%%s, eta %s\n",
                  unitsDone, unitsTotal, done, total, rate,
                  done > 0 ? 100.0 * static_cast<double>(succ) /
                                 static_cast<double>(done)
                           : 0.0,
-                 eta);
+                 batch, eta);
+}
+
+BatchStats
+SweepRunner::batchStats() const
+{
+    // Prototypes and replicas each own (at most) one ParallelEvaluator
+    // whose queue accumulates counters across runs; summing both maps
+    // covers every system a campaign can have run episodes on. The maps
+    // only change between bucket waves (never while their workers run),
+    // and the per-queue counter reads are mutex-guarded.
+    BatchStats s;
+    for (const auto& [name, proto] : prototypes_)
+        s += proto->batchStats();
+    for (const auto& [name, reps] : replicas_)
+        for (const auto& r : reps)
+            s += r->batchStats();
+    return s;
 }
 
 void
@@ -716,6 +741,7 @@ SweepRunner::run()
 
         if (cellWorkers == 1) {
             proto->setEvalThreads(episodeThreads);
+            proto->setBatchedInference(opt_.batched);
             for (const std::size_t k : bucketUnits)
                 runUnit(units[k], *proto);
             continue;
@@ -724,8 +750,10 @@ SweepRunner::run()
         auto& replicas = replicas_[platform];
         while (static_cast<int>(replicas.size()) < cellWorkers)
             replicas.push_back(proto->replicate());
-        for (auto& r : replicas)
+        for (auto& r : replicas) {
             r->setEvalThreads(episodeThreads);
+            r->setBatchedInference(opt_.batched);
+        }
 
         std::atomic<std::size_t> cursor{0};
         std::string firstError;
@@ -809,6 +837,7 @@ SweepRunner::episodes(std::size_t handle)
         EmbodiedSystem* proto = prototypeFor(st.cell.platform);
         proto->prepare(st.cell.cfg);
         proto->setEvalThreads(opt_.threads);
+        proto->setBatchedInference(opt_.batched);
         st.episodes = proto->runEpisodes(st.cell.taskId, st.cell.cfg,
                                          st.cell.reps, st.cell.seed0);
     }

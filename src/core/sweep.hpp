@@ -121,6 +121,14 @@ class SweepRunner
     struct Options
     {
         int threads = 1;       //!< total worker budget (ledgers + episodes)
+        /**
+         * Fuse concurrent per-episode GEMMs across episode workers
+         * (core/batched_queue.hpp; bit-identical either way). Only
+         * engages when episodes fan out within a ledger (threads left
+         * over after cell-sharding); the --progress line reports the
+         * measured fusion rate.
+         */
+        bool batched = true;
         std::string storePath; //!< JSON result store; empty disables it
         bool resume = false;   //!< satisfy cells from the store's ledgers
         bool verbose = false;  //!< per-ledger progress lines on stderr
@@ -194,6 +202,13 @@ class SweepRunner
 
     /** Episodes actually executed by this runner (campaign lifetime). */
     long long episodesExecuted() const { return episodesExecuted_; }
+
+    /**
+     * GEMM-fusion counters summed over every system the campaign ran
+     * episodes on (zeros when batching or episode fan-out never
+     * engaged). Feeds the --progress line.
+     */
+    BatchStats batchStats() const;
 
     /** The "[sweep] ..." summary line run() prints. */
     std::string summary() const;

@@ -105,6 +105,29 @@ struct GemmWorkspace
     std::vector<float> attnScores;      //!< per-head score/probability matrix
 };
 
+/**
+ * Sink for the integer-GEMM stage of faultyLinear.
+ *
+ * When a context carries a sink, the hot path hands the (already
+ * quantized) GEMM to it instead of calling the dispatched kernel
+ * directly. The cross-episode BatchedInferenceQueue in src/core
+ * implements this to fuse concurrent per-episode requests that share a
+ * frozen weight matrix into one wide kernel call. The contract is
+ * create::intGemm over a zero-filled `acc`: callers must pass acc
+ * cleared to zero, and the sink leaves exactly the int32 GEMM sums
+ * there (it may accumulate in staging and memcpy the slice back --
+ * identical to += onto zeros, bit for bit), so routing through a sink
+ * can never change results.
+ */
+class IntGemmSink
+{
+  public:
+    virtual ~IntGemmSink() = default;
+    virtual void gemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                      const std::int8_t* wq, std::int64_t n,
+                      std::int32_t* acc) = 0;
+};
+
 /** Execution context threaded through every quantized layer. */
 class ComputeContext
 {
@@ -124,6 +147,8 @@ class ComputeContext
     Rng rng;
     EnergyMeter meter;
     GemmWorkspace ws; //!< hot-path scratch buffers (never shared across threads)
+    /** Optional cross-episode GEMM batcher (not owned; null = direct). */
+    IntGemmSink* gemmSink = nullptr;
 
     /** Disable injection (clean INT8 execution). */
     void setCleanMode();

@@ -4,11 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "fault/injector.hpp"
+#include "hw/kernel_dispatch.hpp"
 #include "tensor/ops.hpp"
 
 namespace create {
@@ -80,129 +77,13 @@ intGemm(const std::int8_t* xq, std::int64_t m, std::int64_t k,
         const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
 {
     // Integer accumulation is exact, so any summation order yields the
-    // same accumulators; that freedom is what lets the SIMD kernel below
-    // pair K iterations (pmaddwd) while staying bit-identical to the
-    // scalar kernel (which the golden-reference test suite asserts).
-#if defined(__SSE2__)
-    // SSE2 micro-kernel: 8 output columns per step, two K rows fused per
-    // multiply. Weights of rows kk/kk+1 are interleaved bytewise and
-    // sign-extended to int16 pairs (w[kk][j], w[kk+1][j]); pmaddwd against
-    // the broadcast activation pair (x[kk], x[kk+1]) then produces the
-    // per-column two-term partial sums directly in int32 lanes.
-    const __m128i vzero = _mm_setzero_si128();
-    for (std::int64_t i = 0; i < m; ++i) {
-        const std::int8_t* xrow = xq + i * k;
-        std::int32_t* crow = acc + i * n;
-        std::int64_t j0 = 0;
-        for (; j0 + 8 <= n; j0 += 8) {
-            __m128i acc0 = _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(crow + j0));
-            __m128i acc1 = _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(crow + j0 + 4));
-            std::int64_t kk = 0;
-            for (; kk + 2 <= k; kk += 2) {
-                const std::int32_t x0 = xrow[kk], x1 = xrow[kk + 1];
-                if ((x0 | x1) == 0)
-                    continue;
-                const std::uint32_t pair =
-                    static_cast<std::uint16_t>(x0) |
-                    (static_cast<std::uint32_t>(static_cast<std::uint16_t>(x1))
-                     << 16);
-                const __m128i xpair =
-                    _mm_set1_epi32(static_cast<std::int32_t>(pair));
-                const __m128i w0 = _mm_loadl_epi64(
-                    reinterpret_cast<const __m128i*>(wq + kk * n + j0));
-                const __m128i w1 = _mm_loadl_epi64(
-                    reinterpret_cast<const __m128i*>(wq + (kk + 1) * n + j0));
-                const __m128i inter = _mm_unpacklo_epi8(w0, w1);
-                const __m128i lo16 =
-                    _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
-                const __m128i hi16 =
-                    _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
-                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
-                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
-            }
-            if (kk < k) { // odd-K tail: pair the last row with zero
-                const std::int32_t x0 = xrow[kk];
-                if (x0 != 0) {
-                    const __m128i xpair = _mm_set1_epi32(
-                        static_cast<std::uint16_t>(x0));
-                    const __m128i w0 = _mm_loadl_epi64(
-                        reinterpret_cast<const __m128i*>(wq + kk * n + j0));
-                    const __m128i inter = _mm_unpacklo_epi8(w0, vzero);
-                    const __m128i lo16 =
-                        _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
-                    const __m128i hi16 =
-                        _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
-                    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
-                    acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
-                }
-            }
-            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0), acc0);
-            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0 + 4), acc1);
-        }
-        for (; j0 < n; ++j0) { // ragged column tail
-            std::int32_t a = crow[j0];
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-                const std::int32_t xv = xrow[kk];
-                if (xv != 0)
-                    a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
-            }
-            crow[j0] = a;
-        }
-    }
-#else
-    // Scalar fallback: K-tiled, 8-column register-blocked micro-kernel
-    // (each (row, K-tile, column-block) round keeps its 8 partial sums in
-    // int32 registers instead of re-reading the accumulator row per k).
-    constexpr std::int64_t kNr = 8;   //!< columns per register block
-    constexpr std::int64_t kKc = 256; //!< K tile (256 rows x 8 cols = 2 KiB)
-    for (std::int64_t i = 0; i < m; ++i) {
-        const std::int8_t* xrow = xq + i * k;
-        std::int32_t* crow = acc + i * n;
-        for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
-            const std::int64_t kEnd = std::min(k, k0 + kKc);
-            std::int64_t j0 = 0;
-            for (; j0 + kNr <= n; j0 += kNr) {
-                std::int32_t a0 = crow[j0 + 0], a1 = crow[j0 + 1];
-                std::int32_t a2 = crow[j0 + 2], a3 = crow[j0 + 3];
-                std::int32_t a4 = crow[j0 + 4], a5 = crow[j0 + 5];
-                std::int32_t a6 = crow[j0 + 6], a7 = crow[j0 + 7];
-                for (std::int64_t kk = k0; kk < kEnd; ++kk) {
-                    const std::int32_t xv = xrow[kk];
-                    if (xv == 0)
-                        continue;
-                    const std::int8_t* wrow = wq + kk * n + j0;
-                    a0 += xv * static_cast<std::int32_t>(wrow[0]);
-                    a1 += xv * static_cast<std::int32_t>(wrow[1]);
-                    a2 += xv * static_cast<std::int32_t>(wrow[2]);
-                    a3 += xv * static_cast<std::int32_t>(wrow[3]);
-                    a4 += xv * static_cast<std::int32_t>(wrow[4]);
-                    a5 += xv * static_cast<std::int32_t>(wrow[5]);
-                    a6 += xv * static_cast<std::int32_t>(wrow[6]);
-                    a7 += xv * static_cast<std::int32_t>(wrow[7]);
-                }
-                crow[j0 + 0] = a0;
-                crow[j0 + 1] = a1;
-                crow[j0 + 2] = a2;
-                crow[j0 + 3] = a3;
-                crow[j0 + 4] = a4;
-                crow[j0 + 5] = a5;
-                crow[j0 + 6] = a6;
-                crow[j0 + 7] = a7;
-            }
-            for (; j0 < n; ++j0) { // ragged column tail
-                std::int32_t a = crow[j0];
-                for (std::int64_t kk = k0; kk < kEnd; ++kk) {
-                    const std::int32_t xv = xrow[kk];
-                    if (xv != 0)
-                        a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
-                }
-                crow[j0] = a;
-            }
-        }
-    }
-#endif
+    // same accumulators; that freedom is what lets the per-ISA kernels
+    // behind the dispatch table pair K iterations and block rows while
+    // staying bit-identical to the scalar kernel (which the
+    // golden-reference test suite asserts). Kernel variants live in
+    // src/hw/kernels_*.cpp; selection is CPUID-driven with a
+    // CREATE_FORCE_ISA override (see hw/kernel_dispatch.hpp).
+    simd::active().intGemm(xq, m, k, wq, n, acc);
 }
 
 Tensor
@@ -250,7 +131,14 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
     const bool needClean = inject || ctx.protection != Protection::None;
     std::vector<std::int32_t>& gemmDst = needClean ? ws.cleanAcc : ws.acc;
     gemmDst.assign(cnt, 0);
-    intGemm(ws.xq.data(), m, k, st.wq.data(), n, gemmDst.data());
+    // A context-carried sink (the cross-episode batcher) takes the GEMM
+    // when present; both paths honor the same accumulate contract.
+    if (ctx.gemmSink)
+        ctx.gemmSink->gemm(ws.xq.data(), m, k, st.wq.data(), n,
+                           gemmDst.data());
+    else
+        simd::active().intGemm(ws.xq.data(), m, k, st.wq.data(), n,
+                               gemmDst.data());
     ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
 
     // One (re-)execution: copy the clean accumulators into dst and draw a

@@ -1,0 +1,107 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime SIMD kernel dispatch for the integer inference hot path.
+ *
+ * The three data-plane kernels every episode spends its cycles in --
+ * intGemm (int8 GEMM into int32 accumulators), activation quantization,
+ * and absmax calibration scans -- exist in one variant per instruction
+ * set: a portable scalar kernel, the SSE2 `pmaddwd` kernel (the golden
+ * reference the exact-equality test suite is written against), an AVX2
+ * `pmaddwd` kernel, and an AVX-512 VNNI (`vpdpwssd`) kernel. CPUID
+ * detection at first use picks the widest variant the host supports; the
+ * `CREATE_FORCE_ISA` environment variable (scalar | sse2 | avx2 |
+ * avx512vnni) pins the choice for testing and for the CI leg that keeps
+ * the SSE2 fallback exercised on AVX-capable runners.
+ *
+ * Every variant is bit-identical by construction: integer accumulation
+ * is exact in any summation order, quantization rounds with the same
+ * round-to-nearest-even the scalar `nearbyint` path uses (cvtps2dq
+ * rounds per the default MXCSR), and max-reduction is order-independent.
+ * The golden suite (tests/test_hotpath_golden.cpp) enforces this with
+ * exact `memcmp` across every variant the host can run, so switching
+ * ISAs can never change an episode, a ledger, or a campaign result.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace create::simd {
+
+/** Instruction-set tiers of the dispatched kernel family (ascending). */
+enum class Isa
+{
+    Scalar = 0,     //!< portable C++ (any architecture)
+    Sse2 = 1,       //!< paired-K pmaddwd (the golden reference kernel)
+    Avx2 = 2,       //!< 16-column pmaddwd, 4-row register blocking
+    Avx512Vnni = 3, //!< vpdpwssd, 32-column x 4-row register blocking
+};
+
+/** One ISA's kernel set. All variants produce bit-identical results. */
+struct KernelTable
+{
+    Isa isa = Isa::Scalar;
+
+    /** acc(MxN) += xq(MxK) @ wq(KxN), exact int32 accumulation. */
+    void (*intGemm)(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                    const std::int8_t* wq, std::int64_t n,
+                    std::int32_t* acc) = nullptr;
+
+    /**
+     * out[i] = clamp(nearbyint(src[i] * invScale), -lim, lim) as int8,
+     * round-to-nearest-even (the default FP environment).
+     */
+    void (*quantize)(const float* src, std::int64_t n, float invScale,
+                     int lim, std::int8_t* out) = nullptr;
+
+    /** max_i |src[i]| (0 for n == 0); exact (max is order-independent). */
+    float (*absMax)(const float* src, std::int64_t n) = nullptr;
+};
+
+/**
+ * The active kernel table. First call resolves CPUID detection and the
+ * CREATE_FORCE_ISA override; afterwards this is one atomic load.
+ */
+const KernelTable& active();
+
+/** ISA of the active table. */
+Isa activeIsa();
+
+/**
+ * Select a tier at runtime (used by the per-ISA golden tests and
+ * benchmarks). Returns false -- and leaves the active table unchanged --
+ * when the host cannot run `isa`. Not safe to call concurrently with
+ * in-flight kernels; tests switch between suites, never inside one.
+ */
+bool setActive(Isa isa);
+
+/** Every tier this host supports, ascending (always contains Scalar). */
+std::vector<Isa> supported();
+
+/** The widest supported tier (what detection picks absent an override). */
+Isa best();
+
+/** Canonical lowercase name: "scalar" / "sse2" / "avx2" / "avx512vnni". */
+const char* isaName(Isa isa);
+
+/** Parse an ISA name (accepts "avx512" for avx512vnni). */
+bool parseIsa(const std::string& name, Isa* out);
+
+/**
+ * Apply a CREATE_FORCE_ISA-style value: parse it and make it active.
+ * Unknown names and unsupported tiers warn on stderr and select best().
+ * Returns the ISA actually selected. (The env variable itself is applied
+ * automatically on first use; this entry point exists so tests can
+ * exercise the override logic in-process.)
+ */
+Isa applyForceIsa(const std::string& value);
+
+/**
+ * One-line ISA report for bench/driver context output, e.g.
+ * "isa=avx512vnni (supported: scalar sse2 avx2 avx512vnni; forced: no)".
+ */
+std::string report();
+
+} // namespace create::simd

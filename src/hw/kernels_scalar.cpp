@@ -1,0 +1,92 @@
+/** @file Portable scalar kernels: the any-architecture floor of the
+ *  dispatch hierarchy, and the semantic definition every SIMD variant is
+ *  measured against (bit-identical, enforced by the golden suite). */
+
+#include "hw/simd_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace create::simd::detail {
+
+void
+intGemmScalar(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+              const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
+{
+    // K-tiled, 8-column register-blocked micro-kernel (each (row, K-tile,
+    // column-block) round keeps its 8 partial sums in int32 registers
+    // instead of re-reading the accumulator row per k).
+    constexpr std::int64_t kNr = 8;   //!< columns per register block
+    constexpr std::int64_t kKc = 256; //!< K tile (256 rows x 8 cols = 2 KiB)
+    for (std::int64_t i = 0; i < m; ++i) {
+        const std::int8_t* xrow = xq + i * k;
+        std::int32_t* crow = acc + i * n;
+        for (std::int64_t k0 = 0; k0 < k; k0 += kKc) {
+            const std::int64_t kEnd = std::min(k, k0 + kKc);
+            std::int64_t j0 = 0;
+            for (; j0 + kNr <= n; j0 += kNr) {
+                std::int32_t a0 = crow[j0 + 0], a1 = crow[j0 + 1];
+                std::int32_t a2 = crow[j0 + 2], a3 = crow[j0 + 3];
+                std::int32_t a4 = crow[j0 + 4], a5 = crow[j0 + 5];
+                std::int32_t a6 = crow[j0 + 6], a7 = crow[j0 + 7];
+                for (std::int64_t kk = k0; kk < kEnd; ++kk) {
+                    const std::int32_t xv = xrow[kk];
+                    if (xv == 0)
+                        continue;
+                    const std::int8_t* wrow = wq + kk * n + j0;
+                    a0 += xv * static_cast<std::int32_t>(wrow[0]);
+                    a1 += xv * static_cast<std::int32_t>(wrow[1]);
+                    a2 += xv * static_cast<std::int32_t>(wrow[2]);
+                    a3 += xv * static_cast<std::int32_t>(wrow[3]);
+                    a4 += xv * static_cast<std::int32_t>(wrow[4]);
+                    a5 += xv * static_cast<std::int32_t>(wrow[5]);
+                    a6 += xv * static_cast<std::int32_t>(wrow[6]);
+                    a7 += xv * static_cast<std::int32_t>(wrow[7]);
+                }
+                crow[j0 + 0] = a0;
+                crow[j0 + 1] = a1;
+                crow[j0 + 2] = a2;
+                crow[j0 + 3] = a3;
+                crow[j0 + 4] = a4;
+                crow[j0 + 5] = a5;
+                crow[j0 + 6] = a6;
+                crow[j0 + 7] = a7;
+            }
+            for (; j0 < n; ++j0) { // ragged column tail
+                std::int32_t a = crow[j0];
+                for (std::int64_t kk = k0; kk < kEnd; ++kk) {
+                    const std::int32_t xv = xrow[kk];
+                    if (xv != 0)
+                        a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
+                }
+                crow[j0] = a;
+            }
+        }
+    }
+}
+
+void
+quantizeScalar(const float* src, std::int64_t n, float invScale, int lim,
+               std::int8_t* out)
+{
+    for (std::int64_t i = 0; i < n; ++i) {
+        float v = src[i] * invScale;
+        v = std::nearbyint(v);
+        if (v > static_cast<float>(lim))
+            v = static_cast<float>(lim);
+        if (v < static_cast<float>(-lim))
+            v = static_cast<float>(-lim);
+        out[i] = static_cast<std::int8_t>(v);
+    }
+}
+
+float
+absMaxScalar(const float* src, std::int64_t n)
+{
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i)
+        m = std::max(m, std::fabs(src[i]));
+    return m;
+}
+
+} // namespace create::simd::detail

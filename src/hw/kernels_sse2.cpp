@@ -1,0 +1,176 @@
+/** @file SSE2 kernels -- the golden reference SIMD tier.
+ *
+ *  These are the PR-3 hot-path kernels moved verbatim behind the
+ *  dispatcher: always built on x86-64 (SSE2 is part of the base ABI), and
+ *  the variant the CI `CREATE_FORCE_ISA=sse2` leg pins so the fallback
+ *  stays exercised on AVX-capable runners. */
+
+#include "hw/simd_kernels.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include <cstring>
+
+namespace create::simd::detail {
+
+#if defined(__SSE2__)
+
+bool
+sse2KernelsCompiled()
+{
+    return true;
+}
+
+void
+intGemmSse2(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+            const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
+{
+    // SSE2 micro-kernel: 8 output columns per step, two K rows fused per
+    // multiply. Weights of rows kk/kk+1 are interleaved bytewise and
+    // sign-extended to int16 pairs (w[kk][j], w[kk+1][j]); pmaddwd against
+    // the broadcast activation pair (x[kk], x[kk+1]) then produces the
+    // per-column two-term partial sums directly in int32 lanes. Integer
+    // accumulation is exact, so the reordering is bit-identical to the
+    // scalar kernel.
+    const __m128i vzero = _mm_setzero_si128();
+    for (std::int64_t i = 0; i < m; ++i) {
+        const std::int8_t* xrow = xq + i * k;
+        std::int32_t* crow = acc + i * n;
+        std::int64_t j0 = 0;
+        for (; j0 + 8 <= n; j0 += 8) {
+            __m128i acc0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(crow + j0));
+            __m128i acc1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(crow + j0 + 4));
+            std::int64_t kk = 0;
+            for (; kk + 2 <= k; kk += 2) {
+                const std::int32_t x0 = xrow[kk], x1 = xrow[kk + 1];
+                if ((x0 | x1) == 0)
+                    continue;
+                const std::uint32_t pair =
+                    static_cast<std::uint16_t>(x0) |
+                    (static_cast<std::uint32_t>(static_cast<std::uint16_t>(x1))
+                     << 16);
+                const __m128i xpair =
+                    _mm_set1_epi32(static_cast<std::int32_t>(pair));
+                const __m128i w0 = _mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(wq + kk * n + j0));
+                const __m128i w1 = _mm_loadl_epi64(
+                    reinterpret_cast<const __m128i*>(wq + (kk + 1) * n + j0));
+                const __m128i inter = _mm_unpacklo_epi8(w0, w1);
+                const __m128i lo16 =
+                    _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
+                const __m128i hi16 =
+                    _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
+                acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
+                acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
+            }
+            if (kk < k) { // odd-K tail: pair the last row with zero
+                const std::int32_t x0 = xrow[kk];
+                if (x0 != 0) {
+                    const __m128i xpair = _mm_set1_epi32(
+                        static_cast<std::uint16_t>(x0));
+                    const __m128i w0 = _mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(wq + kk * n + j0));
+                    const __m128i inter = _mm_unpacklo_epi8(w0, vzero);
+                    const __m128i lo16 =
+                        _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
+                    const __m128i hi16 =
+                        _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
+                    acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xpair));
+                    acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xpair));
+                }
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0), acc0);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0 + 4), acc1);
+        }
+        for (; j0 < n; ++j0) { // ragged column tail
+            std::int32_t a = crow[j0];
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const std::int32_t xv = xrow[kk];
+                if (xv != 0)
+                    a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
+            }
+            crow[j0] = a;
+        }
+    }
+}
+
+void
+quantizeSse2(const float* src, std::int64_t n, float invScale, int lim,
+             std::int8_t* out)
+{
+    // Vector path: clamp in FP32 then convert. cvtps2dq rounds per MXCSR
+    // (round-to-nearest-even, the same default environment nearbyint
+    // uses), and clamping before instead of after rounding cannot change
+    // the saturated result, so codes are bit-identical to the scalar
+    // loop for every finite input.
+    const __m128 vinv = _mm_set1_ps(invScale);
+    const __m128 vlim = _mm_set1_ps(static_cast<float>(lim));
+    const __m128 vnlim = _mm_set1_ps(static_cast<float>(-lim));
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128 v = _mm_mul_ps(_mm_loadu_ps(src + i), vinv);
+        v = _mm_min_ps(_mm_max_ps(v, vnlim), vlim);
+        __m128i q = _mm_cvtps_epi32(v);
+        q = _mm_packs_epi16(_mm_packs_epi32(q, q), q);
+        const std::int32_t lanes = _mm_cvtsi128_si32(q);
+        std::memcpy(out + i, &lanes, 4);
+    }
+    if (i < n)
+        quantizeScalar(src + i, n - i, invScale, lim, out + i);
+}
+
+float
+absMaxSse2(const float* src, std::int64_t n)
+{
+    // |v| = v with the sign bit cleared; max is order-independent, so the
+    // 4-lane reduction is exact for every finite input (and -0 -> 0, same
+    // as fabs).
+    const __m128 vsign = _mm_set1_ps(-0.0f);
+    __m128 vmax = _mm_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        vmax = _mm_max_ps(vmax, _mm_andnot_ps(vsign, _mm_loadu_ps(src + i)));
+    float lanes[4];
+    _mm_storeu_ps(lanes, vmax);
+    float m = lanes[0];
+    for (int l = 1; l < 4; ++l)
+        m = lanes[l] > m ? lanes[l] : m;
+    const float tail = absMaxScalar(src + i, n - i);
+    return tail > m ? tail : m;
+}
+
+#else // !__SSE2__: non-x86 hosts fall through to the scalar kernels.
+
+bool
+sse2KernelsCompiled()
+{
+    return false;
+}
+
+void
+intGemmSse2(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+            const std::int8_t* wq, std::int64_t n, std::int32_t* acc)
+{
+    intGemmScalar(xq, m, k, wq, n, acc);
+}
+
+void
+quantizeSse2(const float* src, std::int64_t n, float invScale, int lim,
+             std::int8_t* out)
+{
+    quantizeScalar(src, n, invScale, lim, out);
+}
+
+float
+absMaxSse2(const float* src, std::int64_t n)
+{
+    return absMaxScalar(src, n);
+}
+
+#endif
+
+} // namespace create::simd::detail

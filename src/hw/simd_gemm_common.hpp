@@ -1,0 +1,79 @@
+#pragma once
+
+/** @file Shared helpers for the paired-K SIMD int-GEMM kernels (AVX2 and
+ *  AVX-512 TUs): activation-pair broadcast material and the SSE2-width
+ *  ragged-column tail. Header-only and SSE2-level, so every x86 kernel TU
+ *  can inline it regardless of its own -m flags. */
+
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace create::simd::detail {
+
+#if defined(__SSE2__)
+
+/** Broadcastable (x[kk], x[kk+1]) int16 pair from one activation row
+ *  (odd-K tail pairs the last row with zero). */
+inline std::int32_t
+xPairI32(const std::int8_t* xrow, std::int64_t kk, std::int64_t k)
+{
+    const std::uint32_t lo = static_cast<std::uint16_t>(xrow[kk]);
+    const std::uint32_t hi =
+        kk + 1 < k
+            ? static_cast<std::uint32_t>(static_cast<std::uint16_t>(xrow[kk + 1]))
+            : 0u;
+    return static_cast<std::int32_t>(lo | (hi << 16));
+}
+
+/** Finish one GEMM row's ragged columns [j0, n): 8-wide pmaddwd steps
+ *  (the SSE2 golden scheme) plus a scalar remainder. Exact. */
+inline void
+gemmRowTailColsSse2(const std::int8_t* xrow, std::int64_t k,
+                    const std::int8_t* wq, std::int64_t n, std::int32_t* crow,
+                    std::int64_t j0)
+{
+    const __m128i vzero = _mm_setzero_si128();
+    for (; j0 + 8 <= n; j0 += 8) {
+        __m128i acc0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(crow + j0));
+        __m128i acc1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(crow + j0 + 4));
+        for (std::int64_t kk = 0; kk < k; kk += 2) {
+            const std::int32_t pair = xPairI32(xrow, kk, k);
+            if (pair == 0)
+                continue;
+            const __m128i xp = _mm_set1_epi32(pair);
+            const __m128i w0 = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i*>(wq + kk * n + j0));
+            const __m128i w1 =
+                kk + 1 < k ? _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+                                 wq + (kk + 1) * n + j0))
+                           : vzero;
+            const __m128i inter = _mm_unpacklo_epi8(w0, w1);
+            const __m128i lo16 =
+                _mm_srai_epi16(_mm_unpacklo_epi8(vzero, inter), 8);
+            const __m128i hi16 =
+                _mm_srai_epi16(_mm_unpackhi_epi8(vzero, inter), 8);
+            acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(lo16, xp));
+            acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(hi16, xp));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0), acc0);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + j0 + 4), acc1);
+    }
+    for (; j0 < n; ++j0) {
+        std::int32_t a = crow[j0];
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const std::int32_t xv = xrow[kk];
+            if (xv != 0)
+                a += xv * static_cast<std::int32_t>(wq[kk * n + j0]);
+        }
+        crow[j0] = a;
+    }
+}
+
+#endif // __SSE2__
+
+} // namespace create::simd::detail

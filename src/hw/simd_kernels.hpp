@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Internal per-ISA kernel entry points behind create::simd dispatch.
+ *
+ * Each family lives in its own translation unit so CMake can attach the
+ * matching -m<isa> flags to exactly one file (the rest of the library
+ * stays at the baseline architecture). Every function here implements
+ * the contract documented on create::simd::KernelTable and is
+ * bit-identical to the scalar kernels; the AVX2/AVX-512 TUs fall back to
+ * delegating wrappers when the compiler cannot target the ISA, and
+ * report that through their *Compiled() probes so the dispatcher never
+ * advertises a tier that is secretly scalar.
+ */
+
+#include <cstdint>
+
+namespace create::simd::detail {
+
+// -- portable scalar (always real) ----------------------------------------
+void intGemmScalar(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                   const std::int8_t* wq, std::int64_t n, std::int32_t* acc);
+void quantizeScalar(const float* src, std::int64_t n, float invScale, int lim,
+                    std::int8_t* out);
+float absMaxScalar(const float* src, std::int64_t n);
+
+// -- SSE2 (golden reference; real whenever __SSE2__, i.e. any x86-64) -----
+bool sse2KernelsCompiled();
+void intGemmSse2(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                 const std::int8_t* wq, std::int64_t n, std::int32_t* acc);
+void quantizeSse2(const float* src, std::int64_t n, float invScale, int lim,
+                  std::int8_t* out);
+float absMaxSse2(const float* src, std::int64_t n);
+
+// -- AVX2 -----------------------------------------------------------------
+bool avx2KernelsCompiled();
+void intGemmAvx2(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                 const std::int8_t* wq, std::int64_t n, std::int32_t* acc);
+void quantizeAvx2(const float* src, std::int64_t n, float invScale, int lim,
+                  std::int8_t* out);
+float absMaxAvx2(const float* src, std::int64_t n);
+
+// -- AVX-512 VNNI ---------------------------------------------------------
+bool avx512KernelsCompiled();
+void intGemmAvx512(const std::int8_t* xq, std::int64_t m, std::int64_t k,
+                   const std::int8_t* wq, std::int64_t n, std::int32_t* acc);
+void quantizeAvx512(const float* src, std::int64_t n, float invScale, int lim,
+                    std::int8_t* out);
+float absMaxAvx512(const float* src, std::int64_t n);
+
+} // namespace create::simd::detail

@@ -4,9 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
+#include "hw/kernel_dispatch.hpp"
 
 namespace create {
 
@@ -43,35 +41,11 @@ quantizeInto(const Tensor& t, const QuantParams& qp,
     const std::int64_t numel = t.numel();
     out.resize(static_cast<std::size_t>(numel));
     const float inv = 1.0f / qp.scale;
-    std::int64_t i = 0;
-#if defined(__SSE2__)
-    // Vector path: clamp in FP32 then convert. cvtps2dq rounds per MXCSR
-    // (round-to-nearest-even, the same default environment nearbyint
-    // uses), and clamping before instead of after rounding cannot change
-    // the saturated result, so codes are bit-identical to the scalar
-    // loop for every finite input.
-    const float* src = t.data();
-    const __m128 vinv = _mm_set1_ps(inv);
-    const __m128 vlim = _mm_set1_ps(static_cast<float>(lim));
-    const __m128 vnlim = _mm_set1_ps(static_cast<float>(-lim));
-    for (; i + 4 <= numel; i += 4) {
-        __m128 v = _mm_mul_ps(_mm_loadu_ps(src + i), vinv);
-        v = _mm_min_ps(_mm_max_ps(v, vnlim), vlim);
-        __m128i q = _mm_cvtps_epi32(v);
-        q = _mm_packs_epi16(_mm_packs_epi32(q, q), q);
-        const std::int32_t lanes = _mm_cvtsi128_si32(q);
-        std::memcpy(out.data() + i, &lanes, 4);
-    }
-#endif
-    for (; i < numel; ++i) {
-        float v = t[i] * inv;
-        v = std::nearbyint(v);
-        if (v > static_cast<float>(lim))
-            v = static_cast<float>(lim);
-        if (v < static_cast<float>(-lim))
-            v = static_cast<float>(-lim);
-        out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(v);
-    }
+    // Kernel selection is CPUID-driven (see hw/kernel_dispatch.hpp); every
+    // variant rounds with the same round-to-nearest-even the scalar
+    // nearbyint loop uses, so codes are bit-identical across ISAs for
+    // every finite input.
+    simd::active().quantize(t.data(), numel, inv, lim, out.data());
 }
 
 Tensor

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "hw/kernel_dispatch.hpp"
+
 namespace create {
 
 namespace {
@@ -78,10 +80,12 @@ Tensor::fill(float v)
 float
 Tensor::absMax() const
 {
-    float m = 0.0f;
-    for (float v : data_)
-        m = std::max(m, std::fabs(v));
-    return m;
+    // Calibration scans every activation/weight tensor, so this runs on
+    // the dispatched SIMD kernel (max is order-independent: exact). The
+    // dispatch header is architecture-neutral; this is the one place the
+    // tensor layer reaches into hw/.
+    return simd::active().absMax(data_.data(),
+                                 static_cast<std::int64_t>(data_.size()));
 }
 
 float

@@ -1,19 +1,26 @@
 /** @file
  *  Golden bit-identity suite for the optimized inference hot path.
  *
- *  The optimized pipeline (SSE2 intGemm with paired-K pmaddwd, vectorized
- *  activation quantization, workspace-backed faultyLinear with fused
- *  dequant+bias+channel-scale, slab-packed attention) must produce the
- *  exact bit pattern of the naive reference kernels kept in this file:
- *  i-k-j integer GEMM, scalar nearbyint quantization, the two-pass
- *  dequantize-then-broadcast-bias epilogue, and the per-element .at()
- *  score/context attention loops. Coverage spans every registry
- *  platform's real (calibrated, outlier-laden) planner and controller
- *  layers, both quant widths, and every Protection mode with injection
- *  both off and on (reference contexts are seeded identically so RNG
- *  draws align).
+ *  The optimized pipeline (runtime-dispatched SIMD intGemm/quantize,
+ *  workspace-backed faultyLinear with fused dequant+bias+channel-scale,
+ *  slab-packed attention) must produce the exact bit pattern of the naive
+ *  reference kernels kept in this file: i-k-j integer GEMM, scalar
+ *  nearbyint quantization, the two-pass dequantize-then-broadcast-bias
+ *  epilogue, and the per-element .at() score/context attention loops.
+ *  Coverage spans every registry platform's real (calibrated,
+ *  outlier-laden) planner and controller layers, both quant widths, and
+ *  every Protection mode with injection both off and on (reference
+ *  contexts are seeded identically so RNG draws align).
+ *
+ *  Every check runs once per kernel tier the host can dispatch
+ *  (scalar/SSE2/AVX2/AVX-512 VNNI, see hw/kernel_dispatch.hpp): the
+ *  golden contract is a property of the *dispatch table*, not of
+ *  whichever tier happens to be best on the build machine. CI adds a
+ *  CREATE_FORCE_ISA=sse2 leg so the reference tier also runs the full
+ *  suite on hosts whose startup pick is wider.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -25,11 +32,34 @@
 #include "core/platform_registry.hpp"
 #include "fault/injector.hpp"
 #include "hw/faulty_gemm.hpp"
+#include "hw/kernel_dispatch.hpp"
 #include "tensor/ops.hpp"
 
 using namespace create;
 
 namespace {
+
+/**
+ * Run `check` once per kernel tier this host supports, selecting each via
+ * the dispatcher and restoring the prior selection afterward (also on
+ * assertion failure -- gtest fatal failures only abort the enclosing
+ * function when used directly in a TEST body, so the restore runs).
+ */
+template <typename Fn>
+void
+forEachSupportedIsa(Fn&& check)
+{
+    struct Restore
+    {
+        simd::Isa prior = simd::activeIsa();
+        ~Restore() { simd::setActive(prior); }
+    } restore;
+    for (const simd::Isa isa : simd::supported()) {
+        ASSERT_TRUE(simd::setActive(isa)) << simd::isaName(isa);
+        SCOPED_TRACE(std::string("isa=") + simd::isaName(isa));
+        check();
+    }
+}
 
 // --- naive reference kernels (deliberately unoptimized) --------------------
 
@@ -296,50 +326,57 @@ constexpr Protection kProtections[] = {Protection::None, Protection::Dmr,
 
 TEST(HotPathGolden, IntGemmMatchesNaiveOnRaggedShapes)
 {
-    // Odd K (SIMD pair tail), non-multiple-of-8 N (column tail), and
-    // aligned shapes all reduce to the same accumulators.
-    Rng rng(9);
-    for (const auto [m, k, n] :
-         {std::tuple<int, int, int>{3, 33, 13}, {4, 64, 32}, {1, 7, 9},
-          {5, 2, 8}, {2, 1, 1}}) {
-        std::vector<std::int8_t> x(static_cast<std::size_t>(m * k));
-        std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
-        for (auto& v : x)
-            v = static_cast<std::int8_t>(rng.rangeInclusive(-127, 127));
-        for (auto& v : w)
-            v = static_cast<std::int8_t>(rng.rangeInclusive(-127, 127));
-        // Sprinkle zeros to exercise the zero-skip branch.
-        for (std::size_t i = 0; i < x.size(); i += 3)
-            x[i] = 0;
-        std::vector<std::int32_t> opt(static_cast<std::size_t>(m * n), 7);
-        std::vector<std::int32_t> ref = opt; // same nonzero starting acc
-        intGemm(x.data(), m, k, w.data(), n, opt.data());
-        refIntGemm(x.data(), m, k, w.data(), n, ref.data());
-        EXPECT_EQ(opt, ref) << "m=" << m << " k=" << k << " n=" << n;
-    }
+    // Odd K (SIMD pair tail), non-multiple-of-8/16/32 N (column tails of
+    // every tier), row counts off the 4-row register blocks, and aligned
+    // shapes all reduce to the same accumulators.
+    forEachSupportedIsa([] {
+        Rng rng(9);
+        for (const auto [m, k, n] :
+             {std::tuple<int, int, int>{3, 33, 13}, {4, 64, 32}, {1, 7, 9},
+              {5, 2, 8}, {2, 1, 1}, {9, 65, 63}, {12, 64, 26}, {16, 64, 64},
+              {6, 31, 40}, {14, 64, 192}}) {
+            std::vector<std::int8_t> x(static_cast<std::size_t>(m * k));
+            std::vector<std::int8_t> w(static_cast<std::size_t>(k * n));
+            for (auto& v : x)
+                v = static_cast<std::int8_t>(rng.rangeInclusive(-127, 127));
+            for (auto& v : w)
+                v = static_cast<std::int8_t>(rng.rangeInclusive(-127, 127));
+            // Sprinkle zeros to exercise the zero-skip branch.
+            for (std::size_t i = 0; i < x.size(); i += 3)
+                x[i] = 0;
+            std::vector<std::int32_t> opt(static_cast<std::size_t>(m * n), 7);
+            std::vector<std::int32_t> ref = opt; // same nonzero starting acc
+            intGemm(x.data(), m, k, w.data(), n, opt.data());
+            refIntGemm(x.data(), m, k, w.data(), n, ref.data());
+            EXPECT_EQ(opt, ref) << "m=" << m << " k=" << k << " n=" << n;
+        }
+    });
 }
 
 TEST(HotPathGolden, QuantizeMatchesScalarNearbyint)
 {
     // Saturating values, exact halves (round-to-nearest-even), negatives,
     // and a non-multiple-of-4 tail.
-    Tensor t({1, 11});
-    const float vals[11] = {0.4999f, 0.5f,   1.5f,  2.5f,    -2.5f, -0.5f,
-                            1000.0f, -1000.0f, 0.0f, 126.9f, -3.49f};
-    for (int i = 0; i < 11; ++i)
-        t[i] = vals[i];
-    for (QuantBits bits : kWidths) {
-        const QuantParams qp = QuantParams::fromAbsMax(4.0f, bits);
+    forEachSupportedIsa([] {
+        Tensor t({1, 11});
+        const float vals[11] = {0.4999f, 0.5f,   1.5f,  2.5f,    -2.5f, -0.5f,
+                                1000.0f, -1000.0f, 0.0f, 126.9f, -3.49f};
+        for (int i = 0; i < 11; ++i)
+            t[i] = vals[i];
+        for (QuantBits bits : kWidths) {
+            const QuantParams qp = QuantParams::fromAbsMax(4.0f, bits);
+            std::vector<std::int8_t> opt;
+            quantizeInto(t, qp, opt);
+            EXPECT_EQ(opt, refQuantize(t, qp)) << (bits == QuantBits::Int8);
+        }
+        // Random sweep (length off the 8/16-lane boundaries).
+        const Tensor r = randomInput(37, 19, 21, 3.0f);
+        const QuantParams qp =
+            QuantParams::fromAbsMax(r.absMax(), QuantBits::Int8);
         std::vector<std::int8_t> opt;
-        quantizeInto(t, qp, opt);
-        EXPECT_EQ(opt, refQuantize(t, qp)) << (bits == QuantBits::Int8);
-    }
-    // Random sweep.
-    const Tensor r = randomInput(37, 19, 21, 3.0f);
-    const QuantParams qp = QuantParams::fromAbsMax(r.absMax(), QuantBits::Int8);
-    std::vector<std::int8_t> opt;
-    quantizeInto(r, qp, opt);
-    EXPECT_EQ(opt, refQuantize(r, qp));
+        quantizeInto(r, qp, opt);
+        EXPECT_EQ(opt, refQuantize(r, qp));
+    });
 }
 
 TEST(HotPathGolden, SyntheticLinearEveryProtectionAndWidth)
@@ -361,15 +398,17 @@ TEST(HotPathGolden, SyntheticLinearEveryProtectionAndWidth)
     lin.infer(calib, calibCtx);
 
     const Tensor x = randomInput(5, 33, 6, 1.0f);
-    for (QuantBits bits : kWidths)
-        for (Protection prot : kProtections)
-            for (bool inject : {false, true})
-                goldenCheckLinear(lin, x, bits, prot, inject,
-                                  std::string("synthetic bits=") +
-                                      (bits == QuantBits::Int8 ? "8" : "4") +
-                                      " prot=" +
-                                      std::to_string(static_cast<int>(prot)) +
-                                      " inject=" + (inject ? "1" : "0"));
+    forEachSupportedIsa([&] {
+        for (QuantBits bits : kWidths)
+            for (Protection prot : kProtections)
+                for (bool inject : {false, true})
+                    goldenCheckLinear(
+                        lin, x, bits, prot, inject,
+                        std::string("synthetic bits=") +
+                            (bits == QuantBits::Int8 ? "8" : "4") + " prot=" +
+                            std::to_string(static_cast<int>(prot)) +
+                            " inject=" + (inject ? "1" : "0"));
+    });
 }
 
 TEST(HotPathGolden, RegistryPlatformsRealLayersAndAttention)
@@ -387,20 +426,78 @@ TEST(HotPathGolden, RegistryPlatformsRealLayersAndAttention)
 
         const Tensor px = randomInput(6, pdim, 11, 0.7f);
         const Tensor cx = randomInput(3, cdim, 12, 0.7f);
-        for (QuantBits bits : kWidths) {
-            for (Protection prot : kProtections) {
-                goldenCheckLinear(planner.head(), px, bits, prot,
-                                  /*inject=*/true, info.name + " head");
-                goldenCheckLinear(planner.block(0).attn().o(), px, bits,
-                                  prot, /*inject=*/true,
-                                  info.name + " blk0.o");
+        forEachSupportedIsa([&] {
+            for (QuantBits bits : kWidths) {
+                for (Protection prot : kProtections) {
+                    goldenCheckLinear(planner.head(), px, bits, prot,
+                                      /*inject=*/true, info.name + " head");
+                    goldenCheckLinear(planner.block(0).attn().o(), px, bits,
+                                      prot, /*inject=*/true,
+                                      info.name + " blk0.o");
+                }
+                goldenCheckAttention(planner.block(0).attn(), px, bits,
+                                     /*inject=*/true,
+                                     info.name + " planner attn");
+                goldenCheckAttention(controller.block(0).attn(), cx, bits,
+                                     /*inject=*/false,
+                                     info.name + " controller attn");
             }
-            goldenCheckAttention(planner.block(0).attn(), px, bits,
-                                 /*inject=*/true,
-                                 info.name + " planner attn");
-            goldenCheckAttention(controller.block(0).attn(), cx, bits,
-                                 /*inject=*/false,
-                                 info.name + " controller attn");
-        }
+        });
     }
+}
+
+TEST(KernelDispatch, SupportedTiersAndSelection)
+{
+    const std::vector<simd::Isa> tiers = simd::supported();
+    // Scalar is always dispatchable; the startup pick must be one of the
+    // supported tiers and the best() tier is the last (widest) entry.
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(simd::Isa::Scalar, tiers.front());
+    EXPECT_EQ(simd::best(), tiers.back());
+    EXPECT_NE(tiers.end(),
+              std::find(tiers.begin(), tiers.end(), simd::activeIsa()));
+
+    const simd::Isa prior = simd::activeIsa();
+    for (const simd::Isa isa : tiers) {
+        EXPECT_TRUE(simd::setActive(isa)) << simd::isaName(isa);
+        EXPECT_EQ(isa, simd::activeIsa());
+        EXPECT_EQ(isa, simd::active().isa);
+    }
+    simd::setActive(prior);
+}
+
+TEST(KernelDispatch, ParseAndForceIsa)
+{
+    simd::Isa isa = simd::Isa::Scalar;
+    EXPECT_TRUE(simd::parseIsa("sse2", &isa));
+    EXPECT_EQ(simd::Isa::Sse2, isa);
+    EXPECT_TRUE(simd::parseIsa("AVX2", &isa)); // case-insensitive
+    EXPECT_EQ(simd::Isa::Avx2, isa);
+    EXPECT_TRUE(simd::parseIsa("avx512", &isa)); // alias of avx512vnni
+    EXPECT_EQ(simd::Isa::Avx512Vnni, isa);
+    EXPECT_FALSE(simd::parseIsa("neon", &isa));
+    EXPECT_FALSE(simd::parseIsa("", &isa));
+
+    // The CREATE_FORCE_ISA=sse2 contract CI relies on: when the SSE2
+    // tier is dispatchable, forcing selects exactly it; an unknown value
+    // falls back to the best tier instead of crashing.
+    const simd::Isa prior = simd::activeIsa();
+    const std::vector<simd::Isa> tiers = simd::supported();
+    if (std::find(tiers.begin(), tiers.end(), simd::Isa::Sse2) !=
+        tiers.end()) {
+        EXPECT_EQ(simd::Isa::Sse2, simd::applyForceIsa("sse2"));
+        EXPECT_EQ(simd::Isa::Sse2, simd::activeIsa());
+    }
+    EXPECT_EQ(simd::best(), simd::applyForceIsa("not-an-isa"));
+    simd::setActive(prior);
+}
+
+TEST(KernelDispatch, ReportNamesActiveAndSupportedTiers)
+{
+    const std::string rep = simd::report();
+    EXPECT_NE(std::string::npos,
+              rep.find(std::string("isa=") +
+                       simd::isaName(simd::activeIsa())));
+    for (const simd::Isa isa : simd::supported())
+        EXPECT_NE(std::string::npos, rep.find(simd::isaName(isa))) << rep;
 }
