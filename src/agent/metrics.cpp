@@ -1,5 +1,8 @@
 #include "agent/metrics.hpp"
 
+#include <cstring>
+#include <map>
+
 namespace create {
 
 PaperEnergyModel::PaperEnergyModel()
@@ -179,6 +182,23 @@ episodeToRecord(std::string name, const EpisodeRecord& record)
     rec.numbers.reserve(std::size(kEpisodeFields));
     for (const auto& f : kEpisodeFields)
         rec.numbers.emplace_back(f.key, f.get(record));
+    // Schema-v3 optional block: absent entirely when the registry was off,
+    // so a metrics-off store is byte-identical to a v2-era one record-wise.
+    // Counters fit doubles exactly up to 2^53; episode-scale tallies sit
+    // far below that, so the %.17g round trip is lossless.
+    if (record.metrics.present) {
+        const EpisodeMetrics& m = record.metrics;
+        rec.numbers.emplace_back("wallMs", m.wallMs);
+        for (const auto& f : kEpisodeMetricFields)
+            rec.numbers.emplace_back(f.first,
+                                     static_cast<double>(m.*(f.second)));
+        for (const auto& [tag, c] : m.layers)
+            for (const auto& f : kLayerFaultFields)
+                if (c.*(f.second) != 0)
+                    rec.numbers.emplace_back(
+                        std::string(kLayerFieldPrefix) + tag + "." + f.first,
+                        static_cast<double>(c.*(f.second)));
+    }
     return rec;
 }
 
@@ -198,6 +218,41 @@ episodeFromRecord(const JsonRecord& rec, EpisodeRecord& out)
         if (!found)
             return false;
     }
+    // Optional metrics block: a v2 record simply has none of these keys,
+    // and the episode still parses (metrics.present stays false).
+    std::map<std::string, LayerFaultCounters> layerMap;
+    const std::size_t prefixLen = std::strlen(kLayerFieldPrefix);
+    for (const auto& [key, value] : rec.numbers) {
+        if (key == "wallMs") {
+            out.metrics.present = true;
+            out.metrics.wallMs = value;
+            continue;
+        }
+        bool matched = false;
+        for (const auto& f : kEpisodeMetricFields) {
+            if (key == f.first) {
+                out.metrics.*(f.second) = static_cast<std::uint64_t>(value);
+                matched = true;
+                break;
+            }
+        }
+        if (matched || key.compare(0, prefixLen, kLayerFieldPrefix) != 0)
+            continue;
+        // "L.<tag>.<field>": tags may contain dots, the field name cannot.
+        const std::size_t dot = key.rfind('.');
+        if (dot == std::string::npos || dot <= prefixLen)
+            continue;
+        const std::string tag = key.substr(prefixLen, dot - prefixLen);
+        const std::string field = key.substr(dot + 1);
+        for (const auto& f : kLayerFaultFields) {
+            if (field == f.first) {
+                layerMap[tag].*(f.second) =
+                    static_cast<std::uint64_t>(value);
+                break;
+            }
+        }
+    }
+    out.metrics.layers.assign(layerMap.begin(), layerMap.end());
     return true;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "agent/agent.hpp"
+#include "common/metrics.hpp"
 #include "common/serialize.hpp"
 #include "perf/energy.hpp"
 #include "perf/workloads.hpp"
@@ -79,6 +80,14 @@ struct EpisodeRecord
 {
     EpisodeResult result;
     double computeJ = 0.0; //!< PaperEnergyModel::episodeComputeJ(result)
+    /**
+     * Observability payload (store schema v3). Optional: present=false
+     * for records read from v2 stores or collected with the registry
+     * disabled. Never an input to aggregate() -- the TaskStats fold sees
+     * only result+computeJ, which is what keeps metrics-on and
+     * metrics-off campaigns bit-identical.
+     */
+    EpisodeMetrics metrics;
 };
 
 /**

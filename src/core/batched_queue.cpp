@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/metrics.hpp"
 #include "hw/kernel_dispatch.hpp"
 
 namespace create {
@@ -15,6 +16,8 @@ BatchStats::operator+=(const BatchStats& o)
     groups += o.groups;
     maxBatch = std::max(maxBatch, o.maxBatch);
     peakWorkers = std::max(peakWorkers, o.peakWorkers);
+    windowExpiries += o.windowExpiries;
+    inlineRuns += o.inlineRuns;
     return *this;
 }
 
@@ -58,12 +61,16 @@ BatchedInferenceQueue::gemm(const std::int8_t* xq, std::int64_t m,
 {
     std::unique_lock<std::mutex> lk(mu_);
     ++requests_;
+    MetricsRegistry::recordQueueRequest();
     if (active_ <= 1) {
         // No concurrent submitters possible: execute inline. (This is
         // also the serial-evaluation degenerate case.)
         ++groupsRun_;
+        ++inlineRuns_;
         maxBatch_ = std::max<std::uint64_t>(maxBatch_, 1);
         lk.unlock();
+        MetricsRegistry::recordQueueInline();
+        MetricsRegistry::recordQueueGroup(false);
         simd::active().intGemm(xq, m, k, wq, n, acc);
         return;
     }
@@ -89,7 +96,12 @@ BatchedInferenceQueue::gemm(const std::int8_t* xq, std::int64_t m,
             // join any group, so waiting longer buys nothing.
             const bool everyoneHere = inflight_ >= active_;
             if (groupFull || everyoneHere || timedOut) {
-                executeGroup(lk, g, k, n);
+                // Pure expiry: the window ran out while more submitters
+                // were still possible -- the tuning-relevant stall case.
+                if (timedOut && !groupFull && !everyoneHere)
+                    ++windowExpiries_;
+                executeGroup(lk, g, k, n,
+                             timedOut && !groupFull && !everyoneHere);
                 continue;
             }
         }
@@ -102,7 +114,8 @@ BatchedInferenceQueue::gemm(const std::int8_t* xq, std::int64_t m,
 void
 BatchedInferenceQueue::executeGroup(std::unique_lock<std::mutex>& lk,
                                     const std::shared_ptr<Group>& g,
-                                    std::int64_t k, std::int64_t n)
+                                    std::int64_t k, std::int64_t n,
+                                    bool windowExpired)
 {
     g->popped = true;
     pending_.erase(g->key);
@@ -114,6 +127,7 @@ BatchedInferenceQueue::executeGroup(std::unique_lock<std::mutex>& lk,
     const std::int8_t* wq =
         static_cast<const std::int8_t*>(std::get<0>(g->key));
     lk.unlock();
+    MetricsRegistry::recordQueueGroup(windowExpired);
 
     if (reqs.size() == 1) {
         // Solo group: run on the caller's buffers, no staging copy.
@@ -164,6 +178,8 @@ BatchedInferenceQueue::stats() const
     s.groups = groupsRun_;
     s.maxBatch = maxBatch_;
     s.peakWorkers = peakWorkers_;
+    s.windowExpiries = windowExpiries_;
+    s.inlineRuns = inlineRuns_;
     return s;
 }
 
@@ -174,6 +190,8 @@ BatchedInferenceQueue::resetStats()
     requests_ = 0;
     groupsRun_ = 0;
     maxBatch_ = 0;
+    windowExpiries_ = 0;
+    inlineRuns_ = 0;
     peakWorkers_ = active_;
 }
 

@@ -60,6 +60,11 @@ struct BatchStats
     std::uint64_t groups = 0;   //!< kernel calls actually issued
     std::uint64_t maxBatch = 0; //!< largest number of fused requests
     int peakWorkers = 0;        //!< high-water registered submitters
+    /** Groups flushed by the batch-window timeout rather than filling up
+     *  or draining the submitter set -- the "we waited for company that
+     *  never came" case a window-size tuning pass looks at. */
+    std::uint64_t windowExpiries = 0;
+    std::uint64_t inlineRuns = 0; //!< <=1-worker direct executions
 
     /** Mean requests fused per kernel call (1.0 = no fusion happened). */
     double avgBatch() const
@@ -144,7 +149,7 @@ class BatchedInferenceQueue : public IntGemmSink
     /** Pop `g` and run the fused kernel (unlocks `lk` during compute). */
     void executeGroup(std::unique_lock<std::mutex>& lk,
                       const std::shared_ptr<Group>& g, std::int64_t k,
-                      std::int64_t n);
+                      std::int64_t n, bool windowExpired = false);
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
@@ -157,6 +162,8 @@ class BatchedInferenceQueue : public IntGemmSink
     std::uint64_t requests_ = 0;
     std::uint64_t groupsRun_ = 0;
     std::uint64_t maxBatch_ = 0;
+    std::uint64_t windowExpiries_ = 0;
+    std::uint64_t inlineRuns_ = 0;
     int peakWorkers_ = 0;
 };
 

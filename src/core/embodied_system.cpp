@@ -1,6 +1,7 @@
 #include "core/embodied_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/parallel_eval.hpp"
 
@@ -100,10 +101,19 @@ EmbodiedSystem::runEpisodes(int taskId, const CreateConfig& cfg, int reps,
     std::vector<EpisodeResult> results;
     results.reserve(static_cast<std::size_t>(reps));
     for (int i = 0; i < reps; ++i) {
+        // An episode runs wholly on this thread, so the thread-local
+        // registry brackets exactly one episode's hot-path counters.
+        MetricsRegistry& reg = MetricsRegistry::tls();
+        reg.beginEpisode();
+        const auto t0 = std::chrono::steady_clock::now();
         results.push_back(
             runEpisode(taskId, seed0 + static_cast<std::uint64_t>(i), cfg));
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         if (sink)
-            sink->onEpisode(i, results.back());
+            sink->onEpisode(i, results.back(), reg.endEpisode(wallMs));
     }
     return results;
 }

@@ -48,7 +48,14 @@ class EpisodeSink
 {
   public:
     virtual ~EpisodeSink() = default;
-    virtual void onEpisode(int index, const EpisodeResult& result) = 0;
+    /**
+     * `metrics` is the episode's drained observability payload (wall
+     * time, per-layer fault attribution; present=false when the
+     * MetricsRegistry is disabled). It rides alongside the result rather
+     * than inside it so the TaskStats fold never sees it.
+     */
+    virtual void onEpisode(int index, const EpisodeResult& result,
+                           const EpisodeMetrics& metrics) = 0;
 };
 
 /** One deployment configuration (platform-agnostic). */

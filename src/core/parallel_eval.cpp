@@ -1,5 +1,6 @@
 #include "core/parallel_eval.hpp"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 
@@ -80,11 +81,23 @@ ParallelEvaluator::workerLoop(std::size_t workerIdx)
                 if (i >= job.reps)
                     break;
                 EpisodeResult& slot = (*job.out)[static_cast<std::size_t>(i)];
+                // Each episode runs wholly on this worker thread (the
+                // fused-batch kernel may execute on a peer, but only this
+                // thread's faultyLinear calls record here), so the
+                // thread-local registry attributes counters to exactly
+                // this episode.
+                MetricsRegistry& reg = MetricsRegistry::tls();
+                reg.beginEpisode();
+                const auto t0 = std::chrono::steady_clock::now();
                 slot = sys.runEpisode(
                     job.taskId, job.seed0 + static_cast<std::uint64_t>(i),
                     *job.cfg);
+                const double wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
                 if (job.sink)
-                    job.sink->onEpisode(i, slot);
+                    job.sink->onEpisode(i, slot, reg.endEpisode(wallMs));
             }
         } catch (const std::exception& e) {
             std::lock_guard<std::mutex> lock(mu_);

@@ -84,6 +84,17 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
         }
         cell.episodes = next;
         cell.stats = aggregate(prefix);
+        // Metrics are comparable only with full coverage: a ledger mixing
+        // metrics-on and metrics-off (or v2 and v3) episodes would make
+        // the summed counters depend on which build ran which episode.
+        cell.hasMetrics = next > 0;
+        for (const EpisodeRecord& rec : prefix) {
+            cell.hasMetrics = cell.hasMetrics && rec.metrics.present;
+            cell.metrics += rec.metrics;
+        }
+        if (!cell.hasMetrics)
+            cell.metrics = EpisodeMetrics{};
+        cell.records = std::move(prefix);
         const auto mit = metas.find(fp);
         if (mit != metas.end()) {
             cell.platform = mit->second->text("platform");
@@ -156,6 +167,22 @@ diffStoreCells(const std::vector<StoreCell>& a,
                                        ca.fingerprint,
                                        std::string(key) + " " + fmtg(va) +
                                            " vs " + fmtg(vb)});
+        }
+        // Observability counters are RNG-seed-driven and therefore as
+        // deterministic as the stats; compare them when both sides have
+        // full coverage (never wallMs -- wall time is honest noise).
+        if (ca.hasMetrics && cb.hasMetrics) {
+            for (const auto& [key, member] : kEpisodeMetricFields) {
+                const double va =
+                    static_cast<double>(ca.metrics.*member);
+                const double vb =
+                    static_cast<double>(cb.metrics.*member);
+                if (!withinTolerance(va, vb, opt))
+                    res.entries.push_back(
+                        {StoreDiffEntry::Kind::Stat, ca.fingerprint,
+                         "metrics." + std::string(key) + " " + fmtg(va) +
+                             " vs " + fmtg(vb)});
+            }
         }
     }
     for (const auto& [fp, cell] : byFpB)

@@ -33,6 +33,13 @@ struct StoreCell
     TaskStats stats;
     int episodes = 0;  //!< episodes folded (v2: contiguous prefix length)
     bool legacy = false; //!< v1 cell-level record (no episode ledger)
+    /** The folded episode prefix itself (empty for legacy cells); the
+     *  raw sample source for sweep-stats' percentile engine. */
+    std::vector<EpisodeRecord> records;
+    /** Summed observability counters over the prefix; only comparable
+     *  when every prefix episode carried them (hasMetrics). */
+    EpisodeMetrics metrics;
+    bool hasMetrics = false;
 };
 
 /** Tolerances for stat comparisons: pass when

@@ -15,6 +15,7 @@
 
 #include "common/serialize.hpp"
 #include "core/platform_registry.hpp"
+#include "core/store_stats.hpp"
 
 namespace create {
 
@@ -165,11 +166,14 @@ class SweepRunner::StoreSink : public EpisodeSink
 
     int base = 0; //!< ledger index of this run's episode 0
 
-    void onEpisode(int index, const EpisodeResult& result) override
+    void onEpisode(int index, const EpisodeResult& result,
+                   const EpisodeMetrics& metrics) override
     {
         // Price the episode once, at completion: the record is the unit
-        // of campaign state from here on.
-        const EpisodeRecord rec{result, energy_.episodeComputeJ(result)};
+        // of campaign state from here on. The metrics payload rides along
+        // into the ledger/store but never into the TaskStats fold.
+        const EpisodeRecord rec{result, energy_.episodeComputeJ(result),
+                                metrics};
         bool doFlush = false;
         {
             std::lock_guard<std::mutex> lock(runner_.storeMu_);
@@ -181,6 +185,16 @@ class SweepRunner::StoreSink : public EpisodeSink
             ++runner_.progressDone_;
             if (result.success)
                 ++runner_.progressSucc_;
+            if (metrics.present) {
+                // Bounded sliding window: live tail latency, O(1) space.
+                constexpr std::size_t kWallWindow = 4096;
+                if (runner_.progressWall_.size() < kWallWindow)
+                    runner_.progressWall_.push_back(metrics.wallMs);
+                else
+                    runner_.progressWall_[runner_.progressWallNext_++ %
+                                          kWallWindow] = metrics.wallMs;
+                runner_.progressFlips_ += metrics.flipsInjected;
+            }
             if (toStore_)
                 runner_.pendingRecords_.push_back(episodeToRecord(
                     sweepEpisodeKey(fingerprint_, base + index), rec));
@@ -442,11 +456,16 @@ SweepRunner::flushStore()
     // the at-most-one-flush-batch kill-durability guarantee.
     if (version <= storeWritten_ && pending.empty())
         return;
-    if (storeRecords_.find(kSweepStoreSchemaRecord) == storeRecords_.end()) {
+    {
+        // Always (re)stamp the current schema: merging into an older
+        // (v2) store upgrades it -- old records stay valid, new episode
+        // records carry the optional v3 fields. Setting it before the
+        // shard disk-merge below means a concurrent shard's older stamp
+        // never wins (emplace keeps ours).
         JsonRecord schema;
         schema.name = kSweepStoreSchemaRecord;
         schema.numbers.emplace_back("schema", kSweepStoreSchema);
-        storeRecords_.emplace(schema.name, std::move(schema));
+        storeRecords_[kSweepStoreSchemaRecord] = std::move(schema);
     }
     // Sharded campaigns: other processes rewrite the same file, so the
     // read-merge-rename must be atomic across processes too. The flock
@@ -489,6 +508,8 @@ SweepRunner::progressLine()
     long long done = 0, total = 0, succ = 0;
     std::size_t unitsDone = 0, unitsTotal = 0;
     double elapsed = 0.0;
+    std::vector<double> wall;
+    std::uint64_t flips = 0;
     {
         std::lock_guard<std::mutex> lock(storeMu_);
         done = progressDone_;
@@ -497,7 +518,15 @@ SweepRunner::progressLine()
         unitsDone = unitsDone_;
         unitsTotal = unitsTotal_;
         elapsed = nowSeconds() - progressStart_;
+        wall = progressWall_; // bounded window, cheap copy
+        flips = progressFlips_;
     }
+    // Division audit: every ratio below is guarded against its zero
+    // denominator. The first flush can land within the same steady-clock
+    // tick as run()'s start (elapsed == 0.0 exactly), so eps/s reports
+    // 0.0 and the ETA falls through to "?" (or "0s" when already done)
+    // instead of dividing by a zero rate; success%, flips/ep, and p95
+    // are likewise gated on done > 0 / a non-empty sample window.
     const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
                                       : 0.0;
     char eta[32];
@@ -506,6 +535,17 @@ SweepRunner::progressLine()
                       static_cast<double>(total - done) / rate);
     else
         std::snprintf(eta, sizeof(eta), "%s", done >= total ? "0s" : "?");
+    // Live observability from the metrics registry: p95 episode time over
+    // the recent-episode window and mean injected flips per episode
+    // (absent when the registry is disabled).
+    char live[64] = "";
+    if (!wall.empty() && done > 0) {
+        const double p95 = percentile(wall, 95.0);
+        std::snprintf(live, sizeof(live), ", p95 %.0fms, flips/ep %.1f",
+                      p95,
+                      static_cast<double>(flips) /
+                          static_cast<double>(done));
+    }
     // GEMM-fusion health of the batched inference path (absent when the
     // episode fan-out or batching never engaged this campaign).
     const BatchStats bs = batchStats();
@@ -516,12 +556,12 @@ SweepRunner::progressLine()
                       100.0 * bs.fillRate());
     std::fprintf(stderr,
                  "[sweep] progress: ledgers %zu/%zu, episodes %lld/%lld, "
-                 "%.1f eps/s, success %.1f%%%s, eta %s\n",
+                 "%.1f eps/s, success %.1f%%%s%s, eta %s\n",
                  unitsDone, unitsTotal, done, total, rate,
                  done > 0 ? 100.0 * static_cast<double>(succ) /
                                 static_cast<double>(done)
                           : 0.0,
-                 batch, eta);
+                 live, batch, eta);
 }
 
 BatchStats
@@ -700,6 +740,9 @@ SweepRunner::run()
         unitsTotal_ = units.size();
         unitsDone_ = 0;
         progressStart_ = nowSeconds();
+        progressWall_.clear();
+        progressWallNext_ = 0;
+        progressFlips_ = 0;
     }
     if (!units.empty())
         phaseHadWork = true;

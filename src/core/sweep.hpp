@@ -99,8 +99,18 @@ std::string sweepFingerprint(const SweepCell& cell);
  */
 std::string sweepFingerprintLegacyV1(const SweepCell& cell);
 
-/** Schema version written by the episode-ledger store. */
-constexpr int kSweepStoreSchema = 2;
+/**
+ * Schema version written by the episode-ledger store.
+ *
+ * v3 adds optional per-episode observability fields (wallMs, the
+ * flip-attribution counters, per-layer `L.<tag>.<field>` keys) to episode
+ * records. v2 stores load losslessly -- the fields simply are not there
+ * and the episode's metrics stay absent -- and any flush rewrites the
+ * schema record at the current version. Older (v2-only) builds refuse v3
+ * stores via the existing future-schema guard rather than stripping the
+ * new fields on their next rewrite.
+ */
+constexpr int kSweepStoreSchema = 3;
 /** Name of the store's schema record. */
 constexpr const char* kSweepStoreSchemaRecord = "sweep-store";
 
@@ -303,6 +313,15 @@ class SweepRunner
     std::size_t unitsTotal_ = 0;
     std::size_t unitsDone_ = 0;
     double progressStart_ = 0.0; //!< steady-clock seconds at run() start
+    /**
+     * Sliding window of recent episode wall times (ms) and the running
+     * injected-flip total, both fed by the metrics payload each episode
+     * drains; the --progress line reports live p95 episode time and
+     * flips/episode from them. Guarded by storeMu_.
+     */
+    std::vector<double> progressWall_;
+    std::size_t progressWallNext_ = 0;
+    std::uint64_t progressFlips_ = 0;
 };
 
 } // namespace create

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
 #include "fault/injector.hpp"
 #include "hw/kernel_dispatch.hpp"
 #include "tensor/ops.hpp"
@@ -124,6 +125,14 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
     const bool inject =
         ctx.mode() != InjectionMode::None && ctx.injectionEnabledFor(tag);
 
+    // Observability only: every counter below reads state the pipeline
+    // already computed (or runs an extra O(M*N) compare, dwarfed by the
+    // O(M*N*K) GEMM) and never feeds back into a result. `fc` is recorded
+    // into the thread-local registry once, at the end of the call.
+    const bool metricsOn = MetricsRegistry::enabled();
+    LayerFaultCounters fc;
+    fc.gemms = 1;
+
     // 2. Integer GEMM into 24-bit accumulators (int32-backed). The clean
     //    product is only kept separately when injection or a protection
     //    scheme may re-execute with independent error draws; otherwise it
@@ -152,8 +161,21 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
                 dst.data(), dst.size(), ctx.activeBitRates(), ctx.rng,
                 positions);
             ctx.meter.addFlips(ctx.domain, stats.flips);
+            fc.injected += stats.flips;
         }
     };
+
+    // Corrupted elements in an accumulator buffer vs the kept clean
+    // product (valid whenever needClean). Attribution-only extra pass.
+    auto corruptCount = [&](const std::vector<std::int32_t>& a) {
+        std::size_t c = 0;
+        for (std::size_t i = 0; i < cnt; ++i)
+            c += a[i] != ws.cleanAcc[i];
+        return static_cast<std::uint64_t>(c);
+    };
+    // Corrupted outputs right after the first faulty execution, before
+    // any protection acted -- the baseline "corrected" is measured from.
+    std::uint64_t preMismatch = 0;
 
     // 3. Inject voltage-underscaling bit flips, under the configured
     //    protection scheme (Sec. 6.10 baselines; CREATE uses None + AD).
@@ -161,23 +183,32 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
     switch (ctx.protection) {
       case Protection::None:
         // Without injection, acc already holds the clean product.
-        if (inject)
+        if (inject) {
             runInto(acc, nullptr);
+            if (metricsOn)
+                preMismatch = corruptCount(acc);
+        }
         break;
       case Protection::Dmr: {
         // Duplicate execution and compare; on mismatch a third execution
         // arbitrates per element (2-of-3 vote). Two copies agreeing on a
         // corrupted value requires the same flip twice -- negligible.
         runInto(acc, nullptr);
+        if (metricsOn && inject)
+            preMismatch = corruptCount(acc);
         runInto(ws.acc2, nullptr);
         ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage()); // the copy
+        fc.reExecutions += 1; // the duplicate copy
         if (acc != ws.acc2) {
             runInto(ws.acc3, nullptr);
             ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
+            fc.reExecutions += 1; // the arbitration run
             for (std::size_t i = 0; i < cnt; ++i) {
-                if (acc[i] != ws.acc2[i])
+                if (acc[i] != ws.acc2[i]) {
+                    fc.detected += 1;
                     acc[i] = (ws.acc2[i] == ws.acc3[i]) ? ws.acc2[i]
                                                         : ws.acc3[i];
+                }
             }
         }
         break;
@@ -189,6 +220,9 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
         // circuitry adds a small energy overhead.
         ws.positions.clear();
         runInto(acc, &ws.positions);
+        if (metricsOn && inject)
+            preMismatch = corruptCount(acc);
+        fc.detected += ws.positions.size();
         for (auto idx : ws.positions)
             acc[idx] = 0;
         ctx.meter.addGemm(ctx.domain, gemmMacs * 0.05, ctx.voltage());
@@ -202,9 +236,16 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
         for (int attempt = 0; attempt < 5; ++attempt) {
             ws.positions.clear();
             runInto(acc, &ws.positions);
+            if (attempt == 0) {
+                if (metricsOn && inject)
+                    preMismatch = corruptCount(acc);
+            } else {
+                fc.reExecutions += 1; // this runInto was a recompute
+            }
             ctx.meter.addGemm(ctx.domain, checksumMacs, ctx.voltage());
             if (ws.positions.empty())
                 break;
+            fc.detected += ws.positions.size();
             // Recompute costs another full GEMM.
             ctx.meter.addGemm(ctx.domain, gemmMacs, ctx.voltage());
         }
@@ -227,6 +268,27 @@ faultyLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
         }
         if (cleared)
             ctx.meter.addAnomalies(ctx.domain, cleared);
+        // AD flags are detections whether or not anything was injected
+        // (a clamp on a clean run is a false positive, still "detected").
+        fc.detected += cleared;
+    }
+
+    // Attribution epilogue: what actually left the layer. `escaped` is
+    // measured at accumulator precision (dequantization is an injective
+    // per-element scale, so accumulator-level equality is output-level
+    // equality); `corrected` is the net repair vs the first faulty
+    // execution, floored at zero in case a protection scheme corrupted
+    // more than it fixed (e.g. ThunderVolt zeroing nonzero outputs).
+    if (metricsOn && inject) {
+        fc.escaped = corruptCount(acc);
+        fc.corrected =
+            preMismatch > fc.escaped ? preMismatch - fc.escaped : 0;
+    }
+    if (metricsOn) {
+        MetricsRegistry& reg = MetricsRegistry::tls();
+        reg.recordGemm(tag);
+        if (fc.any())
+            reg.recordFault(tag, fc);
     }
 
     // 5. Dequantize + FP32 bias (channel scale already folded into both),

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/serialize.hpp"
 #include "core/store_diff.hpp"
 #include "core/sweep.hpp"
@@ -37,10 +38,37 @@ makeEpisode(int i, bool success)
     return e;
 }
 
-/** Write a v2 store with one ledger of `n` episodes per fingerprint. */
+/** Attach a deterministic schema-v3 metrics payload to an episode. */
+void
+attachMetrics(EpisodeRecord& e, int i)
+{
+    EpisodeMetrics& m = e.metrics;
+    m.present = true;
+    m.wallMs = 12.5 + 0.25 * i;
+    m.gemms = 40 + static_cast<std::uint64_t>(i);
+    m.flipsInjected = 9 + static_cast<std::uint64_t>(2 * i);
+    m.flipsDetected = 6 + static_cast<std::uint64_t>(i);
+    m.flipsCorrected = 4;
+    m.flipsEscaped = m.flipsInjected - m.flipsCorrected;
+    m.reExecutions = static_cast<std::uint64_t>(i % 3);
+    // Dotted layer tags exercise the rfind('.')-based key parsing.
+    LayerFaultCounters attn;
+    attn.gemms = 30;
+    attn.injected = m.flipsInjected - 2;
+    attn.escaped = 5;
+    LayerFaultCounters head;
+    head.gemms = 10 + static_cast<std::uint64_t>(i);
+    head.injected = 2;
+    head.detected = m.flipsDetected;
+    head.reExecutions = m.reExecutions;
+    m.layers = {{"planner.attn.k", attn}, {"planner.head", head}};
+}
+
+/** Write a store with one ledger of `n` episodes per fingerprint. */
 void
 writeStore(const std::string& path, const std::vector<std::string>& fps,
-           int n, int perturbEpisode = -1)
+           int n, int perturbEpisode = -1, bool withMetrics = false,
+           int perturbFlipsEpisode = -1)
 {
     std::vector<JsonRecord> records;
     JsonRecord schema;
@@ -59,6 +87,11 @@ writeStore(const std::string& path, const std::vector<std::string>& fps,
             EpisodeRecord e = makeEpisode(i, i % 2 == 0);
             if (i == perturbEpisode)
                 e.computeJ *= 1.0 + 1e-12; // one-ulp-ish drift
+            if (withMetrics) {
+                attachMetrics(e, i);
+                if (i == perturbFlipsEpisode)
+                    e.metrics.flipsEscaped += 1;
+            }
             records.push_back(
                 episodeToRecord(sweepEpisodeKey(fp, i), e));
         }
@@ -219,6 +252,106 @@ TEST(StoreDiff, ComparesLegacyV1Aggregates)
     EXPECT_EQ(res.entries[0].kind, StoreDiffEntry::Kind::Episodes);
     std::remove(a.c_str());
     std::remove(b.c_str());
+}
+
+TEST(EpisodeLedger, MetricsRoundTripThroughRecord)
+{
+    EpisodeRecord want = makeEpisode(3, true);
+    attachMetrics(want, 3);
+    const JsonRecord rec = episodeToRecord("v2|x#3", want);
+
+    EpisodeRecord got;
+    ASSERT_TRUE(episodeFromRecord(rec, got));
+    ASSERT_TRUE(got.metrics.present);
+    EXPECT_EQ(want.metrics.wallMs, got.metrics.wallMs);
+    for (const auto& [key, member] : kEpisodeMetricFields) {
+        SCOPED_TRACE(key);
+        EXPECT_EQ(want.metrics.*member, got.metrics.*member);
+    }
+    // Per-layer tables reconstruct exactly, dotted tags included.
+    ASSERT_EQ(got.metrics.layers.size(), want.metrics.layers.size());
+    for (const auto& [tag, c] : want.metrics.layers) {
+        SCOPED_TRACE(tag);
+        const LayerFaultCounters* back = got.metrics.layer(tag);
+        ASSERT_NE(back, nullptr);
+        for (const auto& [key, member] : kLayerFaultFields) {
+            SCOPED_TRACE(key);
+            EXPECT_EQ(c.*member, back->*member);
+        }
+    }
+}
+
+TEST(EpisodeLedger, RecordWithoutMetricsParsesAsAbsent)
+{
+    // A v2-era record carries none of the metrics keys; the episode must
+    // still parse, with the payload marked absent (lossless v2 read).
+    const JsonRecord rec = episodeToRecord("v2|x#0", makeEpisode(0, true));
+    EpisodeRecord out;
+    ASSERT_TRUE(episodeFromRecord(rec, out));
+    EXPECT_FALSE(out.metrics.present);
+    EXPECT_TRUE(out.metrics.layers.empty());
+}
+
+TEST(StoreDiff, DetectsMetricsDrift)
+{
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1"}, 6, -1, /*withMetrics=*/true);
+    writeStore(b, {"v2|p1"}, 6, -1, /*withMetrics=*/true);
+    EXPECT_TRUE(diffStores(a, b).clean());
+
+    // One extra escaped flip in one episode: the cell-level counter sums
+    // differ, and the comparator names the drifted counter.
+    writeStore(b, {"v2|p1"}, 6, -1, true, /*perturbFlipsEpisode=*/2);
+    const StoreDiffResult res = diffStores(a, b);
+    ASSERT_EQ(res.entries.size(), 1u);
+    EXPECT_EQ(res.entries[0].kind, StoreDiffEntry::Kind::Stat);
+    EXPECT_NE(res.entries[0].detail.find("metrics.flipsEscaped"),
+              std::string::npos);
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, MetricsAbsentOnOneSideIsNotDrift)
+{
+    // Comparing a v3 store against a metrics-off (or v2-era) store of the
+    // same campaign must gate on the results, not the payload's absence.
+    const std::string a = "/tmp/create_test_diff_a.json";
+    const std::string b = "/tmp/create_test_diff_b.json";
+    writeStore(a, {"v2|p1"}, 5, -1, /*withMetrics=*/true);
+    writeStore(b, {"v2|p1"}, 5);
+    EXPECT_TRUE(diffStores(a, b).clean());
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(StoreDiff, MixedMetricsLedgerDropsTheSummedCounters)
+{
+    // A ledger where only some episodes carry metrics (e.g. resumed by a
+    // metrics-off build) is not comparable counter-wise: hasMetrics must
+    // be false so build provenance can never flip a gate verdict.
+    const std::string path = "/tmp/create_test_diff_mixed.json";
+    std::vector<JsonRecord> records;
+    JsonRecord schema;
+    schema.name = kSweepStoreSchemaRecord;
+    schema.numbers.emplace_back("schema", kSweepStoreSchema);
+    records.push_back(schema);
+    for (int i = 0; i < 4; ++i) {
+        EpisodeRecord e = makeEpisode(i, true);
+        if (i != 2)
+            attachMetrics(e, i);
+        records.push_back(episodeToRecord(sweepEpisodeKey("v2|p1", i), e));
+    }
+    ASSERT_TRUE(writeJsonRecords(path, records));
+
+    std::vector<StoreCell> cells;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(path, cells, error));
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].episodes, 4);
+    EXPECT_FALSE(cells[0].hasMetrics);
+    EXPECT_EQ(cells[0].metrics.flipsInjected, 0u);
+    std::remove(path.c_str());
 }
 
 TEST(StoreDiff, MissingFileIsAnError)

@@ -10,9 +10,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/metrics.hpp"
 #include "common/serialize.hpp"
 #include "core/create_system.hpp"
 #include "core/manip_system.hpp"
+#include "core/store_diff.hpp"
 #include "core/sweep.hpp"
 #include "env/manipworld.hpp"
 #include "test_util.hpp"
@@ -560,6 +562,170 @@ TEST(Sweep, RejectsBadShardOptions)
     o.shardIndex = 2;
     o.shardCount = 2;
     EXPECT_THROW(SweepRunner{o}, std::invalid_argument);
+}
+
+// --- observability: schema v3 metrics through the campaign pipeline -----
+
+namespace {
+
+/** Restores the global metrics switch no matter how the test exits. */
+struct MetricsSwitchGuard
+{
+    bool saved = MetricsRegistry::enabled();
+    ~MetricsSwitchGuard() { MetricsRegistry::setEnabled(saved); }
+};
+
+} // namespace
+
+TEST(Observability, MetricsOnOffTaskStatsBitIdentical)
+{
+    // The registry observes, never branches: disabling collection must
+    // not move a single bit of any campaign result.
+    MetricsSwitchGuard guard;
+    const auto cells = campaignCells(3);
+
+    MetricsRegistry::setEnabled(false);
+    SweepRunner off;
+    for (const auto& c : cells)
+        off.add(c);
+    off.run();
+
+    MetricsRegistry::setEnabled(true);
+    SweepRunner on;
+    for (const auto& c : cells)
+        on.add(c);
+    on.run();
+
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        SCOPED_TRACE(h);
+        expectIdentical(off.stats(h), on.stats(h));
+        const auto& offEps = off.episodes(h);
+        const auto& onEps = on.episodes(h);
+        ASSERT_EQ(offEps.size(), onEps.size());
+        for (std::size_t i = 0; i < offEps.size(); ++i)
+            expectIdentical(offEps[i], onEps[i]);
+    }
+}
+
+TEST(Observability, CampaignStoreCarriesFaultAttribution)
+{
+    // An injected campaign's store must carry per-episode attribution
+    // that agrees with the result pipeline's own meters.
+    MetricsSwitchGuard guard;
+    MetricsRegistry::setEnabled(true);
+    const std::string path = "/tmp/create_test_sweep_metrics.json";
+    std::remove(path.c_str());
+
+    SweepRunner::Options o;
+    o.storePath = path;
+    SweepRunner sweep(o);
+    sweep.add(campaignCells(3)[0]); // mine + injection + AD, no protection
+    sweep.run();
+
+    std::vector<StoreCell> loaded;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(path, loaded, error)) << error;
+    ASSERT_EQ(loaded.size(), 1u);
+    const StoreCell& cell = loaded[0];
+    ASSERT_TRUE(cell.hasMetrics);
+    EXPECT_GT(cell.metrics.gemms, 0u);
+    EXPECT_GT(cell.metrics.flipsInjected, 0u)
+        << "stressor too mild to exercise attribution";
+    ASSERT_FALSE(cell.metrics.layers.empty());
+
+    // The per-layer table partitions the episode totals exactly.
+    LayerFaultCounters sum;
+    for (const auto& [tag, c] : cell.metrics.layers)
+        sum += c;
+    EXPECT_EQ(sum.injected, cell.metrics.flipsInjected);
+    EXPECT_EQ(sum.detected, cell.metrics.flipsDetected);
+    EXPECT_EQ(sum.corrected, cell.metrics.flipsCorrected);
+    EXPECT_EQ(sum.escaped, cell.metrics.flipsEscaped);
+
+    for (const EpisodeRecord& rec : cell.records) {
+        ASSERT_TRUE(rec.metrics.present);
+        // Same sources the EnergyMeter already folds into the results:
+        // injected == the episode's bitFlips; with AD as the only active
+        // mechanism, detected == the episode's cleared-anomaly count.
+        EXPECT_EQ(rec.metrics.flipsInjected, rec.result.bitFlips);
+        EXPECT_EQ(rec.metrics.flipsDetected, rec.result.anomaliesCleared);
+        EXPECT_EQ(rec.metrics.reExecutions, 0u); // no re-executing scheme
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Observability, V2StoreUpgradesToV3OnResume)
+{
+    MetricsSwitchGuard guard;
+    const std::string path = "/tmp/create_test_sweep_v2migrate.json";
+    std::remove(path.c_str());
+    const auto cells = campaignCells(3);
+
+    // A metrics-off campaign writes episode records carrying none of the
+    // v3 keys -- record-wise exactly what a v2-era build wrote.
+    MetricsRegistry::setEnabled(false);
+    SweepRunner::Options withStore;
+    withStore.storePath = path;
+    {
+        SweepRunner writer(withStore);
+        for (const auto& c : cells)
+            writer.add(c);
+        writer.run();
+    }
+    MetricsRegistry::setEnabled(true);
+
+    // Downgrade the schema stamp to finish the v2 impersonation.
+    std::vector<JsonRecord> records;
+    ASSERT_TRUE(readJsonRecords(path, records));
+    bool stamped = false;
+    for (JsonRecord& rec : records)
+        if (rec.name == kSweepStoreSchemaRecord) {
+            rec.numbers.clear();
+            rec.numbers.emplace_back("schema", 2.0);
+            stamped = true;
+        }
+    ASSERT_TRUE(stamped);
+    ASSERT_TRUE(writeJsonRecords(path, records));
+
+    // Resume: every cell loads losslessly, nothing re-executes, and the
+    // stats match a fresh metrics-on run bit-for-bit.
+    SweepRunner::Options resume = withStore;
+    resume.resume = true;
+    SweepRunner resumed(resume);
+    SweepRunner fresh;
+    for (const auto& c : cells) {
+        resumed.add(c);
+        fresh.add(c);
+    }
+    resumed.run();
+    fresh.run();
+    EXPECT_EQ(resumed.resumedCells(), 3);
+    EXPECT_EQ(resumed.executedCells(), 0);
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        SCOPED_TRACE(h);
+        expectIdentical(fresh.stats(h), resumed.stats(h));
+    }
+
+    // The flush restamped the store at the current schema, and the old
+    // ledgers read back metrics-free rather than inventing counters.
+    records.clear();
+    ASSERT_TRUE(readJsonRecords(path, records));
+    double schema = 0.0;
+    for (const JsonRecord& rec : records)
+        if (rec.name == kSweepStoreSchemaRecord)
+            schema = rec.number("schema");
+    EXPECT_EQ(schema, kSweepStoreSchema);
+
+    std::vector<StoreCell> loaded;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(path, loaded, error)) << error;
+    ASSERT_EQ(loaded.size(), 3u);
+    for (const StoreCell& cell : loaded) {
+        EXPECT_FALSE(cell.hasMetrics);
+        for (const EpisodeRecord& rec : cell.records)
+            EXPECT_FALSE(rec.metrics.present);
+    }
+    std::remove(path.c_str());
 }
 
 // --- episode-loop regressions this PR fixed ------------------------------

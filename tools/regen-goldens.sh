@@ -1,0 +1,34 @@
+#!/bin/sh
+# Regenerate the pinned-reps golden stores under bench/golden/.
+#
+# Usage: tools/regen-goldens.sh [build-dir]   (default: build)
+#
+# Every sweep driver campaign is deterministic bit-for-bit (seeded
+# episodes, exact integer kernels on every ISA tier), so these stores
+# are regenerated identically on any host; the only honest-noise field
+# they carry is per-episode wallMs, which neither sweep-diff nor
+# sweep-stats --compare ever gates on. Rerun this script -- and commit
+# the result -- whenever a change intentionally moves campaign results
+# (new injection model, energy model change, matrix edit); the CI
+# observability-gate job fails until the goldens match the code again.
+#
+# Reps are pinned small: the gate certifies bit-identity of the result
+# pipeline, not statistical power.
+set -e
+cd "$(dirname "$0")/.."
+build=${1:-build}
+reps=2
+
+for name in fig13:bench_fig13_techniques \
+            fig16:bench_fig16_overall \
+            fig17:bench_fig17_cross_platform \
+            fig20:bench_fig20_baselines \
+            fig21:bench_fig21_policies \
+            tab05:bench_tab05_repetitions; do
+    golden=bench/golden/${name%%:*}.json
+    driver=$build/bench/${name#*:}
+    rm -f "$golden"
+    echo "== $driver --reps $reps --out $golden"
+    "$driver" --reps $reps --out "$golden" > /dev/null
+done
+echo "== done; review with: git diff --stat bench/golden"
