@@ -10,6 +10,7 @@
  * their matrix on the SweepRunner campaign engine and additionally take
  * --out (resumable episode-ledger store), --resume, --shard i/N
  * (partition one campaign across N processes sharing a store),
+ * --lease S (elastic lease-stealing workers sharing a store),
  * --progress, and --flush-every. A note on axes: see
  * EXPERIMENTS.md for why the BER axis of the small stand-in models sits a
  * few orders above the paper's (flips per inference is the invariant, not
@@ -76,6 +77,7 @@ struct BenchOptions
     int flushEvery = 16;   //!< --flush-every N: episodes per store flush
     int shardIndex = 0;    //!< --shard i/N: this process's partition
     int shardCount = 1;
+    double leaseSeconds = 0.0; //!< --lease S: elastic lease-stealing mode
 };
 
 /**
@@ -94,6 +96,7 @@ sweepOptions(const BenchOptions& o)
     so.flushEvery = o.flushEvery;
     so.shardIndex = o.shardIndex;
     so.shardCount = o.shardCount;
+    so.leaseSeconds = o.leaseSeconds;
     return so;
 }
 
@@ -165,6 +168,10 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
                 "store (prefix slices included)\n"
                 "  --shard I/N    run partition I of N over the pending "
                 "ledgers (share one --out)\n"
+                "  --lease S      elastic mode: claim ledgers via leases "
+                "in the --out store, stealing work\n"
+                "                 from workers silent longer than S "
+                "seconds (replaces the --shard partition)\n"
                 "  --progress     one stderr status line per flush "
                 "(episodes/s, success, ETA, GEMM fusion)\n"
                 "  --flush-every N  episodes per store flush (default "
@@ -200,6 +207,15 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
             }
             o.shardIndex = i;
             o.shardCount = n;
+        }
+        o.leaseSeconds = cli.real("lease", 0.0);
+        if (o.leaseSeconds < 0.0)
+            o.leaseSeconds = 0.0;
+        if (o.leaseSeconds > 0.0 && o.storePath.empty()) {
+            std::fprintf(stderr,
+                         "error: --lease needs --out (the lease records "
+                         "live in the shared result store)\n");
+            std::exit(2);
         }
     }
     preamble(artifact, o.reps, o.threads);

@@ -1,0 +1,85 @@
+#include "common/io_retry.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace create::io {
+
+void sleepMs(int ms)
+{
+    if (ms <= 0)
+        return;
+    timespec req{};
+    req.tv_sec = ms / 1000;
+    req.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    timespec rem{};
+    while (::nanosleep(&req, &rem) != 0 && errno == EINTR)
+        req = rem;
+}
+
+int openRetry(const char* path, int flags, unsigned mode)
+{
+    for (;;)
+    {
+        const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+        if (fd >= 0 || errno != EINTR)
+            return fd;
+    }
+}
+
+bool flockRetry(int fd, int op)
+{
+    if (fd < 0)
+        return false;
+    for (;;)
+    {
+        if (::flock(fd, op) == 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+std::FILE* fopenRetry(const char* path, const char* mode)
+{
+    for (;;)
+    {
+        std::FILE* f = std::fopen(path, mode);
+        if (f || errno != EINTR)
+            return f;
+    }
+}
+
+bool renameRetry(const char* from, const char* to, std::string* error)
+{
+    int lastErr = 0;
+    for (int attempt = 0; attempt < kRetryAttempts; ++attempt)
+    {
+        if (attempt > 0)
+            sleepMs(kRetryBaseMs << (attempt - 1));
+        if (::rename(from, to) == 0)
+            return true;
+        lastErr = errno;
+        if (lastErr == EINTR)
+        {
+            --attempt; // EINTR does not consume the backoff budget
+            continue;
+        }
+    }
+    if (error)
+        *error = std::string("rename: ") + std::strerror(lastErr);
+    return false;
+}
+
+FdCloser::~FdCloser()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+} // namespace create::io

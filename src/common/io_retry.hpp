@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * EINTR-safe, bounded-backoff wrappers for the store I/O syscalls.
+ *
+ * The campaign result store is rewritten after every flush batch, often
+ * from signal-heavy environments (chaos harness, CI runners, profilers),
+ * so every open/flock/rename on the store path must tolerate EINTR, and
+ * transient write failures (ENOSPC racing a log rotation, EIO blips on
+ * network filesystems) get a bounded exponential backoff before the
+ * caller escalates to a terminal error. The wrappers never mask a real
+ * failure: after the retry budget they return the failure with errno
+ * intact so the caller can fail the campaign loudly instead of silently
+ * dropping a flush batch.
+ */
+
+#include <cstdio>
+#include <string>
+
+namespace create::io {
+
+/** Retry budget shared by the backoff wrappers: attempt k sleeps
+ *  kRetryBaseMs << k before retrying, so 5 attempts span ~310 ms. */
+constexpr int kRetryAttempts = 5;
+constexpr int kRetryBaseMs = 10;
+
+/** EINTR-safe sleep. */
+void sleepMs(int ms);
+
+/** open(2), retrying EINTR. Returns the fd, or -1 with errno set. */
+int openRetry(const char* path, int flags, unsigned mode = 0644);
+
+/** flock(2), retrying EINTR. True on success. */
+bool flockRetry(int fd, int op);
+
+/** fopen(3), retrying EINTR. */
+std::FILE* fopenRetry(const char* path, const char* mode);
+
+/**
+ * rename(2) with EINTR retry plus bounded exponential backoff on any
+ * other failure. On terminal failure returns false and, when `error` is
+ * non-null, fills it with the errno detail.
+ */
+bool renameRetry(const char* from, const char* to,
+                 std::string* error = nullptr);
+
+/** Closes an fd on scope exit (and on the throw paths between locked
+ *  store operations); -1 is a no-op. */
+class FdCloser
+{
+  public:
+    explicit FdCloser(int fd) : fd_(fd) {}
+    FdCloser(const FdCloser&) = delete;
+    FdCloser& operator=(const FdCloser&) = delete;
+    ~FdCloser();
+
+  private:
+    int fd_;
+};
+
+} // namespace create::io

@@ -1,10 +1,14 @@
 #include "common/serialize.hpp"
 
+#include "common/io_retry.hpp"
+
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace create {
@@ -228,7 +232,7 @@ printJsonRecord(std::FILE* f, const JsonRecord& r, bool last)
 template <typename Iter, typename Get>
 bool
 writeJsonRecordsImpl(const std::string& path, Iter begin, Iter end,
-                     std::size_t count, Get get)
+                     std::size_t count, Get get, std::string* error)
 {
     // Write-then-rename so a reader (or a kill mid-write) never sees a
     // truncated file -- the SweepRunner store is rewritten after every
@@ -237,112 +241,196 @@ writeJsonRecordsImpl(const std::string& path, Iter begin, Iter end,
     // consistent files instead of interleaving into one.
     const std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(getpid()));
-    std::FILE* f = std::fopen(tmp.c_str(), "w");
-    if (!f)
+    std::FILE* f = io::fopenRetry(tmp.c_str(), "w");
+    if (!f) {
+        if (error)
+            *error = "open " + tmp + ": " + std::strerror(errno);
         return false;
+    }
     std::fprintf(f, "[\n");
     std::size_t i = 0;
     for (Iter it = begin; it != end; ++it, ++i)
         printJsonRecord(f, get(*it), i + 1 == count);
     std::fprintf(f, "]\n");
-    const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
+    const int writeErr = std::ferror(f) ? errno : 0;
+    const bool ok = std::fclose(f) == 0 && writeErr == 0;
     if (!ok) {
+        if (error)
+            *error = "write " + tmp + ": " +
+                     std::strerror(writeErr ? writeErr : errno);
         std::remove(tmp.c_str());
         return false;
     }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    std::string renameErr;
+    if (!io::renameRetry(tmp.c_str(), path.c_str(), &renameErr)) {
+        if (error)
+            *error = renameErr + " (" + tmp + " -> " + path + ")";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace
 
 bool
 writeJsonRecords(const std::string& path,
-                 const std::vector<JsonRecord>& records)
+                 const std::vector<JsonRecord>& records, std::string* error)
 {
     return writeJsonRecordsImpl(path, records.begin(), records.end(),
                                 records.size(),
                                 [](const JsonRecord& r) -> const JsonRecord& {
                                     return r;
-                                });
+                                },
+                                error);
 }
 
 bool
 writeJsonRecords(const std::string& path,
-                 const std::map<std::string, JsonRecord>& records)
+                 const std::map<std::string, JsonRecord>& records,
+                 std::string* error)
 {
     return writeJsonRecordsImpl(
         path, records.begin(), records.end(), records.size(),
-        [](const auto& kv) -> const JsonRecord& { return kv.second; });
+        [](const auto& kv) -> const JsonRecord& { return kv.second; }, error);
 }
 
+namespace {
+
+/**
+ * Parse a record array, tracking the byte offset where the parseable
+ * prefix ends. Returns true when the whole array parsed (closing ']'
+ * reached); on false, `out` holds every record that parsed completely
+ * before the malformation and `goodEnd` points just past the last one --
+ * the salvage boundary.
+ */
 bool
-readJsonRecords(const std::string& path, std::vector<JsonRecord>& out)
+parseRecordArray(const std::string& text, std::vector<JsonRecord>& out,
+                 std::size_t* goodEnd)
 {
     out.clear();
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::string text;
-    char buf[4096];
-    std::size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, n);
-    std::fclose(f);
-
+    *goodEnd = 0;
     JsonCursor cur{text};
     if (!cur.accept('['))
         return false;
-    if (cur.accept(']'))
+    *goodEnd = cur.pos;
+    if (cur.accept(']')) {
+        *goodEnd = cur.pos;
         return true; // empty array
+    }
     for (;;) {
-        if (!cur.accept('{')) {
-            out.clear();
+        if (!cur.accept('{'))
             return false;
-        }
         JsonRecord rec;
         if (!cur.accept('}')) {
             for (;;) {
                 std::string key;
-                if (!cur.parseString(key) || !cur.accept(':')) {
-                    out.clear();
+                if (!cur.parseString(key) || !cur.accept(':'))
                     return false;
-                }
                 cur.skipWs();
                 if (cur.pos < text.size() && text[cur.pos] == '"') {
                     std::string value;
-                    if (!cur.parseString(value)) {
-                        out.clear();
+                    if (!cur.parseString(value))
                         return false;
-                    }
                     if (key == "name")
                         rec.name = value;
                     else
                         rec.strings.emplace_back(key, value);
                 } else {
                     double value = 0.0;
-                    if (!cur.parseNumber(value)) {
-                        out.clear();
+                    if (!cur.parseNumber(value))
                         return false;
-                    }
                     rec.numbers.emplace_back(key, value);
                 }
                 if (cur.accept(','))
                     continue;
                 if (cur.accept('}'))
                     break;
-                out.clear();
                 return false;
             }
         }
         out.push_back(std::move(rec));
+        *goodEnd = cur.pos; // record landed intact
         if (cur.accept(','))
             continue;
-        if (cur.accept(']'))
+        if (cur.accept(']')) {
+            *goodEnd = cur.pos;
             return true;
-        out.clear();
+        }
         return false;
     }
+}
+
+bool
+slurpFile(const std::string& path, std::string& text)
+{
+    std::FILE* f = io::fopenRetry(path.c_str(), "rb");
+    if (!f)
+        return false;
+    text.clear();
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+bool
+readJsonRecords(const std::string& path, std::vector<JsonRecord>& out)
+{
+    out.clear();
+    std::string text;
+    if (!slurpFile(path, text))
+        return false;
+    std::size_t goodEnd = 0;
+    if (parseRecordArray(text, out, &goodEnd))
+        return true;
+    out.clear();
+    return false;
+}
+
+bool
+readJsonRecordsSalvaged(const std::string& path, std::vector<JsonRecord>& out,
+                        JsonSalvage* info)
+{
+    out.clear();
+    if (info)
+        *info = JsonSalvage{};
+    std::string text;
+    if (!slurpFile(path, text))
+        return false;
+    std::size_t goodEnd = 0;
+    const bool complete = parseRecordArray(text, out, &goodEnd);
+    if (info) {
+        info->salvaged = !complete;
+        info->goodBytes = goodEnd;
+        info->totalBytes = text.size();
+    }
+    return true;
+}
+
+std::string
+quarantineTail(const std::string& path, std::size_t offset)
+{
+    std::string text;
+    if (!slurpFile(path, text) || offset >= text.size())
+        return "";
+    const std::string qpath = path + ".quarantine";
+    std::FILE* f = io::fopenRetry(qpath.c_str(), "wb");
+    if (!f)
+        return "";
+    const std::size_t len = text.size() - offset;
+    const bool ok =
+        std::fwrite(text.data() + offset, 1, len, f) == len && !std::ferror(f);
+    std::fclose(f);
+    if (!ok) {
+        std::remove(qpath.c_str());
+        return "";
+    }
+    return qpath;
 }
 
 } // namespace create

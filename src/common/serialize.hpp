@@ -75,9 +75,15 @@ struct JsonRecord
                      const std::string& dflt = "") const;
 };
 
-/** Write records as a JSON array. Returns false on I/O failure. */
+/**
+ * Write records as a JSON array. Returns false on I/O failure; when
+ * `error` is non-null it receives the failing step with errno detail
+ * (open/write/rename), so the campaign layer can fail loudly instead of
+ * silently dropping a flush batch on ENOSPC.
+ */
 bool writeJsonRecords(const std::string& path,
-                      const std::vector<JsonRecord>& records);
+                      const std::vector<JsonRecord>& records,
+                      std::string* error = nullptr);
 
 /**
  * Same, from a name-keyed map (records written in key order). Lets the
@@ -85,7 +91,8 @@ bool writeJsonRecords(const std::string& path,
  * O(store) vector copy per flush.
  */
 bool writeJsonRecords(const std::string& path,
-                      const std::map<std::string, JsonRecord>& records);
+                      const std::map<std::string, JsonRecord>& records,
+                      std::string* error = nullptr);
 
 /**
  * Parse a file written by writeJsonRecords (an array of flat objects with
@@ -93,5 +100,33 @@ bool writeJsonRecords(const std::string& path,
  * malformed; `out` is cleared either way.
  */
 bool readJsonRecords(const std::string& path, std::vector<JsonRecord>& out);
+
+/** Outcome of a salvaged read (readJsonRecordsSalvaged). */
+struct JsonSalvage
+{
+    bool salvaged = false;      //!< parse error hit; `out` holds the prefix
+    std::size_t goodBytes = 0;  //!< bytes consumed by the parseable prefix
+    std::size_t totalBytes = 0; //!< file size in bytes
+};
+
+/**
+ * Like readJsonRecords, but a truncated or corrupted file yields the
+ * longest parseable prefix of records instead of nothing: a store torn
+ * mid-write (power loss, full disk, injected chaos) keeps every episode
+ * that landed intact. Returns false only when the file cannot be opened;
+ * `info` (optional) reports whether salvage kicked in and where the
+ * parseable prefix ends, so callers can quarantine the bad tail.
+ */
+bool readJsonRecordsSalvaged(const std::string& path,
+                             std::vector<JsonRecord>& out,
+                             JsonSalvage* info = nullptr);
+
+/**
+ * Copy bytes [offset, end) of `path` into `path + ".quarantine"`
+ * (replacing any previous quarantine) so a salvaged store's bad tail is
+ * preserved for post-mortem instead of vanishing on the next rewrite.
+ * Returns the quarantine path, or empty on failure / empty tail.
+ */
+std::string quarantineTail(const std::string& path, std::size_t offset);
 
 } // namespace create

@@ -39,14 +39,37 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
     out.clear();
     error.clear();
     std::vector<JsonRecord> records;
-    if (!readJsonRecords(path, records)) {
+    JsonSalvage sal;
+    if (!readJsonRecordsSalvaged(path, records, &sal)) {
         error = "cannot read result store " + path;
         return false;
     }
+    if (sal.salvaged) {
+        if (records.empty()) {
+            error = "cannot parse result store " + path +
+                    " (no parseable records)";
+            return false;
+        }
+        // Truncated/torn store: fold the parseable prefix (a campaign
+        // killed mid-write still certifies every record that landed) and
+        // keep the bad tail for post-mortem.
+        const std::string q = quarantineTail(path, sal.goodBytes);
+        std::fprintf(stderr,
+                     "[store] %s is truncated or corrupt: salvaged %zu "
+                     "records (%zu of %zu bytes); bad tail %s%s\n",
+                     path.c_str(), records.size(), sal.goodBytes,
+                     sal.totalBytes,
+                     q.empty() ? "could not be quarantined"
+                               : "quarantined to ",
+                     q.c_str());
+    }
 
-    // Pass 1: collect episode ledgers (v2) and remember meta records.
-    std::map<std::string, std::map<int, EpisodeRecord>> ledgers;
+    // Pass 1: collect episode ledgers (v2, with per-episode owner
+    // attribution when present), lease records, and meta records.
+    std::map<std::string, std::map<int, std::pair<EpisodeRecord,
+                                                  std::string>>> ledgers;
     std::map<std::string, const JsonRecord*> metas;
+    std::map<std::string, const JsonRecord*> leases;
     std::vector<const JsonRecord*> legacyRecords;
     for (const JsonRecord& rec : records) {
         if (rec.name == kSweepStoreSchemaRecord)
@@ -56,7 +79,11 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
         if (idx >= 0) {
             EpisodeRecord er;
             if (episodeFromRecord(rec, er))
-                ledgers[fp][idx] = er;
+                ledgers[fp][idx] = {er, rec.text("by")};
+            continue;
+        }
+        if (sweepLeaseFingerprint(rec.name, &fp)) {
+            leases[fp] = &rec;
             continue;
         }
         if (rec.name.rfind("v1|", 0) == 0 &&
@@ -75,14 +102,24 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
         cell.fingerprint = fp;
         std::vector<EpisodeRecord> prefix;
         prefix.reserve(eps.size());
+        std::map<std::string, int> owners;
         int next = 0;
-        for (const auto& [idx, rec] : eps) {
+        for (const auto& [idx, recOwner] : eps) {
             if (idx != next)
                 break;
-            prefix.push_back(rec);
+            prefix.push_back(recOwner.first);
+            if (!recOwner.second.empty())
+                ++owners[recOwner.second];
             ++next;
         }
         cell.episodes = next;
+        cell.episodeOwners.assign(owners.begin(), owners.end());
+        const auto lit = leases.find(fp);
+        if (lit != leases.end()) {
+            cell.leaseOwner = lit->second->text("owner");
+            cell.leaseGen = static_cast<int>(lit->second->number("gen"));
+            cell.leaseDone = lit->second->number("done") != 0.0;
+        }
         cell.stats = aggregate(prefix);
         // Metrics are comparable only with full coverage: a ledger mixing
         // metrics-on and metrics-off (or v2 and v3) episodes would make

@@ -40,6 +40,18 @@ struct StoreCell
      *  when every prefix episode carried them (hasMetrics). */
     EpisodeMetrics metrics;
     bool hasMetrics = false;
+    /**
+     * Per-worker episode counts over the folded prefix (elastic lease
+     * campaigns stamp each episode record with a `by` field naming the
+     * worker that ran it; empty otherwise). Attribution only -- never
+     * compared by diffStoreCells.
+     */
+    std::vector<std::pair<std::string, int>> episodeOwners;
+    /** This ledger's lease record, when present (elastic campaigns).
+     *  Scheduling state, not results: surfaced, never compared. */
+    std::string leaseOwner;
+    int leaseGen = 0;
+    bool leaseDone = false;
 };
 
 /** Tolerances for stat comparisons: pass when
@@ -77,8 +89,11 @@ struct StoreDiffResult
 };
 
 /**
- * Load a store into comparable cells (see file comment). Returns false
- * with `error` set when the file is missing or unparsable.
+ * Load a store into comparable cells (see file comment). A truncated or
+ * corrupted store is salvaged: the longest parseable record prefix loads,
+ * the unparseable tail is copied to `<path>.quarantine`, and a one-line
+ * note goes to stderr. Returns false with `error` set only when the file
+ * is missing or yields no parseable records at all.
  */
 bool loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
                     std::string& error);

@@ -106,11 +106,24 @@ computeStoreStats(const std::vector<StoreCell>& cells)
         int ledgers = 0, episodes = 0, successes = 0;
     };
     std::map<std::tuple<std::string, int, int>, Pool> pools;
+    // Per-worker attribution (elastic lease campaigns only).
+    struct OwnerLoad
+    {
+        int episodes = 0, ledgers = 0, leasesHeld = 0;
+    };
+    std::map<std::string, OwnerLoad> owners;
 
     for (const StoreCell& cell : cells) {
         if (cell.legacy) {
             ++res.legacyCells;
             continue;
+        }
+        if (!cell.leaseOwner.empty())
+            ++owners[cell.leaseOwner].leasesHeld;
+        for (const auto& [owner, n] : cell.episodeOwners) {
+            OwnerLoad& load = owners[owner];
+            load.episodes += n;
+            ++load.ledgers;
         }
         if (cell.records.empty())
             continue;
@@ -182,6 +195,19 @@ computeStoreStats(const std::vector<StoreCell>& cells)
         g.steps = summarize(pool.steps);
         res.groups.push_back(std::move(g));
     }
+    for (const auto& [owner, load] : owners) {
+        ShardLoad s;
+        s.owner = owner;
+        s.episodes = load.episodes;
+        s.ledgers = load.ledgers;
+        s.leasesHeld = load.leasesHeld;
+        res.shards.push_back(std::move(s));
+    }
+    std::sort(res.shards.begin(), res.shards.end(),
+              [](const ShardLoad& a, const ShardLoad& b) {
+                  return a.episodes != b.episodes ? a.episodes > b.episodes
+                                                  : a.owner < b.owner;
+              });
     return res;
 }
 

@@ -103,12 +103,27 @@ struct GroupTail
     PercentileSummary steps;
 };
 
+/**
+ * One worker's share of an elastic campaign (from the per-episode `by`
+ * attribution and the lease records elastic lease mode writes).
+ */
+struct ShardLoad
+{
+    std::string owner; //!< worker identity ("host:pid.seq")
+    int episodes = 0;  //!< attributed episodes over folded prefixes
+    int ledgers = 0;   //!< ledgers this worker ran episodes of
+    int leasesHeld = 0; //!< ledgers whose current lease names this worker
+};
+
 /** Full analytics of one store. */
 struct StoreStatsResult
 {
     std::vector<LedgerTail> ledgers; //!< fingerprint order
     std::vector<GroupTail> groups;   //!< (platform, task, protection) order
     int legacyCells = 0; //!< v1 aggregates: counted, not tail-analyzed
+    /** Per-worker attribution; empty unless the store carries lease-mode
+     *  records. Ordered by episodes descending. */
+    std::vector<ShardLoad> shards;
 };
 
 /** Analyze loaded store cells (see loadStoreCells). */

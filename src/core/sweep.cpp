@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/chaos.hpp"
+#include "common/io_retry.hpp"
 #include "common/serialize.hpp"
 #include "core/platform_registry.hpp"
 #include "core/store_stats.hpp"
@@ -86,6 +88,38 @@ nowSeconds()
     return duration<double>(steady_clock::now().time_since_epoch()).count();
 }
 
+/**
+ * Wall-clock seconds for lease timestamps. Leases are compared across
+ * processes and machines, so this must be the system clock, not the
+ * steady clock (whose epoch is per-boot).
+ */
+double
+wallSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(system_clock::now().time_since_epoch()).count();
+}
+
+/**
+ * This worker's lease identity: "host:pid.seq". The per-process sequence
+ * distinguishes multiple runners inside one process (tests, embedded
+ * campaigns) -- two workers must never share an identity or a steal from
+ * a dead sibling would look like a self-renewal.
+ */
+std::string
+makeWorkerId()
+{
+    char host[256] = "";
+    if (::gethostname(host, sizeof(host) - 1) != 0 || host[0] == '\0')
+        std::snprintf(host, sizeof(host), "localhost");
+    host[sizeof(host) - 1] = '\0';
+    static std::atomic<int> seq{0};
+    return std::string(host) + ":" + std::to_string(::getpid()) + "." +
+           std::to_string(++seq);
+}
+
+constexpr const char* kLeasePrefix = "lease|";
+
 } // namespace
 
 std::string
@@ -132,6 +166,23 @@ sweepEpisodeIndex(const std::string& recordName, std::string* fingerprint)
     if (fingerprint)
         *fingerprint = recordName.substr(0, hash);
     return static_cast<int>(index);
+}
+
+std::string
+sweepLeaseKey(const std::string& fingerprint)
+{
+    return kLeasePrefix + fingerprint;
+}
+
+bool
+sweepLeaseFingerprint(const std::string& recordName, std::string* fingerprint)
+{
+    const std::size_t n = std::char_traits<char>::length(kLeasePrefix);
+    if (recordName.compare(0, n, kLeasePrefix) != 0 || recordName.size() == n)
+        return false;
+    if (fingerprint)
+        *fingerprint = recordName.substr(n);
+    return true;
 }
 
 void
@@ -195,9 +246,17 @@ class SweepRunner::StoreSink : public EpisodeSink
                                           kWallWindow] = metrics.wallMs;
                 runner_.progressFlips_ += metrics.flipsInjected;
             }
-            if (toStore_)
-                runner_.pendingRecords_.push_back(episodeToRecord(
-                    sweepEpisodeKey(fingerprint_, base + index), rec));
+            if (toStore_) {
+                JsonRecord jr = episodeToRecord(
+                    sweepEpisodeKey(fingerprint_, base + index), rec);
+                // Elastic campaigns stamp each episode with the worker
+                // that ran it: per-shard attribution for sweep-stats.
+                // The field is a string, so the diff/stat folds never
+                // see it; chaos-off stores stay byte-identical.
+                if (runner_.opt_.leaseSeconds > 0.0)
+                    jr.strings.emplace_back("by", runner_.workerId_);
+                runner_.pendingRecords_.push_back(std::move(jr));
+            }
             if (++runner_.flushTick_ >= runner_.opt_.flushEvery) {
                 runner_.flushTick_ = 0;
                 doFlush = true;
@@ -233,6 +292,18 @@ SweepRunner::SweepRunner(Options opt) : opt_(std::move(opt))
                                     std::to_string(opt_.shardIndex) +
                                     " outside 0.." +
                                     std::to_string(opt_.shardCount - 1));
+    if (opt_.leaseSeconds < 0.0)
+        opt_.leaseSeconds = 0.0;
+    if (opt_.leaseSeconds > 0.0 && opt_.shardCount > 1) {
+        // Leases subsume the static partition: every process claims
+        // dynamically, so a shard index would only mislead.
+        std::fprintf(stderr,
+                     "[sweep] elastic lease mode: --shard partition "
+                     "ignored (workers claim ledgers dynamically)\n");
+        opt_.shardIndex = 0;
+        opt_.shardCount = 1;
+    }
+    workerId_ = makeWorkerId();
 }
 
 std::size_t
@@ -337,6 +408,15 @@ SweepRunner::runUnit(WorkUnit& unit, EmbodiedSystem& sys)
     }
     finalizeGroup(unit.fingerprint, unit.members, unit.owner,
                   /*executedNow=*/true, /*skipped=*/false);
+    if (opt_.leaseSeconds > 0.0 && !opt_.storePath.empty()) {
+        // Mark our lease done before the unit-boundary flush renews it:
+        // the same write that lands the final episodes publishes the
+        // ledger as complete, so peers stop honoring the lease.
+        std::lock_guard<std::mutex> io(storeIoMu_);
+        const auto it = activeLeases_.find(unit.fingerprint);
+        if (it != activeLeases_.end())
+            it->second.done = true;
+    }
     if (!opt_.storePath.empty())
         flushStore(); // unit boundary: a killed campaign resumes from here
     if (opt_.progress)
@@ -359,20 +439,35 @@ SweepRunner::loadStore(
     // lock below just documents the storeIoMu_ ownership.
     std::lock_guard<std::mutex> io(storeIoMu_);
     std::vector<JsonRecord> records;
-    if (!readJsonRecords(opt_.storePath, records)) {
-        if (std::FILE* probe = std::fopen(opt_.storePath.c_str(), "rb")) {
-            // An existing-but-unparsable store (e.g. hand-edited or from
-            // a foreign tool) should not be silently ignored: with
-            // --resume it re-runs hours of episodes, and either way the
-            // next flush replaces it.
-            std::fclose(probe);
+    JsonSalvage sal;
+    if (!readJsonRecordsSalvaged(opt_.storePath, records, &sal))
+        return; // no store yet
+    if (sal.salvaged) {
+        if (sal.goodBytes == 0) {
+            // Not a record store at all (hand-edited, foreign tool): no
+            // prefix to salvage. Don't silently ignore it -- with
+            // --resume this re-runs hours of episodes, and either way
+            // the next flush replaces the file.
             std::fprintf(stderr,
                          "[sweep] cannot parse result store %s; %s\n",
                          opt_.storePath.c_str(),
                          opt_.resume ? "re-running every cell"
                                      : "it will be replaced");
+            return;
         }
-        return;
+        // Truncated/torn store: keep the longest parseable record prefix
+        // (every episode that landed intact resumes) and preserve the
+        // bad tail for post-mortem before the next flush rewrites it.
+        const std::string q = quarantineTail(opt_.storePath, sal.goodBytes);
+        std::fprintf(stderr,
+                     "[sweep] result store %s is truncated or corrupt: "
+                     "salvaged %zu records (%zu of %zu bytes); bad tail "
+                     "%s%s\n",
+                     opt_.storePath.c_str(), records.size(), sal.goodBytes,
+                     sal.totalBytes,
+                     q.empty() ? "could not be quarantined"
+                               : "quarantined to ",
+                     q.c_str());
     }
 
     // A store without a schema record is a PR 4-era (v1) cell-level
@@ -430,6 +525,10 @@ SweepRunner::flushStore()
 {
     if (opt_.storePath.empty())
         return;
+    // Chaos injection point: a worker that dies here leaves its pending
+    // batch unflushed -- exactly the kill -9 shape the lease protocol
+    // and --resume gap-fill must absorb.
+    chaos::maybeAbortBeforeFlush();
     // Drain the pending batch under storeMu_ (O(batch), so workers
     // streaming episodes never queue behind disk or an O(store) copy),
     // then merge + write under the separate I/O mutex. A version stamp
@@ -449,12 +548,14 @@ SweepRunner::flushStore()
         std::string name = rec.name;
         storeRecords_[std::move(name)] = std::move(rec);
     }
+    const bool renewing = opt_.leaseSeconds > 0.0 && !activeLeases_.empty();
     // Skip the write only when a newer flush already reached disk AND we
-    // merged nothing new: a racing newer flush can win the I/O mutex
-    // before our batch is merged, so its file does not contain our
-    // records -- returning then would strand this batch in memory past
-    // the at-most-one-flush-batch kill-durability guarantee.
-    if (version <= storeWritten_ && pending.empty())
+    // merged nothing new AND no lease needs its renewal timestamp: a
+    // racing newer flush can win the I/O mutex before our batch is
+    // merged, so its file does not contain our records -- returning then
+    // would strand this batch in memory past the at-most-one-flush-batch
+    // kill-durability guarantee.
+    if (version <= storeWritten_ && pending.empty() && !renewing)
         return;
     {
         // Always (re)stamp the current schema: merging into an older
@@ -467,17 +568,19 @@ SweepRunner::flushStore()
         schema.numbers.emplace_back("schema", kSweepStoreSchema);
         storeRecords_[kSweepStoreSchemaRecord] = std::move(schema);
     }
-    // Sharded campaigns: other processes rewrite the same file, so the
-    // read-merge-rename must be atomic across processes too. The flock
-    // on a sidecar serializes writers (a kill while holding it is
+    // Sharded/elastic campaigns: other processes rewrite the same file,
+    // so the read-merge-rename must be atomic across processes too. The
+    // flock on a sidecar serializes writers (a kill while holding it is
     // harmless -- an flock dies with its process) and the re-read
-    // carries their records forward; ours win per key. A single process
-    // skips both: its in-memory view is already a superset of the disk.
+    // carries their records forward; ours win per key except leases,
+    // where the higher generation wins (a steal must stick). A single
+    // static process skips both: its in-memory view is already a
+    // superset of the disk.
     int lockFd = -1;
-    if (opt_.shardCount > 1) {
+    if (opt_.shardCount > 1 || opt_.leaseSeconds > 0.0) {
         const std::string lockPath = opt_.storePath + ".lock";
-        lockFd = ::open(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
-        if (lockFd < 0 || ::flock(lockFd, LOCK_EX) != 0) {
+        lockFd = io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+        if (lockFd < 0 || !io::flockRetry(lockFd, LOCK_EX)) {
             // Proceeding unlocked risks two shards' read-merge-rename
             // interleaving (last writer drops the other's batch); there
             // is no safe fallback, so at least say it happened.
@@ -487,19 +590,317 @@ SweepRunner::flushStore()
                          lockPath.c_str());
         }
         std::vector<JsonRecord> disk;
-        if (readJsonRecords(opt_.storePath, disk))
-            for (JsonRecord& rec : disk) {
-                std::string name = rec.name;
-                storeRecords_.emplace(std::move(name), std::move(rec));
-            }
+        JsonSalvage sal;
+        if (readJsonRecordsSalvaged(opt_.storePath, disk, &sal)) {
+            if (sal.salvaged)
+                std::fprintf(stderr,
+                             "[sweep] store %s torn on disk: merged the "
+                             "%zu-record parseable prefix (%zu of %zu "
+                             "bytes); this flush heals it\n",
+                             opt_.storePath.c_str(), disk.size(),
+                             sal.goodBytes, sal.totalBytes);
+            for (JsonRecord& rec : disk)
+                mergeDiskRecordLocked(std::move(rec));
+        }
     }
-    if (!writeJsonRecords(opt_.storePath, storeRecords_))
-        std::fprintf(stderr, "[sweep] cannot write result store %s\n",
-                     opt_.storePath.c_str());
-    else
-        storeWritten_ = std::max(storeWritten_, version);
-    if (lockFd >= 0)
-        ::close(lockFd); // releases the flock
+    io::FdCloser closeLock(lockFd); // releases the flock, even on throw
+    if (renewing) {
+        chaos::maybeDelayRenewal(); // chaos: straggler going stale
+        renewLeasesLocked(wallSeconds());
+    }
+    std::string error;
+    if (!writeStoreLocked(&error)) {
+        // Loud terminal failure: the records are retained in
+        // storeRecords_, but disk no longer keeps up -- continuing would
+        // silently void the crash-durability contract (and, in lease
+        // mode, our renewals). The throw propagates through the episode
+        // worker's error capture and fails the campaign.
+        throw std::runtime_error(
+            "cannot write result store " + opt_.storePath + ": " + error +
+            " -- campaign aborted; completed episodes up to the last "
+            "successful flush are on disk and --resume re-runs the rest");
+    }
+    storeWritten_ = std::max(storeWritten_, version);
+    if (chaos::shouldTearWrite()) {
+        // Chaos injection point: truncate the just-written store to a
+        // random fraction, simulating a torn write landing on disk. The
+        // in-memory view is intact, so a later flush heals the file;
+        // readers in between (peers' claims, a post-kill resume) must
+        // salvage the parseable prefix.
+        const int fd = io::openRetry(opt_.storePath.c_str(), O_RDWR);
+        if (fd >= 0) {
+            io::FdCloser closeStore(fd);
+            const off_t size = ::lseek(fd, 0, SEEK_END);
+            const off_t keep =
+                static_cast<off_t>(static_cast<double>(size) *
+                                   chaos::tearKeepFraction());
+            if (size > 0 && ::ftruncate(fd, keep) == 0)
+                std::fprintf(stderr,
+                             "[chaos] tore store %s to %lld of %lld "
+                             "bytes\n",
+                             opt_.storePath.c_str(),
+                             static_cast<long long>(keep),
+                             static_cast<long long>(size));
+        }
+        storeWritten_ = 0; // force the next flush to rewrite (heal)
+    }
+}
+
+void
+SweepRunner::mergeDiskRecordLocked(JsonRecord&& rec)
+{
+    if (sweepLeaseFingerprint(rec.name)) {
+        const auto it = storeRecords_.find(rec.name);
+        // Higher lease generation wins regardless of which side holds it
+        // in memory: a steal recorded on disk must never be resurrected
+        // by the victim's next rewrite. Ties keep ours (our renewal
+        // timestamp is at least as fresh).
+        if (it == storeRecords_.end())
+            storeRecords_.emplace(rec.name, std::move(rec));
+        else if (rec.number("gen") > it->second.number("gen"))
+            it->second = std::move(rec);
+        return;
+    }
+    std::string name = rec.name;
+    storeRecords_.emplace(std::move(name), std::move(rec));
+}
+
+bool
+SweepRunner::writeStoreLocked(std::string* error)
+{
+    // Bounded backoff over the whole tmp-write + rename: a transient
+    // ENOSPC/EIO (log rotation racing us, NFS blip) resolves within the
+    // retry budget; a real full disk does not, and the caller escalates.
+    std::string err;
+    for (int attempt = 0; attempt < io::kRetryAttempts; ++attempt) {
+        if (attempt > 0) {
+            std::fprintf(stderr,
+                         "[sweep] store write failed (%s); retry %d/%d\n",
+                         err.c_str(), attempt, io::kRetryAttempts - 1);
+            io::sleepMs(io::kRetryBaseMs << (attempt - 1));
+        }
+        if (writeJsonRecords(opt_.storePath, storeRecords_, &err))
+            return true;
+    }
+    if (error)
+        *error = err;
+    return false;
+}
+
+void
+SweepRunner::renewLeasesLocked(double now)
+{
+    for (auto it = activeLeases_.begin(); it != activeLeases_.end();) {
+        const std::string key = sweepLeaseKey(it->first);
+        const auto rit = storeRecords_.find(key);
+        if (rit != storeRecords_.end() &&
+            (rit->second.text("owner") != workerId_ ||
+             static_cast<std::uint64_t>(rit->second.number("gen")) !=
+                 it->second.gen)) {
+            // Stolen from us: we went stale (straggler, paused, clock
+            // skew) and a peer claimed the ledger. Keep running --
+            // episodes are deterministic, so the flush merge is
+            // idempotent -- but stop renewing the lost lease.
+            std::fprintf(stderr,
+                         "[sweep] lease on %s lost to %s; continuing "
+                         "(duplicate episodes merge idempotently)\n",
+                         it->first.c_str(),
+                         rit->second.text("owner").c_str());
+            it = activeLeases_.erase(it);
+            continue;
+        }
+        JsonRecord lr;
+        lr.name = key;
+        lr.strings.emplace_back("owner", workerId_);
+        lr.numbers.emplace_back("gen",
+                                static_cast<double>(it->second.gen));
+        lr.numbers.emplace_back("renewedAt", now);
+        lr.numbers.emplace_back("done", it->second.done ? 1.0 : 0.0);
+        storeRecords_[key] = std::move(lr);
+        ++it;
+    }
+}
+
+void
+SweepRunner::gapFillFromStore(WorkUnit& unit)
+{
+    // Caller holds storeIoMu_; ledger + progress live under storeMu_.
+    // The io -> mu nesting is safe: no path acquires storeIoMu_ while
+    // holding storeMu_ (flushStore releases storeMu_ first).
+    std::lock_guard<std::mutex> lock(storeMu_);
+    Ledger& led = *unit.led;
+    long long seeded = 0;
+    for (int idx = 0; idx < unit.need; ++idx) {
+        if (led.have[static_cast<std::size_t>(idx)])
+            continue;
+        const auto rit =
+            storeRecords_.find(sweepEpisodeKey(unit.fingerprint, idx));
+        if (rit == storeRecords_.end())
+            continue;
+        EpisodeRecord er;
+        if (!episodeFromRecord(rit->second, er))
+            continue;
+        led.eps[static_cast<std::size_t>(idx)] = er;
+        led.have[static_cast<std::size_t>(idx)] = 1;
+        ++seeded;
+    }
+    if (seeded > 0)
+        progressTotal_ -= seeded; // a peer already ran these
+    unit.runs.clear();
+    for (int k = 0; k < unit.need;) {
+        if (led.have[static_cast<std::size_t>(k)]) {
+            ++k;
+            continue;
+        }
+        const int start = k;
+        while (k < unit.need && !led.have[static_cast<std::size_t>(k)])
+            ++k;
+        unit.runs.emplace_back(start, k - start);
+    }
+}
+
+SweepRunner::WorkUnit*
+SweepRunner::claimNext(std::vector<WorkUnit*>& pending)
+{
+    // One locked scan: refresh the store view, fold peers' progress into
+    // every pending unit (finalizing ledgers they completed), then claim
+    // the stalest claimable ledger by writing a generation-bumped lease.
+    const std::string lockPath = opt_.storePath + ".lock";
+    const int lockFd = io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR,
+                                     0644);
+    io::FdCloser closeLock(lockFd);
+    if (lockFd < 0 || !io::flockRetry(lockFd, LOCK_EX))
+        std::fprintf(stderr,
+                     "[sweep] warning: cannot lock %s; lease claims may "
+                     "race\n",
+                     lockPath.c_str());
+    std::lock_guard<std::mutex> io(storeIoMu_);
+    {
+        std::vector<JsonRecord> disk;
+        JsonSalvage sal;
+        if (readJsonRecordsSalvaged(opt_.storePath, disk, &sal)) {
+            if (sal.salvaged)
+                std::fprintf(stderr,
+                             "[sweep] store %s torn on disk: claim scan "
+                             "salvaged %zu records (%zu of %zu bytes)\n",
+                             opt_.storePath.c_str(), disk.size(),
+                             sal.goodBytes, sal.totalBytes);
+            for (JsonRecord& rec : disk)
+                mergeDiskRecordLocked(std::move(rec));
+        }
+    }
+    for (auto it = pending.begin(); it != pending.end();) {
+        gapFillFromStore(**it);
+        if ((*it)->runs.empty()) {
+            // A peer completed this ledger; its episodes are all local
+            // now, so the fold is the full bit-identical prefix.
+            finalizeGroup((*it)->fingerprint, (*it)->members, (*it)->owner,
+                          /*executedNow=*/false, /*skipped=*/false);
+            {
+                std::lock_guard<std::mutex> lock(storeMu_);
+                ++unitsDone_;
+            }
+            it = pending.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    const double now = wallSeconds();
+    WorkUnit* best = nullptr;
+    double bestRenewed = 0.0;
+    for (WorkUnit* u : pending) {
+        double renewed = -1.0; // never leased: maximally stale
+        bool claimable = true;
+        const auto rit = storeRecords_.find(sweepLeaseKey(u->fingerprint));
+        if (rit != storeRecords_.end()) {
+            const std::string owner = rit->second.text("owner");
+            const bool done = rit->second.number("done") != 0.0;
+            renewed = rit->second.number("renewedAt");
+            const bool expired = now - renewed > opt_.leaseSeconds;
+            if (expired && !done && !owner.empty() && owner != workerId_) {
+                // Telemetry: count each foreign lease generation's
+                // expiry once, however many scans observe it.
+                auto& maxGen = expiredSeen_[u->fingerprint];
+                const auto gen =
+                    static_cast<std::uint64_t>(rit->second.number("gen"));
+                if (gen > maxGen) {
+                    maxGen = gen;
+                    ++leasesExpired_;
+                }
+            }
+            claimable = done || owner == workerId_ || expired;
+        }
+        if (claimable && (!best || renewed < bestRenewed)) {
+            best = u;
+            bestRenewed = renewed;
+        }
+    }
+    if (!best)
+        return nullptr; // everything left is live-leased by peers
+    std::uint64_t gen = 1;
+    const auto rit = storeRecords_.find(sweepLeaseKey(best->fingerprint));
+    if (rit != storeRecords_.end()) {
+        gen = static_cast<std::uint64_t>(rit->second.number("gen")) + 1;
+        const std::string owner = rit->second.text("owner");
+        if (!owner.empty() && owner != workerId_ &&
+            rit->second.number("done") == 0.0) {
+            ++leasesStolen_;
+            std::fprintf(stderr,
+                         "[sweep] stealing lease on %s from %s (stale "
+                         "%.1fs > lease %.1fs)\n",
+                         best->fingerprint.c_str(), owner.c_str(),
+                         now - rit->second.number("renewedAt"),
+                         opt_.leaseSeconds);
+        }
+    }
+    activeLeases_[best->fingerprint] = ActiveLease{gen, false};
+    JsonRecord lr;
+    lr.name = sweepLeaseKey(best->fingerprint);
+    lr.strings.emplace_back("owner", workerId_);
+    lr.numbers.emplace_back("gen", static_cast<double>(gen));
+    lr.numbers.emplace_back("renewedAt", now);
+    lr.numbers.emplace_back("done", 0.0);
+    storeRecords_[lr.name] = std::move(lr);
+    std::string error;
+    if (!writeStoreLocked(&error))
+        throw std::runtime_error(
+            "cannot write result store " + opt_.storePath +
+            " while claiming a lease: " + error + " -- campaign aborted");
+    return best;
+}
+
+void
+SweepRunner::runElastic(std::vector<WorkUnit>& units)
+{
+    std::vector<WorkUnit*> pending;
+    pending.reserve(units.size());
+    for (WorkUnit& u : units)
+        pending.push_back(&u);
+    // Poll cadence when everything left is live-leased by peers: a
+    // quarter lease bounds the steal latency to well within one lease
+    // period without hammering the store.
+    const int pollMs = std::max(
+        50, std::min(1000, static_cast<int>(opt_.leaseSeconds * 250.0)));
+    while (!pending.empty()) {
+        WorkUnit* unit = claimNext(pending);
+        if (!unit) {
+            io::sleepMs(pollMs);
+            continue;
+        }
+        pending.erase(std::find(pending.begin(), pending.end(), unit));
+        const SweepCell& c = cells_[unit->owner].cell;
+        EmbodiedSystem* proto = prototypeFor(c.platform);
+        // Units run one at a time per process (processes are the elastic
+        // scale-out unit), so the serial prepare() here satisfies the
+        // per-width weight-freeze constraint; the thread budget fans out
+        // within the unit via the episode-parallel engine.
+        proto->prepare(c.cfg);
+        proto->setEvalThreads(opt_.threads);
+        proto->setBatchedInference(opt_.batched);
+        runUnit(*unit, *proto);
+        std::lock_guard<std::mutex> io(storeIoMu_);
+        activeLeases_.erase(unit->fingerprint);
+    }
 }
 
 void
@@ -554,14 +955,20 @@ SweepRunner::progressLine()
         std::snprintf(batch, sizeof(batch),
                       ", batch avg %.2f fill %.0f%%", bs.avgBatch(),
                       100.0 * bs.fillRate());
+    // Lease telemetry (elastic mode only): ledgers taken over from dead
+    // or stale workers, and foreign lease expiries observed.
+    char lease[48] = "";
+    if (opt_.leaseSeconds > 0.0)
+        std::snprintf(lease, sizeof(lease), ", stolen=%lld expired=%lld",
+                      leasesStolen_.load(), leasesExpired_.load());
     std::fprintf(stderr,
                  "[sweep] progress: ledgers %zu/%zu, episodes %lld/%lld, "
-                 "%.1f eps/s, success %.1f%%%s%s, eta %s\n",
+                 "%.1f eps/s, success %.1f%%%s%s%s, eta %s\n",
                  unitsDone, unitsTotal, done, total, rate,
                  done > 0 ? 100.0 * static_cast<double>(succ) /
                                 static_cast<double>(done)
                           : 0.0,
-                 live, batch, eta);
+                 live, batch, lease, eta);
 }
 
 BatchStats
@@ -592,6 +999,11 @@ SweepRunner::run()
             std::fprintf(stderr,
                          "[sweep] --shard without a result store (--out) "
                          "computes results other processes cannot see\n");
+        if (opt_.leaseSeconds > 0.0 && opt_.storePath.empty())
+            std::fprintf(stderr,
+                         "[sweep] --lease without a result store (--out) "
+                         "has no shared state to lease; running "
+                         "statically\n");
     }
 
     // Load the store on every run() call: campaigns can be phased (add()
@@ -747,12 +1159,22 @@ SweepRunner::run()
     if (!units.empty())
         phaseHadWork = true;
 
+    // Elastic lease mode: the pending list is not a partition but a
+    // candidate pool -- claim, run, and re-scan until every ledger is
+    // done (by us or a peer). Units run serially in-process with the
+    // full thread budget fanned out inside each unit, so the per-width
+    // freeze constraint the wave scheduler exists for cannot arise and
+    // the wave/bucket path below is skipped entirely.
+    const bool elasticRun = opt_.leaseSeconds > 0.0 && !opt_.storePath.empty();
+    if (elasticRun)
+        runElastic(units);
+
     // Waves: freezing quantized weights is per-width state on the shared
     // model set, so ledgers of one platform at different QuantBits must
     // not run concurrently. Bucket pending units by (platform, bits) in
     // first-appearance order and run the buckets sequentially.
     std::vector<std::pair<std::string, std::vector<std::size_t>>> buckets;
-    for (std::size_t k = 0; k < units.size(); ++k) {
+    for (std::size_t k = 0; !elasticRun && k < units.size(); ++k) {
         const SweepCell& c = cells_[units[k].owner].cell;
         const std::string key =
             c.platform + (c.cfg.bits == QuantBits::Int8 ? "|8" : "|4");
@@ -891,7 +1313,7 @@ SweepRunner::episodes(std::size_t handle)
 std::string
 SweepRunner::summary() const
 {
-    char buf[192];
+    char buf[256];
     int n = std::snprintf(
         buf, sizeof(buf),
         "[sweep] cells=%zu executed=%d memoized=%d resumed=%d sliced=%d "
@@ -903,6 +1325,12 @@ SweepRunner::summary() const
         std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
                       " shard=%d/%d skipped=%d", opt_.shardIndex,
                       opt_.shardCount, skipped_);
+    else if (opt_.leaseSeconds > 0.0 && n > 0 &&
+             n < static_cast<int>(sizeof(buf)))
+        std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                      " lease=%gs stolen=%lld expired=%lld",
+                      opt_.leaseSeconds, leasesStolen_.load(),
+                      leasesExpired_.load());
     return buf;
 }
 

@@ -42,6 +42,21 @@
  *    computed from the pending list each process observes at startup:
  *    launch all shards against the same store snapshot (or none), not
  *    against each other's partial output.
+ *  - Elastic lease mode (Options::leaseSeconds > 0): instead of a static
+ *    partition, every process claims the stalest unclaimed/expired ledger
+ *    under the store's cross-process flock, writing a per-fingerprint
+ *    lease record ({owner host:pid, generation, renewedAt, done}) that it
+ *    renews on every flush. A worker that dies (kill -9, OOM, chaos
+ *    abort) simply stops renewing: within one lease period a survivor
+ *    steals the ledger (generation bump) and gap-fills only the episode
+ *    indices missing from the store -- the same exactly-once primitive
+ *    --resume uses -- so the campaign completes with zero manual
+ *    intervention and the final store is bit-identical to a serial run.
+ *    A straggler whose lease is stolen keeps running; its flushes merge
+ *    idempotently (episodes are deterministic) and it stops renewing the
+ *    lost lease. Lease expiry compares wall clocks across machines, so
+ *    hosts sharing a store should be NTP-synced with skew << the lease
+ *    period.
  *
  * Scheduling constraint: freezing quantized weights is per-width state on
  * the shared model set, so cells of the same platform at different
@@ -50,6 +65,7 @@
  * serially (prepare) before fanning its ledgers out.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -124,6 +140,22 @@ std::string sweepEpisodeKey(const std::string& fingerprint, int index);
 int sweepEpisodeIndex(const std::string& recordName,
                       std::string* fingerprint = nullptr);
 
+/**
+ * Store key of a ledger's lease record: `lease|<fingerprint>`. Lease
+ * records are additive v3 records -- fields {owner (string "host:pid"),
+ * gen, renewedAt (unix seconds), done (0/1)} -- that coordinate elastic
+ * workers; they are scheduling state, not results, so store readers
+ * (diff/stats) surface them for attribution but never compare them.
+ */
+std::string sweepLeaseKey(const std::string& fingerprint);
+
+/**
+ * True when `recordName` is a lease record key; optionally yields the
+ * fingerprint it leases.
+ */
+bool sweepLeaseFingerprint(const std::string& recordName,
+                           std::string* fingerprint = nullptr);
+
 /** Declarative campaign runner (see file comment). */
 class SweepRunner
 {
@@ -146,6 +178,17 @@ class SweepRunner
         int flushEvery = 16;   //!< episodes per store flush / progress tick
         int shardIndex = 0;    //!< this process's shard (0-based)
         int shardCount = 1;    //!< total shards; 1 disables partitioning
+        /**
+         * Elastic lease mode: > 0 replaces the static shard partition
+         * with lease-based work claiming against the shared store (see
+         * file comment). The value is the steal latency bound: a dead
+         * worker's ledger is reclaimed once its lease has not been
+         * renewed for this many seconds. Renewals ride on flushes, so
+         * keep leaseSeconds comfortably above the worst-case flush
+         * interval (flushEvery x slowest episode). 0 (default) keeps the
+         * pre-lease behavior bit-identical.
+         */
+        double leaseSeconds = 0.0;
     };
 
     SweepRunner();
@@ -213,6 +256,15 @@ class SweepRunner
     /** Episodes actually executed by this runner (campaign lifetime). */
     long long episodesExecuted() const { return episodesExecuted_; }
 
+    /** Leases taken over from another (dead or stale) worker. */
+    long long leasesStolen() const { return leasesStolen_.load(); }
+
+    /** Expired foreign leases observed while scanning for work. */
+    long long leasesExpired() const { return leasesExpired_.load(); }
+
+    /** The worker identity lease records carry ("host:pid.seq"). */
+    const std::string& workerId() const { return workerId_; }
+
     /**
      * GEMM-fusion counters summed over every system the campaign ran
      * episodes on (zeros when batching or episode fan-out never
@@ -260,6 +312,13 @@ class SweepRunner
 
     class StoreSink; //!< EpisodeSink streaming a unit's episodes in
 
+    /** In-memory side of a lease this worker holds (keyed by fp). */
+    struct ActiveLease
+    {
+        std::uint64_t gen = 0;
+        bool done = false;
+    };
+
     EmbodiedSystem* prototypeFor(const std::string& platform);
     void runUnit(WorkUnit& unit, EmbodiedSystem& sys);
     void finalizeGroup(const std::string& fingerprint,
@@ -269,6 +328,13 @@ class SweepRunner
                    std::map<std::string, TaskStats>& legacy);
     void flushStore();
     void progressLine();
+    // Elastic lease mode (all under storeIoMu_ unless noted).
+    void runElastic(std::vector<WorkUnit>& units); //!< takes no locks itself
+    WorkUnit* claimNext(std::vector<WorkUnit*>& pending);
+    void gapFillFromStore(WorkUnit& unit);
+    void mergeDiskRecordLocked(JsonRecord&& rec);
+    void renewLeasesLocked(double now);
+    bool writeStoreLocked(std::string* error);
 
     Options opt_;
     bool ran_ = false;
@@ -300,6 +366,18 @@ class SweepRunner
     std::uint64_t storeVersion_ = 0; //!< bumped per flush batch
     std::uint64_t storeWritten_ = 0; //!< newest version on disk
     int flushTick_ = 0;              //!< episodes since the last flush
+    /**
+     * Elastic lease state. workerId_ is fixed at construction; the lease
+     * map and the expiry-dedup set live under storeIoMu_ (claims and
+     * renewals happen inside the store's locked read-merge-write). The
+     * telemetry counters are atomics so the progress line and summary
+     * read them lock-free.
+     */
+    std::string workerId_;
+    std::map<std::string, ActiveLease> activeLeases_;
+    std::map<std::string, std::uint64_t> expiredSeen_; //!< fp -> max gen
+    std::atomic<long long> leasesStolen_{0};
+    std::atomic<long long> leasesExpired_{0};
     int executed_ = 0;
     int memoized_ = 0;
     int resumed_ = 0;

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 
+#include "common/chaos.hpp"
 #include "common/cli.hpp"
+#include "common/io_retry.hpp"
 #include "common/serialize.hpp"
 #include "common/table.hpp"
 
@@ -201,4 +203,170 @@ TEST(JsonRecords, EmptyArrayAndMalformedInput)
     EXPECT_FALSE(readJsonRecords("/tmp/definitely_not_here_9876.json",
                                  loaded));
     std::remove(path.c_str());
+}
+
+TEST(JsonRecords, SalvageRecoversPrefixAtEveryTruncationPoint)
+{
+    // A store torn at ANY byte offset must salvage exactly the records
+    // that landed completely before the tear. The test data avoids
+    // braces inside strings, so each '}' in the byte stream closes one
+    // record and the expected salvage count is countable directly.
+    const std::string path = "/tmp/create_test_salvage_trunc.json";
+    std::vector<JsonRecord> records(4);
+    for (int i = 0; i < 4; ++i) {
+        records[static_cast<std::size_t>(i)].name =
+            "rec/" + std::to_string(i);
+        records[static_cast<std::size_t>(i)].strings = {
+            {"tag", "payload-" + std::to_string(i)}};
+        records[static_cast<std::size_t>(i)].numbers = {
+            {"value", 0.1 + i}, {"index", static_cast<double>(i)}};
+    }
+    ASSERT_TRUE(writeJsonRecords(path, records));
+    std::string full;
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            full.append(buf, n);
+        std::fclose(f);
+    }
+    ASSERT_GT(full.size(), 0u);
+    // A cut past the closing ']' only loses trailing whitespace: the
+    // array is complete and salvage never engages.
+    const std::size_t closed = full.rfind(']') + 1;
+    ASSERT_NE(closed, std::string::npos + 1);
+
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+        SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                     std::to_string(full.size()) + " bytes");
+        {
+            std::FILE* f = std::fopen(path.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            ASSERT_EQ(std::fwrite(full.data(), 1, cut, f), cut);
+            std::fclose(f);
+        }
+        std::size_t expect = 0;
+        for (std::size_t i = 0; i < cut; ++i)
+            if (full[i] == '}')
+                ++expect;
+        std::vector<JsonRecord> out;
+        JsonSalvage sal;
+        ASSERT_TRUE(readJsonRecordsSalvaged(path, out, &sal));
+        EXPECT_EQ(out.size(), expect);
+        EXPECT_EQ(sal.salvaged, cut < closed);
+        EXPECT_EQ(sal.totalBytes, cut);
+        EXPECT_LE(sal.goodBytes, cut);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            EXPECT_EQ(out[i].name, records[i].name);
+            EXPECT_EQ(out[i].number("value"), 0.1 + static_cast<int>(i));
+            EXPECT_EQ(out[i].text("tag"),
+                      "payload-" + std::to_string(i));
+        }
+        // The strict reader refuses any truncated file outright.
+        if (cut < closed)
+            EXPECT_FALSE(readJsonRecords(path, out));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JsonRecords, QuarantinePreservesTheBadTail)
+{
+    // quarantineTail copies the unparseable suffix aside so the next
+    // flush rewriting the store does not destroy the post-mortem
+    // evidence.
+    const std::string path = "/tmp/create_test_salvage_quar.json";
+    std::vector<JsonRecord> records(2);
+    records[0].name = "good/0";
+    records[0].numbers = {{"v", 1.0}};
+    records[1].name = "good/1";
+    records[1].numbers = {{"v", 2.0}};
+    ASSERT_TRUE(writeJsonRecords(path, records));
+    const std::string tail = "{\"name\": \"torn-mid-rec";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        // Replace the closing "]\n" with a half-written record.
+        std::fseek(f, size - 2, SEEK_SET);
+        std::fputs(",\n", f);
+        std::fputs(tail.c_str(), f);
+        std::fclose(f);
+    }
+    std::vector<JsonRecord> out;
+    JsonSalvage sal;
+    ASSERT_TRUE(readJsonRecordsSalvaged(path, out, &sal));
+    EXPECT_TRUE(sal.salvaged);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].number("v"), 2.0);
+    ASSERT_GT(sal.totalBytes, sal.goodBytes);
+
+    const std::string qpath = quarantineTail(path, sal.goodBytes);
+    ASSERT_EQ(qpath, path + ".quarantine");
+    std::string quarantined;
+    {
+        std::FILE* f = std::fopen(qpath.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            quarantined.append(buf, n);
+        std::fclose(f);
+    }
+    EXPECT_EQ(quarantined.size(), sal.totalBytes - sal.goodBytes);
+    EXPECT_NE(quarantined.find(tail), std::string::npos);
+    // An empty tail (offset == file size) is a no-op, not an error.
+    EXPECT_EQ(quarantineTail(path, sal.totalBytes), "");
+    std::remove(path.c_str());
+    std::remove(qpath.c_str());
+}
+
+TEST(JsonRecords, WriteFailureReportsTheFailingStep)
+{
+    // ENOSPC/EACCES on the flush path must surface, not vanish: the
+    // campaign layer turns this into a loud abort instead of silently
+    // dropping a flush batch.
+    std::vector<JsonRecord> records(1);
+    records[0].name = "x";
+    std::string error;
+    EXPECT_FALSE(writeJsonRecords(
+        "/tmp/definitely_not_a_dir_3141/store.json", records, &error));
+    EXPECT_NE(error.find("open"), std::string::npos);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(IoRetry, RenameFailureCarriesErrnoDetail)
+{
+    std::string error;
+    EXPECT_FALSE(io::renameRetry("/tmp/no_such_source_2718",
+                                 "/tmp/no_such_dir_2718/x", &error));
+    EXPECT_NE(error.find("rename"), std::string::npos);
+}
+
+TEST(Chaos, SpecParsingClampsAndIgnoresGarbage)
+{
+    using chaos::parseChaosSpec;
+    const chaos::Config off = parseChaosSpec(nullptr);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(parseChaosSpec("").enabled());
+    EXPECT_FALSE(parseChaosSpec("bogus=1,junk,=,x=").enabled());
+
+    const chaos::Config cfg =
+        parseChaosSpec("abort=0.05,tear=0.3,renewdelay=250");
+    EXPECT_TRUE(cfg.enabled());
+    EXPECT_DOUBLE_EQ(cfg.abortBeforeFlush, 0.05);
+    EXPECT_DOUBLE_EQ(cfg.tearWrite, 0.3);
+    EXPECT_EQ(cfg.renewDelayMs, 250);
+
+    // Probabilities clamp to [0, 1]; delays clamp to [0, 60000]; and a
+    // malformed value disables that fault rather than misfiring.
+    const chaos::Config clamped =
+        parseChaosSpec("abort=7,tear=-3,renewdelay=999999");
+    EXPECT_DOUBLE_EQ(clamped.abortBeforeFlush, 1.0);
+    EXPECT_DOUBLE_EQ(clamped.tearWrite, 0.0);
+    EXPECT_EQ(clamped.renewDelayMs, 60000);
+    const chaos::Config bad = parseChaosSpec("abort=xyz,renewdelay=2x");
+    EXPECT_FALSE(bad.enabled());
 }

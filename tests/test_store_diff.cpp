@@ -365,3 +365,104 @@ TEST(StoreDiff, MissingFileIsAnError)
                             "/tmp/create_no_such_store.json"),
                  std::runtime_error);
 }
+
+TEST(StoreDiff, TruncatedStoreSalvagesPrefixAndQuarantines)
+{
+    // A campaign killed mid-write (or a chaos-torn store) must still
+    // certify every episode that landed: loadStoreCells folds the
+    // parseable prefix instead of aborting, quarantines the bad tail,
+    // and the diff against the intact store reports the lost episodes
+    // as a count mismatch -- drift, not a crash.
+    const std::string full = "/tmp/create_test_salv_full.json";
+    const std::string torn = "/tmp/create_test_salv_torn.json";
+    const std::string quar = torn + ".quarantine";
+    writeStore(full, {"v2|salv"}, 6);
+
+    std::string text;
+    {
+        std::FILE* f = std::fopen(full.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[8192];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    // Tear the file mid-way through the last episode record (cutting at
+    // its computeJ key is guaranteed to land inside the record).
+    const std::size_t cut = text.rfind("computeJ");
+    ASSERT_NE(cut, std::string::npos);
+    {
+        std::FILE* f = std::fopen(torn.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(text.data(), 1, cut, f), cut);
+        std::fclose(f);
+    }
+
+    std::vector<StoreCell> cells;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(torn, cells, error));
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_GT(cells[0].episodes, 0);
+    EXPECT_LT(cells[0].episodes, 6);
+    // The bad tail survives for post-mortem.
+    std::FILE* q = std::fopen(quar.c_str(), "rb");
+    ASSERT_NE(q, nullptr);
+    std::fclose(q);
+
+    const StoreDiffResult res = diffStores(full, torn);
+    EXPECT_FALSE(res.clean());
+
+    // A file with no parseable record prefix at all is still an error.
+    const std::string junk = "/tmp/create_test_salv_junk.json";
+    {
+        std::FILE* f = std::fopen(junk.c_str(), "wb");
+        std::fputs("this is not a record store", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(loadStoreCells(junk, cells, error));
+    EXPECT_NE(error.find("parse"), std::string::npos);
+
+    std::remove(full.c_str());
+    std::remove(torn.c_str());
+    std::remove(quar.c_str());
+    std::remove(junk.c_str());
+}
+
+TEST(StoreDiff, LeaseRecordsSurfaceButNeverCompare)
+{
+    // Lease records are elastic-campaign scheduling state: loadStoreCells
+    // surfaces owner/gen/done for attribution, and two stores differing
+    // only in leases (one mid-campaign, one finished) still diff clean.
+    const std::string a = "/tmp/create_test_lease_a.json";
+    const std::string b = "/tmp/create_test_lease_b.json";
+    writeStore(a, {"v2|leased"}, 4);
+    writeStore(b, {"v2|leased"}, 4);
+    {
+        std::vector<JsonRecord> records;
+        ASSERT_TRUE(readJsonRecords(a, records));
+        JsonRecord lease;
+        lease.name = sweepLeaseKey("v2|leased");
+        lease.strings.emplace_back("owner", "hostA:111.1");
+        lease.numbers.emplace_back("gen", 3);
+        lease.numbers.emplace_back("renewedAt", 1e9);
+        lease.numbers.emplace_back("done", 1);
+        records.push_back(std::move(lease));
+        ASSERT_TRUE(writeJsonRecords(a, records));
+    }
+
+    std::vector<StoreCell> cells;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(a, cells, error));
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].leaseOwner, "hostA:111.1");
+    EXPECT_EQ(cells[0].leaseGen, 3);
+    EXPECT_TRUE(cells[0].leaseDone);
+    EXPECT_TRUE(cells[0].episodeOwners.empty()); // no `by` stamps
+
+    const StoreDiffResult res = diffStores(a, b);
+    EXPECT_TRUE(res.clean()) << "lease records must not be compared";
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}

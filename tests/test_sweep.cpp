@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/metrics.hpp"
@@ -15,6 +16,7 @@
 #include "core/create_system.hpp"
 #include "core/manip_system.hpp"
 #include "core/store_diff.hpp"
+#include "core/store_stats.hpp"
 #include "core/sweep.hpp"
 #include "env/manipworld.hpp"
 #include "test_util.hpp"
@@ -774,4 +776,218 @@ TEST(EpisodeLoop, FailedEpisodesBillExecutedSteps)
     EXPECT_GT(earlyExhaust, 0)
         << "no failed episode exhausted its plan early; every failure "
            "billed the cap, which is what the old accounting always did";
+}
+
+// --- elastic lease mode: steal, expiry, exactly-once ---------------------
+
+namespace {
+
+double
+wallNowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+JsonRecord
+makeLease(const std::string& fp, const std::string& owner, double gen,
+          double renewedAt, bool done)
+{
+    JsonRecord lr;
+    lr.name = sweepLeaseKey(fp);
+    lr.strings.emplace_back("owner", owner);
+    lr.numbers.emplace_back("gen", gen);
+    lr.numbers.emplace_back("renewedAt", renewedAt);
+    lr.numbers.emplace_back("done", done ? 1.0 : 0.0);
+    return lr;
+}
+
+} // namespace
+
+TEST(Lease, KeyRoundTrip)
+{
+    const std::string key = sweepLeaseKey("v2|abc|def");
+    std::string fp;
+    ASSERT_TRUE(sweepLeaseFingerprint(key, &fp));
+    EXPECT_EQ(fp, "v2|abc|def");
+    EXPECT_FALSE(sweepLeaseFingerprint("v2|abc|def", nullptr));
+    EXPECT_FALSE(sweepLeaseFingerprint("lease|", nullptr));
+    EXPECT_FALSE(sweepLeaseFingerprint(sweepEpisodeKey("v2|x", 3), nullptr));
+}
+
+TEST(Lease, StealsExpiredLeaseAndGapFillsExactlyOnce)
+{
+    // The dead-shard shape: a worker claimed a ledger, flushed episodes
+    // {0, 1} of 6, and was kill -9'd -- its lease stops renewing. An
+    // elastic survivor must observe the expiry, steal the lease with a
+    // generation bump, execute ONLY the 4 missing episodes, and fold
+    // stats bit-identical to an uninterrupted run.
+    const std::string path = "/tmp/create_test_lease_steal.json";
+    std::remove(path.c_str());
+    SweepCell cell = campaignCells(6)[0];
+    const std::string fp = sweepFingerprint(cell);
+
+    {
+        SweepRunner::Options o;
+        o.storePath = path;
+        SweepRunner full(o);
+        full.add(cell);
+        full.run();
+    }
+    std::vector<JsonRecord> records;
+    ASSERT_TRUE(readJsonRecords(path, records));
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [&](const JsonRecord& r) {
+                                     const int idx = sweepEpisodeIndex(r.name);
+                                     return idx >= 2;
+                                 }),
+                  records.end());
+    // The dead worker's lease: generation 3, last renewed an hour ago.
+    records.push_back(
+        makeLease(fp, "deadhost:4242.1", 3, wallNowSeconds() - 3600, false));
+    ASSERT_TRUE(writeJsonRecords(path, records));
+
+    SweepRunner::Options elastic;
+    elastic.storePath = path;
+    elastic.leaseSeconds = 5.0;
+    SweepRunner survivor(elastic);
+    const std::size_t h = survivor.add(cell);
+    survivor.run();
+
+    EXPECT_EQ(survivor.episodesExecuted(), 4); // gap-fill: 2..5 only
+    EXPECT_EQ(survivor.leasesStolen(), 1);
+    EXPECT_EQ(survivor.leasesExpired(), 1);
+
+    SweepRunner fresh;
+    const std::size_t hf = fresh.add(cell);
+    fresh.run();
+    expectIdentical(fresh.stats(hf), survivor.stats(h));
+
+    // The steal must stick in the store: our owner, bumped generation,
+    // published done so peers stop honoring the lease.
+    ASSERT_TRUE(readJsonRecords(path, records));
+    const auto lit =
+        std::find_if(records.begin(), records.end(),
+                     [&](const JsonRecord& r) {
+                         return r.name == sweepLeaseKey(fp);
+                     });
+    ASSERT_NE(lit, records.end());
+    EXPECT_EQ(lit->text("owner"), survivor.workerId());
+    EXPECT_EQ(lit->number("gen"), 4.0);
+    EXPECT_EQ(lit->number("done"), 1.0);
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+}
+
+TEST(Lease, LiveForeignLeaseIsStolenOnlyAfterExpiry)
+{
+    // A lease renewed moments ago belongs to a live peer: the claim scan
+    // must wait out the lease period before stealing, bounding the
+    // duplicated work a slow-but-alive straggler can suffer.
+    const std::string path = "/tmp/create_test_lease_live.json";
+    std::remove(path.c_str());
+    SweepCell cell = campaignCells(2)[0];
+    const std::string fp = sweepFingerprint(cell);
+    ASSERT_TRUE(writeJsonRecords(
+        path, std::vector<JsonRecord>{
+                  makeLease(fp, "peer:7.1", 1, wallNowSeconds(), false)}));
+
+    SweepRunner::Options elastic;
+    elastic.storePath = path;
+    elastic.leaseSeconds = 0.4;
+    SweepRunner runner(elastic);
+    runner.add(cell);
+    const double t0 = wallNowSeconds();
+    runner.run();
+    const double elapsed = wallNowSeconds() - t0;
+
+    EXPECT_EQ(runner.leasesStolen(), 1);
+    EXPECT_EQ(runner.episodesExecuted(), 2);
+    EXPECT_GE(elapsed, 0.35) << "stole a live lease before expiry";
+    std::remove(path.c_str());
+    std::remove((path + ".lock").c_str());
+}
+
+TEST(Lease, ElasticWorkersShareExactlyOnceAndAttribute)
+{
+    // Worker A completes the whole campaign; worker B joining late must
+    // finalize every ledger from the store without executing or stealing
+    // anything. The store carries per-episode `by` attribution and done
+    // leases that store-stats rolls into per-shard loads; a serial store
+    // carries neither.
+    const std::string path = "/tmp/create_test_lease_share.json";
+    const std::string serial = "/tmp/create_test_lease_serial.json";
+    std::remove(path.c_str());
+    std::remove(serial.c_str());
+    const auto cells = campaignCells(2);
+
+    SweepRunner::Options elastic;
+    elastic.storePath = path;
+    elastic.leaseSeconds = 30.0;
+    SweepRunner a(elastic);
+    for (const auto& c : cells)
+        a.add(c);
+    a.run();
+    EXPECT_EQ(a.episodesExecuted(), 3 * 2);
+    EXPECT_EQ(a.leasesStolen(), 0);
+
+    SweepRunner b(elastic);
+    std::vector<std::size_t> handles;
+    for (const auto& c : cells)
+        handles.push_back(b.add(c));
+    b.run();
+    EXPECT_EQ(b.episodesExecuted(), 0);
+    EXPECT_EQ(b.leasesStolen(), 0);
+    SweepRunner fresh;
+    for (const auto& c : cells)
+        fresh.add(c);
+    fresh.run();
+    for (std::size_t h = 0; h < cells.size(); ++h) {
+        SCOPED_TRACE(h);
+        expectIdentical(fresh.stats(h), b.stats(handles[h]));
+    }
+
+    // The elastic store diffs clean against a serial store (leases and
+    // `by` stamps are scheduling state, not results) and attributes
+    // every episode to worker A.
+    {
+        SweepRunner::Options o;
+        o.storePath = serial;
+        SweepRunner s(o);
+        for (const auto& c : cells)
+            s.add(c);
+        s.run();
+    }
+    std::vector<StoreCell> elasticCells, serialCells;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(path, elasticCells, error));
+    ASSERT_TRUE(loadStoreCells(serial, serialCells, error));
+    const StoreDiffResult res =
+        diffStoreCells(elasticCells, serialCells, StoreDiffOptions{});
+    EXPECT_TRUE(res.clean());
+    for (const StoreCell& cell : elasticCells) {
+        SCOPED_TRACE(cell.fingerprint);
+        ASSERT_EQ(cell.episodeOwners.size(), 1u);
+        EXPECT_EQ(cell.episodeOwners[0].first, a.workerId());
+        EXPECT_EQ(cell.episodeOwners[0].second, cell.episodes);
+        EXPECT_EQ(cell.leaseOwner, a.workerId());
+        EXPECT_TRUE(cell.leaseDone);
+    }
+    for (const StoreCell& cell : serialCells) {
+        EXPECT_TRUE(cell.episodeOwners.empty());
+        EXPECT_TRUE(cell.leaseOwner.empty());
+    }
+    const StoreStatsResult stats = computeStoreStats(elasticCells);
+    ASSERT_EQ(stats.shards.size(), 1u);
+    EXPECT_EQ(stats.shards[0].owner, a.workerId());
+    EXPECT_EQ(stats.shards[0].episodes, 3 * 2);
+    EXPECT_EQ(stats.shards[0].ledgers, 3);
+    EXPECT_EQ(stats.shards[0].leasesHeld, 3);
+    EXPECT_TRUE(computeStoreStats(serialCells).shards.empty());
+
+    std::remove(path.c_str());
+    std::remove(serial.c_str());
+    std::remove((path + ".lock").c_str());
+    std::remove((serial + ".lock").c_str());
 }

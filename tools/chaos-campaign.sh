@@ -1,0 +1,102 @@
+#!/bin/sh
+# Chaos campaign gate: prove the elastic lease fabric survives worker
+# death and torn writes with a final store bit-exact vs a serial run.
+#
+# Usage: tools/chaos-campaign.sh [build-dir]   (default: build)
+#
+# Three legs, each ending in a bit-exact sweep-diff against the same
+# serial golden store:
+#
+#   1. kill -9    two elastic workers (--lease) share one store; one is
+#                 kill -9'd mid-campaign. The survivor must observe the
+#                 dead worker's lease expire, steal its ledgers, gap-fill
+#                 only the missing episode indices, and complete the
+#                 campaign with zero manual intervention.
+#   2. torn write CREATE_CHAOS tear= truncates the store to a random
+#                 fraction after flushes; every subsequent locked read
+#                 must salvage the parseable prefix and the next flush
+#                 heals the file. A chaos-off --resume pass afterwards
+#                 repairs anything the final tear destroyed (and must
+#                 re-execute nothing when the store self-healed).
+#   3. abort      CREATE_CHAOS abort= makes workers _exit(137) before
+#                 random flushes (the OOM-kill shape). The driver simply
+#                 relaunches until a worker survives to completion --
+#                 every relaunch resumes from the surviving episodes.
+#
+# Episodes are deterministic (seeded per index, exact integer kernels),
+# so however chaotically the work is re-run, re-stolen, or re-merged,
+# the final store must be bit-identical to the serial one. Tunables:
+#   CHAOS_REPS (default 2)       reps per cell (campaign size)
+#   CHAOS_LEASE (default 2)      lease period in seconds
+#   CHAOS_KILL_AFTER (default 1) seconds before the kill -9
+set -e
+cd "$(dirname "$0")/.."
+build=${1:-build}
+fig13=$build/bench/bench_fig13_techniques
+diff=$build/tools/sweep-diff
+stats=$build/tools/sweep-stats
+reps=${CHAOS_REPS:-2}
+lease=${CHAOS_LEASE:-2}
+kill_after=${CHAOS_KILL_AFTER:-1}
+
+work=$(mktemp -d /tmp/chaos-campaign.XXXXXX)
+trap 'rm -rf "$work"' EXIT INT TERM
+
+echo "== serial golden ($fig13 --reps $reps)"
+"$fig13" --reps "$reps" --out "$work/serial.json" > /dev/null 2>&1
+
+echo "== leg 1: kill -9 one of two elastic workers mid-campaign"
+"$fig13" --reps "$reps" --out "$work/kill.json" --lease "$lease" \
+    --flush-every 1 --progress > /dev/null 2> "$work/victim.log" &
+victim=$!
+"$fig13" --reps "$reps" --out "$work/kill.json" --lease "$lease" \
+    --flush-every 1 --progress > /dev/null 2> "$work/survivor.log" &
+survivor=$!
+sleep "$kill_after"
+if kill -9 "$victim" 2> /dev/null; then
+    echo "   killed worker pid $victim after ${kill_after}s"
+else
+    echo "   worker $victim already finished (campaign too fast to kill)"
+fi
+wait "$victim" 2> /dev/null || true
+if ! wait "$survivor"; then
+    echo "FAIL: surviving worker exited nonzero"
+    sed -n '$p' "$work/survivor.log"
+    exit 1
+fi
+grep -E "stealing lease|stolen=" "$work/survivor.log" | tail -2 || true
+"$diff" "$work/serial.json" "$work/kill.json"
+"$stats" "$work/kill.json" | sed -n '/Per-shard/,/^$/p'
+
+echo "== leg 2: torn-write chaos (CREATE_CHAOS tear=0.2) + heal"
+CREATE_CHAOS="tear=0.2" CREATE_CHAOS_SEED=20260808 \
+    "$fig13" --reps "$reps" --out "$work/tear.json" --lease "$lease" \
+    --flush-every 1 > /dev/null 2> "$work/tear.log"
+tears=$(grep -c "\[chaos\] tore" "$work/tear.log" || true)
+echo "   injected $tears torn writes"
+if [ "${tears:-0}" -eq 0 ]; then
+    echo "FAIL: tear chaos never fired; the leg is vacuous"
+    exit 1
+fi
+# Heal pass: chaos off. If the final flush was torn this re-executes the
+# lost episodes from the salvaged prefix; otherwise it must be a no-op.
+"$fig13" --reps "$reps" --out "$work/tear.json" --resume \
+    > "$work/heal.log" 2>&1
+grep "\[sweep\] cells=" "$work/heal.log" || true
+"$diff" "$work/serial.json" "$work/tear.json"
+
+echo "== leg 3: abort-before-flush chaos (CREATE_CHAOS abort=0.03)"
+tries=0
+until CREATE_CHAOS="abort=0.03" CREATE_CHAOS_SEED=$((1000 + tries)) \
+    "$fig13" --reps "$reps" --out "$work/abort.json" --lease "$lease" \
+    --flush-every 1 > /dev/null 2> "$work/abort.log"; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 25 ]; then
+        echo "FAIL: no worker survived after $tries relaunches"
+        exit 1
+    fi
+done
+echo "   survived after $tries abort-and-resume relaunches"
+"$diff" "$work/serial.json" "$work/abort.json"
+
+echo "== chaos-campaign: all legs bit-exact vs serial"

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -36,10 +37,8 @@ kindTag(StoreDiffEntry::Kind kind)
     return "?";
 }
 
-} // namespace
-
 int
-main(int argc, char** argv)
+runDiff(int argc, char** argv)
 {
     Cli cli(argc, argv);
     std::vector<std::string> paths;
@@ -110,4 +109,24 @@ main(int argc, char** argv)
                 res.cellsA, res.cellsB, res.compared, res.entries.size(),
                 res.entries.size() == 1 ? "" : "s");
     return res.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // A CI gate must fail closed: an unreadable file or a JSON quirk the
+    // loader throws on is a one-line diagnostic and exit 2, never an
+    // unhandled-exception abort (which some CI runners report as a crash
+    // and retry instead of surfacing).
+    try {
+        return runDiff(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "sweep-diff: %s\n", e.what());
+        return 2;
+    } catch (...) {
+        std::fprintf(stderr, "sweep-diff: unknown error\n");
+        return 2;
+    }
 }

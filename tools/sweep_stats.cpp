@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -139,6 +140,24 @@ printAttribution(const StoreStatsResult& stats, int top)
 }
 
 void
+printShards(const StoreStatsResult& stats)
+{
+    // Only elastic lease campaigns stamp episodes with a `by` field and
+    // write lease records; a plain serial/sharded store has no shards to
+    // attribute and prints nothing.
+    if (stats.shards.empty())
+        return;
+    Table table("Per-shard episode attribution (elastic lease campaign)");
+    table.header({"worker", "episodes", "ledgers", "leases held"});
+    for (const ShardLoad& s : stats.shards)
+        table.row({s.owner, std::to_string(s.episodes),
+                   std::to_string(s.ledgers),
+                   std::to_string(s.leasesHeld)});
+    std::printf("\n");
+    table.print();
+}
+
+void
 printCurves(const StoreStatsResult& stats)
 {
     Table table("Success-vs-rep convergence");
@@ -212,10 +231,8 @@ exportJson(const StoreStatsResult& stats, const std::string& path)
                      path.c_str());
 }
 
-} // namespace
-
 int
-main(int argc, char** argv)
+runStats(int argc, char** argv)
 {
     Cli cli(argc, argv);
     std::vector<std::string> paths;
@@ -282,6 +299,7 @@ main(int argc, char** argv)
                     stats.legacyCells, stats.legacyCells == 1 ? "" : "s");
     printAttribution(stats,
                      static_cast<int>(cli.integer("top", 10)));
+    printShards(stats);
     if (cli.flag("curve"))
         printCurves(stats);
 
@@ -314,4 +332,23 @@ main(int argc, char** argv)
                 comparePath.c_str(), cmp.entries.size(),
                 cmp.entries.size() == 1 ? "" : "s", cmp.onlyA, cmp.onlyB);
     return cmp.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Fail closed like sweep-diff: any exception out of the loader or
+    // analytics is a one-line diagnostic and exit 2, never an
+    // unhandled-exception abort.
+    try {
+        return runStats(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "sweep-stats: %s\n", e.what());
+        return 2;
+    } catch (...) {
+        std::fprintf(stderr, "sweep-stats: unknown error\n");
+        return 2;
+    }
 }
