@@ -18,13 +18,21 @@
  * describes the benchmark .so).
  */
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <benchmark/benchmark.h>
 
+#include "common/serialize.hpp"
 #include "core/manip_system.hpp"
+#include "core/store_backend.hpp"
 #include "fault/injector.hpp"
 #include "hw/faulty_gemm.hpp"
 #include "hw/kernel_dispatch.hpp"
@@ -313,6 +321,109 @@ BENCHMARK(BM_EvaluateManip)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Result-store flush cost vs store size (Arg = records already in the
+ * store), json vs binlog. Each iteration publishes one 16-record batch
+ * into a synthetic episode store: the json backend rewrites the whole
+ * array (O(store) -- its row should scale with Arg), the binlog backend
+ * appends 16 CRC-framed records to its log (O(batch) -- its row should
+ * stay flat from 1k to 100k). This pair is the perf contract behind the
+ * campaign-scale store format.
+ */
+void
+storeFlushBench(benchmark::State& state, StoreFormat format)
+{
+    const int n = static_cast<int>(state.range(0));
+    char dir[] = "/tmp/create-bench-store-XXXXXX";
+    if (!mkdtemp(dir)) {
+        state.SkipWithError("mkdtemp failed");
+        return;
+    }
+    const std::string path = std::string(dir) + "/store";
+    const auto episodeName = [](int i) {
+        return "v2|bench|flush|cell" + std::to_string(i % 64) + "#" +
+               std::to_string(i / 64);
+    };
+    const auto makeRecord = [&](int i, double bump) {
+        JsonRecord r;
+        r.name = episodeName(i);
+        r.numbers.emplace_back("seed", static_cast<double>(i));
+        r.numbers.emplace_back("success", (i % 3) ? 1.0 : 0.0);
+        r.numbers.emplace_back("reward", 0.125 * i + bump);
+        r.numbers.emplace_back("wallMs", 17.0 + 0.001 * i);
+        r.numbers.emplace_back("flips", static_cast<double>(i % 7));
+        return r;
+    };
+    std::map<std::string, JsonRecord> full;
+    for (int i = 0; i < n; ++i) {
+        JsonRecord r = makeRecord(i, 0.0);
+        std::string name = r.name;
+        full.emplace(std::move(name), std::move(r));
+    }
+    const std::unique_ptr<StoreBackend> be =
+        openStoreBackend(path, format, "bench");
+    std::string error;
+    {
+        // Seed flush: the store under test holds all n records on disk.
+        std::vector<JsonRecord> all;
+        all.reserve(full.size());
+        for (const auto& [name, rec] : full)
+            all.push_back(rec);
+        if (!be->flush(full, all, &error)) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+    }
+    int next = 0;
+    std::vector<JsonRecord> batch;
+    for (auto _ : state) {
+        batch.clear();
+        for (int k = 0; k < 16; ++k) {
+            const int i = (next + k) % n;
+            JsonRecord r = makeRecord(i, 1.0 + next);
+            full[r.name] = r;
+            batch.push_back(std::move(r));
+        }
+        next = (next + 16) % n;
+        if (!be->flush(full, batch, &error)) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+    // Best-effort cleanup of the scratch store (json file or binlog dir).
+    if (format == StoreFormat::Json) {
+        std::remove(path.c_str());
+    } else {
+        std::string cmdSafe = path + "/log-bench.crbl";
+        std::remove(cmdSafe.c_str());
+        std::remove(path.c_str()); // rmdir via remove(3) on the empty dir
+    }
+    std::remove(dir);
+}
+
+void
+BM_StoreFlushJson(benchmark::State& state)
+{
+    storeFlushBench(state, StoreFormat::Json);
+}
+BENCHMARK(BM_StoreFlushJson)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StoreFlushBinlog(benchmark::State& state)
+{
+    storeFlushBench(state, StoreFormat::Binlog);
+}
+BENCHMARK(BM_StoreFlushBinlog)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -78,6 +78,9 @@ struct BenchOptions
     int shardIndex = 0;    //!< --shard i/N: this process's partition
     int shardCount = 1;
     double leaseSeconds = 0.0; //!< --lease S: elastic lease-stealing mode
+    /** --store-format json|binlog: on-disk format when --out creates the
+     *  store (an existing store keeps its detected format). */
+    StoreFormat storeFormat = StoreFormat::Json;
 };
 
 /**
@@ -97,6 +100,7 @@ sweepOptions(const BenchOptions& o)
     so.shardIndex = o.shardIndex;
     so.shardCount = o.shardCount;
     so.leaseSeconds = o.leaseSeconds;
+    so.storeFormat = o.storeFormat;
     return so;
 }
 
@@ -176,6 +180,12 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
                 "(episodes/s, success, ETA, GEMM fusion)\n"
                 "  --flush-every N  episodes per store flush (default "
                 "16)\n"
+                "  --store-format F  on-disk format when --out creates "
+                "the store: json (default,\n"
+                "                 interchange) or binlog (per-writer "
+                "append logs, O(batch) flushes);\n"
+                "                 an existing store keeps its detected "
+                "format\n"
                 "  --no-batch     disable cross-episode GEMM fusion "
                 "(bit-identical; for A/B timing)\n");
         std::printf("%s", extraHelp ? extraHelp : "");
@@ -207,6 +217,14 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
             }
             o.shardIndex = i;
             o.shardCount = n;
+        }
+        const std::string fmt = cli.str("store-format", "");
+        if (!fmt.empty() && !parseStoreFormat(fmt, o.storeFormat)) {
+            std::fprintf(stderr,
+                         "error: --store-format: expected json or binlog, "
+                         "got '%s'\n",
+                         fmt.c_str());
+            std::exit(2);
         }
         o.leaseSeconds = cli.real("lease", 0.0);
         if (o.leaseSeconds < 0.0)

@@ -1,0 +1,611 @@
+#include "common/binlog.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/io_retry.hpp"
+#include "common/store_keys.hpp"
+
+namespace create::binlog {
+
+namespace {
+
+enum : std::uint8_t
+{
+    kFrameFpDef = 1,
+    kFrameRecord = 2,
+    kFrameEpisode = 3,
+    kFrameLease = 4,
+    kFrameMeta = 5,
+    kFrameIndex = 6,
+};
+
+// Encoding primitives. The format is little-endian by definition and the
+// supported targets (x86-64, the accelerator hosts) are little-endian, so
+// raw memcpy is the encoding.
+void
+putU8(std::string& buf, std::uint8_t v)
+{
+    buf.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string& buf, std::uint32_t v)
+{
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void
+putU64(std::string& buf, std::uint64_t v)
+{
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void
+putStr(std::string& buf, const std::string& s)
+{
+    putU32(buf, static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+}
+
+/** Bounds-checked decode cursor over one frame's payload. */
+struct Cursor
+{
+    const char* p;
+    std::size_t n;
+    std::size_t pos = 0;
+
+    bool u8(std::uint8_t& v)
+    {
+        if (pos + 1 > n)
+            return false;
+        v = static_cast<std::uint8_t>(p[pos++]);
+        return true;
+    }
+
+    bool u32(std::uint32_t& v)
+    {
+        if (pos + sizeof(v) > n)
+            return false;
+        std::memcpy(&v, p + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    bool u64(std::uint64_t& v)
+    {
+        if (pos + sizeof(v) > n)
+            return false;
+        std::memcpy(&v, p + pos, sizeof(v));
+        pos += sizeof(v);
+        return true;
+    }
+
+    bool str(std::string& s)
+    {
+        std::uint32_t len = 0;
+        if (!u32(len) || pos + len > n)
+            return false;
+        s.assign(p + pos, len);
+        pos += len;
+        return true;
+    }
+
+    bool done() const { return pos == n; }
+};
+
+bool
+slurp(const std::string& path, std::string& text)
+{
+    std::FILE* f = io::fopenRetry(path.c_str(), "rb");
+    if (!f)
+        return false;
+    text.clear();
+    char buf[65536];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+void
+encodeBody(std::string& buf, const JsonRecord& rec)
+{
+    putU32(buf, static_cast<std::uint32_t>(rec.strings.size()));
+    for (const auto& [key, val] : rec.strings) {
+        putStr(buf, key);
+        putStr(buf, val);
+    }
+    putU32(buf, static_cast<std::uint32_t>(rec.numbers.size()));
+    for (const auto& [key, val] : rec.numbers) {
+        putStr(buf, key);
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(val), "double is 8 bytes");
+        std::memcpy(&bits, &val, sizeof(bits));
+        putU64(buf, bits);
+    }
+}
+
+bool
+decodeBody(Cursor& cur, JsonRecord& rec)
+{
+    std::uint32_t nStrings = 0;
+    if (!cur.u32(nStrings))
+        return false;
+    for (std::uint32_t i = 0; i < nStrings; ++i) {
+        std::string key, val;
+        if (!cur.str(key) || !cur.str(val))
+            return false;
+        rec.strings.emplace_back(std::move(key), std::move(val));
+    }
+    std::uint32_t nNumbers = 0;
+    if (!cur.u32(nNumbers))
+        return false;
+    for (std::uint32_t i = 0; i < nNumbers; ++i) {
+        std::string key;
+        std::uint64_t bits = 0;
+        if (!cur.str(key) || !cur.u64(bits))
+            return false;
+        double val = 0.0;
+        std::memcpy(&val, &bits, sizeof(val));
+        rec.numbers.emplace_back(std::move(key), val);
+    }
+    return cur.done();
+}
+
+/**
+ * Decode one frame's payload into `out` (when record-bearing), updating
+ * `dict`. Returns false when the payload is malformed -- the caller
+ * treats the frame (and everything after it) as the torn tail.
+ */
+bool
+decodeFrame(std::uint8_t type, const char* payload, std::size_t len,
+            std::map<std::uint32_t, std::string>& dict,
+            std::vector<JsonRecord>* out, LogSalvage* info)
+{
+    Cursor cur{payload, len};
+    switch (type) {
+      case kFrameFpDef: {
+          std::uint32_t id = 0;
+          if (!cur.u32(id))
+              return false;
+          dict[id].assign(payload + cur.pos, len - cur.pos);
+          return true;
+      }
+      case kFrameIndex: {
+          std::uint32_t count = 0;
+          if (!cur.u32(count))
+              return false;
+          for (std::uint32_t i = 0; i < count; ++i) {
+              std::uint32_t id = 0;
+              std::string fp;
+              if (!cur.u32(id) || !cur.str(fp))
+                  return false;
+              dict[id] = std::move(fp);
+          }
+          if (!cur.done())
+              return false;
+          if (info)
+              ++info->indexBlocks;
+          return true;
+      }
+      case kFrameRecord: {
+          JsonRecord rec;
+          if (!cur.str(rec.name) || !decodeBody(cur, rec))
+              return false;
+          if (info)
+              ++info->records;
+          if (out)
+              out->push_back(std::move(rec));
+          return true;
+      }
+      case kFrameEpisode:
+      case kFrameLease:
+      case kFrameMeta: {
+          std::uint32_t id = 0;
+          if (!cur.u32(id))
+              return false;
+          const auto it = dict.find(id);
+          if (it == dict.end())
+              return false; // undefined id: can only be corruption
+          JsonRecord rec;
+          if (type == kFrameEpisode) {
+              std::uint32_t index = 0;
+              if (!cur.u32(index))
+                  return false;
+              rec.name = sweepEpisodeKey(it->second,
+                                         static_cast<int>(index));
+          } else if (type == kFrameLease) {
+              rec.name = sweepLeaseKey(it->second);
+          } else {
+              rec.name = it->second;
+          }
+          if (!decodeBody(cur, rec))
+              return false;
+          if (info)
+              ++info->records;
+          if (out)
+              out->push_back(std::move(rec));
+          return true;
+      }
+      default:
+          return false;
+    }
+}
+
+/**
+ * Validate + decode the frame stream of a whole log image. Returns false
+ * when the header is missing/foreign; otherwise fills `info` with the
+ * valid-prefix boundary (salvage semantics of readJsonRecordsSalvaged).
+ */
+bool
+scanLog(const std::string& text, std::vector<JsonRecord>* out,
+        LogSalvage* info)
+{
+    LogSalvage local;
+    LogSalvage& sal = info ? *info : local;
+    sal = LogSalvage{};
+    sal.totalBytes = text.size();
+    if (text.size() < kHeaderBytes)
+        return false;
+    std::uint32_t magic = 0, version = 0;
+    std::memcpy(&magic, text.data(), sizeof(magic));
+    std::memcpy(&version, text.data() + 4, sizeof(version));
+    if (magic != kFileMagic || version != kFileVersion)
+        return false;
+    std::map<std::uint32_t, std::string> dict;
+    std::size_t pos = kHeaderBytes;
+    sal.goodBytes = pos;
+    constexpr std::size_t kFrameHeader = 9; // u8 type + u32 len + u32 crc
+    for (;;) {
+        if (pos + kFrameHeader > text.size())
+            break; // torn mid-header (or clean EOF when pos == size)
+        const auto type = static_cast<std::uint8_t>(text[pos]);
+        std::uint32_t len = 0, crc = 0;
+        std::memcpy(&len, text.data() + pos + 1, sizeof(len));
+        std::memcpy(&crc, text.data() + pos + 5, sizeof(crc));
+        if (len > kMaxPayload || pos + kFrameHeader + len > text.size())
+            break; // impossible/torn length
+        const char* payload = text.data() + pos + kFrameHeader;
+        std::uint32_t want = crc32(&type, 1);
+        want = crc32(payload, len, want);
+        if (want != crc)
+            break; // bit damage inside the frame
+        if (!decodeFrame(type, payload, len, dict, out, &sal))
+            break; // structurally invalid payload
+        ++sal.frames;
+        pos += kFrameHeader + len;
+        sal.goodBytes = pos;
+    }
+    sal.salvaged = sal.goodBytes != sal.totalBytes;
+    sal.fingerprints = dict.size();
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void* data, std::size_t n, std::uint32_t seed)
+{
+    // Table-driven CRC-32 (IEEE). The in/out inversion makes chained
+    // calls (seed = previous return) equal one call over the
+    // concatenation.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+bool
+isBinlogFile(const std::string& path)
+{
+    std::FILE* f = io::fopenRetry(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::uint32_t magic = 0;
+    const bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1;
+    std::fclose(f);
+    return ok && magic == kFileMagic;
+}
+
+bool
+readLogRecords(const std::string& path, std::vector<JsonRecord>& out,
+               LogSalvage* info)
+{
+    out.clear();
+    if (info)
+        *info = LogSalvage{};
+    std::string text;
+    if (!slurp(path, text))
+        return false;
+    if (!scanLog(text, &out, info)) {
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+LogWriter::~LogWriter()
+{
+    close();
+}
+
+void
+LogWriter::close()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+    path_.clear();
+    offset_ = 0;
+    buf_.clear();
+    dict_.clear();
+    sinceIndex_ = 0;
+}
+
+bool
+LogWriter::open(const std::string& path, std::string* error)
+{
+    close();
+    std::string text;
+    const bool exists = slurp(path, text);
+    if (exists && !text.empty()) {
+        LogSalvage sal;
+        if (!scanLog(text, nullptr, &sal)) {
+            if (error)
+                *error = path + " is not a binlog (foreign magic)";
+            return false;
+        }
+        if (sal.salvaged) {
+            // Same recovery as the readers, but as the owner we also
+            // repair the file: quarantine the bad suffix and truncate to
+            // the last good frame boundary so our appends extend a valid
+            // prefix instead of stranding themselves behind torn bytes.
+            const std::string q = quarantineTail(
+                path, static_cast<std::size_t>(sal.goodBytes));
+            std::fprintf(stderr,
+                         "[binlog] %s has a torn tail: kept %llu of %llu "
+                         "bytes (%zu records); bad tail %s%s\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(sal.goodBytes),
+                         static_cast<unsigned long long>(sal.totalBytes),
+                         sal.records,
+                         q.empty() ? "could not be quarantined"
+                                   : "quarantined to ",
+                         q.c_str());
+            if (::truncate(path.c_str(),
+                           static_cast<off_t>(sal.goodBytes)) != 0) {
+                if (error)
+                    *error = "truncate " + path + ": " +
+                             std::strerror(errno);
+                return false;
+            }
+        }
+        f_ = io::fopenRetry(path.c_str(), "r+b");
+        if (!f_) {
+            if (error)
+                *error = "open " + path + ": " + std::strerror(errno);
+            return false;
+        }
+        offset_ = sal.goodBytes;
+        if (std::fseek(f_, static_cast<long>(offset_), SEEK_SET) != 0) {
+            if (error)
+                *error = "seek " + path + ": " + std::strerror(errno);
+            std::fclose(f_);
+            f_ = nullptr;
+            return false;
+        }
+    } else {
+        f_ = io::fopenRetry(path.c_str(), "w+b");
+        if (!f_) {
+            if (error)
+                *error = "open " + path + ": " + std::strerror(errno);
+            return false;
+        }
+        std::string header;
+        putU32(header, kFileMagic);
+        putU32(header, kFileVersion);
+        if (std::fwrite(header.data(), 1, header.size(), f_) !=
+                header.size() ||
+            std::fflush(f_) != 0) {
+            if (error)
+                *error = "write " + path + ": " + std::strerror(errno);
+            std::fclose(f_);
+            f_ = nullptr;
+            return false;
+        }
+        offset_ = kHeaderBytes;
+    }
+    path_ = path;
+    return true;
+}
+
+bool
+LogWriter::checkTail(bool* healed, std::string* error)
+{
+    if (healed)
+        *healed = false;
+    if (!f_) {
+        if (error)
+            *error = "binlog writer is not open";
+        return false;
+    }
+    struct stat st;
+    if (::fstat(::fileno(f_), &st) != 0) {
+        if (error)
+            *error = "stat " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
+    if (static_cast<std::uint64_t>(st.st_size) == offset_)
+        return true;
+    // The file changed underneath us (injected tear, external truncate,
+    // or -- misconfiguration -- a second writer sharing our log name).
+    // Re-salvage from scratch: quarantine whatever suffix does not
+    // decode, truncate to the last good frame boundary, and drop the
+    // dictionary -- definitions we emitted past the cut are gone, and
+    // re-emitting a fingerprint under a fresh id is always valid
+    // (definitions override from their point in the stream).
+    std::string text;
+    LogSalvage sal;
+    if (!slurp(path_, text) || !scanLog(text, nullptr, &sal)) {
+        if (error)
+            *error = path_ + " changed underneath the writer and no "
+                             "longer reads as a binlog";
+        return false;
+    }
+    if (sal.salvaged)
+        quarantineTail(path_, static_cast<std::size_t>(sal.goodBytes));
+    if (::ftruncate(::fileno(f_), static_cast<off_t>(sal.goodBytes)) != 0 ||
+        std::fseek(f_, static_cast<long>(sal.goodBytes), SEEK_SET) != 0) {
+        if (error)
+            *error = "truncate " + path_ + ": " + std::strerror(errno);
+        return false;
+    }
+    std::fprintf(stderr,
+                 "[binlog] %s changed on disk (%llu -> %llu bytes); "
+                 "resynced to the last good frame boundary\n",
+                 path_.c_str(), static_cast<unsigned long long>(offset_),
+                 static_cast<unsigned long long>(st.st_size));
+    offset_ = sal.goodBytes;
+    dict_.clear();
+    sinceIndex_ = 0;
+    if (healed)
+        *healed = true;
+    return true;
+}
+
+std::uint32_t
+LogWriter::fpId(const std::string& fingerprint)
+{
+    for (const auto& [fp, id] : dict_)
+        if (fp == fingerprint)
+            return id;
+    const std::uint32_t id = nextId_++;
+    dict_.emplace_back(fingerprint, id);
+    std::string payload;
+    putU32(payload, id);
+    payload.append(fingerprint);
+    std::uint32_t crc = 0;
+    const std::uint8_t type = kFrameFpDef;
+    crc = crc32(&type, 1);
+    crc = crc32(payload.data(), payload.size(), crc);
+    putU8(buf_, type);
+    putU32(buf_, static_cast<std::uint32_t>(payload.size()));
+    putU32(buf_, crc);
+    buf_.append(payload);
+    return id;
+}
+
+void
+LogWriter::encodeRecord(const JsonRecord& rec)
+{
+    // Classify through the store-key grammar; the strict reconstruction
+    // check (re-derive the key and compare) keeps degenerate names a
+    // human could hand-edit in -- "fp#007" parses as episode 7 but is
+    // not episodeKey(fp, 7) -- byte-exact via the generic frame.
+    std::uint8_t type = kFrameRecord;
+    std::string payload;
+    std::string fp;
+    const int idx = sweepEpisodeIndex(rec.name, &fp);
+    if (idx >= 0 && sweepEpisodeKey(fp, idx) == rec.name) {
+        type = kFrameEpisode;
+        putU32(payload, fpId(fp));
+        putU32(payload, static_cast<std::uint32_t>(idx));
+    } else if (sweepLeaseFingerprint(rec.name, &fp)) {
+        type = kFrameLease;
+        putU32(payload, fpId(fp));
+    } else if (rec.name.rfind("v1|", 0) == 0 ||
+               rec.name.rfind("v2|", 0) == 0) {
+        // Ledger meta records (and legacy v1 cell records) are named by
+        // the fingerprint itself -- dictionary-compressed like episodes.
+        type = kFrameMeta;
+        putU32(payload, fpId(rec.name));
+    } else {
+        putStr(payload, rec.name);
+    }
+    encodeBody(payload, rec);
+    std::uint32_t crc = crc32(&type, 1);
+    crc = crc32(payload.data(), payload.size(), crc);
+    putU8(buf_, type);
+    putU32(buf_, static_cast<std::uint32_t>(payload.size()));
+    putU32(buf_, crc);
+    buf_.append(payload);
+    if (++sinceIndex_ >= kIndexEvery) {
+        // Periodic full-dictionary index block.
+        std::string ip;
+        putU32(ip, static_cast<std::uint32_t>(dict_.size()));
+        for (const auto& [dfp, id] : dict_) {
+            putU32(ip, id);
+            putStr(ip, dfp);
+        }
+        const std::uint8_t itype = kFrameIndex;
+        std::uint32_t icrc = crc32(&itype, 1);
+        icrc = crc32(ip.data(), ip.size(), icrc);
+        putU8(buf_, itype);
+        putU32(buf_, static_cast<std::uint32_t>(ip.size()));
+        putU32(buf_, icrc);
+        buf_.append(ip);
+        sinceIndex_ = 0;
+    }
+}
+
+void
+LogWriter::append(const JsonRecord& rec)
+{
+    encodeRecord(rec);
+}
+
+bool
+LogWriter::commit(std::string* error)
+{
+    if (!f_) {
+        if (error)
+            *error = "binlog writer is not open";
+        return false;
+    }
+    if (buf_.empty())
+        return true;
+    const bool ok =
+        std::fwrite(buf_.data(), 1, buf_.size(), f_) == buf_.size() &&
+        std::fflush(f_) == 0;
+    if (!ok) {
+        if (error)
+            *error = "append " + path_ + ": " + std::strerror(errno);
+        // Roll the file back to the durable boundary so the failed batch
+        // never leaves a torn frame mid-log; the staged frames and the
+        // dictionary are dropped with it (a retry re-encodes from
+        // scratch -- definitions override, so a fresh dictionary is
+        // always valid).
+        ::ftruncate(::fileno(f_), static_cast<off_t>(offset_));
+        std::fseek(f_, static_cast<long>(offset_), SEEK_SET);
+        std::clearerr(f_);
+        buf_.clear();
+        dict_.clear();
+        sinceIndex_ = 0;
+        return false;
+    }
+    offset_ += buf_.size();
+    buf_.clear();
+    return true;
+}
+
+} // namespace create::binlog

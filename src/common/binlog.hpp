@@ -1,0 +1,161 @@
+#pragma once
+
+/**
+ * @file
+ * The binary append-log record codec behind the `binlog` store format:
+ * the O(batch) counterpart of the rewrite-the-whole-file JSON store.
+ *
+ * One log file is
+ *
+ *   [u32 magic "CRBL"][u32 version]
+ *   frame*
+ *
+ * and one frame is
+ *
+ *   [u8 type][u32 payloadLen][u32 crc32][payload]
+ *
+ * with the CRC taken over the type byte followed by the payload, so a
+ * frame whose header or body was torn or bit-flipped never decodes. All
+ * integers are little-endian; doubles travel as their raw IEEE-754 bits,
+ * so a JSON round trip through the %.17g interchange format and a binlog
+ * round trip reproduce bit-identical records -- the episode-ledger
+ * store's resume/diff machinery depends on that.
+ *
+ * Frame types (payload layouts; varstr = [u32 len][bytes]):
+ *   FpDef   [u32 fpId][fp bytes...]        define a fingerprint id
+ *   Record  [varstr name][body]            record with an opaque name
+ *   Episode [u32 fpId][u32 index][body]    record named `<fp>#<index>`
+ *   Lease   [u32 fpId][body]               record named `lease|<fp>`
+ *   Meta    [u32 fpId][body]               record named `<fp>`
+ *   Index   [u32 n]([u32 fpId][varstr fp])*n   periodic full dictionary
+ * body = [u32 nStrings]([varstr key][varstr val])*
+ *        [u32 nNumbers]([varstr key][u64 doubleBits])*
+ *
+ * Episode/lease/meta keys dominate a campaign store and all embed the
+ * ~100-byte cell fingerprint, so frames carry a u32 dictionary id
+ * instead; names are reconstructed through common/store_keys, the same
+ * grammar the JSON readers parse. Writers emit an FpDef lazily before a
+ * fingerprint's first use and re-emit the full dictionary as an Index
+ * frame every kIndexEvery records (decode is strictly sequential either
+ * way; the index blocks serve `sweep-store inspect` and future partial
+ * readers). A definition overrides its id from that point of the stream
+ * on, so appenders restarting after a truncation just start a fresh
+ * dictionary.
+ *
+ * Torn-tail salvage mirrors readJsonRecordsSalvaged: the reader decodes
+ * the longest valid frame prefix and reports where it ended, so callers
+ * keep every record that landed intact and quarantine only the bad
+ * suffix. The writer itself re-validates the tail before each commit
+ * (cheap stat) and, after an external truncation (chaos tear, a crashed
+ * sibling's partial write), truncates back to the last good frame
+ * boundary so later appends never strand good frames behind a bad one.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace create::binlog {
+
+/** File magic: the bytes "CRBL" (read as LE u32 on x86). */
+constexpr std::uint32_t kFileMagic = 0x4C425243u;
+constexpr std::uint32_t kFileVersion = 1;
+/** Bytes of [magic][version]. */
+constexpr std::size_t kHeaderBytes = 8;
+/** Records between periodic full-dictionary Index frames. */
+constexpr int kIndexEvery = 256;
+/** Sanity cap on one frame's payload (a torn length field must not
+ *  trigger a multi-GB allocation). */
+constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+/** CRC-32 (IEEE 802.3, poly 0xEDB88320, bit-reflected). */
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/** True when `path` is a regular file starting with the binlog magic. */
+bool isBinlogFile(const std::string& path);
+
+/** Outcome of a salvaged log read (the JsonSalvage of the binary side). */
+struct LogSalvage
+{
+    bool salvaged = false;       //!< bad frame hit; `out` holds the prefix
+    std::uint64_t goodBytes = 0; //!< bytes of the valid frame prefix
+    std::uint64_t totalBytes = 0;
+    std::size_t frames = 0;      //!< valid frames decoded (all types)
+    std::size_t records = 0;     //!< record-bearing frames decoded
+    std::size_t indexBlocks = 0; //!< Index frames seen
+    std::size_t fingerprints = 0; //!< dictionary size at end of prefix
+};
+
+/**
+ * Decode every record of one log in frame order (duplicate keys are
+ * preserved: compaction policy belongs to the caller). A torn or
+ * corrupted file yields the longest valid frame prefix; `info`
+ * (optional) reports whether salvage kicked in and where the prefix
+ * ends. Returns false only when the file cannot be opened or does not
+ * start with the binlog magic.
+ */
+bool readLogRecords(const std::string& path, std::vector<JsonRecord>& out,
+                    LogSalvage* info = nullptr);
+
+/**
+ * Append-side of one log file. Opening an existing log validates its
+ * frame prefix first and truncates a torn tail (quarantined via
+ * quarantineTail) so appends always start on a frame boundary. append()
+ * buffers frames in memory; commit() lands the whole batch with one
+ * write + flush and, on failure, truncates back to the pre-batch
+ * boundary so a retry starts clean.
+ */
+class LogWriter
+{
+  public:
+    LogWriter() = default;
+    LogWriter(const LogWriter&) = delete;
+    LogWriter& operator=(const LogWriter&) = delete;
+    ~LogWriter();
+
+    /** Open (create or append). False on I/O failure or foreign magic. */
+    bool open(const std::string& path, std::string* error);
+
+    bool isOpen() const { return f_ != nullptr; }
+    const std::string& path() const { return path_; }
+
+    /** Frame-boundary offset appends will land at. */
+    std::uint64_t offset() const { return offset_; }
+
+    /**
+     * Detect the file changing underneath us (chaos tear, an external
+     * truncate) by comparing the on-disk size with the offset of our
+     * last commit. When they disagree, re-salvage: quarantine the bad
+     * tail, truncate to the last good frame boundary, and reset the
+     * dictionary. `*healed` is set true in that case -- records the
+     * caller appended before the cut may be gone, so it should re-append
+     * its full view once to heal the log. False on I/O failure.
+     */
+    bool checkTail(bool* healed, std::string* error);
+
+    /** Buffer one record (with its lazy FpDef / periodic Index frames). */
+    void append(const JsonRecord& rec);
+
+    /** Write buffered frames; one fwrite + fflush. False on failure
+     *  (file truncated back to the pre-batch boundary; retry-safe). */
+    bool commit(std::string* error);
+
+    void close();
+
+  private:
+    std::uint32_t fpId(const std::string& fingerprint);
+    void encodeRecord(const JsonRecord& rec);
+
+    std::FILE* f_ = nullptr;
+    std::string path_;
+    std::uint64_t offset_ = 0; //!< durable frame boundary (last commit)
+    std::string buf_;          //!< frames staged since the last commit
+    std::vector<std::pair<std::string, std::uint32_t>> dict_; //!< fp -> id
+    std::uint32_t nextId_ = 0;
+    int sinceIndex_ = 0; //!< records since the last Index frame
+};
+
+} // namespace create::binlog

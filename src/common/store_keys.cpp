@@ -1,0 +1,57 @@
+#include "common/store_keys.hpp"
+
+#include <cctype>
+#include <limits>
+
+namespace create {
+
+namespace {
+constexpr const char* kLeasePrefix = "lease|";
+} // namespace
+
+std::string
+sweepEpisodeKey(const std::string& fingerprint, int index)
+{
+    return fingerprint + "#" + std::to_string(index);
+}
+
+int
+sweepEpisodeIndex(const std::string& recordName, std::string* fingerprint)
+{
+    const std::size_t hash = recordName.rfind('#');
+    if (hash == std::string::npos || hash + 1 >= recordName.size())
+        return -1;
+    long long index = 0;
+    for (std::size_t i = hash + 1; i < recordName.size(); ++i) {
+        const char c = recordName[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+        index = index * 10 + (c - '0');
+        // A hand-edited/corrupt store must not overflow into a bogus
+        // valid-looking index (or signed-overflow UB).
+        if (index > std::numeric_limits<int>::max())
+            return -1;
+    }
+    if (fingerprint)
+        *fingerprint = recordName.substr(0, hash);
+    return static_cast<int>(index);
+}
+
+std::string
+sweepLeaseKey(const std::string& fingerprint)
+{
+    return kLeasePrefix + fingerprint;
+}
+
+bool
+sweepLeaseFingerprint(const std::string& recordName, std::string* fingerprint)
+{
+    const std::size_t n = std::char_traits<char>::length(kLeasePrefix);
+    if (recordName.compare(0, n, kLeasePrefix) != 0 || recordName.size() == n)
+        return false;
+    if (fingerprint)
+        *fingerprint = recordName.substr(n);
+    return true;
+}
+
+} // namespace create

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * The record-key grammar of the SweepRunner result store, shared by every
+ * layer that names or parses store records: the sweep engine, the store
+ * readers (diff/stats), and both storage backends (the JSON interchange
+ * format and the binary append log, whose frame codec compresses episode
+ * and lease keys through this exact grammar -- common/binlog reconstructs
+ * names with these helpers, so the two formats can never disagree on what
+ * a key means).
+ *
+ * Key forms:
+ *   `sweep-store`          the store's schema record
+ *   `<fingerprint>`        a ledger meta record (platform/label/task)
+ *   `<fingerprint>#<i>`    episode i of the fingerprint's ledger
+ *   `lease|<fingerprint>`  the ledger's elastic-worker lease record
+ * Anything else (legacy v1 cell records, bench reports) is opaque.
+ */
+
+#include <string>
+
+namespace create {
+
+/**
+ * Schema version written by the episode-ledger store.
+ *
+ * v3 adds optional per-episode observability fields (wallMs, the
+ * flip-attribution counters, per-layer `L.<tag>.<field>` keys) to episode
+ * records. v2 stores load losslessly -- the fields simply are not there
+ * and the episode's metrics stay absent -- and any flush rewrites the
+ * schema record at the current version. Older (v2-only) builds refuse v3
+ * stores via the existing future-schema guard rather than stripping the
+ * new fields on their next rewrite.
+ */
+constexpr int kSweepStoreSchema = 3;
+/** Name of the store's schema record. */
+constexpr const char* kSweepStoreSchemaRecord = "sweep-store";
+
+/** Store key of one ledger episode: `<fingerprint>#<index>`. */
+std::string sweepEpisodeKey(const std::string& fingerprint, int index);
+
+/**
+ * Parse an episode store key; returns the episode index and (optionally)
+ * the fingerprint, or -1 when the name is not an episode key.
+ */
+int sweepEpisodeIndex(const std::string& recordName,
+                      std::string* fingerprint = nullptr);
+
+/**
+ * Store key of a ledger's lease record: `lease|<fingerprint>`. Lease
+ * records are additive v3 records -- fields {owner (string "host:pid"),
+ * gen, renewedAt (unix seconds), done (0/1)} -- that coordinate elastic
+ * workers; they are scheduling state, not results, so store readers
+ * (diff/stats) surface them for attribution but never compare them.
+ */
+std::string sweepLeaseKey(const std::string& fingerprint);
+
+/**
+ * True when `recordName` is a lease record key; optionally yields the
+ * fingerprint it leases.
+ */
+bool sweepLeaseFingerprint(const std::string& recordName,
+                           std::string* fingerprint = nullptr);
+
+} // namespace create

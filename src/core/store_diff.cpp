@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "common/serialize.hpp"
+#include "core/store_backend.hpp"
 #include "core/sweep.hpp"
 
 namespace create {
@@ -38,9 +40,15 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
 {
     out.clear();
     error.clear();
+    // Format autodetection (magic bytes / directory-ness) means every
+    // reader accepts either store format -- and a mix of the two across
+    // the A/B sides of a diff -- with no flag: json vs binlog diffs are
+    // how cross-format bit-identity is certified.
     std::vector<JsonRecord> records;
-    JsonSalvage sal;
-    if (!readJsonRecordsSalvaged(path, records, &sal)) {
+    StoreLoadInfo sal;
+    std::unique_ptr<StoreBackend> be =
+        openStoreBackend(path, StoreFormat::Json, "reader");
+    if (!be->load(records, &sal, /*quarantineBadTails=*/true)) {
         error = "cannot read result store " + path;
         return false;
     }
@@ -51,17 +59,21 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
             return false;
         }
         // Truncated/torn store: fold the parseable prefix (a campaign
-        // killed mid-write still certifies every record that landed) and
-        // keep the bad tail for post-mortem.
-        const std::string q = quarantineTail(path, sal.goodBytes);
+        // killed mid-write still certifies every record that landed);
+        // the backend quarantined the bad tails for post-mortem.
         std::fprintf(stderr,
                      "[store] %s is truncated or corrupt: salvaged %zu "
-                     "records (%zu of %zu bytes); bad tail %s%s\n",
-                     path.c_str(), records.size(), sal.goodBytes,
-                     sal.totalBytes,
-                     q.empty() ? "could not be quarantined"
-                               : "quarantined to ",
-                     q.c_str());
+                     "records (%llu of %llu bytes, %zu file%s); bad tail "
+                     "%s%s\n",
+                     path.c_str(), records.size(),
+                     static_cast<unsigned long long>(sal.goodBytes),
+                     static_cast<unsigned long long>(sal.totalBytes),
+                     sal.files, sal.files == 1 ? "" : "s",
+                     sal.quarantined.empty() ? "could not be quarantined"
+                                             : "quarantined to ",
+                     sal.quarantined.empty()
+                         ? ""
+                         : sal.quarantined.front().c_str());
     }
 
     // Pass 1: collect episode ledgers (v2, with per-episode owner

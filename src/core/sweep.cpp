@@ -118,8 +118,6 @@ makeWorkerId()
            std::to_string(++seq);
 }
 
-constexpr const char* kLeasePrefix = "lease|";
-
 } // namespace
 
 std::string
@@ -138,51 +136,6 @@ sweepFingerprintLegacyV1(const SweepCell& cell)
     return "v1|" + cell.platform + "|task=" + std::to_string(cell.taskId) +
            "|reps=" + std::to_string(cell.reps) +
            "|seed0=" + std::to_string(cell.seed0) + fingerprintTail(cell.cfg);
-}
-
-std::string
-sweepEpisodeKey(const std::string& fingerprint, int index)
-{
-    return fingerprint + "#" + std::to_string(index);
-}
-
-int
-sweepEpisodeIndex(const std::string& recordName, std::string* fingerprint)
-{
-    const std::size_t hash = recordName.rfind('#');
-    if (hash == std::string::npos || hash + 1 >= recordName.size())
-        return -1;
-    long long index = 0;
-    for (std::size_t i = hash + 1; i < recordName.size(); ++i) {
-        const char c = recordName[i];
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            return -1;
-        index = index * 10 + (c - '0');
-        // A hand-edited/corrupt store must not overflow into a bogus
-        // valid-looking index (or signed-overflow UB).
-        if (index > std::numeric_limits<int>::max())
-            return -1;
-    }
-    if (fingerprint)
-        *fingerprint = recordName.substr(0, hash);
-    return static_cast<int>(index);
-}
-
-std::string
-sweepLeaseKey(const std::string& fingerprint)
-{
-    return kLeasePrefix + fingerprint;
-}
-
-bool
-sweepLeaseFingerprint(const std::string& recordName, std::string* fingerprint)
-{
-    const std::size_t n = std::char_traits<char>::length(kLeasePrefix);
-    if (recordName.compare(0, n, kLeasePrefix) != 0 || recordName.size() == n)
-        return false;
-    if (fingerprint)
-        *fingerprint = recordName.substr(n);
-    return true;
 }
 
 void
@@ -438,12 +391,17 @@ SweepRunner::loadStore(
     // phase's workers joined), so storeRecords_ is safe to fill; the
     // lock below just documents the storeIoMu_ ownership.
     std::lock_guard<std::mutex> io(storeIoMu_);
+    StoreBackend* be = ensureBackendLocked();
+    if (!be)
+        return;
     std::vector<JsonRecord> records;
-    JsonSalvage sal;
-    if (!readJsonRecordsSalvaged(opt_.storePath, records, &sal))
+    StoreLoadInfo sal;
+    // Backend loads quarantine unreadable tails before anything rewrites
+    // or truncates them (post-mortem evidence survives the heal).
+    if (!be->load(records, &sal, /*quarantineBadTails=*/true))
         return; // no store yet
     if (sal.salvaged) {
-        if (sal.goodBytes == 0) {
+        if (records.empty()) {
             // Not a record store at all (hand-edited, foreign tool): no
             // prefix to salvage. Don't silently ignore it -- with
             // --resume this re-runs hours of episodes, and either way
@@ -456,18 +414,21 @@ SweepRunner::loadStore(
             return;
         }
         // Truncated/torn store: keep the longest parseable record prefix
-        // (every episode that landed intact resumes) and preserve the
-        // bad tail for post-mortem before the next flush rewrites it.
-        const std::string q = quarantineTail(opt_.storePath, sal.goodBytes);
+        // (every episode that landed intact resumes); the bad tails were
+        // quarantined above before the next flush rewrites them.
         std::fprintf(stderr,
                      "[sweep] result store %s is truncated or corrupt: "
-                     "salvaged %zu records (%zu of %zu bytes); bad tail "
-                     "%s%s\n",
-                     opt_.storePath.c_str(), records.size(), sal.goodBytes,
-                     sal.totalBytes,
-                     q.empty() ? "could not be quarantined"
-                               : "quarantined to ",
-                     q.c_str());
+                     "salvaged %zu records (%llu of %llu bytes, %zu "
+                     "file%s); bad tail %s%s\n",
+                     opt_.storePath.c_str(), records.size(),
+                     static_cast<unsigned long long>(sal.goodBytes),
+                     static_cast<unsigned long long>(sal.totalBytes),
+                     sal.files, sal.files == 1 ? "" : "s",
+                     sal.quarantined.empty() ? "could not be quarantined"
+                                             : "quarantined to ",
+                     sal.quarantined.empty()
+                         ? ""
+                         : sal.quarantined.front().c_str());
     }
 
     // A store without a schema record is a PR 4-era (v1) cell-level
@@ -487,6 +448,7 @@ SweepRunner::loadStore(
                      "campaign runs without a store\n",
                      opt_.storePath.c_str(), schema, kSweepStoreSchema);
         opt_.storePath.clear();
+        store_.reset();
         return;
     }
 
@@ -536,17 +498,27 @@ SweepRunner::flushStore()
     // already merged into storeRecords_, so the winning (newer) write --
     // and every later one -- carries them; the file on disk only moves
     // forward.
-    std::vector<JsonRecord> pending;
+    std::vector<JsonRecord> batch;
     std::uint64_t version = 0;
     {
         std::lock_guard<std::mutex> lock(storeMu_);
-        pending.swap(pendingRecords_);
+        batch.swap(pendingRecords_);
         version = ++storeVersion_;
     }
     std::lock_guard<std::mutex> io(storeIoMu_);
-    for (JsonRecord& rec : pending) {
-        std::string name = rec.name;
-        storeRecords_[std::move(name)] = std::move(rec);
+    StoreBackend* be = ensureBackendLocked();
+    if (!be)
+        return; // future-schema store disabled the path under io race
+    for (const JsonRecord& rec : batch)
+        storeRecords_[rec.name] = rec;
+    // Records minted on the I/O path since the last flush (ledger meta,
+    // claimed leases) are already merged into storeRecords_ but still
+    // owe the disk a frame when the backend appends.
+    if (!pendingIo_.empty()) {
+        batch.insert(batch.end(),
+                     std::make_move_iterator(pendingIo_.begin()),
+                     std::make_move_iterator(pendingIo_.end()));
+        pendingIo_.clear();
     }
     const bool renewing = opt_.leaseSeconds > 0.0 && !activeLeases_.empty();
     // Skip the write only when a newer flush already reached disk AND we
@@ -555,30 +527,39 @@ SweepRunner::flushStore()
     // merged, so its file does not contain our records -- returning then
     // would strand this batch in memory past the at-most-one-flush-batch
     // kill-durability guarantee.
-    if (version <= storeWritten_ && pending.empty() && !renewing)
+    if (version <= storeWritten_ && batch.empty() && !renewing)
         return;
     {
         // Always (re)stamp the current schema: merging into an older
         // (v2) store upgrades it -- old records stay valid, new episode
         // records carry the optional v3 fields. Setting it before the
         // shard disk-merge below means a concurrent shard's older stamp
-        // never wins (emplace keeps ours).
+        // never wins (emplace keeps ours). Appending backends publish it
+        // once per process (merge-on-read keeps the newest copy).
         JsonRecord schema;
         schema.name = kSweepStoreSchemaRecord;
         schema.numbers.emplace_back("schema", kSweepStoreSchema);
+        if (!schemaStamped_) {
+            batch.push_back(schema);
+            schemaStamped_ = true;
+        }
         storeRecords_[kSweepStoreSchemaRecord] = std::move(schema);
     }
-    // Sharded/elastic campaigns: other processes rewrite the same file,
-    // so the read-merge-rename must be atomic across processes too. The
-    // flock on a sidecar serializes writers (a kill while holding it is
-    // harmless -- an flock dies with its process) and the re-read
-    // carries their records forward; ours win per key except leases,
-    // where the higher generation wins (a steal must stick). A single
-    // static process skips both: its in-memory view is already a
-    // superset of the disk.
+    // Sharded/elastic campaigns on a *rewriting* backend: other processes
+    // rewrite the same file, so the read-merge-rename must be atomic
+    // across processes too. The flock on a sidecar serializes writers (a
+    // kill while holding it is harmless -- an flock dies with its
+    // process) and the re-read carries their records forward; ours win
+    // per key except leases, where the higher generation wins (a steal
+    // must stick). A single static process skips both: its in-memory
+    // view is already a superset of the disk. Appending backends skip
+    // all of it unconditionally -- every writer owns its own log, so the
+    // data path takes no lock and no disk re-merge (merge happens on
+    // read); the store flock is left to guard only lease claims.
     int lockFd = -1;
-    if (opt_.shardCount > 1 || opt_.leaseSeconds > 0.0) {
-        const std::string lockPath = opt_.storePath + ".lock";
+    if (be->rewritesWholeStore() &&
+        (opt_.shardCount > 1 || opt_.leaseSeconds > 0.0)) {
+        const std::string lockPath = be->lockPath();
         lockFd = io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
         if (lockFd < 0 || !io::flockRetry(lockFd, LOCK_EX)) {
             // Proceeding unlocked risks two shards' read-merge-rename
@@ -590,15 +571,17 @@ SweepRunner::flushStore()
                          lockPath.c_str());
         }
         std::vector<JsonRecord> disk;
-        JsonSalvage sal;
-        if (readJsonRecordsSalvaged(opt_.storePath, disk, &sal)) {
+        StoreLoadInfo sal;
+        if (be->load(disk, &sal, /*quarantineBadTails=*/false)) {
             if (sal.salvaged)
                 std::fprintf(stderr,
                              "[sweep] store %s torn on disk: merged the "
-                             "%zu-record parseable prefix (%zu of %zu "
+                             "%zu-record parseable prefix (%llu of %llu "
                              "bytes); this flush heals it\n",
                              opt_.storePath.c_str(), disk.size(),
-                             sal.goodBytes, sal.totalBytes);
+                             static_cast<unsigned long long>(sal.goodBytes),
+                             static_cast<unsigned long long>(
+                                 sal.totalBytes));
             for (JsonRecord& rec : disk)
                 mergeDiskRecordLocked(std::move(rec));
         }
@@ -606,10 +589,10 @@ SweepRunner::flushStore()
     io::FdCloser closeLock(lockFd); // releases the flock, even on throw
     if (renewing) {
         chaos::maybeDelayRenewal(); // chaos: straggler going stale
-        renewLeasesLocked(wallSeconds());
+        renewLeasesLocked(wallSeconds(), batch);
     }
     std::string error;
-    if (!writeStoreLocked(&error)) {
+    if (!persistLocked(batch, &error)) {
         // Loud terminal failure: the records are retained in
         // storeRecords_, but disk no longer keeps up -- continuing would
         // silently void the crash-durability contract (and, in lease
@@ -622,12 +605,18 @@ SweepRunner::flushStore()
     }
     storeWritten_ = std::max(storeWritten_, version);
     if (chaos::shouldTearWrite()) {
-        // Chaos injection point: truncate the just-written store to a
-        // random fraction, simulating a torn write landing on disk. The
-        // in-memory view is intact, so a later flush heals the file;
-        // readers in between (peers' claims, a post-kill resume) must
-        // salvage the parseable prefix.
-        const int fd = io::openRetry(opt_.storePath.c_str(), O_RDWR);
+        // Chaos injection point: truncate the just-written data file to a
+        // random fraction, simulating a torn write landing on disk. For
+        // the json backend that is the store file itself; for binlog it
+        // is this process's own append log (the peers' logs are separate
+        // files a tear cannot reach). The in-memory view is intact, so a
+        // later flush heals it -- json by rewriting, binlog via the
+        // writer's checkTail resync; readers in between (peers' claims, a
+        // post-kill resume) must salvage the parseable prefix.
+        const std::string tearPath = be->lastDataFile();
+        const int fd = tearPath.empty()
+                           ? -1
+                           : io::openRetry(tearPath.c_str(), O_RDWR);
         if (fd >= 0) {
             io::FdCloser closeStore(fd);
             const off_t size = ::lseek(fd, 0, SEEK_END);
@@ -638,11 +627,11 @@ SweepRunner::flushStore()
                 std::fprintf(stderr,
                              "[chaos] tore store %s to %lld of %lld "
                              "bytes\n",
-                             opt_.storePath.c_str(),
+                             tearPath.c_str(),
                              static_cast<long long>(keep),
                              static_cast<long long>(size));
         }
-        storeWritten_ = 0; // force the next flush to rewrite (heal)
+        storeWritten_ = 0; // force the next flush to write (heal)
     }
 }
 
@@ -665,12 +654,28 @@ SweepRunner::mergeDiskRecordLocked(JsonRecord&& rec)
     storeRecords_.emplace(std::move(name), std::move(rec));
 }
 
-bool
-SweepRunner::writeStoreLocked(std::string* error)
+StoreBackend*
+SweepRunner::ensureBackendLocked()
 {
-    // Bounded backoff over the whole tmp-write + rename: a transient
+    if (!store_ && !opt_.storePath.empty()) {
+        std::string note;
+        store_ = openStoreBackend(opt_.storePath, opt_.storeFormat,
+                                  workerId_, &note);
+        if (!note.empty())
+            std::fprintf(stderr, "[sweep] %s\n", note.c_str());
+    }
+    return store_.get();
+}
+
+bool
+SweepRunner::persistLocked(const std::vector<JsonRecord>& batch,
+                           std::string* error)
+{
+    // Bounded backoff over the whole backend flush (json: tmp-write +
+    // rename; binlog: framed append + fsync-equivalent): a transient
     // ENOSPC/EIO (log rotation racing us, NFS blip) resolves within the
     // retry budget; a real full disk does not, and the caller escalates.
+    // Both backends roll back a failed flush, so a retry starts clean.
     std::string err;
     for (int attempt = 0; attempt < io::kRetryAttempts; ++attempt) {
         if (attempt > 0) {
@@ -679,7 +684,7 @@ SweepRunner::writeStoreLocked(std::string* error)
                          err.c_str(), attempt, io::kRetryAttempts - 1);
             io::sleepMs(io::kRetryBaseMs << (attempt - 1));
         }
-        if (writeJsonRecords(opt_.storePath, storeRecords_, &err))
+        if (store_->flush(storeRecords_, batch, &err))
             return true;
     }
     if (error)
@@ -688,7 +693,7 @@ SweepRunner::writeStoreLocked(std::string* error)
 }
 
 void
-SweepRunner::renewLeasesLocked(double now)
+SweepRunner::renewLeasesLocked(double now, std::vector<JsonRecord>& batch)
 {
     for (auto it = activeLeases_.begin(); it != activeLeases_.end();) {
         const std::string key = sweepLeaseKey(it->first);
@@ -716,6 +721,7 @@ SweepRunner::renewLeasesLocked(double now)
                                 static_cast<double>(it->second.gen));
         lr.numbers.emplace_back("renewedAt", now);
         lr.numbers.emplace_back("done", it->second.done ? 1.0 : 0.0);
+        batch.push_back(lr); // appending backends owe the disk a frame
         storeRecords_[key] = std::move(lr);
         ++it;
     }
@@ -765,6 +771,10 @@ SweepRunner::claimNext(std::vector<WorkUnit*>& pending)
     // One locked scan: refresh the store view, fold peers' progress into
     // every pending unit (finalizing ledgers they completed), then claim
     // the stalest claimable ledger by writing a generation-bumped lease.
+    // Both backends share the `<store>.lock` sidecar (computed literally
+    // here: the flock is taken before storeIoMu_, so the lazily-opened
+    // backend cannot be consulted yet). For binlog stores this flock
+    // guards *only* claims -- the data path appends lock-free.
     const std::string lockPath = opt_.storePath + ".lock";
     const int lockFd = io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR,
                                      0644);
@@ -775,16 +785,21 @@ SweepRunner::claimNext(std::vector<WorkUnit*>& pending)
                      "race\n",
                      lockPath.c_str());
     std::lock_guard<std::mutex> io(storeIoMu_);
-    {
+    StoreBackend* be = ensureBackendLocked();
+    if (be) {
         std::vector<JsonRecord> disk;
-        JsonSalvage sal;
-        if (readJsonRecordsSalvaged(opt_.storePath, disk, &sal)) {
+        StoreLoadInfo sal;
+        // No quarantine on the claim path: scans are frequent and a torn
+        // log's owner heals its own tail on its next append.
+        if (be->load(disk, &sal, /*quarantineBadTails=*/false)) {
             if (sal.salvaged)
                 std::fprintf(stderr,
                              "[sweep] store %s torn on disk: claim scan "
-                             "salvaged %zu records (%zu of %zu bytes)\n",
+                             "salvaged %zu records (%llu of %llu bytes)\n",
                              opt_.storePath.c_str(), disk.size(),
-                             sal.goodBytes, sal.totalBytes);
+                             static_cast<unsigned long long>(sal.goodBytes),
+                             static_cast<unsigned long long>(
+                                 sal.totalBytes));
             for (JsonRecord& rec : disk)
                 mergeDiskRecordLocked(std::move(rec));
         }
@@ -860,9 +875,14 @@ SweepRunner::claimNext(std::vector<WorkUnit*>& pending)
     lr.numbers.emplace_back("gen", static_cast<double>(gen));
     lr.numbers.emplace_back("renewedAt", now);
     lr.numbers.emplace_back("done", 0.0);
+    // The claim must hit the disk before the flock drops (that ordering
+    // IS the mutual exclusion); appending backends write just this one
+    // lease frame, rewriting ones the merged view containing it.
+    std::vector<JsonRecord> claimBatch;
+    claimBatch.push_back(lr);
     storeRecords_[lr.name] = std::move(lr);
     std::string error;
-    if (!writeStoreLocked(&error))
+    if (!persistLocked(claimBatch, &error))
         throw std::runtime_error(
             "cannot write result store " + opt_.storePath +
             " while claiming a lease: " + error + " -- campaign aborted");
@@ -1104,6 +1124,7 @@ SweepRunner::run()
             meta.numbers.emplace_back("seed0",
                                       static_cast<double>(oc.seed0));
             std::lock_guard<std::mutex> lock(storeIoMu_);
+            pendingIo_.push_back(meta); // appended at the next flush
             storeRecords_[fp] = std::move(meta);
         }
         if (u.runs.empty()) {

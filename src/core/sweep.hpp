@@ -75,7 +75,9 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "common/store_keys.hpp"
 #include "core/embodied_system.hpp"
+#include "core/store_backend.hpp"
 
 namespace create {
 
@@ -115,46 +117,10 @@ std::string sweepFingerprint(const SweepCell& cell);
  */
 std::string sweepFingerprintLegacyV1(const SweepCell& cell);
 
-/**
- * Schema version written by the episode-ledger store.
- *
- * v3 adds optional per-episode observability fields (wallMs, the
- * flip-attribution counters, per-layer `L.<tag>.<field>` keys) to episode
- * records. v2 stores load losslessly -- the fields simply are not there
- * and the episode's metrics stay absent -- and any flush rewrites the
- * schema record at the current version. Older (v2-only) builds refuse v3
- * stores via the existing future-schema guard rather than stripping the
- * new fields on their next rewrite.
- */
-constexpr int kSweepStoreSchema = 3;
-/** Name of the store's schema record. */
-constexpr const char* kSweepStoreSchemaRecord = "sweep-store";
-
-/** Store key of one ledger episode: `<fingerprint>#<index>`. */
-std::string sweepEpisodeKey(const std::string& fingerprint, int index);
-
-/**
- * Parse an episode store key; returns the episode index and (optionally)
- * the fingerprint, or -1 when the name is not an episode key.
- */
-int sweepEpisodeIndex(const std::string& recordName,
-                      std::string* fingerprint = nullptr);
-
-/**
- * Store key of a ledger's lease record: `lease|<fingerprint>`. Lease
- * records are additive v3 records -- fields {owner (string "host:pid"),
- * gen, renewedAt (unix seconds), done (0/1)} -- that coordinate elastic
- * workers; they are scheduling state, not results, so store readers
- * (diff/stats) surface them for attribution but never compare them.
- */
-std::string sweepLeaseKey(const std::string& fingerprint);
-
-/**
- * True when `recordName` is a lease record key; optionally yields the
- * fingerprint it leases.
- */
-bool sweepLeaseFingerprint(const std::string& recordName,
-                           std::string* fingerprint = nullptr);
+// The store schema version and record-key grammar (sweepEpisodeKey,
+// sweepLeaseKey, ...) live in common/store_keys.hpp: both storage
+// backends (JSON interchange and the binary append log) and the store
+// readers share them, so they sit below the sweep layer.
 
 /** Declarative campaign runner (see file comment). */
 class SweepRunner
@@ -171,7 +137,14 @@ class SweepRunner
          * measured fusion rate.
          */
         bool batched = true;
-        std::string storePath; //!< JSON result store; empty disables it
+        std::string storePath; //!< result store; empty disables it
+        /**
+         * On-disk format when the store is created: Json (default, the
+         * interchange/golden format) or Binlog (per-writer append logs,
+         * O(batch) flushes). A store that already exists keeps its
+         * detected format regardless of this flag.
+         */
+        StoreFormat storeFormat = StoreFormat::Json;
         bool resume = false;   //!< satisfy cells from the store's ledgers
         bool verbose = false;  //!< per-ledger progress lines on stderr
         bool progress = false; //!< one stderr status line per flush batch
@@ -333,8 +306,10 @@ class SweepRunner
     WorkUnit* claimNext(std::vector<WorkUnit*>& pending);
     void gapFillFromStore(WorkUnit& unit);
     void mergeDiskRecordLocked(JsonRecord&& rec);
-    void renewLeasesLocked(double now);
-    bool writeStoreLocked(std::string* error);
+    void renewLeasesLocked(double now, std::vector<JsonRecord>& batch);
+    StoreBackend* ensureBackendLocked();
+    bool persistLocked(const std::vector<JsonRecord>& batch,
+                       std::string* error);
 
     Options opt_;
     bool ran_ = false;
@@ -361,6 +336,19 @@ class SweepRunner
      * drains it into storeRecords_ under storeIoMu_.
      */
     std::vector<JsonRecord> pendingRecords_;
+    /**
+     * Records produced on the I/O path since the last flush (ledger meta
+     * stamps, renewed/claimed leases written directly into storeRecords_)
+     * that appending backends still owe the disk. Guarded by storeIoMu_;
+     * flushStore folds it into the flush batch. Rewriting backends write
+     * the whole merged view anyway, so for them this is only a
+     * should-we-skip signal.
+     */
+    std::vector<JsonRecord> pendingIo_;
+    /** The storage backend behind storePath (lazily opened; reset when a
+     *  future-schema store disables the store path). */
+    std::unique_ptr<StoreBackend> store_;
+    bool schemaStamped_ = false; //!< schema record appended this process
     std::mutex storeMu_;   //!< guards ledgers, cell completion, pending
     std::mutex storeIoMu_; //!< guards storeRecords_ + the file write
     std::uint64_t storeVersion_ = 0; //!< bumped per flush batch

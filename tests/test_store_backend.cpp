@@ -1,0 +1,464 @@
+/** @file Tests for the result-store backends: the binlog frame codec
+ *  (CRC-framed append log, dictionary ids, bit-exact doubles), torn-tail
+ *  salvage at every byte offset, corrupted-frame quarantine, the writer's
+ *  external-truncation heal, json <-> binlog conversion byte-identity,
+ *  per-writer shard-log merging with the lease generation rule, and
+ *  format autodetection. */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/binlog.hpp"
+#include "common/serialize.hpp"
+#include "common/store_keys.hpp"
+#include "core/store_backend.hpp"
+
+using namespace create;
+
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::string out;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+spew(const std::string& path, const std::string& bytes)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+/** Remove a binlog store directory (its logs, quarantines, and the dir),
+ *  or a bare file; ignores whatever does not exist. */
+void
+removeStore(const std::string& path)
+{
+    const std::string rm = "rm -rf '" + path + "' '" + path + ".lock'";
+    ASSERT_EQ(std::system(rm.c_str()), 0);
+}
+
+/** Walk the frame stream of a complete log: the byte offset where each
+ *  frame ends, tagged with whether it carries a record. Lets the
+ *  truncation sweep compute the exact expected salvage for any cut. */
+struct FrameEnd
+{
+    std::size_t end = 0;
+    bool record = false;
+};
+
+std::vector<FrameEnd>
+frameEnds(const std::string& bytes)
+{
+    std::vector<FrameEnd> out;
+    std::size_t pos = binlog::kHeaderBytes;
+    while (pos + 9 <= bytes.size()) {
+        const auto type = static_cast<unsigned char>(bytes[pos]);
+        std::uint32_t len = 0;
+        std::memcpy(&len, bytes.data() + pos + 1, sizeof(len));
+        pos += 9 + len;
+        // Types 2..5 are the record-bearing frames (Record, Episode,
+        // Lease, Meta); 1 (FpDef) and 6 (Index) are bookkeeping.
+        out.push_back({pos, type >= 2 && type <= 5});
+    }
+    return out;
+}
+
+JsonRecord
+makeRecord(const std::string& name, double salt)
+{
+    JsonRecord r;
+    r.name = name;
+    r.strings.emplace_back("tag", "payload-" + name);
+    // Doubles chosen to break any text round trip that is not %.17g /
+    // bit-exact: a non-terminating binary fraction, a negative zero, a
+    // huge magnitude, and a subnormal.
+    r.numbers.emplace_back("frac", 0.1 + salt);
+    r.numbers.emplace_back("negzero", -0.0);
+    r.numbers.emplace_back("huge", 1.2345678901234567e300);
+    r.numbers.emplace_back("tiny", 4.9406564584124654e-324);
+    return r;
+}
+
+void
+expectRecordsEqual(const JsonRecord& a, const JsonRecord& b)
+{
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.strings.size(), b.strings.size());
+    for (std::size_t i = 0; i < a.strings.size(); ++i) {
+        EXPECT_EQ(a.strings[i].first, b.strings[i].first);
+        EXPECT_EQ(a.strings[i].second, b.strings[i].second);
+    }
+    ASSERT_EQ(a.numbers.size(), b.numbers.size());
+    for (std::size_t i = 0; i < a.numbers.size(); ++i) {
+        EXPECT_EQ(a.numbers[i].first, b.numbers[i].first);
+        // Bit comparison: -0.0 == 0.0 under operator==, and NaN-safe.
+        std::uint64_t ba = 0, bb = 0;
+        std::memcpy(&ba, &a.numbers[i].second, sizeof(ba));
+        std::memcpy(&bb, &b.numbers[i].second, sizeof(bb));
+        EXPECT_EQ(ba, bb) << a.name << "." << a.numbers[i].first;
+    }
+}
+
+} // namespace
+
+TEST(Binlog, RecordRoundTripAllFrameKinds)
+{
+    // One record through each frame encoding: episode / lease / meta
+    // (dictionary-id frames), a generic name, and the degenerate
+    // hand-edited shape that LOOKS like an episode key but does not
+    // reconstruct through the grammar (leading zeros) -- it must travel
+    // as a generic frame and come back byte-exact.
+    const std::string path = "/tmp/create_test_binlog_roundtrip.crbl";
+    std::remove(path.c_str());
+    const std::string fp = "v2|jarvis-1|t0|cfgdeadbeef|s7";
+    std::vector<JsonRecord> in;
+    in.push_back(makeRecord(sweepEpisodeKey(fp, 0), 0.0));
+    in.push_back(makeRecord(sweepEpisodeKey(fp, 123), 1.0));
+    in.push_back(makeRecord(sweepLeaseKey(fp), 2.0));
+    in.push_back(makeRecord(fp, 3.0));
+    in.push_back(makeRecord("some/opaque name with spaces", 4.0));
+    in.push_back(makeRecord(fp + "#007", 5.0));
+
+    binlog::LogWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(path, &error)) << error;
+    for (const JsonRecord& r : in)
+        w.append(r);
+    ASSERT_TRUE(w.commit(&error)) << error;
+    w.close();
+
+    std::vector<JsonRecord> out;
+    binlog::LogSalvage sal;
+    ASSERT_TRUE(binlog::readLogRecords(path, out, &sal));
+    EXPECT_FALSE(sal.salvaged);
+    EXPECT_EQ(sal.records, in.size());
+    EXPECT_EQ(sal.goodBytes, sal.totalBytes);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        expectRecordsEqual(in[i], out[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Binlog, SalvageRecoversPrefixAtEveryTruncationPoint)
+{
+    // A log torn at ANY byte offset must salvage exactly the records
+    // whose frames landed completely before the tear -- the binary
+    // counterpart of the JSON store's truncation sweep.
+    const std::string path = "/tmp/create_test_binlog_trunc.crbl";
+    std::remove(path.c_str());
+    const std::string fp = "v2|jarvis-1|t1|cfg|s0";
+    {
+        binlog::LogWriter w;
+        std::string error;
+        ASSERT_TRUE(w.open(path, &error)) << error;
+        for (int i = 0; i < 4; ++i)
+            w.append(makeRecord(sweepEpisodeKey(fp, i), 0.5 * i));
+        ASSERT_TRUE(w.commit(&error)) << error;
+    }
+    const std::string full = slurp(path);
+    ASSERT_GT(full.size(), binlog::kHeaderBytes);
+    const std::vector<FrameEnd> frames = frameEnds(full);
+    ASSERT_EQ(frames.back().end, full.size());
+
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+        SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                     std::to_string(full.size()) + " bytes");
+        spew(path, full.substr(0, cut));
+        std::vector<JsonRecord> out;
+        binlog::LogSalvage sal;
+        if (cut < binlog::kHeaderBytes) {
+            // Not even the magic landed: unreadable, not salvageable.
+            EXPECT_FALSE(binlog::readLogRecords(path, out, &sal));
+            continue;
+        }
+        std::size_t expectRecords = 0, expectGood = binlog::kHeaderBytes;
+        for (const FrameEnd& fe : frames)
+            if (fe.end <= cut) {
+                expectGood = fe.end;
+                if (fe.record)
+                    ++expectRecords;
+            }
+        ASSERT_TRUE(binlog::readLogRecords(path, out, &sal));
+        EXPECT_EQ(out.size(), expectRecords);
+        EXPECT_EQ(sal.goodBytes, expectGood);
+        EXPECT_EQ(sal.salvaged, cut != expectGood);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Binlog, CorruptedFrameIsDetectedAndTailQuarantined)
+{
+    // A bit flip in the middle of a frame (not a truncation) must fail
+    // that frame's CRC; the backend keeps the prefix, quarantines the
+    // bad suffix by COPY (a reader must never truncate a peer's live
+    // log), and reports salvage.
+    const std::string dir = "/tmp/create_test_binlog_corrupt";
+    removeStore(dir);
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+    const std::string log = dir + "/log-w1.crbl";
+    const std::string fp = "v2|openvla+octo|t2|cfg|s0";
+    {
+        binlog::LogWriter w;
+        std::string error;
+        ASSERT_TRUE(w.open(log, &error)) << error;
+        for (int i = 0; i < 4; ++i)
+            w.append(makeRecord(sweepEpisodeKey(fp, i), 0.25 * i));
+        ASSERT_TRUE(w.commit(&error)) << error;
+    }
+    std::string bytes = slurp(log);
+    const std::vector<FrameEnd> frames = frameEnds(bytes);
+    std::size_t recordFramesSeen = 0, corruptAt = 0, prefixRecords = 0;
+    for (const FrameEnd& fe : frames) {
+        if (fe.record && ++recordFramesSeen == 3) {
+            corruptAt = fe.end - 3; // inside the third record's payload
+            break;
+        }
+        if (fe.record)
+            ++prefixRecords;
+    }
+    ASSERT_GT(corruptAt, 0u);
+    bytes[corruptAt] = static_cast<char>(bytes[corruptAt] ^ 0x40);
+    spew(log, bytes);
+
+    std::vector<JsonRecord> out;
+    StoreLoadInfo info;
+    const auto be = openStoreBackend(dir, StoreFormat::Json, "reader");
+    ASSERT_EQ(be->format(), StoreFormat::Binlog);
+    ASSERT_TRUE(be->load(out, &info, /*quarantineBadTails=*/true));
+    EXPECT_TRUE(info.salvaged);
+    EXPECT_EQ(out.size(), prefixRecords);
+    ASSERT_EQ(info.quarantined.size(), 1u);
+    // Quarantine preserved exactly the bytes past the last good frame,
+    // and the log itself kept its full (corrupt) length: repair belongs
+    // to the owning writer, not to readers.
+    const std::string q = slurp(info.quarantined.front());
+    EXPECT_EQ(q, bytes.substr(static_cast<std::size_t>(info.goodBytes)));
+    EXPECT_EQ(slurp(log).size(), bytes.size());
+    removeStore(dir);
+}
+
+TEST(Binlog, WriterHealsExternallyTruncatedLog)
+{
+    // The chaos-tear shape: after a successful flush the log loses a
+    // suffix underneath the writer. checkTail must notice (size !=
+    // committed offset), re-salvage, truncate to the frame boundary, and
+    // ask the caller to re-publish its full view; after the heal flush
+    // the store reads back complete.
+    const std::string dir = "/tmp/create_test_binlog_heal";
+    removeStore(dir);
+    const std::string fp = "v2|jarvis-1|t3|cfg|s0";
+    std::map<std::string, JsonRecord> fullView;
+    std::vector<JsonRecord> batch;
+    for (int i = 0; i < 6; ++i) {
+        JsonRecord r = makeRecord(sweepEpisodeKey(fp, i), 1.0 * i);
+        fullView[r.name] = r;
+        batch.push_back(std::move(r));
+    }
+    const auto be = openStoreBackend(dir, StoreFormat::Binlog, "w1");
+    std::string error;
+    ASSERT_TRUE(be->flush(fullView, batch, &error)) << error;
+    const std::string log = be->lastDataFile();
+    ASSERT_FALSE(log.empty());
+
+    // Tear: cut the log mid-frame, behind the writer's back.
+    const std::string bytes = slurp(log);
+    spew(log, bytes.substr(0, bytes.size() - 11));
+
+    // Next flush (empty batch -- mirroring a lease renewal tick) heals.
+    ASSERT_TRUE(be->flush(fullView, {}, &error)) << error;
+    std::vector<JsonRecord> out;
+    StoreLoadInfo info;
+    ASSERT_TRUE(be->load(out, &info, /*quarantineBadTails=*/false));
+    EXPECT_EQ(out.size(), fullView.size());
+    for (const JsonRecord& r : out)
+        expectRecordsEqual(fullView.at(r.name), r);
+    removeStore(dir);
+}
+
+TEST(StoreBackend, JsonToBinlogToJsonIsByteIdentical)
+{
+    // The conversion contract behind `sweep-store convert`: doubles
+    // travel as IEEE bits through the binlog and as %.17g through the
+    // JSON writer, and both sides write records sorted by name, so a
+    // json -> binlog -> json trip reproduces the original file byte for
+    // byte.
+    const std::string json1 = "/tmp/create_test_conv_a.json";
+    const std::string blog = "/tmp/create_test_conv.blog";
+    const std::string json2 = "/tmp/create_test_conv_b.json";
+    removeStore(json1);
+    removeStore(blog);
+    removeStore(json2);
+    const std::string fp = "v2|jarvis-1|t4|cfg|s0";
+    std::map<std::string, JsonRecord> full;
+    JsonRecord schema;
+    schema.name = kSweepStoreSchemaRecord;
+    schema.numbers.emplace_back("schema", kSweepStoreSchema);
+    full[schema.name] = schema;
+    full[fp] = makeRecord(fp, 9.0);
+    for (int i = 0; i < 5; ++i) {
+        JsonRecord r = makeRecord(sweepEpisodeKey(fp, i), 0.7 * i);
+        full[r.name] = r;
+    }
+    ASSERT_TRUE(writeJsonRecords(json1, full));
+
+    const auto convert = [](const std::string& from, const std::string& to,
+                            StoreFormat toFmt) {
+        std::vector<JsonRecord> records;
+        StoreLoadInfo info;
+        const auto src = openStoreBackend(from, StoreFormat::Json, "t");
+        ASSERT_TRUE(src->load(records, &info, false));
+        EXPECT_FALSE(info.salvaged);
+        std::map<std::string, JsonRecord> view;
+        std::vector<JsonRecord> batch;
+        for (JsonRecord& r : records)
+            view[r.name] = std::move(r);
+        for (const auto& [name, rec] : view)
+            batch.push_back(rec);
+        const auto dst = openStoreBackend(to, toFmt, "t");
+        ASSERT_EQ(dst->format(), toFmt);
+        std::string error;
+        ASSERT_TRUE(dst->flush(view, batch, &error)) << error;
+    };
+    convert(json1, blog, StoreFormat::Binlog);
+    convert(blog, json2, StoreFormat::Json);
+    EXPECT_EQ(slurp(json1), slurp(json2));
+    EXPECT_NE(slurp(json1), "");
+    removeStore(json1);
+    removeStore(blog);
+    removeStore(json2);
+}
+
+TEST(StoreBackend, ShardLogsMergeWithLeaseGenerationRule)
+{
+    // Two workers sharing one binlog store append to their own logs.
+    // The merged view must fold duplicate episode keys
+    // later-log-wins... except leases, where the generation rule decides
+    // regardless of which log sorts later -- a recorded steal must never
+    // be resurrected by the victim's file position.
+    const std::string dir = "/tmp/create_test_binlog_shards";
+    removeStore(dir);
+    const std::string fp = "v2|jarvis-1|t5|cfg|s0";
+
+    const auto makeLease = [&](const std::string& owner, double gen) {
+        JsonRecord lr;
+        lr.name = sweepLeaseKey(fp);
+        lr.strings.emplace_back("owner", owner);
+        lr.numbers.emplace_back("gen", gen);
+        lr.numbers.emplace_back("renewedAt", 1000.0 + gen);
+        lr.numbers.emplace_back("done", 0.0);
+        return lr;
+    };
+    // Worker "a" sorts lexicographically FIRST but holds the HIGHER
+    // lease generation (it stole from "b").
+    {
+        const auto a = openStoreBackend(dir, StoreFormat::Binlog, "a");
+        std::map<std::string, JsonRecord> view;
+        std::vector<JsonRecord> batch;
+        batch.push_back(makeRecord(sweepEpisodeKey(fp, 0), 1.0));
+        batch.push_back(makeLease("a", 2.0));
+        for (const JsonRecord& r : batch)
+            view[r.name] = r;
+        std::string error;
+        ASSERT_TRUE(a->flush(view, batch, &error)) << error;
+    }
+    {
+        const auto b = openStoreBackend(dir, StoreFormat::Binlog, "b");
+        std::map<std::string, JsonRecord> view;
+        std::vector<JsonRecord> batch;
+        JsonRecord dup = makeRecord(sweepEpisodeKey(fp, 0), 2.0);
+        dup.strings.emplace_back("by", "b");
+        batch.push_back(dup);
+        batch.push_back(makeRecord(sweepEpisodeKey(fp, 1), 3.0));
+        batch.push_back(makeLease("b", 1.0));
+        for (const JsonRecord& r : batch)
+            view[r.name] = r;
+        std::string error;
+        ASSERT_TRUE(b->flush(view, batch, &error)) << error;
+    }
+    const auto reader = openStoreBackend(dir, StoreFormat::Json, "r");
+    std::vector<JsonRecord> out;
+    StoreLoadInfo info;
+    ASSERT_TRUE(reader->load(out, &info, false));
+    EXPECT_EQ(info.files, 2u);
+    ASSERT_EQ(out.size(), 3u); // ep#0 (deduped), ep#1, one lease
+    for (const JsonRecord& r : out) {
+        if (sweepLeaseFingerprint(r.name)) {
+            EXPECT_EQ(r.text("owner"), "a"); // higher gen, earlier file
+            EXPECT_EQ(r.number("gen"), 2.0);
+        } else if (r.name == sweepEpisodeKey(fp, 0)) {
+            EXPECT_EQ(r.text("by"), "b"); // data: later log wins
+        }
+    }
+    removeStore(dir);
+}
+
+TEST(StoreBackend, DetectsFormatsAndHonorsExistingStore)
+{
+    const std::string jsonPath = "/tmp/create_test_detect.json";
+    const std::string dirPath = "/tmp/create_test_detect.dir";
+    const std::string filePath = "/tmp/create_test_detect.crbl";
+    removeStore(jsonPath);
+    removeStore(dirPath);
+    removeStore(filePath);
+
+    StoreFormat fmt = StoreFormat::Json;
+    EXPECT_FALSE(detectStoreFormat(jsonPath, fmt)); // nothing there
+
+    ASSERT_TRUE(writeJsonRecords(jsonPath,
+                                 std::vector<JsonRecord>{makeRecord("x", 0)}));
+    ASSERT_TRUE(detectStoreFormat(jsonPath, fmt));
+    EXPECT_EQ(fmt, StoreFormat::Json);
+
+    ASSERT_EQ(::mkdir(dirPath.c_str(), 0777), 0);
+    ASSERT_TRUE(detectStoreFormat(dirPath, fmt));
+    EXPECT_EQ(fmt, StoreFormat::Binlog);
+
+    {
+        binlog::LogWriter w;
+        std::string error;
+        ASSERT_TRUE(w.open(filePath, &error)) << error;
+        w.append(makeRecord("y", 1));
+        ASSERT_TRUE(w.commit(&error)) << error;
+    }
+    ASSERT_TRUE(detectStoreFormat(filePath, fmt));
+    EXPECT_EQ(fmt, StoreFormat::Binlog);
+
+    // An existing store's format wins over the requested flag -- a
+    // binlog request against a json store opens the json backend (and
+    // says so), so mixed fleets cannot split-brain one store.
+    std::string note;
+    const auto be =
+        openStoreBackend(jsonPath, StoreFormat::Binlog, "w", &note);
+    EXPECT_EQ(be->format(), StoreFormat::Json);
+    EXPECT_FALSE(note.empty());
+    // And a bare binlog FILE opens in single-file mode: appendable.
+    const auto single = openStoreBackend(filePath, StoreFormat::Json, "w");
+    EXPECT_EQ(single->format(), StoreFormat::Binlog);
+    std::vector<JsonRecord> out;
+    ASSERT_TRUE(single->load(out, nullptr, false));
+    EXPECT_EQ(out.size(), 1u);
+    removeStore(jsonPath);
+    removeStore(dirPath);
+    removeStore(filePath);
+}

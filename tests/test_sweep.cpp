@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 
 #include "common/metrics.hpp"
 #include "common/serialize.hpp"
@@ -990,4 +992,193 @@ TEST(Lease, ElasticWorkersShareExactlyOnceAndAttribute)
     std::remove(serial.c_str());
     std::remove((path + ".lock").c_str());
     std::remove((serial + ".lock").c_str());
+}
+
+namespace {
+
+/** Remove a store of either format (json file or binlog dir) + sidecar. */
+void
+removeStoreAnyFormat(const std::string& path)
+{
+    const std::string rm = "rm -rf '" + path + "' '" + path + ".lock'";
+    ASSERT_EQ(std::system(rm.c_str()), 0);
+}
+
+} // namespace
+
+TEST(Sweep, BinlogCampaignBitIdenticalToJson)
+{
+    // The cross-format contract: the same campaign run against a binlog
+    // store folds to TaskStats bit-identical to the json run, and
+    // sweep-diff's loader (format-autodetecting) certifies the stores
+    // against each other with zero differences at zero tolerance.
+    const std::string jsonPath = "/tmp/create_test_binlog_vs_json.json";
+    const std::string blogPath = "/tmp/create_test_binlog_vs_json.blog";
+    removeStoreAnyFormat(jsonPath);
+    removeStoreAnyFormat(blogPath);
+    const auto cells = campaignCells(3);
+
+    SweepRunner::Options jo;
+    jo.storePath = jsonPath;
+    SweepRunner jr(jo);
+    SweepRunner::Options bo;
+    bo.storePath = blogPath;
+    bo.storeFormat = StoreFormat::Binlog;
+    SweepRunner br(bo);
+    std::vector<std::size_t> jh, bh;
+    for (const auto& c : cells) {
+        jh.push_back(jr.add(c));
+        bh.push_back(br.add(c));
+    }
+    jr.run();
+    br.run();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectIdentical(jr.stats(jh[i]), br.stats(bh[i]));
+
+    std::vector<StoreCell> a, b;
+    std::string error;
+    ASSERT_TRUE(loadStoreCells(jsonPath, a, error)) << error;
+    ASSERT_TRUE(loadStoreCells(blogPath, b, error)) << error;
+    const StoreDiffResult res = diffStoreCells(a, b, StoreDiffOptions{});
+    EXPECT_TRUE(res.clean());
+    EXPECT_EQ(res.compared, static_cast<int>(cells.size()));
+    removeStoreAnyFormat(jsonPath);
+    removeStoreAnyFormat(blogPath);
+}
+
+TEST(Sweep, ConvertedBinlogStoreResumesWithoutExecuting)
+{
+    // json campaign -> convert to binlog (the sweep-store migration
+    // path) -> --resume from the binlog store, with NO format flag:
+    // autodetection must route to the binlog backend and the ledger must
+    // satisfy every cell without executing a single episode.
+    const std::string jsonPath = "/tmp/create_test_convert_resume.json";
+    const std::string blogPath = "/tmp/create_test_convert_resume.blog";
+    removeStoreAnyFormat(jsonPath);
+    removeStoreAnyFormat(blogPath);
+    const auto cells = campaignCells(3);
+    std::vector<TaskStats> want;
+    {
+        SweepRunner::Options o;
+        o.storePath = jsonPath;
+        SweepRunner r(o);
+        std::vector<std::size_t> hs;
+        for (const auto& c : cells)
+            hs.push_back(r.add(c));
+        r.run();
+        for (const std::size_t h : hs)
+            want.push_back(r.stats(h));
+    }
+    {
+        // Convert via the backends, exactly like `sweep-store convert`.
+        std::vector<JsonRecord> records;
+        StoreLoadInfo info;
+        const auto src = openStoreBackend(jsonPath, StoreFormat::Json, "t");
+        ASSERT_TRUE(src->load(records, &info, false));
+        std::map<std::string, JsonRecord> view;
+        for (JsonRecord& r : records)
+            view[r.name] = std::move(r);
+        std::vector<JsonRecord> batch;
+        for (const auto& [name, rec] : view)
+            batch.push_back(rec);
+        const auto dst =
+            openStoreBackend(blogPath, StoreFormat::Binlog, "t");
+        std::string error;
+        ASSERT_TRUE(dst->flush(view, batch, &error)) << error;
+    }
+    SweepRunner::Options ro;
+    ro.storePath = blogPath;
+    ro.resume = true; // note: storeFormat left at the Json default
+    SweepRunner resumed(ro);
+    std::vector<std::size_t> hs;
+    for (const auto& c : cells)
+        hs.push_back(resumed.add(c));
+    resumed.run();
+    EXPECT_EQ(resumed.episodesExecuted(), 0);
+    EXPECT_EQ(resumed.resumedCells(), static_cast<int>(cells.size()));
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectIdentical(want[i], resumed.stats(hs[i]));
+    removeStoreAnyFormat(jsonPath);
+    removeStoreAnyFormat(blogPath);
+}
+
+TEST(Lease, BinlogStealsExpiredLeaseAndGapFillsExactlyOnce)
+{
+    // The dead-shard steal/gap-fill protocol, verbatim over the binlog
+    // backend: episodes {0, 1} of 6 and a stale foreign lease live in a
+    // peer's append log; the survivor must steal (generation bump),
+    // execute ONLY the 4 missing episodes, and fold stats bit-identical
+    // to an uninterrupted run -- while appending to its OWN log.
+    const std::string path = "/tmp/create_test_binlog_lease_steal.blog";
+    removeStoreAnyFormat(path);
+    SweepCell cell = campaignCells(6)[0];
+    const std::string fp = sweepFingerprint(cell);
+    {
+        // Seed the store as the dead worker would have left it.
+        const std::string jsonFull = path + ".seed.json";
+        removeStoreAnyFormat(jsonFull);
+        SweepRunner::Options o;
+        o.storePath = jsonFull;
+        SweepRunner full(o);
+        full.add(cell);
+        full.run();
+        std::vector<JsonRecord> records;
+        ASSERT_TRUE(readJsonRecords(jsonFull, records));
+        records.erase(
+            std::remove_if(records.begin(), records.end(),
+                           [&](const JsonRecord& r) {
+                               return sweepEpisodeIndex(r.name) >= 2;
+                           }),
+            records.end());
+        records.push_back(makeLease(fp, "deadhost:4242.1", 3,
+                                    wallNowSeconds() - 3600, false));
+        const auto dead =
+            openStoreBackend(path, StoreFormat::Binlog, "deadhost-4242-1");
+        std::map<std::string, JsonRecord> view;
+        for (const JsonRecord& r : records)
+            view[r.name] = r;
+        std::string error;
+        ASSERT_TRUE(dead->flush(view, records, &error)) << error;
+        removeStoreAnyFormat(jsonFull);
+    }
+
+    SweepRunner::Options elastic;
+    elastic.storePath = path;
+    elastic.leaseSeconds = 5.0;
+    SweepRunner survivor(elastic);
+    const std::size_t h = survivor.add(cell);
+    survivor.run();
+
+    EXPECT_EQ(survivor.episodesExecuted(), 4); // gap-fill: 2..5 only
+    EXPECT_EQ(survivor.leasesStolen(), 1);
+    EXPECT_EQ(survivor.leasesExpired(), 1);
+
+    SweepRunner fresh;
+    const std::size_t hf = fresh.add(cell);
+    fresh.run();
+    expectIdentical(fresh.stats(hf), survivor.stats(h));
+
+    // The steal must stick in the merged store view (higher generation,
+    // our owner, done), and the survivor's episodes must live in its own
+    // per-writer log -- the dead worker's log still has only the prefix.
+    const auto be = openStoreBackend(path, StoreFormat::Json, "reader");
+    ASSERT_EQ(be->format(), StoreFormat::Binlog);
+    std::vector<JsonRecord> records;
+    StoreLoadInfo info;
+    ASSERT_TRUE(be->load(records, &info, false));
+    EXPECT_EQ(info.files, 2u); // the dead worker's log + the survivor's
+    const auto lit = std::find_if(records.begin(), records.end(),
+                                  [&](const JsonRecord& r) {
+                                      return r.name == sweepLeaseKey(fp);
+                                  });
+    ASSERT_NE(lit, records.end());
+    EXPECT_EQ(lit->text("owner"), survivor.workerId());
+    EXPECT_EQ(lit->number("gen"), 4.0);
+    EXPECT_EQ(lit->number("done"), 1.0);
+    std::size_t episodes = 0;
+    for (const JsonRecord& r : records)
+        if (sweepEpisodeIndex(r.name) >= 0)
+            ++episodes;
+    EXPECT_EQ(episodes, 6u);
+    removeStoreAnyFormat(path);
 }

@@ -29,6 +29,10 @@
 #   CHAOS_REPS (default 2)       reps per cell (campaign size)
 #   CHAOS_LEASE (default 2)      lease period in seconds
 #   CHAOS_KILL_AFTER (default 1) seconds before the kill -9
+#   STORE_FORMAT (default json)  campaign store backend (json|binlog).
+#                                The serial golden stays json either way:
+#                                diffing binlog campaigns against it also
+#                                gates the cross-format readers.
 set -e
 cd "$(dirname "$0")/.."
 build=${1:-build}
@@ -38,6 +42,8 @@ stats=$build/tools/sweep-stats
 reps=${CHAOS_REPS:-2}
 lease=${CHAOS_LEASE:-2}
 kill_after=${CHAOS_KILL_AFTER:-1}
+fmt=${STORE_FORMAT:-json}
+echo "== store format: $fmt (serial golden: json)"
 
 work=$(mktemp -d /tmp/chaos-campaign.XXXXXX)
 trap 'rm -rf "$work"' EXIT INT TERM
@@ -46,10 +52,10 @@ echo "== serial golden ($fig13 --reps $reps)"
 "$fig13" --reps "$reps" --out "$work/serial.json" > /dev/null 2>&1
 
 echo "== leg 1: kill -9 one of two elastic workers mid-campaign"
-"$fig13" --reps "$reps" --out "$work/kill.json" --lease "$lease" \
+"$fig13" --reps "$reps" --out "$work/kill.store" --store-format "$fmt" --lease "$lease" \
     --flush-every 1 --progress > /dev/null 2> "$work/victim.log" &
 victim=$!
-"$fig13" --reps "$reps" --out "$work/kill.json" --lease "$lease" \
+"$fig13" --reps "$reps" --out "$work/kill.store" --store-format "$fmt" --lease "$lease" \
     --flush-every 1 --progress > /dev/null 2> "$work/survivor.log" &
 survivor=$!
 sleep "$kill_after"
@@ -65,12 +71,12 @@ if ! wait "$survivor"; then
     exit 1
 fi
 grep -E "stealing lease|stolen=" "$work/survivor.log" | tail -2 || true
-"$diff" "$work/serial.json" "$work/kill.json"
-"$stats" "$work/kill.json" | sed -n '/Per-shard/,/^$/p'
+"$diff" "$work/serial.json" "$work/kill.store"
+"$stats" "$work/kill.store" | sed -n '/Per-shard/,/^$/p'
 
 echo "== leg 2: torn-write chaos (CREATE_CHAOS tear=0.2) + heal"
 CREATE_CHAOS="tear=0.2" CREATE_CHAOS_SEED=20260808 \
-    "$fig13" --reps "$reps" --out "$work/tear.json" --lease "$lease" \
+    "$fig13" --reps "$reps" --out "$work/tear.store" --store-format "$fmt" --lease "$lease" \
     --flush-every 1 > /dev/null 2> "$work/tear.log"
 tears=$(grep -c "\[chaos\] tore" "$work/tear.log" || true)
 echo "   injected $tears torn writes"
@@ -80,15 +86,15 @@ if [ "${tears:-0}" -eq 0 ]; then
 fi
 # Heal pass: chaos off. If the final flush was torn this re-executes the
 # lost episodes from the salvaged prefix; otherwise it must be a no-op.
-"$fig13" --reps "$reps" --out "$work/tear.json" --resume \
+"$fig13" --reps "$reps" --out "$work/tear.store" --resume \
     > "$work/heal.log" 2>&1
 grep "\[sweep\] cells=" "$work/heal.log" || true
-"$diff" "$work/serial.json" "$work/tear.json"
+"$diff" "$work/serial.json" "$work/tear.store"
 
 echo "== leg 3: abort-before-flush chaos (CREATE_CHAOS abort=0.03)"
 tries=0
 until CREATE_CHAOS="abort=0.03" CREATE_CHAOS_SEED=$((1000 + tries)) \
-    "$fig13" --reps "$reps" --out "$work/abort.json" --lease "$lease" \
+    "$fig13" --reps "$reps" --out "$work/abort.store" --store-format "$fmt" --lease "$lease" \
     --flush-every 1 > /dev/null 2> "$work/abort.log"; do
     tries=$((tries + 1))
     if [ "$tries" -gt 25 ]; then
@@ -97,6 +103,6 @@ until CREATE_CHAOS="abort=0.03" CREATE_CHAOS_SEED=$((1000 + tries)) \
     fi
 done
 echo "   survived after $tries abort-and-resume relaunches"
-"$diff" "$work/serial.json" "$work/abort.json"
+"$diff" "$work/serial.json" "$work/abort.store"
 
 echo "== chaos-campaign: all legs bit-exact vs serial"
