@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -31,6 +32,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/serialize.hpp"
+#include "common/store_keys.hpp"
+#include "core/coordinator.hpp"
 #include "core/manip_system.hpp"
 #include "core/store_backend.hpp"
 #include "fault/injector.hpp"
@@ -425,6 +428,106 @@ BENCHMARK(BM_StoreFlushBinlog)
     ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Full coordinator range round trip over loopback: req -> range -> 16
+ * episode records + done, against a live poll() coordinator owning a
+ * binlog store (every done boundary flushes the pending batch, so the
+ * disk append is in the loop). This is the per-range protocol overhead a
+ * socket worker pays on top of the episodes themselves; the acceptance
+ * bar is < 1 ms per 16-episode range.
+ */
+void
+BM_CoordFrameRoundTrip(benchmark::State& state)
+{
+    char dir[] = "/tmp/create-bench-coord-XXXXXX";
+    if (!mkdtemp(dir)) {
+        state.SkipWithError("mkdtemp failed");
+        return;
+    }
+    Coordinator::Options co;
+    co.storePath = std::string(dir) + "/store";
+    co.storeFormat = StoreFormat::Binlog;
+    co.rangeEpisodes = 16;
+    co.leaseSeconds = 300.0; // no expiry churn inside the measurement
+    Coordinator coord(co);
+    std::string error;
+    if (!coord.start(&error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    std::thread serve([&] { coord.runLoop(); });
+    const auto teardown = [&] {
+        coord.stop();
+        serve.join();
+        const std::string rm = std::string("rm -rf ") + dir;
+        if (std::system(rm.c_str()) != 0) {
+        } // best-effort scratch cleanup
+    };
+
+    CoordClient client;
+    const std::string fp = "v2|bench|coordrt|cfg0|s0";
+    bool ok = client.connect("127.0.0.1", coord.port(), "bench:0.0", 3,
+                             &error);
+    if (ok) {
+        // A need far beyond what the run consumes: fin never fires, every
+        // req yields a full 16-episode range.
+        JsonRecord need = coordwire::control("need");
+        need.strings.emplace_back("fp", fp);
+        need.numbers.emplace_back("need", 1 << 20);
+        ok = client.send(need, &error);
+    }
+    if (!ok) {
+        teardown();
+        state.SkipWithError(error.c_str());
+        return;
+    }
+
+    for (auto _ : state) {
+        JsonRecord rec;
+        std::string verb;
+        if (!client.send(coordwire::control("req"), &error) ||
+            !client.recv(rec, &error)) {
+            teardown();
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        if (!coordwire::isControl(rec, &verb) || verb != "range") {
+            teardown();
+            state.SkipWithError("expected a range record");
+            return;
+        }
+        const int start = static_cast<int>(rec.number("start"));
+        const int count = static_cast<int>(rec.number("count"));
+        std::vector<JsonRecord> batch;
+        batch.reserve(static_cast<std::size_t>(count) + 1);
+        for (int i = 0; i < count; ++i) {
+            JsonRecord ep;
+            ep.name = sweepEpisodeKey(fp, start + i);
+            ep.numbers.emplace_back("seed",
+                                    static_cast<double>(start + i));
+            ep.numbers.emplace_back("success", (i % 3) ? 1.0 : 0.0);
+            ep.numbers.emplace_back("reward", 0.125 * (start + i));
+            batch.push_back(std::move(ep));
+        }
+        JsonRecord done = coordwire::control("done");
+        done.strings.emplace_back("fp", fp);
+        done.numbers.emplace_back("start", start);
+        done.numbers.emplace_back("count", count);
+        batch.push_back(std::move(done));
+        if (!client.send(batch, &error)) {
+            teardown();
+            state.SkipWithError(error.c_str());
+            return;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+    client.close();
+    teardown();
+}
+BENCHMARK(BM_CoordFrameRoundTrip)
+    ->Iterations(512)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

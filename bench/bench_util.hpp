@@ -11,6 +11,7 @@
  * --out (resumable episode-ledger store), --resume, --shard i/N
  * (partition one campaign across N processes sharing a store),
  * --lease S (elastic lease-stealing workers sharing a store),
+ * --connect host:port (socket workers of a create-coordinator campaign),
  * --progress, and --flush-every. A note on axes: see
  * EXPERIMENTS.md for why the BER axis of the small stand-in models sits a
  * few orders above the paper's (flips per inference is the invariant, not
@@ -81,6 +82,10 @@ struct BenchOptions
     /** --store-format json|binlog: on-disk format when --out creates the
      *  store (an existing store keeps its detected format). */
     StoreFormat storeFormat = StoreFormat::Json;
+    /** --connect host:port: run as a socket worker of a
+     *  create-coordinator campaign (no local store; mutually exclusive
+     *  with --out/--resume/--shard/--lease). */
+    std::string connect;
 };
 
 /**
@@ -101,6 +106,7 @@ sweepOptions(const BenchOptions& o)
     so.shardCount = o.shardCount;
     so.leaseSeconds = o.leaseSeconds;
     so.storeFormat = o.storeFormat;
+    so.connect = o.connect;
     return so;
 }
 
@@ -176,6 +182,10 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
                 "in the --out store, stealing work\n"
                 "                 from workers silent longer than S "
                 "seconds (replaces the --shard partition)\n"
+                "  --connect H:P  run as a socket worker of a "
+                "create-coordinator campaign at host H port P\n"
+                "                 (the coordinator owns the store; "
+                "replaces --out/--resume/--shard/--lease)\n"
                 "  --progress     one stderr status line per flush "
                 "(episodes/s, success, ETA, GEMM fusion)\n"
                 "  --flush-every N  episodes per store flush (default "
@@ -233,6 +243,16 @@ setupImpl(const Cli& cli, const char* artifact, int defaultReps,
             std::fprintf(stderr,
                          "error: --lease needs --out (the lease records "
                          "live in the shared result store)\n");
+            std::exit(2);
+        }
+        o.connect = cli.str("connect", "");
+        if (!o.connect.empty() &&
+            (!o.storePath.empty() || o.resume || o.shardCount > 1 ||
+             o.leaseSeconds > 0.0)) {
+            std::fprintf(stderr,
+                         "error: --connect replaces "
+                         "--out/--resume/--shard/--lease (the "
+                         "coordinator owns all store state)\n");
             std::exit(2);
         }
     }

@@ -7,7 +7,6 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <map>
 
 #include "common/io_retry.hpp"
 #include "common/store_keys.hpp"
@@ -133,6 +132,18 @@ encodeBody(std::string& buf, const JsonRecord& rec)
     }
 }
 
+/** Frame one payload ([type][len][crc][payload]) onto `buf`. */
+void
+putFrame(std::string& buf, std::uint8_t type, const std::string& payload)
+{
+    std::uint32_t crc = crc32(&type, 1);
+    crc = crc32(payload.data(), payload.size(), crc);
+    putU8(buf, type);
+    putU32(buf, static_cast<std::uint32_t>(payload.size()));
+    putU32(buf, crc);
+    buf.append(payload);
+}
+
 bool
 decodeBody(Cursor& cur, JsonRecord& rec)
 {
@@ -168,7 +179,7 @@ decodeBody(Cursor& cur, JsonRecord& rec)
 bool
 decodeFrame(std::uint8_t type, const char* payload, std::size_t len,
             std::map<std::uint32_t, std::string>& dict,
-            std::vector<JsonRecord>* out, LogSalvage* info)
+            std::deque<JsonRecord>& out)
 {
     Cursor cur{payload, len};
     switch (type) {
@@ -190,20 +201,13 @@ decodeFrame(std::uint8_t type, const char* payload, std::size_t len,
                   return false;
               dict[id] = std::move(fp);
           }
-          if (!cur.done())
-              return false;
-          if (info)
-              ++info->indexBlocks;
-          return true;
+          return cur.done();
       }
       case kFrameRecord: {
           JsonRecord rec;
           if (!cur.str(rec.name) || !decodeBody(cur, rec))
               return false;
-          if (info)
-              ++info->records;
-          if (out)
-              out->push_back(std::move(rec));
+          out.push_back(std::move(rec));
           return true;
       }
       case kFrameEpisode:
@@ -229,10 +233,7 @@ decodeFrame(std::uint8_t type, const char* payload, std::size_t len,
           }
           if (!decodeBody(cur, rec))
               return false;
-          if (info)
-              ++info->records;
-          if (out)
-              out->push_back(std::move(rec));
+          out.push_back(std::move(rec));
           return true;
       }
       default:
@@ -241,9 +242,10 @@ decodeFrame(std::uint8_t type, const char* payload, std::size_t len,
 }
 
 /**
- * Validate + decode the frame stream of a whole log image. Returns false
- * when the header is missing/foreign; otherwise fills `info` with the
- * valid-prefix boundary (salvage semantics of readJsonRecordsSalvaged).
+ * Validate + decode the frame stream of a whole log image (one
+ * StreamDecoder pass). Returns false when the header is missing/foreign;
+ * otherwise fills `info` with the valid-prefix boundary (salvage
+ * semantics of readJsonRecordsSalvaged).
  */
 bool
 scanLog(const std::string& text, std::vector<JsonRecord>* out,
@@ -253,39 +255,20 @@ scanLog(const std::string& text, std::vector<JsonRecord>* out,
     LogSalvage& sal = info ? *info : local;
     sal = LogSalvage{};
     sal.totalBytes = text.size();
-    if (text.size() < kHeaderBytes)
-        return false;
-    std::uint32_t magic = 0, version = 0;
-    std::memcpy(&magic, text.data(), sizeof(magic));
-    std::memcpy(&version, text.data() + 4, sizeof(version));
-    if (magic != kFileMagic || version != kFileVersion)
-        return false;
-    std::map<std::uint32_t, std::string> dict;
-    std::size_t pos = kHeaderBytes;
-    sal.goodBytes = pos;
-    constexpr std::size_t kFrameHeader = 9; // u8 type + u32 len + u32 crc
-    for (;;) {
-        if (pos + kFrameHeader > text.size())
-            break; // torn mid-header (or clean EOF when pos == size)
-        const auto type = static_cast<std::uint8_t>(text[pos]);
-        std::uint32_t len = 0, crc = 0;
-        std::memcpy(&len, text.data() + pos + 1, sizeof(len));
-        std::memcpy(&crc, text.data() + pos + 5, sizeof(crc));
-        if (len > kMaxPayload || pos + kFrameHeader + len > text.size())
-            break; // impossible/torn length
-        const char* payload = text.data() + pos + kFrameHeader;
-        std::uint32_t want = crc32(&type, 1);
-        want = crc32(payload, len, want);
-        if (want != crc)
-            break; // bit damage inside the frame
-        if (!decodeFrame(type, payload, len, dict, out, &sal))
-            break; // structurally invalid payload
-        ++sal.frames;
-        pos += kFrameHeader + len;
-        sal.goodBytes = pos;
-    }
+    StreamDecoder dec;
+    dec.feed(text);
+    if (!dec.headerSeen())
+        return false; // too short for a header, or foreign magic
+    JsonRecord rec;
+    while (dec.pop(rec))
+        if (out)
+            out->push_back(std::move(rec));
+    sal.goodBytes = dec.consumed();
+    sal.frames = dec.frames();
+    sal.records = dec.records();
+    sal.indexBlocks = dec.indexBlocks();
+    sal.fingerprints = dec.fingerprints();
     sal.salvaged = sal.goodBytes != sal.totalBytes;
-    sal.fingerprints = dict.size();
     return true;
 }
 
@@ -343,6 +326,185 @@ readLogRecords(const std::string& path, std::vector<JsonRecord>& out,
     return true;
 }
 
+void
+FrameEncoder::encodeHeader(std::string& out)
+{
+    putU32(out, kFileMagic);
+    putU32(out, kFileVersion);
+}
+
+std::uint32_t
+FrameEncoder::fpId(const std::string& fingerprint, std::string& out)
+{
+    for (const auto& [fp, id] : dict_)
+        if (fp == fingerprint)
+            return id;
+    const std::uint32_t id = nextId_++;
+    dict_.emplace_back(fingerprint, id);
+    std::string payload;
+    putU32(payload, id);
+    payload.append(fingerprint);
+    putFrame(out, kFrameFpDef, payload);
+    return id;
+}
+
+void
+FrameEncoder::encodeRecord(const JsonRecord& rec, std::string& out)
+{
+    // Classify through the store-key grammar; the strict reconstruction
+    // check (re-derive the key and compare) keeps degenerate names a
+    // human could hand-edit in -- "fp#007" parses as episode 7 but is
+    // not episodeKey(fp, 7) -- byte-exact via the generic frame.
+    std::uint8_t type = kFrameRecord;
+    std::string payload;
+    std::string fp;
+    const int idx = sweepEpisodeIndex(rec.name, &fp);
+    if (idx >= 0 && sweepEpisodeKey(fp, idx) == rec.name) {
+        type = kFrameEpisode;
+        putU32(payload, fpId(fp, out));
+        putU32(payload, static_cast<std::uint32_t>(idx));
+    } else if (sweepLeaseFingerprint(rec.name, &fp)) {
+        type = kFrameLease;
+        putU32(payload, fpId(fp, out));
+    } else if (rec.name.rfind("v1|", 0) == 0 ||
+               rec.name.rfind("v2|", 0) == 0) {
+        // Ledger meta records (and legacy v1 cell records) are named by
+        // the fingerprint itself -- dictionary-compressed like episodes.
+        type = kFrameMeta;
+        putU32(payload, fpId(rec.name, out));
+    } else {
+        putStr(payload, rec.name);
+    }
+    encodeBody(payload, rec);
+    putFrame(out, type, payload);
+    if (++sinceIndex_ >= kIndexEvery) {
+        // Periodic full-dictionary index block.
+        std::string ip;
+        putU32(ip, static_cast<std::uint32_t>(dict_.size()));
+        for (const auto& [dfp, id] : dict_) {
+            putU32(ip, id);
+            putStr(ip, dfp);
+        }
+        putFrame(out, kFrameIndex, ip);
+        sinceIndex_ = 0;
+    }
+}
+
+void
+FrameEncoder::reset()
+{
+    // nextId_ stays monotonic: re-emitting a known fingerprint under a
+    // fresh id is always valid (definitions override), and never reusing
+    // ids keeps a reconnecting stream unambiguous.
+    dict_.clear();
+    sinceIndex_ = 0;
+}
+
+bool
+StreamDecoder::feed(const char* data, std::size_t n)
+{
+    if (failed_)
+        return false;
+    std::size_t used = 0;
+    if (buf_.empty()) {
+        // Fast path: decode straight from the caller's span and buffer
+        // only the partial trailing frame (if any).
+        used = drain(data, n);
+        if (!failed_ && used < n)
+            buf_.assign(data + used, n - used);
+    } else {
+        buf_.append(data, n);
+        used = drain(buf_.data(), buf_.size());
+        if (!failed_)
+            buf_.erase(0, used);
+    }
+    if (failed_) {
+        buf_.clear();
+        return false;
+    }
+    return true;
+}
+
+bool
+StreamDecoder::pop(JsonRecord& rec)
+{
+    if (out_.empty())
+        return false;
+    rec = std::move(out_.front());
+    out_.pop_front();
+    return true;
+}
+
+std::size_t
+StreamDecoder::drain(const char* p, std::size_t n)
+{
+    std::size_t pos = 0;
+    if (!headerSeen_) {
+        if (n < kHeaderBytes)
+            return 0; // keep accumulating header bytes
+        std::uint32_t magic = 0, version = 0;
+        std::memcpy(&magic, p, sizeof(magic));
+        std::memcpy(&version, p + 4, sizeof(version));
+        if (magic != kFileMagic || version != kFileVersion) {
+            failed_ = true;
+            badHeader_ = true;
+            return 0;
+        }
+        headerSeen_ = true;
+        pos = kHeaderBytes;
+        consumed_ += kHeaderBytes;
+    }
+    constexpr std::size_t kFrameHeader = 9; // u8 type + u32 len + u32 crc
+    for (;;) {
+        if (pos + kFrameHeader > n)
+            break; // partial frame header: wait for more bytes
+        const auto type = static_cast<std::uint8_t>(p[pos]);
+        std::uint32_t len = 0, crc = 0;
+        std::memcpy(&len, p + pos + 1, sizeof(len));
+        std::memcpy(&crc, p + pos + 5, sizeof(crc));
+        if (len > kMaxPayload) {
+            failed_ = true; // impossible length: real corruption
+            break;
+        }
+        if (pos + kFrameHeader + len > n)
+            break; // partial payload: wait for more bytes
+        const char* payload = p + pos + kFrameHeader;
+        std::uint32_t want = crc32(&type, 1);
+        want = crc32(payload, len, want);
+        if (want != crc) {
+            failed_ = true; // bit damage inside the frame
+            break;
+        }
+        if (!decodeFrame(type, payload, len, dict_, out_)) {
+            failed_ = true; // structurally invalid payload
+            break;
+        }
+        if (type == kFrameIndex)
+            ++indexBlocks_;
+        else if (type != kFrameFpDef)
+            ++records_;
+        ++frames_;
+        pos += kFrameHeader + len;
+        consumed_ += kFrameHeader + len;
+    }
+    return pos;
+}
+
+void
+StreamDecoder::reset()
+{
+    buf_.clear();
+    dict_.clear();
+    out_.clear();
+    consumed_ = 0;
+    frames_ = 0;
+    records_ = 0;
+    indexBlocks_ = 0;
+    headerSeen_ = false;
+    failed_ = false;
+    badHeader_ = false;
+}
+
 LogWriter::~LogWriter()
 {
     close();
@@ -358,8 +520,7 @@ LogWriter::close()
     path_.clear();
     offset_ = 0;
     buf_.clear();
-    dict_.clear();
-    sinceIndex_ = 0;
+    enc_.reset();
 }
 
 bool
@@ -422,8 +583,7 @@ LogWriter::open(const std::string& path, std::string* error)
             return false;
         }
         std::string header;
-        putU32(header, kFileMagic);
-        putU32(header, kFileVersion);
+        FrameEncoder::encodeHeader(header);
         if (std::fwrite(header.data(), 1, header.size(), f_) !=
                 header.size() ||
             std::fflush(f_) != 0) {
@@ -486,92 +646,16 @@ LogWriter::checkTail(bool* healed, std::string* error)
                  path_.c_str(), static_cast<unsigned long long>(offset_),
                  static_cast<unsigned long long>(st.st_size));
     offset_ = sal.goodBytes;
-    dict_.clear();
-    sinceIndex_ = 0;
+    enc_.reset();
     if (healed)
         *healed = true;
     return true;
 }
 
-std::uint32_t
-LogWriter::fpId(const std::string& fingerprint)
-{
-    for (const auto& [fp, id] : dict_)
-        if (fp == fingerprint)
-            return id;
-    const std::uint32_t id = nextId_++;
-    dict_.emplace_back(fingerprint, id);
-    std::string payload;
-    putU32(payload, id);
-    payload.append(fingerprint);
-    std::uint32_t crc = 0;
-    const std::uint8_t type = kFrameFpDef;
-    crc = crc32(&type, 1);
-    crc = crc32(payload.data(), payload.size(), crc);
-    putU8(buf_, type);
-    putU32(buf_, static_cast<std::uint32_t>(payload.size()));
-    putU32(buf_, crc);
-    buf_.append(payload);
-    return id;
-}
-
-void
-LogWriter::encodeRecord(const JsonRecord& rec)
-{
-    // Classify through the store-key grammar; the strict reconstruction
-    // check (re-derive the key and compare) keeps degenerate names a
-    // human could hand-edit in -- "fp#007" parses as episode 7 but is
-    // not episodeKey(fp, 7) -- byte-exact via the generic frame.
-    std::uint8_t type = kFrameRecord;
-    std::string payload;
-    std::string fp;
-    const int idx = sweepEpisodeIndex(rec.name, &fp);
-    if (idx >= 0 && sweepEpisodeKey(fp, idx) == rec.name) {
-        type = kFrameEpisode;
-        putU32(payload, fpId(fp));
-        putU32(payload, static_cast<std::uint32_t>(idx));
-    } else if (sweepLeaseFingerprint(rec.name, &fp)) {
-        type = kFrameLease;
-        putU32(payload, fpId(fp));
-    } else if (rec.name.rfind("v1|", 0) == 0 ||
-               rec.name.rfind("v2|", 0) == 0) {
-        // Ledger meta records (and legacy v1 cell records) are named by
-        // the fingerprint itself -- dictionary-compressed like episodes.
-        type = kFrameMeta;
-        putU32(payload, fpId(rec.name));
-    } else {
-        putStr(payload, rec.name);
-    }
-    encodeBody(payload, rec);
-    std::uint32_t crc = crc32(&type, 1);
-    crc = crc32(payload.data(), payload.size(), crc);
-    putU8(buf_, type);
-    putU32(buf_, static_cast<std::uint32_t>(payload.size()));
-    putU32(buf_, crc);
-    buf_.append(payload);
-    if (++sinceIndex_ >= kIndexEvery) {
-        // Periodic full-dictionary index block.
-        std::string ip;
-        putU32(ip, static_cast<std::uint32_t>(dict_.size()));
-        for (const auto& [dfp, id] : dict_) {
-            putU32(ip, id);
-            putStr(ip, dfp);
-        }
-        const std::uint8_t itype = kFrameIndex;
-        std::uint32_t icrc = crc32(&itype, 1);
-        icrc = crc32(ip.data(), ip.size(), icrc);
-        putU8(buf_, itype);
-        putU32(buf_, static_cast<std::uint32_t>(ip.size()));
-        putU32(buf_, icrc);
-        buf_.append(ip);
-        sinceIndex_ = 0;
-    }
-}
-
 void
 LogWriter::append(const JsonRecord& rec)
 {
-    encodeRecord(rec);
+    enc_.encodeRecord(rec, buf_);
 }
 
 bool
@@ -599,8 +683,7 @@ LogWriter::commit(std::string* error)
         std::fseek(f_, static_cast<long>(offset_), SEEK_SET);
         std::clearerr(f_);
         buf_.clear();
-        dict_.clear();
-        sinceIndex_ = 0;
+        enc_.reset();
         return false;
     }
     offset_ += buf_.size();

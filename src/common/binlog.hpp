@@ -53,6 +53,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -101,6 +103,106 @@ bool readLogRecords(const std::string& path, std::vector<JsonRecord>& out,
                     LogSalvage* info = nullptr);
 
 /**
+ * Record -> frame encoder: the write half of the codec, factored out of
+ * the file writer so the byte stream can target anything -- a log file's
+ * staging buffer or a socket's send buffer (the campaign coordinator's
+ * wire protocol *is* this format; a capture of either direction is a
+ * valid .crbl file). Owns the fingerprint dictionary: FpDef frames are
+ * emitted lazily before a fingerprint's first use and the full
+ * dictionary is re-emitted as an Index frame every kIndexEvery records.
+ * reset() drops the dictionary (after a truncation or a reconnect --
+ * definitions override from their point in the stream, so a fresh
+ * dictionary is always valid).
+ */
+class FrameEncoder
+{
+  public:
+    /** The [magic][version] file/stream header (kHeaderBytes). */
+    static void encodeHeader(std::string& out);
+
+    /** Append one record's frames (lazy FpDef / periodic Index included)
+     *  to `out`. */
+    void encodeRecord(const JsonRecord& rec, std::string& out);
+
+    /** Forget the dictionary; the next record re-defines from scratch. */
+    void reset();
+
+    std::size_t dictSize() const { return dict_.size(); }
+
+  private:
+    std::uint32_t fpId(const std::string& fingerprint, std::string& out);
+
+    std::vector<std::pair<std::string, std::uint32_t>> dict_; //!< fp -> id
+    std::uint32_t nextId_ = 0;
+    int sinceIndex_ = 0; //!< records since the last Index frame
+};
+
+/**
+ * Incremental frame -> record decoder: the read half of the codec for
+ * byte streams that arrive in arbitrary chunks (socket reads, 1-byte
+ * drips). Frames are self-delimiting ([type][len][crc]), so a partial
+ * trailing frame simply buffers until the rest arrives -- feed() never
+ * mis-decodes across a chunk boundary, and a stream cut mid-frame
+ * yields exactly the records of the complete-frame prefix. The decoder
+ * fails permanently (failed()) on real corruption: foreign magic, an
+ * impossible length, a CRC mismatch, or a structurally invalid payload.
+ *
+ * consumed() is the decoded frame-boundary offset -- the same boundary
+ * readLogRecords salvages to, since the file readers are built on this
+ * class.
+ */
+class StreamDecoder
+{
+  public:
+    /**
+     * Feed a chunk; complete frames decode immediately (drain with
+     * pop()), a trailing partial frame buffers. Returns false once the
+     * stream has failed -- further bytes are discarded.
+     */
+    bool feed(const char* data, std::size_t n);
+    bool feed(const std::string& chunk)
+    {
+        return feed(chunk.data(), chunk.size());
+    }
+
+    /** Pop the next decoded record (FIFO). False when none is pending. */
+    bool pop(JsonRecord& rec);
+
+    bool failed() const { return failed_; }
+    /** Failed specifically on a missing/foreign [magic][version]. */
+    bool badHeader() const { return badHeader_; }
+    /** The 8-byte stream header has been consumed and validated. */
+    bool headerSeen() const { return headerSeen_; }
+
+    /** Bytes decoded to a frame boundary (header included). */
+    std::uint64_t consumed() const { return consumed_; }
+    /** Bytes buffered past the boundary (a partial trailing frame). */
+    std::size_t buffered() const { return buf_.size(); }
+
+    std::size_t frames() const { return frames_; }
+    std::size_t records() const { return records_; }
+    std::size_t indexBlocks() const { return indexBlocks_; }
+    std::size_t fingerprints() const { return dict_.size(); }
+
+    /** Back to a fresh stream (expecting a header again). */
+    void reset();
+
+  private:
+    std::size_t drain(const char* p, std::size_t n);
+
+    std::string buf_; //!< bytes past the last decoded frame boundary
+    std::map<std::uint32_t, std::string> dict_;
+    std::deque<JsonRecord> out_;
+    std::uint64_t consumed_ = 0;
+    std::size_t frames_ = 0;
+    std::size_t records_ = 0;
+    std::size_t indexBlocks_ = 0;
+    bool headerSeen_ = false;
+    bool failed_ = false;
+    bool badHeader_ = false;
+};
+
+/**
  * Append-side of one log file. Opening an existing log validates its
  * frame prefix first and truncates a torn tail (quarantined via
  * quarantineTail) so appends always start on a frame boundary. append()
@@ -146,16 +248,11 @@ class LogWriter
     void close();
 
   private:
-    std::uint32_t fpId(const std::string& fingerprint);
-    void encodeRecord(const JsonRecord& rec);
-
     std::FILE* f_ = nullptr;
     std::string path_;
     std::uint64_t offset_ = 0; //!< durable frame boundary (last commit)
     std::string buf_;          //!< frames staged since the last commit
-    std::vector<std::pair<std::string, std::uint32_t>> dict_; //!< fp -> id
-    std::uint32_t nextId_ = 0;
-    int sinceIndex_ = 0; //!< records since the last Index frame
+    FrameEncoder enc_;
 };
 
 } // namespace create::binlog

@@ -84,6 +84,8 @@ Config parseChaosSpec(const char* spec)
             cfg.tearWrite = parseProb(val);
         else if (key == "renewdelay")
             cfg.renewDelayMs = parseMs(val);
+        else if (key == "connreset")
+            cfg.connReset = parseProb(val);
     }
     return cfg;
 }
@@ -121,6 +123,17 @@ void maybeDelayRenewal()
     const int ms = config().renewDelayMs;
     if (ms > 0)
         io::sleepMs(ms);
+}
+
+bool shouldConnReset()
+{
+    return roll(config().connReset);
+}
+
+double connResetKeepFraction()
+{
+    std::lock_guard<std::mutex> lock(rngMu());
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng());
 }
 
 } // namespace create::chaos

@@ -21,6 +21,11 @@
  *                 The next reader must salvage the parseable prefix.
  *   renewdelay=MS sleep MS before each lease renewal — simulates a
  *                 straggler whose lease goes stale under load.
+ *   connreset=P   with probability P per coordinator-wire send, write
+ *                 only a random prefix of the buffer and drop the
+ *                 connection — simulates a mid-frame TCP reset. The
+ *                 peer's stream decoder must buffer the torn frame and
+ *                 the campaign must heal through reconnect/re-dispatch.
  *
  * CREATE_CHAOS_SEED pins the fault RNG for reproducible runs (default
  * seeds from pid so concurrent shards draw different fault schedules).
@@ -38,10 +43,12 @@ struct Config
     double abortBeforeFlush = 0.0; //!< abort=P
     double tearWrite = 0.0;        //!< tear=P
     int renewDelayMs = 0;          //!< renewdelay=MS
+    double connReset = 0.0;        //!< connreset=P
 
     bool enabled() const
     {
-        return abortBeforeFlush > 0.0 || tearWrite > 0.0 || renewDelayMs > 0;
+        return abortBeforeFlush > 0.0 || tearWrite > 0.0 ||
+               renewDelayMs > 0 || connReset > 0.0;
     }
 };
 
@@ -64,5 +71,13 @@ double tearKeepFraction();
 
 /** Sleeps renewdelay ms before a lease renewal (no-op when unset). */
 void maybeDelayRenewal();
+
+/** True when the connection-reset fault fires for this wire send. */
+bool shouldConnReset();
+
+/** Fraction of the send buffer to put on the wire before dropping the
+ *  connection, uniform in [0, 1) — mid-frame by construction for any
+ *  multi-frame batch. */
+double connResetKeepFraction();
 
 } // namespace create::chaos

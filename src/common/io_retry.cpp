@@ -5,7 +5,11 @@
 #include <ctime>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/file.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace create::io {
@@ -74,6 +78,139 @@ bool renameRetry(const char* from, const char* to, std::string* error)
     if (error)
         *error = std::string("rename: ") + std::strerror(lastErr);
     return false;
+}
+
+int readFull(int fd, void* buf, std::size_t n, std::string* error)
+{
+    auto* p = static_cast<char*>(buf);
+    std::size_t got = 0;
+    int backoff = 0;
+    while (got < n)
+    {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0)
+        {
+            got += static_cast<std::size_t>(r);
+            backoff = 0; // progress resets the budget
+            continue;
+        }
+        if (r == 0)
+        {
+            if (got == 0)
+                return 0; // clean EOF at a message boundary
+            if (error)
+                *error = "read: stream cut after " + std::to_string(got) +
+                         " of " + std::to_string(n) + " bytes";
+            return -1;
+        }
+        if (errno == EINTR)
+            continue;
+        if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+            backoff < kRetryAttempts)
+        {
+            sleepMs(kRetryBaseMs << backoff++);
+            continue;
+        }
+        if (error)
+            *error = std::string("read: ") + std::strerror(errno) +
+                     " (after " + std::to_string(got) + " of " +
+                     std::to_string(n) + " bytes)";
+        return -1;
+    }
+    return 1;
+}
+
+bool writeFull(int fd, const void* buf, std::size_t n, std::string* error)
+{
+    const auto* p = static_cast<const char*>(buf);
+    std::size_t sent = 0;
+    int backoff = 0;
+    while (sent < n)
+    {
+        // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not SIGPIPE.
+        const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (w > 0)
+        {
+            sent += static_cast<std::size_t>(w);
+            backoff = 0;
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+            backoff < kRetryAttempts)
+        {
+            sleepMs(kRetryBaseMs << backoff++);
+            continue;
+        }
+        if (error)
+            *error = std::string("write: ") + std::strerror(errno) +
+                     " (after " + std::to_string(sent) + " of " +
+                     std::to_string(n) + " bytes)";
+        return false;
+    }
+    return true;
+}
+
+int connectRetry(const std::string& host, int port, int attempts,
+                 std::string* error)
+{
+    const std::string service = std::to_string(port);
+    int lastErr = 0;
+    std::string detail;
+    for (int attempt = 0; attempt < attempts; ++attempt)
+    {
+        if (attempt > 0)
+        {
+            int ms = kRetryBaseMs << (attempt - 1 > 10 ? 10 : attempt - 1);
+            if (ms > 2000)
+                ms = 2000; // cap per-sleep so long budgets stay responsive
+            sleepMs(ms);
+        }
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        addrinfo* res = nullptr;
+        const int gai = ::getaddrinfo(host.c_str(), service.c_str(),
+                                      &hints, &res);
+        if (gai != 0)
+        {
+            detail = std::string("resolve ") + host + ": " +
+                     ::gai_strerror(gai);
+            continue; // transient DNS blips retry too
+        }
+        for (addrinfo* ai = res; ai; ai = ai->ai_next)
+        {
+            const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                    ai->ai_protocol);
+            if (fd < 0)
+            {
+                lastErr = errno;
+                continue;
+            }
+            int rc;
+            do
+                rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+            while (rc != 0 && errno == EINTR);
+            if (rc == 0)
+            {
+                const int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+                ::freeaddrinfo(res);
+                return fd;
+            }
+            lastErr = errno;
+            ::close(fd);
+        }
+        ::freeaddrinfo(res);
+        detail = "connect " + host + ":" + service + ": " +
+                 std::strerror(lastErr);
+    }
+    if (error)
+        *error = detail + " (gave up after " + std::to_string(attempts) +
+                 " attempts)";
+    return -1;
 }
 
 FdCloser::~FdCloser()

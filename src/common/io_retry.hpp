@@ -13,8 +13,16 @@
  * failure: after the retry budget they return the failure with errno
  * intact so the caller can fail the campaign loudly instead of silently
  * dropping a flush batch.
+ *
+ * The socket half (readFull/writeFull/connectRetry) extends the same
+ * discipline to the campaign coordinator's wire: partial reads/writes
+ * loop, EINTR never counts against the budget, EAGAIN on a blocking
+ * socket (SO_RCVTIMEO/SO_SNDTIMEO) gets the bounded backoff, and a
+ * give-up surfaces the errno detail loudly instead of a silent short
+ * transfer.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
@@ -43,6 +51,36 @@ std::FILE* fopenRetry(const char* path, const char* mode);
  * non-null, fills it with the errno detail.
  */
 bool renameRetry(const char* from, const char* to,
+                 std::string* error = nullptr);
+
+/**
+ * read(2) exactly `n` bytes into `buf`. Partial reads loop; EINTR is
+ * free; EAGAIN/EWOULDBLOCK consumes the bounded backoff budget. Returns
+ * 1 when all `n` bytes landed, 0 on clean EOF *before the first byte*
+ * (a peer that closed between messages), and -1 on error or a stream
+ * cut mid-buffer, with the errno/short-read detail in `error`.
+ */
+int readFull(int fd, void* buf, std::size_t n,
+             std::string* error = nullptr);
+
+/**
+ * write(2) all `n` bytes of `buf`. Partial writes loop; EINTR is free;
+ * EAGAIN/EWOULDBLOCK consumes the bounded backoff budget. False on
+ * give-up (EPIPE, ECONNRESET, exhausted backoff) with the errno detail
+ * in `error`.
+ */
+bool writeFull(int fd, const void* buf, std::size_t n,
+               std::string* error = nullptr);
+
+/**
+ * TCP-connect to host:port, retrying refusals/unreachables with
+ * exponential backoff (base kRetryBaseMs, capped at 2 s per sleep) for
+ * up to `attempts` tries — enough for a coordinator restarting
+ * mid-campaign when callers raise the budget. Returns the connected fd,
+ * or -1 with the resolver/errno detail in `error`.
+ */
+int connectRetry(const std::string& host, int port,
+                 int attempts = kRetryAttempts,
                  std::string* error = nullptr);
 
 /** Closes an fd on scope exit (and on the throw paths between locked

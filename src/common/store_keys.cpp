@@ -7,6 +7,7 @@ namespace create {
 
 namespace {
 constexpr const char* kLeasePrefix = "lease|";
+constexpr const char* kWorkerPrefix = "worker|";
 } // namespace
 
 std::string
@@ -51,6 +52,24 @@ sweepLeaseFingerprint(const std::string& recordName, std::string* fingerprint)
         return false;
     if (fingerprint)
         *fingerprint = recordName.substr(n);
+    return true;
+}
+
+std::string
+sweepWorkerKey(const std::string& workerId)
+{
+    return kWorkerPrefix + workerId;
+}
+
+bool
+sweepWorkerId(const std::string& recordName, std::string* workerId)
+{
+    const std::size_t n = std::char_traits<char>::length(kWorkerPrefix);
+    if (recordName.compare(0, n, kWorkerPrefix) != 0 ||
+        recordName.size() == n)
+        return false;
+    if (workerId)
+        *workerId = recordName.substr(n);
     return true;
 }
 

@@ -15,6 +15,7 @@
  *   `<fingerprint>`        a ledger meta record (platform/label/task)
  *   `<fingerprint>#<i>`    episode i of the fingerprint's ledger
  *   `lease|<fingerprint>`  the ledger's elastic-worker lease record
+ *   `worker|<workerId>`    a worker's range-dispatch telemetry record
  * Anything else (legacy v1 cell records, bench reports) is opaque.
  */
 
@@ -62,5 +63,22 @@ std::string sweepLeaseKey(const std::string& fingerprint);
  */
 bool sweepLeaseFingerprint(const std::string& recordName,
                            std::string* fingerprint = nullptr);
+
+/**
+ * Store key of a worker's telemetry record: `worker|<workerId>`. Written
+ * by the campaign coordinator per connected worker -- fields
+ * {rangesAssigned, rangesCompleted, rangesRedispatched, episodes,
+ * elapsed (s), rangeP50Ms, rangeP95Ms} -- purely observability: store
+ * readers never fold them into cells, so campaigns with and without
+ * telemetry stay `sweep-diff` bit-exact.
+ */
+std::string sweepWorkerKey(const std::string& workerId);
+
+/**
+ * True when `recordName` is a worker telemetry key; optionally yields
+ * the worker id.
+ */
+bool sweepWorkerId(const std::string& recordName,
+                   std::string* workerId = nullptr);
 
 } // namespace create

@@ -1,0 +1,1052 @@
+#include "core/coordinator.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/chaos.hpp"
+#include "common/io_retry.hpp"
+#include "common/store_keys.hpp"
+#include "core/store_stats.hpp"
+
+namespace create {
+
+namespace {
+
+/** Wall-clock seconds: assignment timeouts and lease timestamps are
+ *  compared across processes/machines, so never the steady clock. */
+double
+wallSeconds()
+{
+    using namespace std::chrono;
+    return duration<double>(system_clock::now().time_since_epoch()).count();
+}
+
+/**
+ * The one send primitive of the coordinator wire, shared by both sides
+ * so the `connreset` chaos fault covers both directions: when it fires,
+ * only a random prefix of the buffer reaches the wire and the
+ * connection drops mid-frame -- the peer's StreamDecoder buffers the
+ * torn frame, sees EOF, and the campaign must heal through
+ * reconnect/re-dispatch.
+ */
+bool
+wireSend(int fd, const char* data, std::size_t n, std::string* error)
+{
+    if (chaos::shouldConnReset()) {
+        const auto keep = static_cast<std::size_t>(
+            static_cast<double>(n) * chaos::connResetKeepFraction());
+        std::string ignored;
+        if (keep > 0)
+            io::writeFull(fd, data, keep, &ignored);
+        ::shutdown(fd, SHUT_RDWR);
+        std::fprintf(stderr,
+                     "[chaos] connreset after %zu of %zu bytes (pid %d)\n",
+                     keep, n, static_cast<int>(::getpid()));
+        if (error)
+            *error = "injected connreset";
+        return false;
+    }
+    return io::writeFull(fd, data, n, error);
+}
+
+} // namespace
+
+namespace coordwire {
+
+const char* const kPrefix = "coord|";
+
+JsonRecord
+control(const std::string& verb)
+{
+    JsonRecord rec;
+    rec.name = std::string(kPrefix) + verb;
+    return rec;
+}
+
+bool
+isControl(const JsonRecord& rec, std::string* verb)
+{
+    const std::size_t n = std::char_traits<char>::length(kPrefix);
+    if (rec.name.compare(0, n, kPrefix) != 0)
+        return false;
+    if (verb)
+        *verb = rec.name.substr(n);
+    return true;
+}
+
+} // namespace coordwire
+
+// ---------------------------------------------------------------- client
+
+CoordClient::~CoordClient()
+{
+    close();
+}
+
+void
+CoordClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    // Fresh codec state either way: a reconnected stream starts with a
+    // new header and a new dictionary on both sides.
+    enc_.reset();
+    dec_.reset();
+}
+
+bool
+CoordClient::connect(const std::string& host, int port,
+                     const std::string& workerId, int attempts,
+                     std::string* error)
+{
+    close();
+    fd_ = io::connectRetry(host, port, attempts, error);
+    if (fd_ < 0)
+        return false;
+    std::string out;
+    binlog::FrameEncoder::encodeHeader(out);
+    JsonRecord hello = coordwire::control("hello");
+    hello.strings.emplace_back("worker", workerId);
+    hello.numbers.emplace_back("proto", 1.0);
+    enc_.encodeRecord(hello, out);
+    if (!wireSend(fd_, out.data(), out.size(), error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+CoordClient::send(const std::vector<JsonRecord>& recs, std::string* error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    std::string out;
+    for (const JsonRecord& rec : recs)
+        enc_.encodeRecord(rec, out);
+    if (out.empty())
+        return true;
+    if (!wireSend(fd_, out.data(), out.size(), error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+CoordClient::send(const JsonRecord& rec, std::string* error)
+{
+    std::vector<JsonRecord> one;
+    one.push_back(rec);
+    return send(one, error);
+}
+
+bool
+CoordClient::recv(JsonRecord& rec, std::string* error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    for (;;) {
+        if (dec_.pop(rec))
+            return true;
+        char buf[65536];
+        ssize_t n;
+        do
+            n = ::read(fd_, buf, sizeof(buf));
+        while (n < 0 && errno == EINTR);
+        if (n == 0) {
+            if (error)
+                *error = "coordinator closed the connection";
+            close();
+            return false;
+        }
+        if (n < 0) {
+            if (error)
+                *error = std::string("read: ") + std::strerror(errno);
+            close();
+            return false;
+        }
+        if (!dec_.feed(buf, static_cast<std::size_t>(n))) {
+            if (error)
+                *error = "corrupt frame stream from coordinator";
+            close();
+            return false;
+        }
+    }
+}
+
+// ----------------------------------------------------------- coordinator
+
+Coordinator::Coordinator(Options opt) : opt_(std::move(opt))
+{
+    if (opt_.rangeEpisodes < 1)
+        opt_.rangeEpisodes = 1;
+    if (opt_.leaseSeconds <= 0.0)
+        opt_.leaseSeconds = 30.0;
+    if (opt_.flushEvery < 1)
+        opt_.flushEvery = 1;
+    char host[256] = "";
+    if (::gethostname(host, sizeof(host) - 1) != 0 || host[0] == '\0')
+        std::snprintf(host, sizeof(host), "localhost");
+    host[sizeof(host) - 1] = '\0';
+    coordId_ = std::string(host) + ":" + std::to_string(::getpid()) +
+               ".coord";
+}
+
+Coordinator::~Coordinator()
+{
+    for (Conn& c : conns_)
+        ::close(c.fd);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+Coordinator::start(std::string* error)
+{
+    if (opt_.storePath.empty()) {
+        if (error)
+            *error = "coordinator requires a store path";
+        return false;
+    }
+    std::string note;
+    store_ = openStoreBackend(opt_.storePath, opt_.storeFormat,
+                              "coordinator", &note);
+    if (!note.empty())
+        std::fprintf(stderr, "[coord] %s\n", note.c_str());
+    std::vector<JsonRecord> records;
+    StoreLoadInfo sal;
+    if (store_->load(records, &sal, /*quarantineBadTails=*/true)) {
+        if (sal.salvaged)
+            std::fprintf(stderr,
+                         "[coord] store %s is torn: salvaged %zu records "
+                         "(%llu of %llu bytes)\n",
+                         opt_.storePath.c_str(), records.size(),
+                         static_cast<unsigned long long>(sal.goodBytes),
+                         static_cast<unsigned long long>(sal.totalBytes));
+        int schema = 1;
+        for (const JsonRecord& rec : records)
+            if (rec.name == kSweepStoreSchemaRecord)
+                schema = static_cast<int>(rec.number("schema", 1));
+        if (schema > kSweepStoreSchema) {
+            if (error)
+                *error = "store " + opt_.storePath + " has schema " +
+                         std::to_string(schema) +
+                         " (newer than this build's " +
+                         std::to_string(kSweepStoreSchema) +
+                         "); refusing to own it";
+            return false;
+        }
+        for (JsonRecord& rec : records)
+            mergeDiskRecord(std::move(rec));
+    }
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // SO_REUSEADDR: a coordinator restarted after kill -9 must rebind
+    // its port immediately (the chaos restart leg depends on it).
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        if (error)
+            *error = "bind/listen port " + std::to_string(opt_.port) +
+                     ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0)
+        port_ = static_cast<int>(ntohs(addr.sin_port));
+    ::fcntl(listenFd_, F_SETFL, O_NONBLOCK);
+    lastFlush_ = lastRenew_ = lastReload_ = wallSeconds();
+    if (opt_.verbose)
+        std::fprintf(stderr, "[coord] %s owns %s (%s)\n", coordId_.c_str(),
+                     opt_.storePath.c_str(),
+                     storeFormatName(store_->format()));
+    return true;
+}
+
+void
+Coordinator::runLoop()
+{
+    while (!stopping_) {
+        std::vector<pollfd> pfds;
+        pfds.reserve(conns_.size() + 1);
+        pfds.push_back(pollfd{listenFd_, POLLIN, 0});
+        for (const Conn& c : conns_)
+            pfds.push_back(pollfd{c.fd, POLLIN, 0});
+        const int rc = ::poll(pfds.data(),
+                              static_cast<nfds_t>(pfds.size()), 100);
+        if (rc < 0 && errno != EINTR) {
+            std::fprintf(stderr, "[coord] poll: %s\n",
+                         std::strerror(errno));
+            break;
+        }
+        if (rc > 0) {
+            if (pfds[0].revents & POLLIN)
+                acceptConns();
+            // Process by fd: a drop mid-loop erases from conns_, so the
+            // pollfd list (a snapshot) is the safe thing to walk.
+            for (std::size_t p = 1; p < pfds.size(); ++p)
+                if (pfds[p].revents & (POLLIN | POLLHUP | POLLERR))
+                    handleReadable(pfds[p].fd);
+        }
+        const double now = wallSeconds();
+        expireAssignments(now);
+        if (now - lastRenew_ >= opt_.leaseSeconds * 0.25) {
+            lastRenew_ = now;
+            renewLeases(now);
+        }
+        maybeReloadStore(now);
+        if (!pendingBatch_.empty() && now - lastFlush_ >= 1.0)
+            flushStore(false);
+        if (opt_.once && anyDeclared_ && conns_.empty() && allComplete())
+            break;
+    }
+    flushStore(true); // final: telemetry + whatever is pending
+}
+
+void
+Coordinator::acceptConns()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN: drained
+        }
+        ::fcntl(fd, F_SETFL, O_NONBLOCK);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        // Our direction of the stream opens with the same header a
+        // .crbl file does (a capture is a valid log).
+        std::string hdr;
+        binlog::FrameEncoder::encodeHeader(hdr);
+        std::string err;
+        if (!wireSend(fd, hdr.data(), hdr.size(), &err)) {
+            ::close(fd);
+            continue;
+        }
+        Conn c;
+        c.fd = fd;
+        c.id = nextConnId_++;
+        conns_.push_back(std::move(c));
+        if (opt_.verbose)
+            std::fprintf(stderr, "[coord] conn %d accepted\n",
+                         conns_.back().id);
+    }
+}
+
+void
+Coordinator::handleReadable(int fd)
+{
+    const auto it = std::find_if(conns_.begin(), conns_.end(),
+                                 [fd](const Conn& c) { return c.fd == fd; });
+    if (it == conns_.end())
+        return;
+    const auto idx = static_cast<std::size_t>(it - conns_.begin());
+    char buf[65536];
+    for (;;) {
+        Conn& conn = conns_[idx];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            if (!conn.dec.feed(buf, static_cast<std::size_t>(n))) {
+                dropConn(idx, "corrupt frame stream");
+                return;
+            }
+            JsonRecord rec;
+            while (!conn.dead && conn.dec.pop(rec))
+                handleRecord(conn, std::move(rec));
+            if (conn.dead) {
+                dropConn(idx, "send failed");
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            dropConn(idx, "disconnected");
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        dropConn(idx, std::strerror(errno));
+        return;
+    }
+}
+
+bool
+Coordinator::handleRecord(Conn& conn, JsonRecord&& rec)
+{
+    std::string verb;
+    if (coordwire::isControl(rec, &verb))
+        handleControl(conn, verb, rec);
+    else
+        ingestRecord(conn, std::move(rec));
+    return !conn.dead;
+}
+
+void
+Coordinator::handleControl(Conn& conn, const std::string& verb,
+                           const JsonRecord& rec)
+{
+    const double now = wallSeconds();
+    if (verb == "hello") {
+        conn.worker = rec.text("worker");
+        if (conn.worker.empty())
+            conn.worker = "conn" + std::to_string(conn.id);
+        WorkerStats& ws = workers_[conn.worker];
+        if (ws.firstSeen == 0.0)
+            ws.firstSeen = now;
+        ws.lastSeen = now;
+        if (opt_.verbose)
+            std::fprintf(stderr, "[coord] conn %d is %s\n", conn.id,
+                         conn.worker.c_str());
+    } else if (verb == "need") {
+        const std::string fp = rec.text("fp");
+        if (!fp.empty())
+            conn.declared.insert(fp);
+        declareNeed(fp, static_cast<int>(rec.number("need")));
+    } else if (verb == "req") {
+        dispatch(conn);
+    } else if (verb == "done") {
+        const auto it = fps_.find(rec.text("fp"));
+        if (it != fps_.end()) {
+            const int start = static_cast<int>(rec.number("start"));
+            const int count = static_cast<int>(rec.number("count"));
+            auto& as = it->second.assigned;
+            for (auto a = as.begin(); a != as.end(); ++a) {
+                if (a->connId != conn.id || a->start != start ||
+                    a->count != count)
+                    continue;
+                WorkerStats& ws = workers_[conn.worker.empty()
+                                               ? "conn" +
+                                                     std::to_string(conn.id)
+                                               : conn.worker];
+                ++ws.rangesCompleted;
+                ws.lastSeen = now;
+                ws.rangeWallMs.push_back((now - a->since) * 1000.0);
+                as.erase(a);
+                break;
+            }
+            // A `done` for an assignment we already expired is a
+            // straggler finishing a re-dispatched range: its episodes
+            // merged idempotently above, nothing else to do.
+        }
+        if (!pendingBatch_.empty())
+            flushStore(false); // range boundary: land the batch
+    } else if (verb == "fetch") {
+        serveFetch(conn, rec);
+    }
+    // Unknown verbs are ignored: newer workers degrade gracefully.
+}
+
+void
+Coordinator::ingestRecord(Conn& conn, JsonRecord&& rec)
+{
+    std::string fp;
+    const int idx = sweepEpisodeIndex(rec.name, &fp);
+    if (idx >= 0) {
+        const auto it = fps_.find(fp);
+        bool fresh = false;
+        if (it != fps_.end() && idx < it->second.need &&
+            !it->second.have[static_cast<std::size_t>(idx)]) {
+            it->second.have[static_cast<std::size_t>(idx)] = 1;
+            ++it->second.haveCount;
+            fresh = true;
+        }
+        ++episodesIngested_;
+        if (!conn.worker.empty()) {
+            WorkerStats& ws = workers_[conn.worker];
+            ++ws.episodes;
+            ws.lastSeen = wallSeconds();
+        }
+        // Duplicates (a straggler finishing a re-dispatched range) are
+        // not appended again -- they would bloat an append log -- but
+        // the merged view keeps the latest copy (bit-identical anyway:
+        // episodes are deterministic).
+        if (fresh || storeRecords_.find(rec.name) == storeRecords_.end())
+            pendingBatch_.push_back(rec);
+        const bool nowComplete = it != fps_.end() &&
+                                 it->second.haveCount == it->second.need &&
+                                 !it->second.complete;
+        storeRecords_[rec.name] = std::move(rec);
+        if (nowComplete)
+            completeFp(fp, it->second);
+    } else {
+        // Ledger meta (and anything else a worker would have appended
+        // locally): keep it, append it once.
+        if (storeRecords_.find(rec.name) == storeRecords_.end())
+            pendingBatch_.push_back(rec);
+        storeRecords_[rec.name] = std::move(rec);
+    }
+    if (static_cast<int>(pendingBatch_.size()) >= opt_.flushEvery)
+        flushStore(false);
+}
+
+void
+Coordinator::declareNeed(const std::string& fp, int need)
+{
+    if (fp.empty() || need < 1)
+        return;
+    anyDeclared_ = true;
+    const auto [it, inserted] = fps_.emplace(fp, FpState{});
+    if (inserted)
+        fpOrder_.push_back(fp);
+    FpState& st = it->second;
+    if (need > st.need) {
+        st.need = need;
+        st.have.resize(static_cast<std::size_t>(need), 0);
+        st.complete = false;
+    }
+    // Seed the bitmap from the store: episodes from earlier campaigns,
+    // filesystem workers, or a pre-restart incarnation of this
+    // coordinator all count (the gap-fill exactly-once primitive).
+    for (int i = 0; i < st.need; ++i) {
+        if (st.have[static_cast<std::size_t>(i)])
+            continue;
+        if (storeRecords_.count(sweepEpisodeKey(fp, i))) {
+            st.have[static_cast<std::size_t>(i)] = 1;
+            ++st.haveCount;
+        }
+    }
+    if (st.haveCount == st.need && !st.complete)
+        completeFp(fp, st);
+    if (opt_.verbose)
+        std::fprintf(stderr, "[coord] declared %s need=%d have=%d\n",
+                     fp.c_str(), st.need, st.haveCount);
+}
+
+void
+Coordinator::dispatch(Conn& conn)
+{
+    const double now = wallSeconds();
+    expireAssignments(now);
+    maybeReloadStore(now);
+    for (const std::string& fp : fpOrder_) {
+        if (!conn.declared.count(fp))
+            continue; // never hand a worker a ledger it cannot run
+        FpState& st = fps_[fp];
+        if (st.complete || st.deferredUntil > now)
+            continue;
+        if (!ensureLease(fp, st, now))
+            continue; // live filesystem lease: deferred
+        // First episode that is neither stored nor in flight.
+        const auto inFlight = [&st](int i) {
+            for (const Assignment& a : st.assigned)
+                if (i >= a.start && i < a.start + a.count)
+                    return true;
+            return false;
+        };
+        int start = -1;
+        for (int i = 0; i < st.need; ++i) {
+            if (!st.have[static_cast<std::size_t>(i)] && !inFlight(i)) {
+                start = i;
+                break;
+            }
+        }
+        if (start < 0)
+            continue; // everything missing is in flight
+        // Range size: the default quantum, shrunk near the tail so the
+        // last episodes spread across the fleet instead of stranding on
+        // one straggler.
+        int chunk = opt_.rangeEpisodes;
+        const int workers = std::max(1, activeWorkers());
+        const long long fair =
+            (remainingUnassigned() + workers - 1) / workers;
+        if (fair < chunk)
+            chunk = static_cast<int>(std::max(1LL, fair));
+        int count = 0;
+        for (int i = start; i < st.need && count < chunk; ++i) {
+            if (st.have[static_cast<std::size_t>(i)] || inFlight(i))
+                break;
+            ++count;
+        }
+        Assignment a;
+        a.start = start;
+        a.count = count;
+        a.connId = conn.id;
+        a.worker = conn.worker;
+        a.since = now;
+        st.assigned.push_back(std::move(a));
+        ++rangesDispatched_;
+        if (!conn.worker.empty()) {
+            WorkerStats& ws = workers_[conn.worker];
+            ++ws.rangesAssigned;
+            ws.lastSeen = now;
+        }
+        JsonRecord r = coordwire::control("range");
+        r.strings.emplace_back("fp", fp);
+        r.numbers.emplace_back("start", start);
+        r.numbers.emplace_back("count", count);
+        sendRecord(conn, r);
+        if (opt_.verbose)
+            std::fprintf(stderr, "[coord] %s <- %s [%d, %d)\n",
+                         conn.worker.c_str(), fp.c_str(), start,
+                         start + count);
+        return;
+    }
+    // Fin is scoped to what *this* worker declared: its campaign can be
+    // complete while a differently-scoped fleet keeps working.
+    bool mineComplete = !conn.declared.empty();
+    for (const std::string& fp : conn.declared) {
+        const auto it = fps_.find(fp);
+        mineComplete = mineComplete && it != fps_.end() &&
+                       it->second.complete;
+    }
+    if (mineComplete) {
+        sendRecord(conn, coordwire::control("fin"));
+        return;
+    }
+    // Incomplete but nothing to hand out (all in flight, or deferred to
+    // a filesystem fleet): tell the worker when to ask again.
+    JsonRecord w = coordwire::control("wait");
+    w.numbers.emplace_back(
+        "ms", std::max(50.0, std::min(1000.0, opt_.leaseSeconds * 250.0)));
+    sendRecord(conn, w);
+}
+
+void
+Coordinator::serveFetch(Conn& conn, const JsonRecord& rec)
+{
+    const std::string fp = rec.text("fp");
+    const int need = static_cast<int>(rec.number("need"));
+    std::string buf;
+    for (int i = 0; i < need; ++i) {
+        const auto it = storeRecords_.find(sweepEpisodeKey(fp, i));
+        if (it != storeRecords_.end())
+            conn.enc.encodeRecord(it->second, buf);
+    }
+    JsonRecord done = coordwire::control("fetched");
+    done.strings.emplace_back("fp", fp);
+    conn.enc.encodeRecord(done, buf);
+    std::string err;
+    if (!wireSend(conn.fd, buf.data(), buf.size(), &err))
+        conn.dead = true;
+}
+
+bool
+Coordinator::sendRecord(Conn& conn, const JsonRecord& rec)
+{
+    std::string buf;
+    conn.enc.encodeRecord(rec, buf);
+    std::string err;
+    if (!wireSend(conn.fd, buf.data(), buf.size(), &err)) {
+        conn.dead = true;
+        return false;
+    }
+    return true;
+}
+
+void
+Coordinator::dropConn(std::size_t index, const char* why)
+{
+    Conn& conn = conns_[index];
+    // Fold its outstanding assignments back into the pool: the missing
+    // indices re-dispatch to the next requester (exactly-once is the
+    // have-bitmap, so a straggler's late duplicates stay harmless).
+    for (auto& [fp, st] : fps_) {
+        for (auto a = st.assigned.begin(); a != st.assigned.end();) {
+            if (a->connId == conn.id) {
+                if (st.complete) {
+                    // The fp finished but this worker never got its
+                    // `done` matched (e.g. it crashed right after the
+                    // final episode landed): drop the stale assignment
+                    // without charging a re-dispatch.
+                    a = st.assigned.erase(a);
+                    continue;
+                }
+                ++rangesRedispatched_;
+                if (!a->worker.empty())
+                    ++workers_[a->worker].rangesRedispatched;
+                if (opt_.verbose)
+                    std::fprintf(stderr,
+                                 "[coord] re-pooling %s [%d, %d) from "
+                                 "dropped %s\n",
+                                 fp.c_str(), a->start, a->start + a->count,
+                                 conn.worker.c_str());
+                a = st.assigned.erase(a);
+            } else {
+                ++a;
+            }
+        }
+    }
+    if (opt_.verbose)
+        std::fprintf(stderr, "[coord] conn %d (%s) closed: %s\n", conn.id,
+                     conn.worker.empty() ? "?" : conn.worker.c_str(), why);
+    ::close(conn.fd);
+    conns_.erase(conns_.begin() +
+                 static_cast<std::ptrdiff_t>(index));
+}
+
+void
+Coordinator::expireAssignments(double now)
+{
+    for (auto& [fp, st] : fps_) {
+        if (st.complete)
+            continue; // nothing left to re-dispatch; let `done` match
+        for (auto a = st.assigned.begin(); a != st.assigned.end();) {
+            if (now - a->since > opt_.leaseSeconds) {
+                std::fprintf(stderr,
+                             "[coord] range %s [%d, %d) timed out on %s "
+                             "(%.1fs); re-dispatching\n",
+                             fp.c_str(), a->start, a->start + a->count,
+                             a->worker.empty() ? "?" : a->worker.c_str(),
+                             now - a->since);
+                ++rangesRedispatched_;
+                if (!a->worker.empty())
+                    ++workers_[a->worker].rangesRedispatched;
+                a = st.assigned.erase(a);
+            } else {
+                ++a;
+            }
+        }
+    }
+}
+
+bool
+Coordinator::ensureLease(const std::string& fp, FpState& st, double now)
+{
+    if (st.leaseHeld)
+        return true;
+    // Claim under the store flock sidecar, exactly the filesystem
+    // workers' claim discipline: reload the disk view while holding it,
+    // honor a live foreign lease, otherwise write a generation-bumped
+    // claim *before* the flock drops. This is the only flock the
+    // coordinator ever takes on a binlog store -- the data path appends
+    // lock-free.
+    const std::string lockPath = opt_.storePath + ".lock";
+    const int lockFd =
+        io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+    io::FdCloser closeLock(lockFd);
+    if (lockFd < 0 || !io::flockRetry(lockFd, LOCK_EX))
+        std::fprintf(stderr,
+                     "[coord] warning: cannot lock %s; lease claims may "
+                     "race\n",
+                     lockPath.c_str());
+    std::vector<JsonRecord> disk;
+    StoreLoadInfo sal;
+    if (store_->load(disk, &sal, /*quarantineBadTails=*/false))
+        for (JsonRecord& rec : disk)
+            mergeDiskRecord(std::move(rec));
+    std::uint64_t gen = 1;
+    const auto rit = storeRecords_.find(sweepLeaseKey(fp));
+    if (rit != storeRecords_.end()) {
+        const std::string owner = rit->second.text("owner");
+        const bool done = rit->second.number("done") != 0.0;
+        const double renewed = rit->second.number("renewedAt");
+        if (!done && !owner.empty() && owner != coordId_ &&
+            now - renewed <= opt_.leaseSeconds) {
+            // A live filesystem worker owns this ledger: defer it and
+            // fold its progress in on the reload cadence.
+            st.deferredUntil = now + opt_.leaseSeconds * 0.25;
+            foreignLeaseSeen_ = true;
+            if (opt_.verbose)
+                std::fprintf(stderr,
+                             "[coord] %s is live-leased by %s; deferring\n",
+                             fp.c_str(), owner.c_str());
+            return false;
+        }
+        gen = static_cast<std::uint64_t>(rit->second.number("gen")) + 1;
+        if (!done && !owner.empty() && owner != coordId_)
+            std::fprintf(stderr,
+                         "[coord] stealing lease on %s from %s (stale "
+                         "%.1fs > lease %.1fs)\n",
+                         fp.c_str(), owner.c_str(), now - renewed,
+                         opt_.leaseSeconds);
+    }
+    JsonRecord lr;
+    lr.name = sweepLeaseKey(fp);
+    lr.strings.emplace_back("owner", coordId_);
+    lr.numbers.emplace_back("gen", static_cast<double>(gen));
+    lr.numbers.emplace_back("renewedAt", now);
+    lr.numbers.emplace_back("done", 0.0);
+    std::vector<JsonRecord> claim;
+    claim.push_back(lr);
+    storeRecords_[lr.name] = std::move(lr);
+    st.leaseHeld = true;
+    st.leaseGen = gen;
+    st.deferredUntil = 0.0;
+    std::string err;
+    if (!store_->flush(storeRecords_, claim, &err))
+        // The lease is advisory toward a filesystem fleet; a claim that
+        // missed the disk only risks duplicate (idempotent) episodes.
+        std::fprintf(stderr,
+                     "[coord] warning: lease claim on %s did not reach "
+                     "disk: %s\n",
+                     fp.c_str(), err.c_str());
+    return true;
+}
+
+void
+Coordinator::completeFp(const std::string& fp, FpState& st)
+{
+    st.complete = true;
+    // Outstanding assignments stay: the finishing worker's `done` (which
+    // follows its episodes on the wire, i.e. arrives right after the
+    // ingest that completed the fp) must still match to credit its
+    // telemetry. Schedulers skip complete fps, so they are inert.
+    if (st.leaseHeld) {
+        // Publish done=1 under our generation: filesystem workers fold
+        // the finished ledger instead of waiting out the lease.
+        JsonRecord lr;
+        lr.name = sweepLeaseKey(fp);
+        lr.strings.emplace_back("owner", coordId_);
+        lr.numbers.emplace_back("gen", static_cast<double>(st.leaseGen));
+        lr.numbers.emplace_back("renewedAt", wallSeconds());
+        lr.numbers.emplace_back("done", 1.0);
+        pendingBatch_.push_back(lr);
+        storeRecords_[lr.name] = std::move(lr);
+    }
+    if (opt_.verbose)
+        std::fprintf(stderr, "[coord] %s complete (%d episodes)\n",
+                     fp.c_str(), st.need);
+}
+
+void
+Coordinator::noteEpisode(const std::string& name)
+{
+    std::string fp;
+    const int idx = sweepEpisodeIndex(name, &fp);
+    if (idx < 0)
+        return;
+    const auto it = fps_.find(fp);
+    if (it == fps_.end() || idx >= it->second.need ||
+        it->second.have[static_cast<std::size_t>(idx)])
+        return;
+    it->second.have[static_cast<std::size_t>(idx)] = 1;
+    ++it->second.haveCount;
+}
+
+void
+Coordinator::maybeReloadStore(double now)
+{
+    // Only mixed fleets need the periodic re-read: a pure socket
+    // campaign's records all arrive on the wire.
+    bool interested = foreignLeaseSeen_;
+    bool anyIncomplete = false;
+    for (const auto& [fp, st] : fps_) {
+        anyIncomplete = anyIncomplete || !st.complete;
+        interested = interested || st.deferredUntil > 0.0;
+    }
+    if (!interested || !anyIncomplete)
+        return;
+    if (now - lastReload_ < std::max(1.0, opt_.leaseSeconds * 0.25))
+        return;
+    lastReload_ = now;
+    std::vector<JsonRecord> disk;
+    StoreLoadInfo sal;
+    if (!store_->load(disk, &sal, /*quarantineBadTails=*/false))
+        return;
+    for (JsonRecord& rec : disk)
+        mergeDiskRecord(std::move(rec));
+    for (auto& [fp, st] : fps_)
+        if (!st.complete && st.haveCount == st.need)
+            completeFp(fp, st);
+}
+
+void
+Coordinator::mergeDiskRecord(JsonRecord&& rec)
+{
+    if (sweepLeaseFingerprint(rec.name)) {
+        if (!rec.text("owner").empty() && rec.text("owner") != coordId_ &&
+            rec.number("done") == 0.0)
+            foreignLeaseSeen_ = true;
+        const auto it = storeRecords_.find(rec.name);
+        if (it == storeRecords_.end())
+            storeRecords_.emplace(rec.name, std::move(rec));
+        else if (leaseRecordBeats(rec, it->second))
+            it->second = std::move(rec);
+        return;
+    }
+    // Data records: our in-memory copy is at least as new (episodes are
+    // deterministic, so duplicates are bit-identical anyway); only new
+    // keys fold in.
+    const auto it = storeRecords_.find(rec.name);
+    if (it != storeRecords_.end())
+        return;
+    noteEpisode(rec.name);
+    std::string name = rec.name;
+    storeRecords_.emplace(std::move(name), std::move(rec));
+}
+
+void
+Coordinator::flushStore(bool force)
+{
+    if (!store_)
+        return;
+    if (pendingBatch_.empty() && schemaStamped_ && !force)
+        return;
+    if (!schemaStamped_) {
+        JsonRecord schema;
+        schema.name = kSweepStoreSchemaRecord;
+        schema.numbers.emplace_back("schema", kSweepStoreSchema);
+        pendingBatch_.push_back(schema);
+        storeRecords_[kSweepStoreSchemaRecord] = std::move(schema);
+        schemaStamped_ = true;
+    }
+    writeWorkerTelemetry();
+    // A rewriting (json) backend replaces the whole file, so when
+    // filesystem workers share the store the read-merge-rename must be
+    // atomic across processes -- the same sidecar-flock discipline the
+    // sweep engine uses. Appending (binlog) backends skip all of it:
+    // every writer owns its log, the data path takes no lock.
+    int lockFd = -1;
+    if (store_->rewritesWholeStore()) {
+        const std::string lockPath = store_->lockPath();
+        lockFd = io::openRetry(lockPath.c_str(), O_CREAT | O_RDWR, 0644);
+        if (lockFd < 0 || !io::flockRetry(lockFd, LOCK_EX))
+            std::fprintf(stderr,
+                         "[coord] warning: cannot lock %s; concurrent "
+                         "flushes may drop records\n",
+                         lockPath.c_str());
+        std::vector<JsonRecord> disk;
+        StoreLoadInfo sal;
+        if (store_->load(disk, &sal, /*quarantineBadTails=*/false))
+            for (JsonRecord& rec : disk)
+                mergeDiskRecord(std::move(rec));
+    }
+    io::FdCloser closeLock(lockFd);
+    std::string err;
+    bool ok = false;
+    for (int attempt = 0; attempt < io::kRetryAttempts && !ok; ++attempt) {
+        if (attempt > 0) {
+            std::fprintf(stderr,
+                         "[coord] store write failed (%s); retry %d/%d\n",
+                         err.c_str(), attempt, io::kRetryAttempts - 1);
+            io::sleepMs(io::kRetryBaseMs << (attempt - 1));
+        }
+        ok = store_->flush(storeRecords_, pendingBatch_, &err);
+    }
+    if (!ok)
+        throw std::runtime_error(
+            "cannot write coordinator store " + opt_.storePath + ": " +
+            err + " -- campaign aborted; workers can re-point a restarted "
+            "coordinator at the salvaged store");
+    pendingBatch_.clear();
+    lastFlush_ = wallSeconds();
+}
+
+void
+Coordinator::renewLeases(double now)
+{
+    bool any = false;
+    for (auto& [fp, st] : fps_) {
+        if (!st.leaseHeld || st.complete)
+            continue;
+        JsonRecord lr;
+        lr.name = sweepLeaseKey(fp);
+        lr.strings.emplace_back("owner", coordId_);
+        lr.numbers.emplace_back("gen", static_cast<double>(st.leaseGen));
+        lr.numbers.emplace_back("renewedAt", now);
+        lr.numbers.emplace_back("done", 0.0);
+        pendingBatch_.push_back(lr);
+        storeRecords_[lr.name] = std::move(lr);
+        any = true;
+    }
+    if (any)
+        flushStore(false); // renewals must reach disk to count
+}
+
+void
+Coordinator::writeWorkerTelemetry()
+{
+    // One `worker|<id>` record per fleet member, refreshed every flush.
+    // Pure observability: readers surface them (sweep-stats shards
+    // table) but never fold them into cells, so the bit-exact diff
+    // gates are untouched.
+    for (const auto& [id, ws] : workers_) {
+        JsonRecord r;
+        r.name = sweepWorkerKey(id);
+        r.numbers.emplace_back("rangesAssigned",
+                               static_cast<double>(ws.rangesAssigned));
+        r.numbers.emplace_back("rangesCompleted",
+                               static_cast<double>(ws.rangesCompleted));
+        r.numbers.emplace_back(
+            "rangesRedispatched",
+            static_cast<double>(ws.rangesRedispatched));
+        r.numbers.emplace_back("episodes",
+                               static_cast<double>(ws.episodes));
+        r.numbers.emplace_back("elapsed", ws.lastSeen - ws.firstSeen);
+        if (!ws.rangeWallMs.empty()) {
+            r.numbers.emplace_back("rangeP50Ms",
+                                   percentile(ws.rangeWallMs, 50.0));
+            r.numbers.emplace_back("rangeP95Ms",
+                                   percentile(ws.rangeWallMs, 95.0));
+        }
+        pendingBatch_.push_back(r);
+        storeRecords_[r.name] = std::move(r);
+    }
+}
+
+bool
+Coordinator::allComplete() const
+{
+    for (const auto& [fp, st] : fps_)
+        if (!st.complete)
+            return false;
+    return anyDeclared_;
+}
+
+long long
+Coordinator::remainingUnassigned() const
+{
+    long long remaining = 0;
+    for (const auto& [fp, st] : fps_) {
+        if (st.complete)
+            continue;
+        long long inFlight = 0;
+        for (const Assignment& a : st.assigned)
+            inFlight += a.count;
+        const long long missing = st.need - st.haveCount - inFlight;
+        if (missing > 0)
+            remaining += missing;
+    }
+    return remaining;
+}
+
+int
+Coordinator::activeWorkers() const
+{
+    int n = 0;
+    for (const Conn& c : conns_)
+        if (!c.worker.empty())
+            ++n;
+    return n;
+}
+
+} // namespace create

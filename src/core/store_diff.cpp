@@ -36,10 +36,12 @@ withinTolerance(double a, double b, const StoreDiffOptions& opt)
 
 bool
 loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
-               std::string& error)
+               std::string& error, std::vector<JsonRecord>* workers)
 {
     out.clear();
     error.clear();
+    if (workers)
+        workers->clear();
     // Format autodetection (magic bytes / directory-ness) means every
     // reader accepts either store format -- and a mix of the two across
     // the A/B sides of a diff -- with no flag: json vs binlog diffs are
@@ -96,6 +98,13 @@ loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
         }
         if (sweepLeaseFingerprint(rec.name, &fp)) {
             leases[fp] = &rec;
+            continue;
+        }
+        if (sweepWorkerId(rec.name)) {
+            // Coordinator range-dispatch telemetry: handed to callers
+            // that ask for it (sweep-stats), never folded into a cell.
+            if (workers)
+                workers->push_back(rec);
             continue;
         }
         if (rec.name.rfind("v1|", 0) == 0 &&

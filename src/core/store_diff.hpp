@@ -94,9 +94,15 @@ struct StoreDiffResult
  * the unparseable tail is copied to `<path>.quarantine`, and a one-line
  * note goes to stderr. Returns false with `error` set only when the file
  * is missing or yields no parseable records at all.
+ *
+ * `workers` (optional) receives the store's `worker|<id>` telemetry
+ * records (range-dispatch counters written by the campaign coordinator;
+ * see common/store_keys.hpp). Pure observability: they never become
+ * cells, so diffs ignore them either way.
  */
 bool loadStoreCells(const std::string& path, std::vector<StoreCell>& out,
-                    std::string& error);
+                    std::string& error,
+                    std::vector<JsonRecord>* workers = nullptr);
 
 /**
  * Compare two loaded stores cell-by-fingerprint. Entries are ordered:

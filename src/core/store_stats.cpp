@@ -7,6 +7,8 @@
 #include <map>
 #include <tuple>
 
+#include "common/store_keys.hpp"
+
 namespace create {
 
 namespace {
@@ -96,7 +98,8 @@ summarize(const std::vector<double>& samples)
 }
 
 StoreStatsResult
-computeStoreStats(const std::vector<StoreCell>& cells)
+computeStoreStats(const std::vector<StoreCell>& cells,
+                  const std::vector<JsonRecord>& workers)
 {
     StoreStatsResult res;
     // Pooled samples per (platform, task, protection) rollup.
@@ -110,8 +113,19 @@ computeStoreStats(const std::vector<StoreCell>& cells)
     struct OwnerLoad
     {
         int episodes = 0, ledgers = 0, leasesHeld = 0;
+        const JsonRecord* telemetry = nullptr;
     };
     std::map<std::string, OwnerLoad> owners;
+    // Coordinator range telemetry joins the attribution rows by worker
+    // id (the coordinator keys worker| records by the hello identity,
+    // which is the same "host:pid.seq" string stamped into episode `by`
+    // fields). One record per worker; a re-flush rewrites it, so the
+    // last one in store order wins.
+    for (const JsonRecord& rec : workers) {
+        std::string id;
+        if (sweepWorkerId(rec.name, &id))
+            owners[id].telemetry = &rec;
+    }
 
     for (const StoreCell& cell : cells) {
         if (cell.legacy) {
@@ -201,6 +215,21 @@ computeStoreStats(const std::vector<StoreCell>& cells)
         s.episodes = load.episodes;
         s.ledgers = load.ledgers;
         s.leasesHeld = load.leasesHeld;
+        if (load.telemetry) {
+            const JsonRecord& t = *load.telemetry;
+            s.hasRanges = true;
+            s.rangesAssigned =
+                static_cast<long long>(t.number("rangesAssigned"));
+            s.rangesCompleted =
+                static_cast<long long>(t.number("rangesCompleted"));
+            s.rangesRedispatched =
+                static_cast<long long>(t.number("rangesRedispatched"));
+            s.rangeP50Ms = t.number("rangeP50Ms");
+            s.rangeP95Ms = t.number("rangeP95Ms");
+            const double elapsed = t.number("elapsed");
+            if (elapsed > 0.0)
+                s.epsPerSec = t.number("episodes") / elapsed;
+        }
         res.shards.push_back(std::move(s));
     }
     std::sort(res.shards.begin(), res.shards.end(),
@@ -216,9 +245,10 @@ computeStoreStats(const std::string& path, StoreStatsResult& out,
                   std::string& error)
 {
     std::vector<StoreCell> cells;
-    if (!loadStoreCells(path, cells, error))
+    std::vector<JsonRecord> workers;
+    if (!loadStoreCells(path, cells, error, &workers))
         return false;
-    out = computeStoreStats(cells);
+    out = computeStoreStats(cells, workers);
     return true;
 }
 

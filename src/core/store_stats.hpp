@@ -113,6 +113,20 @@ struct ShardLoad
     int episodes = 0;  //!< attributed episodes over folded prefixes
     int ledgers = 0;   //!< ledgers this worker ran episodes of
     int leasesHeld = 0; //!< ledgers whose current lease names this worker
+    /**
+     * Range-dispatch telemetry from the campaign coordinator's
+     * `worker|<id>` record (socket campaigns only; hasRanges gates it).
+     * The p95/p50 range wall-time ratio is the straggler signal: a
+     * worker whose ratio is far above its peers' is being slowed by
+     * something other than the workload.
+     */
+    bool hasRanges = false;
+    long long rangesAssigned = 0;
+    long long rangesCompleted = 0;
+    long long rangesRedispatched = 0; //!< lost to timeout/disconnect
+    double epsPerSec = 0.0;  //!< fresh episodes / connected wall seconds
+    double rangeP50Ms = 0.0; //!< per-completed-range wall time tails
+    double rangeP95Ms = 0.0;
 };
 
 /** Full analytics of one store. */
@@ -126,8 +140,14 @@ struct StoreStatsResult
     std::vector<ShardLoad> shards;
 };
 
-/** Analyze loaded store cells (see loadStoreCells). */
-StoreStatsResult computeStoreStats(const std::vector<StoreCell>& cells);
+/**
+ * Analyze loaded store cells (see loadStoreCells). `workers` are the
+ * store's coordinator telemetry records (loadStoreCells' optional out
+ * param); they fold into the matching shards' range columns.
+ */
+StoreStatsResult
+computeStoreStats(const std::vector<StoreCell>& cells,
+                  const std::vector<JsonRecord>& workers = {});
 
 /**
  * Load + analyze a store file. Returns false with `error` set when the

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "common/chaos.hpp"
 #include "common/io_retry.hpp"
 #include "common/serialize.hpp"
+#include "core/coordinator.hpp"
 #include "core/platform_registry.hpp"
 #include "core/store_stats.hpp"
 
@@ -116,6 +118,24 @@ makeWorkerId()
     static std::atomic<int> seq{0};
     return std::string(host) + ":" + std::to_string(::getpid()) + "." +
            std::to_string(++seq);
+}
+
+/** Split a "host:port" coordinator spec; false on anything malformed. */
+bool
+parseHostPort(const std::string& spec, std::string& host, int& port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        return false;
+    char* end = nullptr;
+    const long p = std::strtol(spec.c_str() + colon + 1, &end, 10);
+    if (end == spec.c_str() + colon + 1 || (end && *end != '\0') ||
+        p < 1 || p > 65535)
+        return false;
+    host = spec.substr(0, colon);
+    port = static_cast<int>(p);
+    return true;
 }
 
 } // namespace
@@ -230,6 +250,99 @@ class SweepRunner::StoreSink : public EpisodeSink
     const bool toStore_;
 };
 
+/**
+ * Streams one dispatched range's completed episodes to the coordinator:
+ * the ledger/progress side of StoreSink, but the records go onto the
+ * wire instead of the local store. Every record of the current range is
+ * retained until the range is acknowledged -- a send that fails
+ * mid-range (coordinator restart, injected connreset) just marks the
+ * sink broken and the range runner re-sends the whole range after
+ * reconnecting (episodes are deterministic, so the coordinator's merge
+ * is idempotent).
+ */
+class SweepRunner::CoordSink : public EpisodeSink
+{
+  public:
+    CoordSink(SweepRunner& runner, const std::string& fingerprint,
+              Ledger& ledger, const PaperEnergyModel& energy,
+              CoordClient& client)
+        : runner_(runner), fingerprint_(fingerprint), ledger_(ledger),
+          energy_(energy), client_(client)
+    {
+    }
+
+    int base = 0;        //!< ledger index of this range's episode 0
+    bool broken = false; //!< a send failed; caller reconnects + re-sends
+    std::vector<JsonRecord> records; //!< the whole range, arrival order
+
+    void onEpisode(int index, const EpisodeResult& result,
+                   const EpisodeMetrics& metrics) override
+    {
+        const EpisodeRecord rec{result, energy_.episodeComputeJ(result),
+                                metrics};
+        {
+            std::lock_guard<std::mutex> lock(runner_.storeMu_);
+            const auto idx = static_cast<std::size_t>(base + index);
+            ledger_.eps[idx] = rec;
+            ledger_.have[idx] = 1;
+            ledger_.anyExecuted = true;
+            ++runner_.episodesExecuted_;
+            ++runner_.progressDone_;
+            if (result.success)
+                ++runner_.progressSucc_;
+            if (metrics.present) {
+                constexpr std::size_t kWallWindow = 4096;
+                if (runner_.progressWall_.size() < kWallWindow)
+                    runner_.progressWall_.push_back(metrics.wallMs);
+                else
+                    runner_.progressWall_[runner_.progressWallNext_++ %
+                                          kWallWindow] = metrics.wallMs;
+                runner_.progressFlips_ += metrics.flipsInjected;
+            }
+        }
+        JsonRecord jr = episodeToRecord(
+            sweepEpisodeKey(fingerprint_, base + index), rec);
+        // Worker attribution, same contract as elastic mode: a string
+        // field the diff/stat folds never compare.
+        jr.strings.emplace_back("by", runner_.workerId_);
+        records.push_back(std::move(jr));
+        if (!broken &&
+            records.size() - sent_ >=
+                static_cast<std::size_t>(runner_.opt_.flushEvery)) {
+            const std::vector<JsonRecord> out(
+                records.begin() + static_cast<std::ptrdiff_t>(sent_),
+                records.end());
+            std::string err;
+            if (client_.send(out, &err)) {
+                sent_ = records.size();
+            } else {
+                broken = true;
+                std::fprintf(stderr,
+                             "[sweep] coordinator send failed mid-range "
+                             "(%s); finishing the range for re-send\n",
+                             err.c_str());
+            }
+            if (runner_.opt_.progress)
+                runner_.progressLine();
+        }
+    }
+
+    /** Records not yet on the wire (tail of the range). */
+    std::vector<JsonRecord> unsent() const
+    {
+        return {records.begin() + static_cast<std::ptrdiff_t>(sent_),
+                records.end()};
+    }
+
+  private:
+    SweepRunner& runner_;
+    const std::string& fingerprint_;
+    Ledger& ledger_;
+    const PaperEnergyModel& energy_;
+    CoordClient& client_;
+    std::size_t sent_ = 0;
+};
+
 SweepRunner::SweepRunner() : SweepRunner(Options()) {}
 
 SweepRunner::SweepRunner(Options opt) : opt_(std::move(opt))
@@ -255,6 +368,20 @@ SweepRunner::SweepRunner(Options opt) : opt_(std::move(opt))
                      "ignored (workers claim ledgers dynamically)\n");
         opt_.shardIndex = 0;
         opt_.shardCount = 1;
+    }
+    if (!opt_.connect.empty()) {
+        std::string host;
+        int port = 0;
+        if (!parseHostPort(opt_.connect, host, port))
+            throw std::invalid_argument(
+                "SweepRunner: connect expects host:port, got '" +
+                opt_.connect + "'");
+        if (!opt_.storePath.empty() || opt_.resume ||
+            opt_.shardCount > 1 || opt_.leaseSeconds > 0.0)
+            throw std::invalid_argument(
+                "SweepRunner: connect replaces the shared-store options "
+                "(store/resume/shard/lease) -- the coordinator owns all "
+                "store state");
     }
     workerId_ = makeWorkerId();
 }
@@ -924,6 +1051,213 @@ SweepRunner::runElastic(std::vector<WorkUnit>& units)
 }
 
 void
+SweepRunner::runConnected(std::vector<WorkUnit>& units)
+{
+    std::string host;
+    int port = 0;
+    parseHostPort(opt_.connect, host, port); // validated at construction
+
+    CoordClient client;
+    // The reconnect budget doubles as the coordinator-restart budget:
+    // connectRetry's backoff (capped at 2 s per sleep) spans ~30 s over
+    // 20 attempts, comfortably past a kill -9 + restart-from-salvage.
+    constexpr int kConnectAttempts = 20;
+
+    // Everything after hello is idempotent, so a (re)connect just
+    // replays the declarations: ledger meta (the coordinator stores it
+    // exactly as a local campaign would) + the episode need per unit.
+    const auto declareAll = [&]() -> bool {
+        std::vector<JsonRecord> decl;
+        decl.reserve(units.size() * 2);
+        for (const WorkUnit& u : units) {
+            const SweepCell& oc = cells_[u.owner].cell;
+            JsonRecord meta;
+            meta.name = u.fingerprint;
+            meta.strings.emplace_back("platform", oc.platform);
+            meta.strings.emplace_back("label", oc.label);
+            meta.numbers.emplace_back("task", oc.taskId);
+            meta.numbers.emplace_back("seed0",
+                                      static_cast<double>(oc.seed0));
+            decl.push_back(std::move(meta));
+            JsonRecord need = coordwire::control("need");
+            need.strings.emplace_back("fp", u.fingerprint);
+            need.numbers.emplace_back("need", u.need);
+            decl.push_back(std::move(need));
+        }
+        std::string err;
+        return client.send(decl, &err);
+    };
+    const auto reconnect = [&]() {
+        std::string err;
+        if (!client.connect(host, port, workerId_, kConnectAttempts,
+                            &err) ||
+            !declareAll())
+            throw std::runtime_error(
+                "cannot reach coordinator " + opt_.connect + ": " + err);
+    };
+    reconnect();
+
+    // Per-unit bookkeeping: which units this worker actually ran
+    // episodes for (their owner cells report Executed, the rest Sliced/
+    // Resumed), keyed by fingerprint.
+    std::map<std::string, WorkUnit*> byFp;
+    std::map<std::string, bool> ranAny;
+    for (WorkUnit& u : units)
+        byFp[u.fingerprint] = &u;
+
+    // Units run one range at a time in-process (the coordinator is the
+    // scale-out), so the serial prepare() per fingerprint switch
+    // satisfies the per-width weight-freeze constraint; the thread
+    // budget fans out within the range via the episode engine.
+    std::string preparedFp;
+    for (;;) {
+        JsonRecord rec;
+        std::string err;
+        if (!client.send(coordwire::control("req"), &err) ||
+            !client.recv(rec, &err)) {
+            std::fprintf(stderr,
+                         "[sweep] coordinator connection lost (%s); "
+                         "reconnecting\n",
+                         err.c_str());
+            reconnect();
+            preparedFp.clear(); // replays are cheap; state is unknown
+            continue;
+        }
+        std::string verb;
+        if (!coordwire::isControl(rec, &verb))
+            continue; // data frames are only expected during fetch
+        if (verb == "fin")
+            break;
+        if (verb == "wait") {
+            io::sleepMs(std::max(
+                50, static_cast<int>(rec.number("ms", 250.0))));
+            continue;
+        }
+        if (verb != "range")
+            continue;
+        const std::string fp = rec.text("fp");
+        const int start = static_cast<int>(rec.number("start"));
+        const int count = static_cast<int>(rec.number("count"));
+        const auto uit = byFp.find(fp);
+        if (uit == byFp.end() || count < 1) {
+            // A fingerprint we never declared (mixed campaign with a
+            // differently-scoped fleet): let the assignment time out
+            // and land on a worker that can run it.
+            std::fprintf(stderr,
+                         "[sweep] dispatched unknown ledger %s; "
+                         "ignoring\n",
+                         fp.c_str());
+            io::sleepMs(250);
+            continue;
+        }
+        WorkUnit& unit = *uit->second;
+        const SweepCell& c = cells_[unit.owner].cell;
+        EmbodiedSystem* proto = prototypeFor(c.platform);
+        if (preparedFp != fp) {
+            proto->prepare(c.cfg);
+            proto->setEvalThreads(opt_.threads);
+            proto->setBatchedInference(opt_.batched);
+            preparedFp = fp;
+        }
+        CoordSink sink(*this, unit.fingerprint, *unit.led,
+                       proto->energyModel(), client);
+        sink.base = start;
+        proto->runEpisodes(c.taskId, c.cfg, count,
+                           c.seed0 + static_cast<std::uint64_t>(start),
+                           &sink);
+        ranAny[fp] = true;
+        // Land the range: the unsent tail (or, after a mid-range send
+        // failure, the whole range again) followed by the completion
+        // mark. Retried wholesale on failure -- duplicates merge
+        // idempotently on the coordinator.
+        JsonRecord done = coordwire::control("done");
+        done.strings.emplace_back("fp", fp);
+        done.numbers.emplace_back("start", start);
+        done.numbers.emplace_back("count", count);
+        for (;;) {
+            std::vector<JsonRecord> out =
+                sink.broken ? sink.records : sink.unsent();
+            out.push_back(done);
+            if (client.connected() && client.send(out, &err))
+                break;
+            std::fprintf(stderr,
+                         "[sweep] range %s [%d, %d) did not land (%s); "
+                         "reconnecting to re-send\n",
+                         fp.c_str(), start, start + count, err.c_str());
+            reconnect();
+            preparedFp.clear();
+            sink.broken = true; // everything must go again
+        }
+        if (opt_.verbose)
+            std::fprintf(stderr, "[sweep] range %s [%d, %d) done\n",
+                         fp.c_str(), start, start + count);
+    }
+
+    // Fetch phase: episodes peers ran are pulled back over the wire so
+    // every cell's fold is the full bit-identical prefix.
+    for (WorkUnit& u : units) {
+        bool missing = false;
+        {
+            std::lock_guard<std::mutex> lock(storeMu_);
+            missing = u.led->prefixLen(u.need) < u.need;
+        }
+        for (int attempt = 0; missing; ++attempt) {
+            JsonRecord req = coordwire::control("fetch");
+            req.strings.emplace_back("fp", u.fingerprint);
+            req.numbers.emplace_back("need", u.need);
+            std::string err;
+            bool ok = client.connected() && client.send(req, &err);
+            while (ok) {
+                JsonRecord rec;
+                if (!client.recv(rec, &err)) {
+                    ok = false;
+                    break;
+                }
+                std::string verb;
+                if (coordwire::isControl(rec, &verb)) {
+                    if (verb == "fetched")
+                        break;
+                    continue;
+                }
+                std::string fp;
+                const int idx = sweepEpisodeIndex(rec.name, &fp);
+                EpisodeRecord er;
+                if (idx < 0 || fp != u.fingerprint || idx >= u.need ||
+                    !episodeFromRecord(rec, er))
+                    continue;
+                std::lock_guard<std::mutex> lock(storeMu_);
+                if (!u.led->have[static_cast<std::size_t>(idx)]) {
+                    u.led->eps[static_cast<std::size_t>(idx)] = er;
+                    u.led->have[static_cast<std::size_t>(idx)] = 1;
+                }
+            }
+            if (ok) {
+                std::lock_guard<std::mutex> lock(storeMu_);
+                missing = u.led->prefixLen(u.need) < u.need;
+                if (missing && attempt >= io::kRetryAttempts)
+                    throw std::runtime_error(
+                        "coordinator reported " + u.fingerprint +
+                        " complete but episodes are missing after fetch");
+                if (missing)
+                    io::sleepMs(io::kRetryBaseMs << attempt);
+            } else {
+                if (attempt >= io::kRetryAttempts)
+                    throw std::runtime_error(
+                        "cannot fetch " + u.fingerprint +
+                        " from coordinator " + opt_.connect + ": " + err);
+                reconnect();
+            }
+        }
+        finalizeGroup(u.fingerprint, u.members, u.owner,
+                      /*executedNow=*/ranAny.count(u.fingerprint) > 0,
+                      /*skipped=*/false);
+        if (opt_.progress)
+            progressLine();
+    }
+    client.close();
+}
+
+void
 SweepRunner::progressLine()
 {
     long long done = 0, total = 0, succ = 0;
@@ -1190,12 +1524,21 @@ SweepRunner::run()
     if (elasticRun)
         runElastic(units);
 
+    // Connected (coordinator) mode: the pending list is a candidate
+    // pool the coordinator carves into episode ranges across the whole
+    // fleet. Ranges run serially in-process (full thread budget inside
+    // each range), so the wave scheduler is skipped here too.
+    const bool connectedRun = !opt_.connect.empty();
+    if (connectedRun && !units.empty())
+        runConnected(units);
+
     // Waves: freezing quantized weights is per-width state on the shared
     // model set, so ledgers of one platform at different QuantBits must
     // not run concurrently. Bucket pending units by (platform, bits) in
     // first-appearance order and run the buckets sequentially.
     std::vector<std::pair<std::string, std::vector<std::size_t>>> buckets;
-    for (std::size_t k = 0; !elasticRun && k < units.size(); ++k) {
+    for (std::size_t k = 0; !elasticRun && !connectedRun && k < units.size();
+         ++k) {
         const SweepCell& c = cells_[units[k].owner].cell;
         const std::string key =
             c.platform + (c.cfg.bits == QuantBits::Int8 ? "|8" : "|4");

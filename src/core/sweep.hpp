@@ -162,6 +162,19 @@ class SweepRunner
          * pre-lease behavior bit-identical.
          */
         double leaseSeconds = 0.0;
+        /**
+         * Connected campaign mode: "host:port" of a create-coordinator
+         * process (tools/create_coordinator, core/coordinator.hpp) that
+         * owns the campaign store. The runner declares its ledgers to
+         * the coordinator, runs the episode ranges it is dispatched,
+         * and streams completed records back as binlog frames -- no
+         * shared filesystem (and no local store) required. Episodes
+         * another worker ran are fetched back over the wire at the end,
+         * so stats() folds are bit-identical to a serial run. Mutually
+         * exclusive with the shared-store options (storePath, resume,
+         * shard*, leaseSeconds): the coordinator owns all store state.
+         */
+        std::string connect;
     };
 
     SweepRunner();
@@ -284,6 +297,7 @@ class SweepRunner
     };
 
     class StoreSink; //!< EpisodeSink streaming a unit's episodes in
+    class CoordSink; //!< EpisodeSink streaming a range to the coordinator
 
     /** In-memory side of a lease this worker holds (keyed by fp). */
     struct ActiveLease
@@ -303,6 +317,9 @@ class SweepRunner
     void progressLine();
     // Elastic lease mode (all under storeIoMu_ unless noted).
     void runElastic(std::vector<WorkUnit>& units); //!< takes no locks itself
+    // Connected (coordinator) mode: run dispatched ranges, stream the
+    // records back, fetch peers' episodes at the end.
+    void runConnected(std::vector<WorkUnit>& units);
     WorkUnit* claimNext(std::vector<WorkUnit*>& pending);
     void gapFillFromStore(WorkUnit& unit);
     void mergeDiskRecordLocked(JsonRecord&& rec);

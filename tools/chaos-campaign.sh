@@ -4,7 +4,7 @@
 #
 # Usage: tools/chaos-campaign.sh [build-dir]   (default: build)
 #
-# Three legs, each ending in a bit-exact sweep-diff against the same
+# Six legs, each ending in a bit-exact sweep-diff against the same
 # serial golden store:
 #
 #   1. kill -9    two elastic workers (--lease) share one store; one is
@@ -23,6 +23,21 @@
 #                 relaunches until a worker survives to completion --
 #                 every relaunch resumes from the surviving episodes.
 #
+# Legs 4-6 run the same campaign through the socket coordinator
+# (create-coordinator + fig13 --connect workers, no shared filesystem):
+#
+#   4. kill -9    one of two socket workers dies mid-campaign; its
+#                 outstanding range times out (--lease) and the
+#                 coordinator re-dispatches the missing episode indices
+#                 to the survivor.
+#   5. connreset  CREATE_CHAOS connreset= severs coordinator-wire sends
+#                 mid-frame on the workers; every reset must heal by
+#                 reconnect + re-send (duplicates merge idempotently).
+#   6. coord kill the coordinator itself is kill -9'd mid-campaign and
+#                 restarted on the same port + store: it salvages the
+#                 binlog, re-learns progress from the have-bitmap, and
+#                 the workers' connect-retry budget rides through.
+#
 # Episodes are deterministic (seeded per index, exact integer kernels),
 # so however chaotically the work is re-run, re-stolen, or re-merged,
 # the final store must be bit-identical to the serial one. Tunables:
@@ -39,6 +54,7 @@ build=${1:-build}
 fig13=$build/bench/bench_fig13_techniques
 diff=$build/tools/sweep-diff
 stats=$build/tools/sweep-stats
+coord=$build/tools/create-coordinator
 reps=${CHAOS_REPS:-2}
 lease=${CHAOS_LEASE:-2}
 kill_after=${CHAOS_KILL_AFTER:-1}
@@ -104,5 +120,121 @@ until CREATE_CHAOS="abort=0.03" CREATE_CHAOS_SEED=$((1000 + tries)) \
 done
 echo "   survived after $tries abort-and-resume relaunches"
 "$diff" "$work/serial.json" "$work/abort.store"
+
+# Start a create-coordinator on an ephemeral port over $1 (store path)
+# with extra flags $2...; sets $coord_pid and $port (parsed from the
+# "listening on port N" line).
+start_coordinator() {
+    cstore=$1
+    shift
+    : > "$work/coord.out"
+    "$coord" --store "$cstore" --store-format "$fmt" --lease "$lease" \
+        --once "$@" > "$work/coord.out" 2>> "$work/coord.log" &
+    coord_pid=$!
+    port=""
+    tries=0
+    while [ -z "$port" ]; do
+        port=$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+            "$work/coord.out")
+        [ -n "$port" ] && break
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "FAIL: coordinator never reported its port"
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== leg 4: kill -9 one of two socket workers (coordinator campaign)"
+start_coordinator "$work/sock.store"
+"$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/sock-victim.log" &
+victim=$!
+"$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/sock-survivor.log" &
+survivor=$!
+sleep "$kill_after"
+if kill -9 "$victim" 2> /dev/null; then
+    echo "   killed socket worker pid $victim after ${kill_after}s"
+else
+    echo "   worker $victim already finished (campaign too fast to kill)"
+fi
+wait "$victim" 2> /dev/null || true
+if ! wait "$survivor"; then
+    echo "FAIL: surviving socket worker exited nonzero"
+    sed -n '$p' "$work/sock-survivor.log"
+    exit 1
+fi
+if ! wait "$coord_pid"; then
+    echo "FAIL: coordinator exited nonzero"
+    sed -n '$p' "$work/coord.log"
+    exit 1
+fi
+grep "episodes ingested" "$work/coord.log" | tail -1 || true
+"$diff" "$work/serial.json" "$work/sock.store"
+"$stats" "$work/sock.store" | sed -n '/Per-worker/,/^$/p'
+
+echo "== leg 5: connreset storm on socket workers (CREATE_CHAOS connreset=0.05)"
+start_coordinator "$work/reset.store"
+CREATE_CHAOS="connreset=0.05" CREATE_CHAOS_SEED=20260808 \
+    "$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/reset-w1.log" &
+w1=$!
+CREATE_CHAOS="connreset=0.05" CREATE_CHAOS_SEED=20260809 \
+    "$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/reset-w2.log" &
+w2=$!
+if ! wait "$w1" || ! wait "$w2"; then
+    echo "FAIL: a socket worker did not survive the connreset storm"
+    sed -n '$p' "$work/reset-w1.log" "$work/reset-w2.log"
+    exit 1
+fi
+if ! wait "$coord_pid"; then
+    echo "FAIL: coordinator exited nonzero under connreset"
+    sed -n '$p' "$work/coord.log"
+    exit 1
+fi
+resets=$(cat "$work/reset-w1.log" "$work/reset-w2.log" |
+    grep -c "\[chaos\] connreset" || true)
+echo "   injected $resets connection resets"
+if [ "${resets:-0}" -eq 0 ]; then
+    echo "FAIL: connreset chaos never fired; the leg is vacuous"
+    exit 1
+fi
+"$diff" "$work/serial.json" "$work/reset.store"
+
+echo "== leg 6: kill -9 the coordinator mid-campaign, restart on same store"
+start_coordinator "$work/ckill.store"
+"$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/ckill-w1.log" &
+w1=$!
+"$fig13" --reps "$reps" --connect "127.0.0.1:$port" \
+    > /dev/null 2> "$work/ckill-w2.log" &
+w2=$!
+sleep "$kill_after"
+if kill -9 "$coord_pid" 2> /dev/null; then
+    echo "   killed coordinator pid $coord_pid after ${kill_after}s"
+    wait "$coord_pid" 2> /dev/null || true
+    # Restart on the SAME port (SO_REUSEADDR) and the same store: it
+    # salvages the binlog tail and resumes from the surviving episodes;
+    # the workers' connect-retry backoff (~30 s) rides through the gap.
+    start_coordinator "$work/ckill.store" --port "$port"
+else
+    echo "   coordinator already finished (campaign too fast to kill)"
+    coord_pid=""
+fi
+if ! wait "$w1" || ! wait "$w2"; then
+    echo "FAIL: a socket worker did not survive the coordinator restart"
+    sed -n '$p' "$work/ckill-w1.log" "$work/ckill-w2.log"
+    exit 1
+fi
+if [ -n "$coord_pid" ] && ! wait "$coord_pid"; then
+    echo "FAIL: restarted coordinator exited nonzero"
+    sed -n '$p' "$work/coord.log"
+    exit 1
+fi
+grep "episodes ingested" "$work/coord.log" | tail -1 || true
+"$diff" "$work/serial.json" "$work/ckill.store"
 
 echo "== chaos-campaign: all legs bit-exact vs serial"

@@ -142,17 +142,56 @@ printAttribution(const StoreStatsResult& stats, int top)
 void
 printShards(const StoreStatsResult& stats)
 {
-    // Only elastic lease campaigns stamp episodes with a `by` field and
-    // write lease records; a plain serial/sharded store has no shards to
-    // attribute and prints nothing.
+    // Only distributed campaigns (elastic lease or coordinator socket
+    // mode) stamp episodes with a `by` field and write lease/worker
+    // records; a plain serial/sharded store has no shards to attribute
+    // and prints nothing.
     if (stats.shards.empty())
         return;
-    Table table("Per-shard episode attribution (elastic lease campaign)");
-    table.header({"worker", "episodes", "ledgers", "leases held"});
+    bool anyRanges = false;
     for (const ShardLoad& s : stats.shards)
-        table.row({s.owner, std::to_string(s.episodes),
-                   std::to_string(s.ledgers),
-                   std::to_string(s.leasesHeld)});
+        anyRanges = anyRanges || s.hasRanges;
+    if (!anyRanges) {
+        Table table(
+            "Per-shard episode attribution (elastic lease campaign)");
+        table.header({"worker", "episodes", "ledgers", "leases held"});
+        for (const ShardLoad& s : stats.shards)
+            table.row({s.owner, std::to_string(s.episodes),
+                       std::to_string(s.ledgers),
+                       std::to_string(s.leasesHeld)});
+        std::printf("\n");
+        table.print();
+        return;
+    }
+    // A coordinator campaign additionally wrote worker| range telemetry:
+    // widen the table with the dispatch counters, throughput, and the
+    // p95/p50 range-wall-time straggler ratio.
+    Table table("Per-worker range dispatch (coordinator campaign)");
+    table.header({"worker", "episodes", "ledgers", "leases held", "ranges",
+                  "redisp", "eps/s", "rng p50 ms", "rng p95 ms",
+                  "straggler"});
+    for (const ShardLoad& s : stats.shards) {
+        std::vector<std::string> row = {s.owner, std::to_string(s.episodes),
+                                        std::to_string(s.ledgers),
+                                        std::to_string(s.leasesHeld)};
+        if (s.hasRanges) {
+            row.push_back(std::to_string(s.rangesCompleted) + "/" +
+                          std::to_string(s.rangesAssigned));
+            row.push_back(std::to_string(s.rangesRedispatched));
+            row.push_back(Table::num(s.epsPerSec, 1));
+            row.push_back(Table::num(s.rangeP50Ms, 1));
+            row.push_back(Table::num(s.rangeP95Ms, 1));
+            row.push_back(s.rangeP50Ms > 0.0
+                              ? Table::num(s.rangeP95Ms / s.rangeP50Ms, 2)
+                              : "-");
+        } else {
+            // A filesystem --lease worker of a mixed fleet: episode
+            // attribution only, no coordinator-side range counters.
+            for (int i = 0; i < 6; ++i)
+                row.emplace_back("-");
+        }
+        table.row(row);
+    }
     std::printf("\n");
     table.print();
 }
